@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks for the block-bitmap implementations
+//! (E10: the §IV-A-2 layered-vs-flat design choice).
+
+use block_bitmap::{ser, AtomicBitmap, DirtyMap, FlatBitmap, LayeredBitmap};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::SimRng;
+
+/// 40 GB disk at 4 KiB blocks.
+const NBITS: usize = 9_765_625;
+
+fn clustered_indices(dirty: usize, rng: &mut SimRng) -> Vec<usize> {
+    let clusters = (dirty / 512).max(1);
+    let per = dirty / clusters;
+    let mut out = Vec::with_capacity(dirty);
+    for _ in 0..clusters {
+        let start = rng.below((NBITS - per) as u64) as usize;
+        out.extend(start..start + per);
+    }
+    out
+}
+
+fn bench_set(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap_set");
+    g.bench_function("flat", |b| {
+        let mut bm = FlatBitmap::new(NBITS);
+        let mut i = 0usize;
+        b.iter(|| {
+            bm.set(black_box(i % NBITS));
+            i += 4097;
+        });
+    });
+    g.bench_function("layered", |b| {
+        let mut bm = LayeredBitmap::new(NBITS);
+        let mut i = 0usize;
+        b.iter(|| {
+            bm.set(black_box(i % NBITS));
+            i += 4097;
+        });
+    });
+    g.bench_function("atomic", |b| {
+        let bm = AtomicBitmap::new(NBITS);
+        let mut i = 0usize;
+        b.iter(|| {
+            bm.set(black_box(i % NBITS));
+            i += 4097;
+        });
+    });
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap_scan_clustered");
+    for &dirty in &[610usize, 6_680, 360_000] {
+        let mut rng = SimRng::new(1);
+        let idxs = clustered_indices(dirty, &mut rng);
+        let mut flat = FlatBitmap::new(NBITS);
+        let mut layered = LayeredBitmap::new(NBITS);
+        for &i in &idxs {
+            flat.set(i);
+            layered.set(i);
+        }
+        g.bench_with_input(BenchmarkId::new("flat", dirty), &flat, |b, bm| {
+            b.iter(|| black_box(bm.iter_set().count()))
+        });
+        g.bench_with_input(BenchmarkId::new("layered", dirty), &layered, |b, bm| {
+            b.iter(|| black_box(bm.iter_set().count()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap_iteration_boundary");
+    g.bench_function("atomic_snapshot_and_clear", |b| {
+        let bm = AtomicBitmap::new(NBITS);
+        b.iter(|| {
+            bm.set(12_345);
+            black_box(bm.snapshot_and_clear())
+        });
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap_wire");
+    let mut rng = SimRng::new(2);
+    let mut sparse = FlatBitmap::new(NBITS);
+    for i in clustered_indices(6_680, &mut rng) {
+        sparse.set(i);
+    }
+    g.bench_function("encode_sparse_6680", |b| {
+        b.iter(|| black_box(ser::encode(&sparse)))
+    });
+    let enc = ser::encode(&sparse);
+    g.bench_function("decode_sparse_6680", |b| {
+        b.iter(|| black_box(ser::decode(&enc).expect("valid")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_set, bench_scan, bench_drain, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! End-to-end engine benchmarks: how fast the simulated TPM/IM engines
+//! execute (wall time per simulated migration), one per Table I workload,
+//! plus the event-driven post-copy phase in isolation.
+
+use block_bitmap::{DirtyMap, FlatBitmap};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::{SimDuration, SimRng, SimTime};
+use migrate::sim::{dwell, run_im, run_postcopy, run_tpm, DirtyTracker, PostCopyConfig};
+use migrate::{BitmapKind, MigrationConfig};
+use simnet::proto::TransferLedger;
+use vdisk::MetaDisk;
+use workloads::probe::ThroughputProbe;
+use workloads::WorkloadKind;
+
+fn bench_tpm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_tpm_small");
+    g.sample_size(10);
+    for kind in WorkloadKind::TABLE1 {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let out = run_tpm(MigrationConfig::small(), kind);
+                    assert!(out.report.consistent);
+                    black_box(out.report.total_time_secs)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_im_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_im_roundtrip");
+    g.sample_size(10);
+    g.bench_function("web_tpm_dwell_im", |b| {
+        b.iter(|| {
+            let cfg = MigrationConfig::small();
+            let mut out = run_tpm(cfg.clone(), WorkloadKind::Web);
+            dwell(&mut out, &cfg, SimDuration::from_secs(30));
+            let back = run_im(cfg, out);
+            assert!(back.report.consistent);
+            black_box(back.report.total_time_secs)
+        })
+    });
+    g.finish();
+}
+
+fn bench_postcopy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_postcopy");
+    for &dirty in &[64usize, 1024, 16_384] {
+        g.bench_with_input(BenchmarkId::from_parameter(dirty), &dirty, |b, &dirty| {
+            b.iter(|| {
+                let blocks = 65_536;
+                let mut src = MetaDisk::new(blocks);
+                let mut dst = MetaDisk::new(blocks);
+                let mut bm = FlatBitmap::new(blocks);
+                for i in 0..dirty {
+                    let blk = i * (blocks / dirty);
+                    src.write(blk);
+                    bm.set(blk);
+                }
+                let cfg = PostCopyConfig {
+                    block_size: 4096,
+                    push_rate: 50e6,
+                    workload_share: 2e6,
+                    latency: SimDuration::from_micros(100),
+                    push_batch: 32,
+                    slice: SimDuration::from_millis(20),
+                    horizon: SimDuration::from_secs(60),
+                    push_enabled: true,
+                };
+                let mut new_bm = DirtyTracker::new(BitmapKind::Flat, blocks);
+                let mut workload = WorkloadKind::Idle.build(blocks as u64);
+                let mut rng = SimRng::new(7);
+                let mut ledger = TransferLedger::new();
+                let mut probe = ThroughputProbe::new();
+                let out = run_postcopy(
+                    cfg,
+                    SimTime::ZERO,
+                    &src,
+                    &mut dst,
+                    bm.clone(),
+                    bm,
+                    &mut new_bm,
+                    workload.as_mut(),
+                    &mut rng,
+                    &mut ledger,
+                    &mut probe,
+                );
+                assert_eq!(out.residual_blocks, 0);
+                black_box(out.stats.pushed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tpm, bench_im_roundtrip, bench_postcopy);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion measurement behind Table III: the cost the write-intercepting
+//! layer (`blkback` analogue) adds to every guest write.
+
+use std::sync::Arc;
+
+use block_bitmap::AtomicBitmap;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vdisk::{stamp_bytes, DomainId, IoRequest, TrackedDisk, VirtualDisk};
+
+const BLOCKS: usize = 16_384;
+
+fn tracked_disk(trackers: usize) -> TrackedDisk {
+    let disk = TrackedDisk::new(Arc::new(VirtualDisk::dense(4096, BLOCKS)));
+    for _ in 0..trackers {
+        disk.attach_tracker(Arc::new(AtomicBitmap::new(BLOCKS)), Some(DomainId(1)));
+    }
+    disk
+}
+
+fn bench_interception(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interception_path");
+    let disk = tracked_disk(1);
+    disk.disable_tracking();
+    let mut i = 0usize;
+    g.bench_function("record_write_disabled", |b| {
+        b.iter(|| {
+            disk.record_write(black_box(i % BLOCKS), DomainId(1));
+            i += 1;
+        })
+    });
+    for trackers in [1usize, 2, 3] {
+        // The paper keeps up to three bitmaps live (pre-copy map,
+        // transferred map, IM map).
+        let disk = tracked_disk(trackers);
+        disk.enable_tracking();
+        let mut i = 0usize;
+        g.bench_function(format!("record_write_enabled_x{trackers}"), |b| {
+            b.iter(|| {
+                disk.record_write(black_box(i % BLOCKS), DomainId(1));
+                i += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_write_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_write_path");
+    g.throughput(criterion::Throughput::Bytes(4096));
+    let data = stamp_bytes(0, 1, 4096);
+    for (name, tracking) in [("untracked", false), ("tracked", true)] {
+        let disk = tracked_disk(1);
+        if tracking {
+            disk.enable_tracking();
+        }
+        let mut i = 0usize;
+        g.bench_function(format!("write_4k_{name}"), |b| {
+            b.iter(|| {
+                disk.submit(IoRequest::write(i % BLOCKS, DomainId(1)), Some(&data));
+                i += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_interception, bench_full_write_path);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! §II — comparison against the related-work baselines.
+//!
+//! Quantifies the claims the paper makes qualitatively: freeze-and-copy's
+//! catastrophic downtime, on-demand fetching's residual dependency and p²
+//! availability, and the delta queue's redundant traffic and destination
+//! I/O blocking.
+
+use des::SimDuration;
+use block_bitmap::{DirtyMap, FlatBitmap};
+use migrate::baselines::{
+    dependent_availability, run_collective, run_delta_queue, run_freeze_and_copy, run_on_demand,
+};
+use migrate::sim::run_tpm;
+use serde_json::json;
+use workloads::WorkloadKind;
+
+use crate::render::Table;
+use crate::{ExpResult, Scale};
+
+/// Run the baseline comparison (web workload — the paper's headline case).
+pub fn run(scale: Scale) -> ExpResult {
+    let kind = WorkloadKind::Web;
+    let cfg = scale.config();
+    let horizon = SimDuration::from_secs(600);
+
+    let tpm = run_tpm(cfg.clone(), kind).report;
+    let fc = run_freeze_and_copy(cfg.clone(), kind);
+    let od = run_on_demand(cfg.clone(), kind, horizon);
+    // The Collective: ~5% of the disk has diverged from the base image.
+    let mut cow = FlatBitmap::new(cfg.disk_blocks);
+    for b in (0..cfg.disk_blocks).step_by(20) {
+        cow.set(b);
+    }
+    let col = run_collective(cfg.clone(), kind, &cow);
+    let dq = run_delta_queue(cfg, kind);
+
+    let p = 0.99;
+    let avail = |machines| dependent_availability(p, machines) * 100.0;
+
+    let mut t = Table::new(&[
+        "scheme",
+        "downtime",
+        "total (s)",
+        "data (MB)",
+        "dst I/O blocked (s)",
+        "residual blocks",
+        "availability @p=0.99",
+    ]);
+    let rows = [
+        ("TPM (this paper)", &tpm, avail(1)),
+        ("freeze-and-copy (ISR)", &fc, avail(1)),
+        ("collective (CoW diff)", &col, avail(1)),
+        ("on-demand fetching", &od, avail(2)),
+        ("delta-queue (Bradford)", &dq, avail(1)),
+    ];
+    for (name, r, a) in &rows {
+        t.row(&[
+            name.to_string(),
+            if r.downtime_ms >= 10_000.0 {
+                format!("{:.0} s", r.downtime_ms / 1000.0)
+            } else {
+                format!("{:.0} ms", r.downtime_ms)
+            },
+            format!("{:.0}", r.total_time_secs),
+            format!("{:.0}", r.migrated_mb()),
+            format!("{:.1}", r.io_blocked_secs),
+            format!("{}", r.residual_blocks),
+            format!("{a:.2}%"),
+        ]);
+    }
+
+    let human = format!(
+        "§II baseline comparison — {} (web workload; on-demand horizon {}s)\n\n{}\n\
+         Redundant deltas forwarded by the delta-queue scheme: {} \
+         (each is a full block the bitmap scheme never resends).\n\
+         On-demand never converges: the source cannot be retired and system \
+         availability drops to p².\n",
+        scale.label(),
+        horizon.as_secs_f64(),
+        t.render(),
+        dq.redundant_deltas,
+    );
+
+    let json = json!({
+        "scale": scale.label(),
+        "tpm": super::compact(&tpm),
+        "freeze_and_copy": super::compact(&fc),
+        "collective": super::compact(&col),
+        "on_demand": super::compact(&od),
+        "delta_queue": super::compact(&dq),
+        "availability_p": p,
+    });
+    ExpResult {
+        id: "baselines",
+        title: "§II — TPM vs freeze-and-copy, Collective, on-demand, delta-queue",
+        human,
+        json,
+    }
+}

@@ -1,0 +1,66 @@
+//! §VI-C in-text per-iteration detail.
+//!
+//! The paper narrates: web — 3 iterations, 6680 blocks retransferred, 62
+//! left for post-copy (349 ms, 1 pull); video — 2 iterations, 610 blocks
+//! retransferred in iteration 2, 5 left (380 ms, all pushed); diabolical
+//! — 4 iterations, ~1464 MB retransferred, 947 s pre-copy.
+
+use migrate::sim::run_tpm;
+use serde_json::json;
+use workloads::WorkloadKind;
+
+use crate::render::Table;
+use crate::{ExpResult, Scale};
+
+/// Run the per-iteration detail experiment.
+pub fn run(scale: Scale) -> ExpResult {
+    let mut t = Table::new(&[
+        "workload",
+        "disk iters",
+        "retransferred",
+        "retransferred MB",
+        "left at freeze",
+        "post-copy (ms)",
+        "pushed",
+        "pulled",
+        "paper",
+    ]);
+    let paper_notes = [
+        "3 iters, 6680 blocks, 62 left, 349ms, 1 pull",
+        "2 iters, 610 blocks, 5 left, 380ms, 0 pulls",
+        "4 iters, ~1464MB, 947s pre-copy",
+    ];
+    let mut reports = Vec::new();
+    for (i, kind) in WorkloadKind::TABLE1.iter().enumerate() {
+        let out = run_tpm(scale.config(), *kind);
+        let r = out.report;
+        let retrans = r.retransferred_blocks();
+        t.row(&[
+            kind.label().into(),
+            format!("{}", r.disk_iterations.len()),
+            format!("{retrans}"),
+            format!("{:.0}", retrans as f64 * 4096.0 / 1048576.0),
+            format!("{}", r.postcopy.remaining_at_resume),
+            format!("{:.0}", r.postcopy.duration_secs * 1000.0),
+            format!("{}", r.postcopy.pushed),
+            format!("{}", r.postcopy.pulled),
+            paper_notes[i].into(),
+        ]);
+        reports.push((kind.label(), super::compact(&r)));
+    }
+    let human = format!(
+        "§VI-C in-text detail reproduction — {}\n\n{}",
+        scale.label(),
+        t.render()
+    );
+    let json = json!({
+        "scale": scale.label(),
+        "rows": reports.iter().map(|(k, r)| json!({"workload": k, "report": r})).collect::<Vec<_>>(),
+    });
+    ExpResult {
+        id: "detail",
+        title: "§VI-C — per-iteration migration detail",
+        human,
+        json,
+    }
+}

@@ -1,0 +1,61 @@
+//! One module per regenerated paper artifact.
+//!
+//! Every module exposes `run(scale) -> ExpResult`; shared paper constants
+//! are public so integration tests can assert against them.
+
+pub mod baselines;
+pub mod bitmap;
+pub mod detail;
+pub mod fig5;
+pub mod futurework;
+pub mod fig6;
+pub mod locality;
+pub mod ordering;
+pub mod ratelimit;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+use crate::{ExpResult, Scale};
+
+/// All experiment ids, in presentation order.
+pub const ALL: [&str; 12] = [
+    "table1",
+    "table2",
+    "table3",
+    "fig5",
+    "fig6",
+    "ratelimit",
+    "locality",
+    "detail",
+    "baselines",
+    "bitmap",
+    "ordering",
+    "futurework",
+];
+
+/// Run one experiment by id.
+pub fn run(id: &str, scale: Scale) -> Option<ExpResult> {
+    Some(match id {
+        "table1" => table1::run(scale),
+        "table2" => table2::run(scale),
+        "table3" => table3::run(scale),
+        "fig5" => fig5::run(scale),
+        "fig6" => fig6::run(scale),
+        "ratelimit" => ratelimit::run(scale),
+        "locality" => locality::run(scale),
+        "detail" => detail::run(scale),
+        "baselines" => baselines::run(scale),
+        "bitmap" => bitmap::run(scale),
+        "ordering" => ordering::run(scale),
+        "futurework" => futurework::run(scale),
+        _ => return None,
+    })
+}
+
+/// Strip the (large) timeline out of a report for compact JSON.
+pub(crate) fn compact(report: &migrate::MigrationReport) -> migrate::MigrationReport {
+    let mut r = report.clone();
+    r.timeline.clear();
+    r
+}

@@ -1,0 +1,96 @@
+//! Table I — TPM results for the three workloads.
+
+use migrate::sim::run_tpm;
+use serde_json::json;
+use workloads::WorkloadKind;
+
+use crate::render::Table;
+use crate::{ExpResult, Scale};
+
+/// The paper's Table I values: (total s, downtime ms, data MB).
+pub const PAPER: [(&str, f64, f64, f64); 3] = [
+    ("Dynamic web server", 796.0, 60.0, 39097.0),
+    ("Low latency server", 798.0, 62.0, 39072.0),
+    ("Diabolical server", 957.0, 110.0, 40934.0),
+];
+
+/// Run Table I.
+pub fn run(scale: Scale) -> ExpResult {
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::TABLE1 {
+        let out = run_tpm(scale.config(), kind);
+        rows.push((kind, out.report));
+    }
+
+    let mut t = Table::new(&[
+        "",
+        "Dynamic web server",
+        "Low latency server",
+        "Diabolical server",
+    ]);
+    let fmt3 = |f: &dyn Fn(&migrate::MigrationReport) -> String| -> Vec<String> {
+        rows.iter().map(|(_, r)| f(r)).collect()
+    };
+    let totals = fmt3(&|r| format!("{:.0}", r.total_time_secs));
+    let downs = fmt3(&|r| format!("{:.0}", r.downtime_ms));
+    let datas = fmt3(&|r| format!("{:.0}", r.migrated_mb()));
+    t.row(&[
+        "Total migration time (s)".into(),
+        totals[0].clone(),
+        totals[1].clone(),
+        totals[2].clone(),
+    ]);
+    t.row(&[
+        "Downtime (ms)".into(),
+        downs[0].clone(),
+        downs[1].clone(),
+        downs[2].clone(),
+    ]);
+    t.row(&[
+        "Amount of migrated data (MB)".into(),
+        datas[0].clone(),
+        datas[1].clone(),
+        datas[2].clone(),
+    ]);
+    let mut human = format!("Table I reproduction — {}\n\n{}", scale.label(), t.render());
+    if scale == Scale::Paper {
+        human.push_str("\nPaper's Table I for comparison:\n");
+        let mut p = Table::new(&["", "web", "video", "diabolical"]);
+        p.row(&[
+            "Total migration time (s)".into(),
+            "796".into(),
+            "798".into(),
+            "957".into(),
+        ]);
+        p.row(&["Downtime (ms)".into(), "60".into(), "62".into(), "110".into()]);
+        p.row(&[
+            "Amount of migrated data (MB)".into(),
+            "39097".into(),
+            "39072".into(),
+            "40934".into(),
+        ]);
+        human.push_str(&p.render());
+    }
+    human.push_str("\nAll runs verified consistent: ");
+    human.push_str(&format!(
+        "{}\n",
+        rows.iter().all(|(_, r)| r.consistent)
+    ));
+
+    let json = json!({
+        "scale": scale.label(),
+        "rows": rows.iter().map(|(k, r)| json!({
+            "workload": k.label(),
+            "report": super::compact(r),
+        })).collect::<Vec<_>>(),
+        "paper": PAPER.iter().map(|(w, t, d, m)| json!({
+            "workload": w, "total_s": t, "downtime_ms": d, "data_mb": m
+        })).collect::<Vec<_>>(),
+    });
+    ExpResult {
+        id: "table1",
+        title: "Table I — TPM results for different workloads",
+        human,
+        json,
+    }
+}

@@ -1,0 +1,111 @@
+//! Table II — Incremental Migration vs primary TPM.
+//!
+//! The paper migrates the VM out, lets it run at the destination, then
+//! migrates it back with IM. Table II reports the *disk* migration time
+//! and the amount of disk data moved (its IM times — 1.0 s / 0.6 s / 17 s
+//! — are below the 512 MB memory transfer time, so they can only be the
+//! storage phase). We report the same disk-phase figures, plus the
+//! whole-system totals for completeness.
+
+use des::SimDuration;
+use migrate::sim::{dwell, run_im, run_tpm};
+use migrate::MigrationReport;
+use serde_json::json;
+use workloads::WorkloadKind;
+
+use crate::render::Table;
+use crate::{ExpResult, Scale};
+
+/// Maintenance-window length between the two migrations. The paper does
+/// not state it; ~25 min reproduces its dirtied-data volumes (52.5 MB web,
+/// 5.5 MB video, 911 MB diabolical).
+pub const DWELL: SimDuration = SimDuration::from_secs(1500);
+
+/// The paper's Table II: (workload, tpm_s, tpm_mb, im_s, im_mb).
+pub const PAPER: [(&str, f64, f64, f64, f64); 3] = [
+    ("Dynamic web server", 796.1, 39097.0, 1.0, 52.5),
+    ("Low latency server", 798.0, 39072.0, 0.6, 5.5),
+    ("Diabolical server", 957.0, 40934.0, 17.0, 911.4),
+];
+
+fn disk_phase_secs(r: &MigrationReport) -> f64 {
+    r.disk_iterations.iter().map(|i| i.duration_secs).sum::<f64>() + r.postcopy.duration_secs
+}
+
+fn disk_mb(r: &MigrationReport) -> f64 {
+    use simnet::proto::Category;
+    (r.ledger.disk_total() + r.ledger.get(Category::Bitmap)) as f64 / (1024.0 * 1024.0)
+}
+
+/// Run Table II.
+pub fn run(scale: Scale) -> ExpResult {
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::TABLE1 {
+        let cfg = scale.config();
+        let mut primary = run_tpm(cfg.clone(), kind);
+        let primary_report = primary.report.clone();
+        dwell(&mut primary, &cfg, DWELL);
+        if kind == WorkloadKind::Diabolical {
+            // Bonnie++ is a finite benchmark: it completes during the
+            // maintenance window, so the guest is quiescent when migrated
+            // back (the paper's 17 s / 911 MB IM at full pipeline rate is
+            // only possible without a live I/O storm).
+            primary.workload = WorkloadKind::Idle.build(cfg.disk_blocks as u64);
+            primary.kind = WorkloadKind::Idle;
+        }
+        let back = run_im(cfg, primary);
+        rows.push((kind, primary_report, back.report));
+    }
+
+    let mut t = Table::new(&[
+        "",
+        "TPM disk time (s)",
+        "TPM disk data (MB)",
+        "IM disk time (s)",
+        "IM disk data (MB)",
+        "IM consistent",
+    ]);
+    for (k, tpm, im) in &rows {
+        t.row(&[
+            k.label().into(),
+            format!("{:.1}", disk_phase_secs(tpm)),
+            format!("{:.0}", disk_mb(tpm)),
+            format!("{:.1}", disk_phase_secs(im) - im.postcopy.duration_secs),
+            format!("{:.1}", disk_mb(im)),
+            format!("{}", im.consistent),
+        ]);
+    }
+    let mut human = format!(
+        "Table II reproduction — {} (dwell between migrations: {}s)\n\n{}",
+        scale.label(),
+        DWELL.as_secs_f64(),
+        t.render()
+    );
+    human.push_str(
+        "\nPaper's Table II: TPM 796.1s/39097MB, 798.0s/39072MB, 957s/40934MB;\n              IM  1.0s/52.5MB,   0.6s/5.5MB,    17s/911.4MB\n",
+    );
+    human.push_str("(IM rows exclude the fixed post-copy handshake, as the paper's do.)\n");
+
+    let json = json!({
+        "scale": scale.label(),
+        "dwell_secs": DWELL.as_secs_f64(),
+        "paper": PAPER.iter().map(|(w, ts, ms, is_, im)| serde_json::json!({
+            "workload": w, "tpm_s": ts, "tpm_mb": ms, "im_s": is_, "im_mb": im,
+        })).collect::<Vec<_>>(),
+        "rows": rows.iter().map(|(k, tpm, im)| json!({
+            "workload": k.label(),
+            "tpm": super::compact(tpm),
+            "im": super::compact(im),
+            "tpm_disk_secs": disk_phase_secs(tpm),
+            "tpm_disk_mb": disk_mb(tpm),
+            "im_disk_secs": disk_phase_secs(im),
+            "im_disk_mb": disk_mb(im),
+        })).collect::<Vec<_>>(),
+    });
+    ExpResult {
+        id: "table2",
+        title: "Table II — IM results compared with TPM",
+        human,
+        json,
+    }
+}

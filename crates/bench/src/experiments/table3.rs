@@ -1,0 +1,179 @@
+//! Table III — I/O performance overhead of write tracking.
+//!
+//! The paper runs Bonnie++ inside a VM with every write intercepted and
+//! recorded in the block-bitmap, and finds the throughput cost is under
+//! 1 %. We measure the interception cost directly — the wall-clock
+//! difference per write between tracking on and off through
+//! [`vdisk::TrackedDisk`] (real bytes, real atomic bitmap updates) — and
+//! relate it to the per-block device service time implied by the paper's
+//! own "Normal" Bonnie++ rates (a 4 KiB block at 96 122 KB/s occupies the
+//! disk for ~42 µs; the interception adds tens of *nanoseconds*).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use block_bitmap::AtomicBitmap;
+use des::SimRng;
+use serde_json::json;
+use vdisk::{stamp_bytes, DomainId, IoRequest, TrackedDisk, VirtualDisk};
+
+use crate::render::Table;
+use crate::{ExpResult, Scale};
+
+/// Paper's Table III "Normal" row, KB/s: putc, write(2), rewrite.
+pub const PAPER_NORMAL: [(&str, f64); 3] =
+    [("putc", 47_740.0), ("write(2)", 96_122.0), ("rewrite", 26_125.0)];
+
+/// Paper's Table III "With writes tracked" row, KB/s.
+pub const PAPER_TRACKED: [(&str, f64); 3] =
+    [("putc", 47_604.0), ("write(2)", 95_569.0), ("rewrite", 25_887.0)];
+
+/// One timed pass of `n` block writes (sequential with periodic rewrites,
+/// like Bonnie++'s output phases). Returns seconds elapsed.
+fn timed_writes(disk: &TrackedDisk, n: usize, blocks: usize, block_size: usize) -> f64 {
+    let mut rng = SimRng::new(42);
+    let data = stamp_bytes(0, 1, block_size);
+    let t0 = Instant::now();
+    for i in 0..n {
+        // 2/3 sequential stream, 1/3 rewrite of a recent block.
+        let b = if i % 3 == 2 {
+            (i.saturating_sub(rng.below(64) as usize)) % blocks
+        } else {
+            i % blocks
+        };
+        disk.submit(IoRequest::write(b, DomainId(1)), Some(&data));
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Measure the absolute interception cost per write, in seconds.
+///
+/// The full byte-write path is dominated by the 4 KiB copy, whose
+/// run-to-run jitter swamps the interception delta, so we time the
+/// interception path itself — [`TrackedDisk::record_write`] with tracking
+/// enabled (tracker dispatch + atomic fetch-or) versus disabled (early
+/// return) — which is exactly the code the paper's modified `blkback`
+/// adds to every write. A full-path ratio is still computed as a sanity
+/// bound by the caller via `timed_writes`.
+pub fn measure_interception_cost(reps: usize) -> f64 {
+    let blocks = 16_384usize;
+    let n = 2_000_000u64;
+    let disk = TrackedDisk::new(Arc::new(VirtualDisk::dense(4096, blocks)));
+    let bm = Arc::new(AtomicBitmap::new(blocks));
+    disk.attach_tracker(Arc::clone(&bm), Some(DomainId(1)));
+
+    let timed = |enabled: bool| -> f64 {
+        if enabled {
+            disk.enable_tracking();
+        } else {
+            disk.disable_tracking();
+        }
+        let t0 = Instant::now();
+        for i in 0..n {
+            disk.record_write(i as usize % blocks, DomainId(1));
+        }
+        t0.elapsed().as_secs_f64() / n as f64
+    };
+    timed(true); // warm-up
+
+    let mut deltas = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let off = timed(false);
+        let on = timed(true);
+        deltas.push((on - off).max(0.0));
+    }
+    deltas.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    deltas[deltas.len() / 2]
+}
+
+/// Run Table III.
+pub fn run(scale: Scale) -> ExpResult {
+    let cost = measure_interception_cost(7);
+    let cost_ns = cost * 1e9;
+
+    // Full-path sanity figure: byte-real tracked writes through the
+    // in-memory prototype (no mechanical device in the path, so this is
+    // an upper bound on the rate at which interception could ever be
+    // exercised).
+    let full_path_kbs = {
+        let disk = TrackedDisk::new(Arc::new(VirtualDisk::dense(4096, 16_384)));
+        let bm = Arc::new(AtomicBitmap::new(16_384));
+        disk.attach_tracker(Arc::clone(&bm), Some(DomainId(1)));
+        disk.enable_tracking();
+        timed_writes(&disk, 20_000, 16_384, 4096); // warm-up
+        let secs = timed_writes(&disk, 100_000, 16_384, 4096);
+        100_000.0 * 4096.0 / secs / 1024.0
+    };
+
+    let mut t = Table::new(&[
+        "",
+        "putc",
+        "write(2)",
+        "rewrite",
+    ]);
+    let mut rows = Vec::new();
+    let mut worst_pct: f64 = 0.0;
+    let mut normal_cells = vec!["Normal (KB/s)".to_string()];
+    let mut tracked_cells = vec!["With writes tracked (KB/s)".to_string()];
+    let mut pct_cells = vec!["Overhead".to_string()];
+    for &(name, normal_kbs) in &PAPER_NORMAL {
+        // Device service time per 4 KiB block at the phase's normal rate.
+        let service = 4096.0 / (normal_kbs * 1024.0);
+        let pct = cost / service * 100.0;
+        worst_pct = worst_pct.max(pct);
+        let tracked = normal_kbs / (1.0 + cost / service);
+        normal_cells.push(format!("{normal_kbs:.0}"));
+        tracked_cells.push(format!("{tracked:.0}"));
+        pct_cells.push(format!("{pct:.3}%"));
+        rows.push(json!({
+            "phase": name,
+            "normal_kbs": normal_kbs,
+            "tracked_kbs": tracked,
+            "overhead_pct": pct,
+        }));
+    }
+    t.row(&normal_cells);
+    t.row(&tracked_cells);
+    t.row(&pct_cells);
+    t.row(&[
+        "Paper: with writes tracked".into(),
+        "47604".into(),
+        "95569".into(),
+        "25887".into(),
+    ]);
+
+    let human = format!(
+        "Table III reproduction — {}\n\nMeasured interception cost: {:.0} ns per \
+         tracked 4 KiB write (median of 7 reps × 2M interceptions; tracker \
+         dispatch plus atomic bitmap fetch-or).\nAgainst the per-block device service time implied by \
+         the paper's Normal rates:\n\n{}\nPaper's claim: \"the performance overhead is \
+         less than 1 percent\" — {} (worst phase {:.3} %).\n",
+        scale.label(),
+        cost_ns,
+        t.render(),
+        if worst_pct < 1.0 { "HOLDS" } else { "VIOLATED" },
+        worst_pct,
+    );
+    let human = format!(
+        "{human}(In-memory prototype full-path tracked write throughput: \
+         {:.0} KB/s — the interception is nowhere near the bottleneck even \
+         without a mechanical disk in the path.)\n",
+        full_path_kbs
+    );
+
+    let json = json!({
+        "scale": scale.label(),
+        "interception_cost_ns": cost_ns,
+        "full_path_tracked_kbs": full_path_kbs,
+        "rows": rows,
+        "paper_tracked_kbs": PAPER_TRACKED.iter().map(|&(n, v)| json!({"phase": n, "kbs": v})).collect::<Vec<_>>(),
+        "holds_under_1pct": worst_pct < 1.0,
+        "worst_overhead_pct": worst_pct,
+    });
+    ExpResult {
+        id: "table3",
+        title: "Table III — I/O performance overhead of block-bitmap write tracking",
+        human,
+        json,
+    }
+}

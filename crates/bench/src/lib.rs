@@ -1,0 +1,42 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! The `repro` binary drives one experiment per paper artifact:
+//!
+//! | id | paper artifact |
+//! |----|----------------|
+//! | `table1`    | Table I — TPM results for the three workloads |
+//! | `table2`    | Table II — IM vs primary TPM |
+//! | `table3`    | Table III — write-tracking I/O overhead |
+//! | `fig5`      | Figure 5 — SPECweb throughput during migration |
+//! | `fig6`      | Figure 6 — Bonnie++ throughput during migration |
+//! | `ratelimit` | §VI-C-3 — rate-limited migration trade-off |
+//! | `locality`  | §IV-A-2 — write-locality (rewrite ratio) measurement |
+//! | `detail`    | §VI-C in-text per-iteration statistics |
+//! | `baselines` | §II — freeze-and-copy / Collective / on-demand / delta-queue |
+//! | `bitmap`    | §IV-A-2 — layered vs flat bitmap memory & scan cost |
+//! | `ordering`  | §IV-B — disk-before-memory pre-copy ordering ablation |
+//! | `futurework`| §VII — sparse / template / multi-site IM extensions |
+//!
+//! Each experiment prints a human-readable table with the paper's values
+//! alongside and writes machine-readable JSON under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod render;
+pub mod scale;
+
+pub use scale::Scale;
+
+/// One experiment's output.
+pub struct ExpResult {
+    /// Experiment identifier (also the JSON file stem).
+    pub id: &'static str,
+    /// Paper artifact being regenerated.
+    pub title: &'static str,
+    /// Human-readable rendering.
+    pub human: String,
+    /// Machine-readable payload.
+    pub json: serde_json::Value,
+}

@@ -1,0 +1,175 @@
+//! Plain-text rendering: aligned tables and ASCII timeline charts.
+
+/// A simple aligned-column table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    ///
+    /// # Panics
+    /// Panics when the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - c.chars().count();
+                // Right-align numbers-ish cells, left-align the first col.
+                if i == 0 {
+                    line.push_str(c);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(c);
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a `(t, value)` series as a fixed-height ASCII chart, the
+/// terminal stand-in for the paper's throughput figures.
+pub fn ascii_chart(series: &[(f64, f64)], width: usize, height: usize, y_label: &str) -> String {
+    if series.is_empty() {
+        return String::from("(empty series)\n");
+    }
+    let t0 = series.first().expect("non-empty").0;
+    let t1 = series.last().expect("non-empty").0.max(t0 + 1e-9);
+    let vmax = series
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    // Bucket by x pixel, averaging.
+    let mut acc = vec![(0.0f64, 0usize); width];
+    for &(t, v) in series {
+        let x = (((t - t0) / (t1 - t0)) * (width as f64 - 1.0)).round() as usize;
+        let x = x.min(width - 1);
+        acc[x].0 += v;
+        acc[x].1 += 1;
+    }
+    let cols: Vec<Option<f64>> = acc
+        .iter()
+        .map(|&(s, n)| if n > 0 { Some(s / n as f64) } else { None })
+        .collect();
+    let mut grid = vec![vec![' '; width]; height];
+    let mut last = None;
+    for (x, col) in cols.iter().enumerate() {
+        let v = col.or(last);
+        last = v;
+        if let Some(v) = v {
+            let y = ((v / vmax) * (height as f64 - 1.0)).round() as usize;
+            let y = y.min(height - 1);
+            grid[height - 1 - y][x] = '*';
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_label}  (max = {vmax:.1})\n"));
+    for row in grid {
+        out.push('|');
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        " t = {:.0}s {:>width$}\n",
+        t0,
+        format!("{t1:.0}s"),
+        width = width.saturating_sub(8)
+    ));
+    out
+}
+
+/// Format bytes as MB with the paper's convention (MiB).
+pub fn mb(bytes: u64) -> String {
+    format!("{:.0}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["metric", "web", "video"]);
+        t.row(&["total (s)".into(), "796".into(), "798".into()]);
+        t.row(&["downtime (ms)".into(), "60".into(), "62".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("metric"));
+        assert!(lines[2].contains("796"));
+        // All lines equal width or less.
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        Table::new(&["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn chart_renders_with_peak() {
+        let series: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, (i % 10) as f64)).collect();
+        let c = ascii_chart(&series, 40, 8, "throughput");
+        assert!(c.contains("max = 9.0"));
+        assert!(c.lines().count() >= 10);
+        assert!(c.contains('*'));
+    }
+
+    #[test]
+    fn chart_handles_empty() {
+        assert_eq!(ascii_chart(&[], 10, 4, "x"), "(empty series)\n");
+    }
+
+    #[test]
+    fn mb_formats() {
+        assert_eq!(mb(40 * 1024 * 1024), "40");
+    }
+}

@@ -1,0 +1,345 @@
+//! Dense word-packed bitmap.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{tail_mask, words_for, DirtyMap, BITS_PER_WORD};
+
+/// A dense bitmap with one bit per block, packed into `u64` words.
+///
+/// This is the canonical representation used on the wire and by the
+/// migration engine's per-iteration snapshots. Iteration over set bits uses
+/// word-level trailing-zero scans, so scanning a mostly-clean map touches
+/// one word per 64 blocks.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlatBitmap {
+    nbits: usize,
+    words: Vec<u64>,
+}
+
+impl std::fmt::Debug for FlatBitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatBitmap")
+            .field("nbits", &self.nbits)
+            .field("count_ones", &self.count_ones())
+            .finish()
+    }
+}
+
+impl FlatBitmap {
+    /// Create an all-clean bitmap tracking `nbits` blocks.
+    pub fn new(nbits: usize) -> Self {
+        Self {
+            nbits,
+            words: vec![0; words_for(nbits)],
+        }
+    }
+
+    /// Create an all-dirty bitmap tracking `nbits` blocks.
+    pub fn all_set(nbits: usize) -> Self {
+        let mut bm = Self {
+            nbits,
+            words: vec![u64::MAX; words_for(nbits)],
+        };
+        if let Some(last) = bm.words.last_mut() {
+            *last &= tail_mask(nbits);
+        }
+        bm
+    }
+
+    /// Construct from raw words. Bits beyond `nbits` in the last word are
+    /// masked off.
+    ///
+    /// # Panics
+    /// Panics when `words.len() != words_for(nbits)`.
+    pub fn from_words(nbits: usize, mut words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            words_for(nbits),
+            "word count must match bit count"
+        );
+        if let Some(last) = words.last_mut() {
+            *last &= tail_mask(nbits);
+        }
+        Self { nbits, words }
+    }
+
+    /// The backing words, little-bit-endian within each word.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterate the indices of set bits in ascending order.
+    pub fn iter_set(&self) -> SetBits<'_> {
+        SetBits {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            nbits: self.nbits,
+        }
+    }
+
+    /// Bitwise OR `other` into `self`.
+    ///
+    /// # Panics
+    /// Panics when lengths differ.
+    pub fn union_with(&mut self, other: &FlatBitmap) {
+        assert_eq!(self.nbits, other.nbits, "bitmap sizes must match");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Remove from `self` every bit set in `other` (`self &= !other`).
+    ///
+    /// # Panics
+    /// Panics when lengths differ.
+    pub fn subtract(&mut self, other: &FlatBitmap) {
+        assert_eq!(self.nbits, other.nbits, "bitmap sizes must match");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    /// Bitwise AND with `other`.
+    ///
+    /// # Panics
+    /// Panics when lengths differ.
+    pub fn intersect_with(&mut self, other: &FlatBitmap) {
+        assert_eq!(self.nbits, other.nbits, "bitmap sizes must match");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// Index of the first set bit at or after `from`, if any.
+    pub fn next_set_from(&self, from: usize) -> Option<usize> {
+        if from >= self.nbits {
+            return None;
+        }
+        let mut wi = from / BITS_PER_WORD;
+        let mut cur = self.words[wi] & (u64::MAX << (from % BITS_PER_WORD));
+        loop {
+            if cur != 0 {
+                let idx = wi * BITS_PER_WORD + cur.trailing_zeros() as usize;
+                return (idx < self.nbits).then_some(idx);
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return None;
+            }
+            cur = self.words[wi];
+        }
+    }
+
+    /// `true` when no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    #[inline]
+    fn check(&self, idx: usize) {
+        assert!(
+            idx < self.nbits,
+            "bit index {idx} out of range for bitmap of {} bits",
+            self.nbits
+        );
+    }
+}
+
+impl DirtyMap for FlatBitmap {
+    fn len(&self) -> usize {
+        self.nbits
+    }
+
+    fn set(&mut self, idx: usize) -> bool {
+        self.check(idx);
+        let (w, b) = (idx / BITS_PER_WORD, idx % BITS_PER_WORD);
+        let prev = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        prev
+    }
+
+    fn clear(&mut self, idx: usize) -> bool {
+        self.check(idx);
+        let (w, b) = (idx / BITS_PER_WORD, idx % BITS_PER_WORD);
+        let prev = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        prev
+    }
+
+    fn get(&self, idx: usize) -> bool {
+        self.check(idx);
+        self.words[idx / BITS_PER_WORD] & (1 << (idx % BITS_PER_WORD)) != 0
+    }
+
+    fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    fn set_all(&mut self) {
+        self.words.fill(u64::MAX);
+        if let Some(last) = self.words.last_mut() {
+            *last &= tail_mask(self.nbits);
+        }
+    }
+
+    fn to_indices(&self) -> Vec<usize> {
+        self.iter_set().collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.words.capacity() * 8
+    }
+}
+
+/// Iterator over set-bit indices of a [`FlatBitmap`].
+pub struct SetBits<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+    nbits: usize,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                let idx = self.word_idx * BITS_PER_WORD + bit;
+                return (idx < self.nbits).then_some(idx);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_clean() {
+        let bm = FlatBitmap::new(100);
+        assert_eq!(bm.len(), 100);
+        assert_eq!(bm.count_ones(), 0);
+        assert!(bm.none_set());
+        assert!((0..100).all(|i| !bm.get(i)));
+    }
+
+    #[test]
+    fn all_set_masks_tail() {
+        let bm = FlatBitmap::all_set(70);
+        assert_eq!(bm.count_ones(), 70);
+        assert!(bm.get(69));
+        // Last word must not have ghost bits.
+        assert_eq!(bm.words()[1], (1u64 << 6) - 1);
+    }
+
+    #[test]
+    fn set_clear_roundtrip() {
+        let mut bm = FlatBitmap::new(130);
+        assert!(!bm.set(0));
+        assert!(bm.set(0));
+        assert!(!bm.set(64));
+        assert!(!bm.set(129));
+        assert_eq!(bm.count_ones(), 3);
+        assert!(bm.clear(64));
+        assert!(!bm.clear(64));
+        assert_eq!(bm.count_ones(), 2);
+        assert_eq!(bm.to_indices(), vec![0, 129]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        FlatBitmap::new(10).set(10);
+    }
+
+    #[test]
+    fn iter_set_matches_gets() {
+        let mut bm = FlatBitmap::new(300);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 255, 299] {
+            bm.set(i);
+        }
+        let got: Vec<_> = bm.iter_set().collect();
+        assert_eq!(got, vec![0, 1, 63, 64, 65, 127, 128, 255, 299]);
+    }
+
+    #[test]
+    fn iter_set_empty_and_full() {
+        assert_eq!(FlatBitmap::new(0).iter_set().count(), 0);
+        assert_eq!(FlatBitmap::new(67).iter_set().count(), 0);
+        assert_eq!(FlatBitmap::all_set(67).iter_set().count(), 67);
+    }
+
+    #[test]
+    fn union_subtract_intersect() {
+        let mut a = FlatBitmap::new(128);
+        let mut b = FlatBitmap::new(128);
+        for i in [1usize, 5, 70] {
+            a.set(i);
+        }
+        for i in [5usize, 70, 100] {
+            b.set(i);
+        }
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_indices(), vec![1, 5, 70, 100]);
+
+        let mut d = a.clone();
+        d.subtract(&b);
+        assert_eq!(d.to_indices(), vec![1]);
+
+        a.intersect_with(&b);
+        assert_eq!(a.to_indices(), vec![5, 70]);
+    }
+
+    #[test]
+    fn next_set_from_walks_forward() {
+        let mut bm = FlatBitmap::new(200);
+        bm.set(3);
+        bm.set(64);
+        bm.set(199);
+        assert_eq!(bm.next_set_from(0), Some(3));
+        assert_eq!(bm.next_set_from(3), Some(3));
+        assert_eq!(bm.next_set_from(4), Some(64));
+        assert_eq!(bm.next_set_from(65), Some(199));
+        assert_eq!(bm.next_set_from(200), None);
+        assert_eq!(FlatBitmap::new(0).next_set_from(0), None);
+    }
+
+    #[test]
+    fn set_all_then_clear_all() {
+        let mut bm = FlatBitmap::new(129);
+        bm.set_all();
+        assert_eq!(bm.count_ones(), 129);
+        bm.clear_all();
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let bm = FlatBitmap::from_words(65, vec![u64::MAX, u64::MAX]);
+        assert_eq!(bm.count_ones(), 65);
+    }
+
+    #[test]
+    fn memory_bytes_scales_with_size() {
+        let small = FlatBitmap::new(64);
+        let big = FlatBitmap::new(1 << 20);
+        assert!(big.memory_bytes() > small.memory_bytes());
+        // 1 Mi bits = 128 KiB of words (plus struct header).
+        assert!(big.memory_bytes() >= (1 << 20) / 8);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests: layered ≡ flat semantics, wire round-trips, and
+//! set-operation algebra.
+
+use block_bitmap::{ser, BlockMapper, DirtyMap, FlatBitmap, LayeredBitmap};
+use proptest::prelude::*;
+
+/// An arbitrary sequence of set/clear operations over a fixed bit space.
+#[derive(Debug, Clone)]
+enum Op {
+    Set(usize),
+    Clear(usize),
+}
+
+fn ops(nbits: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..nbits).prop_map(Op::Set),
+            (0..nbits).prop_map(Op::Clear),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    /// Layered and flat bitmaps stay bit-identical under any op sequence.
+    #[test]
+    fn layered_equals_flat(ops in ops(1000), part_bits in 1usize..200) {
+        let mut flat = FlatBitmap::new(1000);
+        let mut layered = LayeredBitmap::with_part_bits(1000, part_bits);
+        for op in &ops {
+            match *op {
+                Op::Set(i) => {
+                    prop_assert_eq!(flat.set(i), layered.set(i));
+                }
+                Op::Clear(i) => {
+                    prop_assert_eq!(flat.clear(i), layered.clear(i));
+                }
+            }
+        }
+        prop_assert_eq!(flat.count_ones(), layered.count_ones());
+        prop_assert_eq!(flat.to_indices(), layered.to_indices());
+        for i in 0..1000 {
+            prop_assert_eq!(flat.get(i), layered.get(i));
+        }
+    }
+
+    /// Layered top-layer invariant: a part is marked dirty in the top layer
+    /// iff it contains at least one dirty bit; clean parts are unallocated.
+    #[test]
+    fn layered_top_invariant(ops in ops(512)) {
+        let mut layered = LayeredBitmap::with_part_bits(512, 64);
+        for op in &ops {
+            match *op {
+                Op::Set(i) => { layered.set(i); }
+                Op::Clear(i) => { layered.clear(i); }
+            }
+        }
+        let dirty: std::collections::HashSet<usize> =
+            layered.to_indices().iter().map(|i| i / 64).collect();
+        // allocated_parts == number of parts with >= 1 dirty bit
+        prop_assert_eq!(layered.allocated_parts(), dirty.len());
+    }
+
+    /// Wire encoding round-trips for every encoder.
+    #[test]
+    fn wire_roundtrip(idxs in prop::collection::btree_set(0usize..5000, 0..100)) {
+        let mut bm = FlatBitmap::new(5000);
+        for &i in &idxs {
+            bm.set(i);
+        }
+        prop_assert_eq!(&ser::decode(&ser::encode_raw(&bm)).unwrap(), &bm);
+        prop_assert_eq!(&ser::decode(&ser::encode_sparse(&bm)).unwrap(), &bm);
+        let auto = ser::encode(&bm);
+        prop_assert_eq!(auto.len(), ser::encoded_len(&bm));
+        prop_assert_eq!(&ser::decode(&auto).unwrap(), &bm);
+    }
+
+    /// Set algebra: (A ∪ B) ⊇ A, (A − B) ∩ B = ∅, |A ∪ B| + |A ∩ B| = |A| + |B|.
+    #[test]
+    fn set_algebra(
+        a_idx in prop::collection::btree_set(0usize..600, 0..80),
+        b_idx in prop::collection::btree_set(0usize..600, 0..80),
+    ) {
+        let mut a = FlatBitmap::new(600);
+        let mut b = FlatBitmap::new(600);
+        for &i in &a_idx { a.set(i); }
+        for &i in &b_idx { b.set(i); }
+
+        let mut union = a.clone();
+        union.union_with(&b);
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        let mut diff = a.clone();
+        diff.subtract(&b);
+
+        for &i in &a_idx {
+            prop_assert!(union.get(i));
+        }
+        let mut check = diff.clone();
+        check.intersect_with(&b);
+        prop_assert!(check.none_set());
+        prop_assert_eq!(
+            union.count_ones() + inter.count_ones(),
+            a.count_ones() + b.count_ones()
+        );
+        // diff ∪ inter == a
+        let mut rebuilt = diff;
+        rebuilt.union_with(&inter);
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    /// Extent splitting covers exactly the bytes of the request: every byte
+    /// of the extent lies in a returned block and the first/last blocks
+    /// actually overlap the extent.
+    #[test]
+    fn mapper_extent_cover(offset in 0u64..1_000_000, len in 0u64..100_000) {
+        let m = BlockMapper::new(4096, 1024);
+        prop_assume!(offset + len <= m.capacity_bytes());
+        let r = m.byte_extent(offset, len);
+        if len == 0 {
+            prop_assert!(r.is_empty());
+        } else {
+            prop_assert_eq!(r.start, (offset / 4096) as usize);
+            prop_assert_eq!(r.end, ((offset + len - 1) / 4096) as usize + 1);
+            // Every block in range overlaps [offset, offset+len).
+            for b in r.iter() {
+                let bs = b as u64 * 4096;
+                prop_assert!(bs < offset + len && bs + 4096 > offset);
+            }
+        }
+    }
+
+    /// `next_set_from` agrees with a linear scan.
+    #[test]
+    fn next_set_from_agrees(idxs in prop::collection::btree_set(0usize..300, 0..40), from in 0usize..310) {
+        let mut bm = FlatBitmap::new(300);
+        for &i in &idxs { bm.set(i); }
+        let expect = idxs.iter().copied().find(|&i| i >= from);
+        prop_assert_eq!(bm.next_set_from(from), expect);
+    }
+}

@@ -1,0 +1,321 @@
+//! Argument parsing (std-only, no external parser).
+
+use workloads::WorkloadKind;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage:
+  vmmigrate simulate   --workload KIND [--scale paper|ci] [--rate-limit MBPS]
+                       [--bitmap flat|layered] [--seed N] [--json]
+  vmmigrate roundtrip  --workload KIND [--scale paper|ci] [--dwell SECS] [--json]
+  vmmigrate live       [--blocks N] [--workload KIND] [--rate-limit MBPS]
+                       [--seed N] [--tcp]
+  vmmigrate baselines  --workload KIND [--scale paper|ci] [--json]
+  vmmigrate trace record  --workload KIND --secs N --out FILE
+  vmmigrate trace analyze FILE
+
+KIND: web | video | diabolical | kernel-build | idle";
+
+/// Parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cmd {
+    /// One simulated TPM migration.
+    Simulate(SimArgs),
+    /// TPM out, dwell, IM back.
+    Roundtrip(SimArgs),
+    /// Live threaded migration.
+    Live(LiveArgs),
+    /// Compare TPM with the three baselines.
+    Baselines(SimArgs),
+    /// Record a workload trace to a JSON file.
+    TraceRecord {
+        /// Workload to record.
+        workload: WorkloadKind,
+        /// Virtual seconds to record.
+        secs: u64,
+        /// Output path.
+        out: String,
+    },
+    /// Analyze a recorded trace's write locality.
+    TraceAnalyze {
+        /// Input path.
+        path: String,
+    },
+}
+
+/// Options shared by the simulated subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimArgs {
+    pub workload: WorkloadKind,
+    pub paper_scale: bool,
+    pub rate_limit_mbps: Option<f64>,
+    pub layered: bool,
+    pub seed: u64,
+    pub dwell_secs: u64,
+    pub json: bool,
+}
+
+impl Default for SimArgs {
+    fn default() -> Self {
+        Self {
+            workload: WorkloadKind::Web,
+            paper_scale: true,
+            rate_limit_mbps: None,
+            layered: false,
+            seed: 2008,
+            dwell_secs: 1500,
+            json: false,
+        }
+    }
+}
+
+/// Options for the live subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveArgs {
+    pub workload: WorkloadKind,
+    pub blocks: usize,
+    pub rate_limit_mbps: Option<f64>,
+    pub seed: u64,
+    /// Run over real loopback TCP sockets instead of in-process channels.
+    pub tcp: bool,
+}
+
+impl Default for LiveArgs {
+    fn default() -> Self {
+        Self {
+            workload: WorkloadKind::Web,
+            blocks: 65_536,
+            rate_limit_mbps: None,
+            seed: 2008,
+            tcp: false,
+        }
+    }
+}
+
+fn parse_workload(s: &str) -> Result<WorkloadKind, String> {
+    match s {
+        "web" => Ok(WorkloadKind::Web),
+        "video" => Ok(WorkloadKind::Video),
+        "diabolical" => Ok(WorkloadKind::Diabolical),
+        "kernel-build" | "kernel" => Ok(WorkloadKind::KernelBuild),
+        "idle" => Ok(WorkloadKind::Idle),
+        other => Err(format!("unknown workload '{other}'")),
+    }
+}
+
+fn need<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn parse_sim(rest: &[String]) -> Result<SimArgs, String> {
+    let mut a = SimArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--workload" => a.workload = parse_workload(need(&mut it, flag)?)?,
+            "--scale" => {
+                a.paper_scale = match need(&mut it, flag)?.as_str() {
+                    "paper" => true,
+                    "ci" | "small" => false,
+                    other => return Err(format!("unknown scale '{other}'")),
+                }
+            }
+            "--rate-limit" => {
+                let v: f64 = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "rate limit must be a number (MB/s)".to_string())?;
+                if v <= 0.0 {
+                    return Err("rate limit must be positive".into());
+                }
+                a.rate_limit_mbps = Some(v);
+            }
+            "--bitmap" => {
+                a.layered = match need(&mut it, flag)?.as_str() {
+                    "flat" => false,
+                    "layered" => true,
+                    other => return Err(format!("unknown bitmap kind '{other}'")),
+                }
+            }
+            "--seed" => {
+                a.seed = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "seed must be an integer".to_string())?
+            }
+            "--dwell" => {
+                a.dwell_secs = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "dwell must be an integer (seconds)".to_string())?
+            }
+            "--json" => a.json = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(a)
+}
+
+fn parse_live(rest: &[String]) -> Result<LiveArgs, String> {
+    let mut a = LiveArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--workload" => a.workload = parse_workload(need(&mut it, flag)?)?,
+            "--blocks" => {
+                a.blocks = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "blocks must be an integer".to_string())?;
+                if a.blocks < 16_384 {
+                    return Err("live mode needs at least 16384 blocks".into());
+                }
+            }
+            "--rate-limit" => {
+                let v: f64 = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "rate limit must be a number (MB/s)".to_string())?;
+                a.rate_limit_mbps = Some(v);
+            }
+            "--seed" => {
+                a.seed = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "seed must be an integer".to_string())?
+            }
+            "--tcp" => a.tcp = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(a)
+}
+
+/// Parse a full argument vector.
+pub fn parse(argv: &[String]) -> Result<Cmd, String> {
+    let Some((sub, rest)) = argv.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    match sub.as_str() {
+        "simulate" => Ok(Cmd::Simulate(parse_sim(rest)?)),
+        "roundtrip" => Ok(Cmd::Roundtrip(parse_sim(rest)?)),
+        "live" => Ok(Cmd::Live(parse_live(rest)?)),
+        "baselines" => Ok(Cmd::Baselines(parse_sim(rest)?)),
+        "trace" => {
+            let Some((verb, rest)) = rest.split_first() else {
+                return Err("trace requires 'record' or 'analyze'".into());
+            };
+            match verb.as_str() {
+                "record" => {
+                    let mut workload = None;
+                    let mut secs = None;
+                    let mut out = None;
+                    let mut it = rest.iter();
+                    while let Some(flag) = it.next() {
+                        match flag.as_str() {
+                            "--workload" => workload = Some(parse_workload(need(&mut it, flag)?)?),
+                            "--secs" => {
+                                secs = Some(need(&mut it, flag)?.parse().map_err(|_| {
+                                    "secs must be an integer".to_string()
+                                })?)
+                            }
+                            "--out" => out = Some(need(&mut it, flag)?.clone()),
+                            other => return Err(format!("unknown flag '{other}'")),
+                        }
+                    }
+                    Ok(Cmd::TraceRecord {
+                        workload: workload.ok_or("trace record requires --workload")?,
+                        secs: secs.ok_or("trace record requires --secs")?,
+                        out: out.ok_or("trace record requires --out")?,
+                    })
+                }
+                "analyze" => {
+                    let path = rest.first().ok_or("trace analyze requires a file path")?;
+                    Ok(Cmd::TraceAnalyze { path: path.clone() })
+                }
+                other => Err(format!("unknown trace verb '{other}'")),
+            }
+        }
+        "--help" | "-h" | "help" => Err(String::new()),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_simulate_with_flags() {
+        let cmd = parse(&v(&[
+            "simulate",
+            "--workload",
+            "diabolical",
+            "--scale",
+            "ci",
+            "--rate-limit",
+            "37",
+            "--bitmap",
+            "layered",
+            "--seed",
+            "9",
+            "--json",
+        ]))
+        .expect("valid");
+        let Cmd::Simulate(a) = cmd else {
+            panic!("wrong cmd")
+        };
+        assert_eq!(a.workload, WorkloadKind::Diabolical);
+        assert!(!a.paper_scale);
+        assert_eq!(a.rate_limit_mbps, Some(37.0));
+        assert!(a.layered);
+        assert_eq!(a.seed, 9);
+        assert!(a.json);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let Cmd::Roundtrip(a) = parse(&v(&["roundtrip"])).expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert_eq!(a.workload, WorkloadKind::Web);
+        assert!(a.paper_scale);
+        assert_eq!(a.dwell_secs, 1500);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&v(&[])).is_err());
+        assert!(parse(&v(&["bogus"])).is_err());
+        assert!(parse(&v(&["simulate", "--workload", "nope"])).is_err());
+        assert!(parse(&v(&["simulate", "--rate-limit", "-3"])).is_err());
+        assert!(parse(&v(&["simulate", "--rate-limit"])).is_err());
+        assert!(parse(&v(&["live", "--blocks", "10"])).is_err());
+        assert!(parse(&v(&["trace"])).is_err());
+        assert!(parse(&v(&["trace", "record", "--secs", "5"])).is_err());
+    }
+
+    #[test]
+    fn parses_trace_commands() {
+        let cmd = parse(&v(&[
+            "trace", "record", "--workload", "web", "--secs", "60", "--out", "/tmp/t.json",
+        ]))
+        .expect("valid");
+        assert_eq!(
+            cmd,
+            Cmd::TraceRecord {
+                workload: WorkloadKind::Web,
+                secs: 60,
+                out: "/tmp/t.json".into()
+            }
+        );
+        let cmd = parse(&v(&["trace", "analyze", "/tmp/t.json"])).expect("valid");
+        assert_eq!(
+            cmd,
+            Cmd::TraceAnalyze {
+                path: "/tmp/t.json".into()
+            }
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Command execution.
+
+use des::{SimDuration, SimRng};
+use migrate::baselines::{run_delta_queue, run_freeze_and_copy, run_on_demand};
+use migrate::live::{run_live_migration, run_live_migration_tcp, LiveConfig};
+use migrate::sim::{dwell, run_im, run_tpm};
+use migrate::{BitmapKind, MigrationConfig, MigrationReport};
+use workloads::locality::analyze;
+
+use crate::args::{Cmd, LiveArgs, SimArgs};
+
+const MB: f64 = 1024.0 * 1024.0;
+
+fn config_for(a: &SimArgs) -> MigrationConfig {
+    let mut cfg = if a.paper_scale {
+        MigrationConfig::paper_testbed()
+    } else {
+        MigrationConfig {
+            disk_blocks: 262_144,
+            mem_pages: 16_384,
+            ..MigrationConfig::paper_testbed()
+        }
+    };
+    cfg.rate_limit = a.rate_limit_mbps.map(|m| m * MB);
+    cfg.bitmap = if a.layered {
+        BitmapKind::Layered
+    } else {
+        BitmapKind::Flat
+    };
+    cfg.seed = a.seed;
+    cfg
+}
+
+fn emit(report: &MigrationReport, json: bool) {
+    if json {
+        let mut compact = report.clone();
+        compact.timeline.clear();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&compact).expect("report serializes")
+        );
+    } else {
+        println!("{}", report.render());
+    }
+}
+
+/// Execute a parsed command.
+pub fn run(cmd: Cmd) -> Result<(), String> {
+    match cmd {
+        Cmd::Simulate(a) => {
+            let out = run_tpm(config_for(&a), a.workload);
+            emit(&out.report, a.json);
+            if !out.report.consistent {
+                return Err("migration verified INCONSISTENT".into());
+            }
+            Ok(())
+        }
+        Cmd::Roundtrip(a) => {
+            let cfg = config_for(&a);
+            let mut out = run_tpm(cfg.clone(), a.workload);
+            emit(&out.report, a.json);
+            dwell(&mut out, &cfg, SimDuration::from_secs(a.dwell_secs));
+            let back = run_im(cfg, out);
+            emit(&back.report, a.json);
+            if !back.report.consistent {
+                return Err("IM verified INCONSISTENT".into());
+            }
+            Ok(())
+        }
+        Cmd::Live(a) => run_live(a),
+        Cmd::Baselines(a) => {
+            let cfg = config_for(&a);
+            let reports = [
+                run_tpm(cfg.clone(), a.workload).report,
+                run_freeze_and_copy(cfg.clone(), a.workload),
+                run_on_demand(cfg.clone(), a.workload, SimDuration::from_secs(600)),
+                run_delta_queue(cfg, a.workload),
+            ];
+            for r in &reports {
+                emit(r, a.json);
+            }
+            Ok(())
+        }
+        Cmd::TraceRecord {
+            workload,
+            secs,
+            out,
+        } => {
+            let mut w = workload.build(MigrationConfig::paper_testbed().disk_blocks as u64);
+            let mut rng = SimRng::new(2008);
+            let trace = workloads::record(
+                w.as_mut(),
+                SimDuration::from_secs(secs),
+                SimDuration::from_millis(500),
+                &mut rng,
+            );
+            std::fs::write(&out, trace.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+            println!(
+                "recorded {} ops ({} writes) over {secs}s to {out}",
+                trace.len(),
+                trace.write_count()
+            );
+            Ok(())
+        }
+        Cmd::TraceAnalyze { path } => {
+            let data = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            let trace =
+                workloads::OpTrace::from_json(&data).map_err(|e| format!("parsing {path}: {e}"))?;
+            let rep = analyze(trace.ops.iter().map(|o| o.kind), 4096);
+            println!(
+                "{path}: {} ops, {} writes, {} unique blocks, rewrite ratio {:.1}%",
+                trace.len(),
+                rep.writes,
+                rep.unique_blocks,
+                rep.rewrite_ratio * 100.0
+            );
+            println!(
+                "  delta-queue sync would ship {:.1} MB; bitmap sync ships {:.1} MB",
+                rep.delta_bytes as f64 / MB,
+                rep.bitmap_scheme_bytes as f64 / MB
+            );
+            Ok(())
+        }
+    }
+}
+
+fn run_live(a: LiveArgs) -> Result<(), String> {
+    let cfg = LiveConfig {
+        num_blocks: a.blocks,
+        workload: a.workload,
+        rate_limit: a.rate_limit_mbps.map(|m| m * MB),
+        seed: a.seed,
+        ..LiveConfig::test_default()
+    };
+    let out = if a.tcp {
+        run_live_migration_tcp(&cfg).map_err(|e| format!("tcp setup: {e}"))?
+    } else {
+        run_live_migration(&cfg)
+    };
+    println!(
+        "live migration{}: disk iters {:?}, mem iters {:?}, frozen dirty {}+{}p, downtime {:?} of {:?}",
+        if a.tcp { " (TCP)" } else { "" },
+        out.iterations,
+        out.mem_iterations,
+        out.frozen_dirty,
+        out.frozen_mem_dirty,
+        out.downtime,
+        out.total
+    );
+    println!(
+        "post-copy: {} pushed, {} pulled, {} dropped; src sent {:.1} MB",
+        out.pushed,
+        out.pulled,
+        out.dropped,
+        out.src_ledger.total() as f64 / MB
+    );
+    let bad = out.inconsistent_blocks();
+    let bad_pages = out.inconsistent_pages();
+    if out.read_violations > 0 || !bad.is_empty() || !bad_pages.is_empty() {
+        return Err(format!(
+            "VERIFICATION FAILED: {} read violations, {} bad blocks, {} bad pages",
+            out.read_violations,
+            bad.len(),
+            bad_pages.len()
+        ));
+    }
+    println!(
+        "verification: all {} blocks and {} RAM pages byte-identical to guest ground truth",
+        a.blocks, out.dst_ram.num_pages()
+    );
+    Ok(())
+}

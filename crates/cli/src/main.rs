@@ -1,0 +1,32 @@
+//! `vmmigrate` — command-line driver for block-bitmap whole-system VM
+//! migration.
+//!
+//! ```text
+//! vmmigrate simulate   --workload web [--scale paper|ci] [--rate-limit MB/s]
+//!                      [--bitmap flat|layered] [--seed N] [--json]
+//! vmmigrate roundtrip  --workload web [--dwell SECS] [--json]
+//! vmmigrate live       [--blocks N] [--workload web] [--rate-limit MB/s]
+//! vmmigrate baselines  --workload web [--json]
+//! vmmigrate trace      record --workload web --secs N --out FILE
+//! vmmigrate trace      analyze FILE
+//! ```
+
+mod args;
+mod cmd;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => {
+            if let Err(e) = cmd::run(cmd) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(msg) => {
+            eprintln!("{msg}\n");
+            eprintln!("{}", args::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the simulation kernel: event ordering, clock
+//! monotonicity, and sampler statistics under arbitrary inputs.
+
+use des::dist::{HotCold, SequentialCursor, Zipf};
+use des::{SimDuration, SimRng, SimTime, Simulator};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always execute in nondecreasing timestamp order with FIFO
+    /// tie-breaking, regardless of insertion order.
+    #[test]
+    fn execution_order_is_stable_sort(times in prop::collection::vec(0u64..1_000, 1..100)) {
+        let mut sim: Simulator<Vec<(u64, usize)>> = Simulator::new();
+        for (seq, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_nanos(t), move |_, log| log.push((t, seq)));
+        }
+        let mut log = Vec::new();
+        sim.run_to_completion(&mut log);
+        prop_assert_eq!(log.len(), times.len());
+        // Nondecreasing by time; equal times preserve insertion order.
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+
+    /// The clock never goes backwards, even when events schedule more
+    /// events with random relative delays.
+    #[test]
+    fn clock_is_monotone(delays in prop::collection::vec(1u64..1_000_000, 1..50)) {
+        let mut sim: Simulator<Vec<u64>> = Simulator::new();
+        for &d in &delays {
+            sim.schedule_in(SimDuration::from_nanos(d), move |sim, log: &mut Vec<u64>| {
+                log.push(sim.now().as_nanos());
+                sim.schedule_in(SimDuration::from_nanos(d / 2 + 1), move |sim2, log2| {
+                    log2.push(sim2.now().as_nanos());
+                });
+            });
+        }
+        let mut log = Vec::new();
+        sim.run_to_completion(&mut log);
+        prop_assert_eq!(log.len(), delays.len() * 2);
+        prop_assert!(log.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Cancelling any subset of events executes exactly the complement.
+    #[test]
+    fn cancellation_is_exact(
+        n in 1usize..60,
+        cancel_mask in prop::collection::vec(proptest::bool::ANY, 60),
+    ) {
+        let mut sim: Simulator<Vec<usize>> = Simulator::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| sim.schedule_at(SimTime::from_nanos(i as u64), move |_, log| log.push(i)))
+            .collect();
+        let mut expected = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i] {
+                sim.cancel(*id);
+            } else {
+                expected.push(i);
+            }
+        }
+        let mut log = Vec::new();
+        sim.run_to_completion(&mut log);
+        prop_assert_eq!(log, expected);
+    }
+
+    /// `SimRng::below` never leaves its bound, for any seed and bound.
+    #[test]
+    fn rng_below_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    /// Zipf samples stay in range and rank-0 frequency dominates for any
+    /// exponent.
+    #[test]
+    fn zipf_in_range(seed in any::<u64>(), n in 2u64..10_000, s in 0.5f64..2.0) {
+        let z = Zipf::new(n, s);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// HotCold samples stay in the value space.
+    #[test]
+    fn hotcold_in_range(
+        seed in any::<u64>(),
+        total in 10u64..100_000,
+        p in 0.0f64..=1.0,
+    ) {
+        let hot = (total / 10).max(1);
+        let hc = HotCold::new(total, 0, hot, p);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            prop_assert!(hc.sample(&mut rng) < total);
+        }
+    }
+
+    /// A sequential cursor emits exactly its region, in order, forever.
+    #[test]
+    fn cursor_cycles_region(start in 0u64..1_000, len in 1u64..500) {
+        let mut c = SequentialCursor::new(start, len);
+        for i in 0..(len * 3) {
+            prop_assert_eq!(c.next_value(), start + (i % len));
+        }
+        // Exactly three complete passes over the region.
+        prop_assert_eq!(c.wraps, 3);
+    }
+
+    /// Duration arithmetic is consistent: (t + d) - t == d for any values.
+    #[test]
+    fn time_arithmetic(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t0 = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((t0 + dur).since(t0), dur);
+        prop_assert_eq!((t0 + dur) - dur, t0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Migration engine configuration.
+
+use des::SimDuration;
+use simnet::Link;
+
+/// Which bitmap structure tracks dirty blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitmapKind {
+    /// Dense flat bitmap (1 bit/block, always allocated).
+    Flat,
+    /// Two-layer lazily allocated bitmap (§IV-A-2).
+    Layered,
+}
+
+/// Configuration for a whole-system migration.
+#[derive(Debug, Clone)]
+pub struct MigrationConfig {
+    /// Disk capacity in 4 KiB blocks.
+    pub disk_blocks: usize,
+    /// Block size in bytes.
+    pub block_size: u64,
+    /// Guest memory pages (4 KiB each).
+    pub mem_pages: usize,
+    /// Number of vCPUs (sizes the CPU context transfer).
+    pub vcpus: u32,
+    /// The migration network link.
+    pub link: Link,
+    /// Optional cap on the bandwidth the migration may use (§VI-C-3),
+    /// bytes/second.
+    pub rate_limit: Option<f64>,
+    /// Nominal streaming disk throughput of each host with a single
+    /// sequential stream, bytes/second.
+    pub disk_capacity: f64,
+    /// Capacity lost per byte/second of interleaved migration traffic
+    /// (seek interference between the migration's sequential scan and the
+    /// guest's own I/O). See `simnet::capacity::seek_aware_share`.
+    pub seek_penalty: f64,
+    /// End-to-end throughput ceiling of the migration pipeline
+    /// (sustained whole-disk reads through `blkd`, userspace copies, TCP),
+    /// bytes/second. The paper's prototype moves a 40 GB VBD in ~790 s —
+    /// about 52 MB/s — on a link that could carry twice that; this models
+    /// the same pipeline ceiling. Buffered guest writes (Table III's
+    /// 96 MB/s `write(2)`) are *not* subject to it, hence the separate
+    /// `disk_capacity`.
+    pub migration_throughput_cap: f64,
+    /// Maximum disk pre-copy iterations (the paper limits the maximum
+    /// number of iterations to avoid endless migration").
+    pub max_disk_iterations: u32,
+    /// Stop disk pre-copy when an iteration ends with at most this many
+    /// dirty blocks.
+    pub disk_dirty_threshold: usize,
+    /// Maximum memory pre-copy iterations (Xen's cap).
+    pub max_mem_iterations: u32,
+    /// Proceed to freeze-and-copy when the memory dirty set is at most
+    /// this many pages.
+    pub mem_dirty_threshold: usize,
+    /// Simulation step for the time-sliced phases.
+    pub step: SimDuration,
+    /// Fixed hypervisor overhead for suspending the guest.
+    pub suspend_overhead: SimDuration,
+    /// Fixed hypervisor overhead for resuming the guest.
+    pub resume_overhead: SimDuration,
+    /// Fixed control-plane overhead of entering and completing post-copy
+    /// (blkd wakeups, bitmap acknowledgement, completion handshake).
+    pub postcopy_fixed_overhead: SimDuration,
+    /// Which bitmap implementation the tracker uses.
+    pub bitmap: BitmapKind,
+    /// RNG seed — every run with the same config and seed is
+    /// bit-identical.
+    pub seed: u64,
+    /// Horizon for abandoning a post-copy that cannot converge (only the
+    /// on-demand baseline hits this).
+    pub postcopy_horizon: SimDuration,
+}
+
+impl MigrationConfig {
+    /// The paper's testbed: 40 GB VBD, 512 MB guest, one vCPU, Gigabit
+    /// LAN, SATA-class disk (~110 MB/s), 3-iteration-scale pre-copy caps.
+    pub fn paper_testbed() -> Self {
+        Self {
+            // The paper's VBD is 40 GB = 40·10⁹ bytes ("39070MB"):
+            disk_blocks: 9_765_625,
+            block_size: 4096,
+            mem_pages: 131_072, // 512 MiB at 4 KiB
+            vcpus: 1,
+            link: Link::gigabit(),
+            rate_limit: None,
+            disk_capacity: 137.7 * 1024.0 * 1024.0,
+            seek_penalty: 1.2,
+            migration_throughput_cap: 50.0 * 1024.0 * 1024.0,
+            max_disk_iterations: 8,
+            disk_dirty_threshold: 256,
+            max_mem_iterations: 10,
+            mem_dirty_threshold: 512,
+            step: SimDuration::from_millis(250),
+            suspend_overhead: SimDuration::from_millis(15),
+            resume_overhead: SimDuration::from_millis(25),
+            postcopy_fixed_overhead: SimDuration::from_millis(300),
+            bitmap: BitmapKind::Flat,
+            seed: 2008,
+            postcopy_horizon: SimDuration::from_secs(3600),
+        }
+    }
+
+    /// A scaled-down configuration for fast tests: 256 MiB disk, 32 MiB
+    /// guest, same rates.
+    pub fn small() -> Self {
+        Self {
+            disk_blocks: 65_536, // 256 MiB
+            mem_pages: 8_192,    // 32 MiB
+            disk_dirty_threshold: 64,
+            mem_dirty_threshold: 128,
+            step: SimDuration::from_millis(100),
+            ..Self::paper_testbed()
+        }
+    }
+
+    /// Effective network rate available to the migration, bytes/second.
+    pub fn migration_net_rate(&self) -> f64 {
+        match self.rate_limit {
+            Some(l) => self.link.bandwidth().min(l),
+            None => self.link.bandwidth(),
+        }
+    }
+
+    /// Demand the disk-copy stream places on the disk: the network rate
+    /// further capped by the migration pipeline ceiling.
+    pub fn disk_stream_demand(&self) -> f64 {
+        self.migration_net_rate().min(self.migration_throughput_cap)
+    }
+
+    /// Disk capacity in bytes.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_blocks as u64 * self.block_size
+    }
+
+    /// Validate invariants; call before running an engine.
+    ///
+    /// # Panics
+    /// Panics on nonsensical configurations (zero-sized disk or memory,
+    /// zero step, non-positive capacities).
+    pub fn validate(&self) {
+        assert!(self.disk_blocks > 0, "disk must have at least one block");
+        assert!(self.block_size > 0, "block size must be non-zero");
+        assert!(self.mem_pages > 0, "guest memory must be non-empty");
+        assert!(self.vcpus > 0, "guest needs at least one vCPU");
+        assert!(self.disk_capacity > 0.0, "disk capacity must be positive");
+        assert!(
+            self.step > SimDuration::ZERO,
+            "simulation step must be positive"
+        );
+        assert!(
+            self.max_disk_iterations >= 1,
+            "need at least one disk pre-copy iteration"
+        );
+        if let Some(l) = self.rate_limit {
+            assert!(l > 0.0, "rate limit must be positive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_geometry() {
+        let c = MigrationConfig::paper_testbed();
+        c.validate();
+        assert_eq!(c.disk_bytes(), 40_000_000_000);
+        assert_eq!(c.mem_pages * 4096, 512 * 1024 * 1024);
+        // Unlimited: migration may use the whole link.
+        assert_eq!(c.migration_net_rate(), c.link.bandwidth());
+    }
+
+    #[test]
+    fn rate_limit_caps_net_rate() {
+        let mut c = MigrationConfig::small();
+        c.rate_limit = Some(1_000_000.0);
+        c.validate();
+        assert_eq!(c.migration_net_rate(), 1_000_000.0);
+        // A limit above the link speed has no effect.
+        c.rate_limit = Some(1e12);
+        assert_eq!(c.migration_net_rate(), c.link.bandwidth());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_disk_rejected() {
+        let c = MigrationConfig {
+            disk_blocks: 0,
+            ..MigrationConfig::small()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rate limit must be positive")]
+    fn zero_rate_limit_rejected() {
+        let c = MigrationConfig {
+            rate_limit: Some(0.0),
+            ..MigrationConfig::small()
+        };
+        c.validate();
+    }
+}

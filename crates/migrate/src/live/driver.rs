@@ -1,0 +1,320 @@
+//! The guest driver thread: plays a workload against the current disk,
+//! with suspend/resume orchestration and end-to-end stamp verification.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use des::dist::HotCold;
+use des::{SimDuration, SimRng};
+use parking_lot::{Condvar, Mutex};
+use vdisk::stamp_bytes;
+use vmstate::LiveRam;
+use workloads::{OpKind, Workload, WorkloadKind};
+
+use crate::live::GuestIo;
+
+/// A workload adapted for wall-clock live mode: each driver tick plays
+/// `dt_per_tick` of virtual workload time.
+pub struct LiveWorkload {
+    inner: Box<dyn Workload>,
+    dt_per_tick: SimDuration,
+}
+
+impl LiveWorkload {
+    /// Wrap a simulation workload; every driver tick (~1 ms of wall time)
+    /// replays `dt_per_tick` of its virtual op stream.
+    pub fn new(inner: Box<dyn Workload>, dt_per_tick: SimDuration) -> Self {
+        Self { inner, dt_per_tick }
+    }
+
+    /// Standard construction from a workload kind for a disk of
+    /// `num_blocks` blocks.
+    pub fn from_kind(kind: WorkloadKind, num_blocks: u64, dt_per_tick: SimDuration) -> Self {
+        Self::new(kind.build(num_blocks), dt_per_tick)
+    }
+
+    fn ops(&mut self, rng: &mut SimRng) -> Vec<OpKind> {
+        let demand = self.inner.disk_demand();
+        self.inner
+            .ops_for(self.dt_per_tick, demand, rng)
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Running,
+    SuspendRequested,
+    Suspended,
+}
+
+struct CtlInner {
+    state: Mutex<CtlState>,
+    cv: Condvar,
+}
+
+struct CtlState {
+    phase: Phase,
+    target: Arc<dyn GuestIo>,
+    ram: Arc<LiveRam>,
+    stop: bool,
+    suspended_at: Option<Instant>,
+    resumed_at: Option<Instant>,
+}
+
+/// Shared control handle for the driver thread (clonable across the
+/// protocol threads).
+#[derive(Clone)]
+pub struct DriverCtl(Arc<CtlInner>);
+
+impl DriverCtl {
+    /// Ask the guest to pause (the `xc_linux_save` suspend signal) and
+    /// wait until it acknowledges. Returns the suspension instant —
+    /// downtime starts here.
+    pub fn request_suspend(&self) -> Instant {
+        let mut st = self.0.state.lock();
+        assert_eq!(st.phase, Phase::Running, "guest must be running to suspend");
+        st.phase = Phase::SuspendRequested;
+        self.0.cv.notify_all();
+        while st.phase != Phase::Suspended {
+            self.0.cv.wait(&mut st);
+        }
+        st.suspended_at.expect("suspension stamps an instant")
+    }
+
+    /// Resume the guest on the destination's I/O path and RAM. Returns
+    /// the resume instant — downtime ends here.
+    pub fn resume_on(&self, target: Arc<dyn GuestIo>, ram: Arc<LiveRam>) -> Instant {
+        let mut st = self.0.state.lock();
+        assert_eq!(st.phase, Phase::Suspended, "guest must be suspended to resume");
+        st.target = target;
+        st.ram = ram;
+        st.phase = Phase::Running;
+        let now = Instant::now();
+        st.resumed_at = Some(now);
+        self.0.cv.notify_all();
+        now
+    }
+
+    fn request_stop(&self) {
+        let mut st = self.0.state.lock();
+        st.stop = true;
+        self.0.cv.notify_all();
+    }
+}
+
+/// What the guest did, for verification.
+#[derive(Debug)]
+pub struct DriverResult {
+    /// Last stamp written per block (ground truth for consistency).
+    pub model: HashMap<usize, u64>,
+    /// Last stamp written per memory page.
+    pub mem_model: HashMap<usize, u64>,
+    /// Total writes issued.
+    pub writes: u64,
+    /// Total reads issued.
+    pub reads: u64,
+    /// Memory page writes issued.
+    pub mem_writes: u64,
+    /// Reads that returned data not matching the guest's own last write
+    /// (or the initial image). Must be zero for a correct migration.
+    pub read_violations: u64,
+}
+
+/// Handle to the running guest driver thread.
+pub struct DriverHandle {
+    ctl: DriverCtl,
+    join: JoinHandle<DriverResult>,
+}
+
+impl DriverHandle {
+    /// Start the guest: plays `workload` against `initial` (the source
+    /// path) and dirties `ram` at `mem_writes_per_tick` pages/tick, one
+    /// tick per `tick_wall` of wall time.
+    pub fn start(
+        mut workload: LiveWorkload,
+        initial: Arc<dyn GuestIo>,
+        ram: Arc<LiveRam>,
+        mem_writes_per_tick: u64,
+        block_size: usize,
+        seed: u64,
+        tick_wall: Duration,
+    ) -> Self {
+        let page_size = ram.page_size();
+        let num_pages = ram.num_pages();
+        let hot_pages = HotCold::new(num_pages as u64, 0, (num_pages as u64 / 8).max(1), 0.8);
+        let ctl = DriverCtl(Arc::new(CtlInner {
+            state: Mutex::new(CtlState {
+                phase: Phase::Running,
+                target: initial,
+                ram,
+                stop: false,
+                suspended_at: None,
+                resumed_at: None,
+            }),
+            cv: Condvar::new(),
+        }));
+        let thread_ctl = ctl.clone();
+        let join = std::thread::spawn(move || {
+            let mut rng = SimRng::new(seed);
+            let mut model: HashMap<usize, u64> = HashMap::new();
+            let mut stamp = 1u64;
+            let mut mem_model: HashMap<usize, u64> = HashMap::new();
+            let mut res = DriverResult {
+                model: HashMap::new(),
+                mem_model: HashMap::new(),
+                writes: 0,
+                reads: 0,
+                mem_writes: 0,
+                read_violations: 0,
+            };
+            loop {
+                let (target, ram) = {
+                    let mut st = thread_ctl.0.state.lock();
+                    loop {
+                        if st.stop {
+                            res.model = model;
+                            res.mem_model = mem_model;
+                            return res;
+                        }
+                        match st.phase {
+                            Phase::Running => {
+                                break (Arc::clone(&st.target), Arc::clone(&st.ram))
+                            }
+                            Phase::SuspendRequested => {
+                                st.phase = Phase::Suspended;
+                                st.suspended_at = Some(Instant::now());
+                                thread_ctl.0.cv.notify_all();
+                            }
+                            Phase::Suspended => {
+                                thread_ctl.0.cv.wait(&mut st);
+                            }
+                        }
+                    }
+                };
+                for op in workload.ops(&mut rng) {
+                    match op {
+                        OpKind::Write { block } => {
+                            let b = block as usize;
+                            target.write(b, &stamp_bytes(b, stamp, block_size));
+                            model.insert(b, stamp);
+                            stamp += 1;
+                            res.writes += 1;
+                        }
+                        OpKind::Read { block } => {
+                            let b = block as usize;
+                            let data = target.read(b);
+                            res.reads += 1;
+                            let expect = model.get(&b).copied().unwrap_or(0);
+                            if data != stamp_bytes(b, expect, block_size) {
+                                res.read_violations += 1;
+                            }
+                        }
+                    }
+                }
+                // Memory dirtying: hot/cold page writes, stamped like
+                // disk blocks so the destination RAM can be verified.
+                for _ in 0..mem_writes_per_tick {
+                    let p = hot_pages.sample(&mut rng) as usize;
+                    ram.write_page(p, &stamp_bytes(p, stamp, page_size));
+                    mem_model.insert(p, stamp);
+                    stamp += 1;
+                    res.mem_writes += 1;
+                }
+                std::thread::sleep(tick_wall);
+            }
+        });
+        Self { ctl, join }
+    }
+
+    /// The clonable control handle.
+    pub fn ctl(&self) -> DriverCtl {
+        self.ctl.clone()
+    }
+
+    /// Stop the guest and collect its ground-truth model.
+    pub fn finish(self) -> DriverResult {
+        self.ctl.request_stop();
+        self.join.join().expect("driver thread must not panic")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::live::SourceIo;
+    use vdisk::{DomainId, TrackedDisk, VirtualDisk};
+    use vmstate::LiveRam;
+
+    fn io(blocks: usize) -> (Arc<TrackedDisk>, Arc<dyn GuestIo>, Arc<LiveRam>) {
+        let disk = Arc::new(TrackedDisk::new(Arc::new(VirtualDisk::dense(512, blocks))));
+        // Initialize with the stamp-0 image the verifier expects.
+        for b in 0..blocks {
+            disk.disk().write_block(b, &stamp_bytes(b, 0, 512));
+        }
+        let g: Arc<dyn GuestIo> = Arc::new(SourceIo::new(Arc::clone(&disk), DomainId(1)));
+        let ram = Arc::new(LiveRam::new(512, 64));
+        (disk, g, ram)
+    }
+
+    fn workload(blocks: u64) -> LiveWorkload {
+        LiveWorkload::from_kind(WorkloadKind::Web, blocks, SimDuration::from_millis(100))
+    }
+
+    #[test]
+    fn driver_writes_and_verifies_reads() {
+        let (disk, g, ram) = io(65_536);
+        let h = DriverHandle::start(
+            workload(65_536),
+            g,
+            Arc::clone(&ram),
+            2,
+            512,
+            3,
+            Duration::from_millis(1),
+        );
+        std::thread::sleep(Duration::from_millis(100));
+        let res = h.finish();
+        assert!(res.writes > 0, "driver made no writes");
+        assert!(res.mem_writes > 0, "driver dirtied no memory");
+        assert_eq!(res.read_violations, 0, "read-your-writes violated");
+        // The disk holds exactly the model's last stamps.
+        for (&b, &s) in &res.model {
+            assert_eq!(disk.disk().read_block(b), stamp_bytes(b, s, 512));
+        }
+        // And the RAM holds the memory model's last stamps.
+        for (&p, &s) in &res.mem_model {
+            assert_eq!(ram.read_page(p), stamp_bytes(p, s, 512));
+        }
+    }
+
+    #[test]
+    fn suspend_blocks_progress_until_resume() {
+        let (_disk, g, ram) = io(65_536);
+        let h = DriverHandle::start(
+            workload(65_536),
+            Arc::clone(&g),
+            Arc::clone(&ram),
+            1,
+            512,
+            4,
+            Duration::from_millis(1),
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        let ctl = h.ctl();
+        let t_suspend = ctl.request_suspend();
+        // While suspended, no writes happen (counts frozen): we cannot
+        // read counts without finishing, so verify indirectly via resume
+        // instants ordering.
+        std::thread::sleep(Duration::from_millis(20));
+        let t_resume = ctl.resume_on(g, ram);
+        assert!(t_resume > t_suspend);
+        assert!(t_resume - t_suspend >= Duration::from_millis(15));
+        let res = h.finish();
+        assert_eq!(res.read_violations, 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Guest-side I/O paths for live migration.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use block_bitmap::AtomicBitmap;
+use crossbeam::channel::Sender;
+use parking_lot::{Condvar, Mutex};
+use vdisk::{DomainId, IoRequest, TrackedDisk};
+
+/// The block I/O interface the guest driver uses, switching from
+/// [`SourceIo`] to [`DestIo`] at resume time.
+pub trait GuestIo: Send + Sync {
+    /// Read one block (may wait for a pull during post-copy).
+    fn read(&self, block: usize) -> Vec<u8>;
+
+    /// Write one block.
+    fn write(&self, block: usize, data: &[u8]);
+}
+
+/// Pre-migration path: requests go straight to the (tracked) source disk.
+pub struct SourceIo {
+    disk: Arc<TrackedDisk>,
+    domain: DomainId,
+}
+
+impl SourceIo {
+    /// Wrap the source disk for the given guest domain.
+    pub fn new(disk: Arc<TrackedDisk>, domain: DomainId) -> Self {
+        Self { disk, domain }
+    }
+}
+
+impl GuestIo for SourceIo {
+    fn read(&self, block: usize) -> Vec<u8> {
+        self.disk
+            .submit(IoRequest::read(block, self.domain), None)
+            .expect("read returns data")
+    }
+
+    fn write(&self, block: usize, data: &[u8]) {
+        self.disk
+            .submit(IoRequest::write(block, self.domain), Some(data));
+    }
+}
+
+/// Post-resume path: the paper's destination interception algorithm
+/// (§IV-A-3).
+///
+/// * Writes go to the destination disk (tracked into the IM bitmap by the
+///   attached tracker), clear the block's transferred bit, and wake any
+///   reader parked on the block.
+/// * Reads to still-dirty blocks send a pull request and wait until the
+///   block's bit clears (satisfied by the pulled block, a pushed block, or
+///   a superseding local write).
+pub struct DestIo {
+    disk: Arc<TrackedDisk>,
+    domain: DomainId,
+    transferred: Arc<AtomicBitmap>,
+    pull_tx: Sender<usize>,
+    gate: Mutex<()>,
+    arrived: Condvar,
+    stalled_reads: AtomicU64,
+    stall_nanos: AtomicU64,
+}
+
+impl DestIo {
+    /// Build the destination path. `transferred` is the received copy of
+    /// the freeze-phase block-bitmap; pull requests are sent through
+    /// `pull_tx` to the destination protocol thread.
+    pub fn new(
+        disk: Arc<TrackedDisk>,
+        domain: DomainId,
+        transferred: Arc<AtomicBitmap>,
+        pull_tx: Sender<usize>,
+    ) -> Self {
+        Self {
+            disk,
+            domain,
+            transferred,
+            pull_tx,
+            gate: Mutex::new(()),
+            arrived: Condvar::new(),
+            stalled_reads: AtomicU64::new(0),
+            stall_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Called by the destination protocol thread when a block's bit
+    /// cleared (arrival applied, or push dropped after a local write):
+    /// wakes parked readers.
+    pub fn notify_block(&self) {
+        let _g = self.gate.lock();
+        self.arrived.notify_all();
+    }
+
+    /// Number of reads that had to wait for a pull, and their total wait.
+    pub fn stall_stats(&self) -> (u64, Duration) {
+        (
+            self.stalled_reads.load(Ordering::Relaxed),
+            Duration::from_nanos(self.stall_nanos.load(Ordering::Relaxed)),
+        )
+    }
+}
+
+impl GuestIo for DestIo {
+    fn read(&self, block: usize) -> Vec<u8> {
+        if self.transferred.get(block) {
+            // Dirty: request a pull and wait until some arrival or a
+            // superseding write clears the bit.
+            let start = std::time::Instant::now();
+            self.stalled_reads.fetch_add(1, Ordering::Relaxed);
+            self.pull_tx.send(block).expect("protocol thread alive");
+            let mut guard = self.gate.lock();
+            while self.transferred.get(block) {
+                self.arrived.wait_for(&mut guard, Duration::from_millis(50));
+            }
+            drop(guard);
+            self.stall_nanos
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        self.disk
+            .submit(IoRequest::read(block, self.domain), None)
+            .expect("read returns data")
+    }
+
+    fn write(&self, block: usize, data: &[u8]) {
+        // The write overwrites the whole block: no pull needed, cancel
+        // synchronization for it (paper lines 5-10).
+        self.disk
+            .submit(IoRequest::write(block, self.domain), Some(data));
+        if self.transferred.clear(block) {
+            self.notify_block();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use vdisk::{stamp_bytes, VirtualDisk};
+
+    fn tracked(blocks: usize) -> Arc<TrackedDisk> {
+        Arc::new(TrackedDisk::new(Arc::new(VirtualDisk::dense(512, blocks))))
+    }
+
+    #[test]
+    fn source_io_roundtrip() {
+        let disk = tracked(8);
+        let io = SourceIo::new(Arc::clone(&disk), DomainId(1));
+        io.write(3, &stamp_bytes(3, 7, 512));
+        assert_eq!(io.read(3), stamp_bytes(3, 7, 512));
+    }
+
+    #[test]
+    fn dest_read_clean_block_never_pulls() {
+        let disk = tracked(8);
+        let transferred = Arc::new(AtomicBitmap::new(8));
+        let (tx, rx) = unbounded();
+        let io = DestIo::new(Arc::clone(&disk), DomainId(1), transferred, tx);
+        io.read(2);
+        assert!(rx.try_recv().is_err(), "clean read must not pull");
+        assert_eq!(io.stall_stats().0, 0);
+    }
+
+    #[test]
+    fn dest_read_dirty_block_pulls_and_waits_for_arrival() {
+        let disk = tracked(8);
+        let transferred = Arc::new(AtomicBitmap::new(8));
+        transferred.set(5);
+        let (tx, rx) = unbounded();
+        let io = Arc::new(DestIo::new(
+            Arc::clone(&disk),
+            DomainId(1),
+            Arc::clone(&transferred),
+            tx,
+        ));
+        let reader = {
+            let io = Arc::clone(&io);
+            std::thread::spawn(move || io.read(5))
+        };
+        // The protocol thread observes the pull request, "receives" the
+        // block, applies it, clears the bit and notifies.
+        let pulled = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(pulled, 5);
+        disk.disk().write_block(5, &stamp_bytes(5, 42, 512));
+        transferred.clear(5);
+        io.notify_block();
+        let data = reader.join().unwrap();
+        assert_eq!(data, stamp_bytes(5, 42, 512));
+        let (stalls, wait) = io.stall_stats();
+        assert_eq!(stalls, 1);
+        assert!(wait > Duration::ZERO);
+    }
+
+    #[test]
+    fn dest_write_cancels_sync() {
+        let disk = tracked(8);
+        let transferred = Arc::new(AtomicBitmap::new(8));
+        transferred.set(4);
+        let (tx, rx) = unbounded();
+        let io = DestIo::new(Arc::clone(&disk), DomainId(1), Arc::clone(&transferred), tx);
+        io.write(4, &stamp_bytes(4, 9, 512));
+        assert!(!transferred.get(4), "write must clear the dirty bit");
+        assert!(rx.try_recv().is_err(), "write must not pull");
+        // Subsequent read sees local data without pulling.
+        assert_eq!(io.read(4), stamp_bytes(4, 9, 512));
+        assert!(rx.try_recv().is_err());
+    }
+}

@@ -1,0 +1,683 @@
+//! The simulated TPM/IM engine.
+
+use block_bitmap::{ser, DirtyMap, FlatBitmap};
+use des::{SimDuration, SimRng, SimTime};
+use simnet::capacity::seek_aware_share;
+use simnet::proto::{Category, TransferLedger, FRAME_OVERHEAD};
+use vdisk::MetaDisk;
+use vmstate::{CpuState, Domain, DomainId, GuestMemory, WssModel};
+use workloads::probe::ThroughputProbe;
+use workloads::{OpKind, Workload, WorkloadKind};
+
+use crate::report::{IterationStats, MigrationReport, PhaseTimings};
+use crate::sim::postcopy::{run_postcopy, PostCopyConfig};
+use crate::sim::tracker::DirtyTracker;
+use crate::MigrationConfig;
+
+/// Everything a completed migration leaves behind: the report, the
+/// destination-side state the VM now runs on, and the IM tracker that a
+/// later migration back can use.
+pub struct TpmOutcome {
+    /// Metrics of the run.
+    pub report: MigrationReport,
+    /// The (now stale) source disk, exactly as it was at suspend time plus
+    /// nothing — the source was retired.
+    pub src_disk: MetaDisk,
+    /// The live destination disk the VM runs on.
+    pub dst_disk: MetaDisk,
+    /// The live destination memory.
+    pub dst_mem: GuestMemory,
+    /// Destination-side tracker of post-resume writes (the paper's
+    /// BM_3 / new_block_bitmap, feeding IM).
+    pub im_tracker: DirtyTracker,
+    /// The workload, carried over so IM continues the same op stream.
+    pub workload: Box<dyn Workload>,
+    /// The RNG, carried over for determinism across TPM→dwell→IM.
+    pub rng: SimRng,
+    /// Client throughput samples across the whole run so far.
+    pub probe: ThroughputProbe,
+    /// Virtual time at the end of the run.
+    pub end_time: SimTime,
+    /// Workload kind, for constructing follow-up runs.
+    pub kind: WorkloadKind,
+}
+
+/// The simulated three-phase migration engine.
+pub struct TpmEngine {
+    pub(crate) cfg: MigrationConfig,
+    pub(crate) kind: WorkloadKind,
+    pub(crate) workload: Box<dyn Workload>,
+    pub(crate) rng: SimRng,
+    pub(crate) now: SimTime,
+    pub(crate) src_disk: MetaDisk,
+    pub(crate) dst_disk: MetaDisk,
+    pub(crate) src_mem: GuestMemory,
+    pub(crate) dst_mem: GuestMemory,
+    pub(crate) cpu: CpuState,
+    pub(crate) wss: WssModel,
+    pub(crate) domain: Domain,
+    pub(crate) tracker: DirtyTracker,
+    pub(crate) tracking: bool,
+    pub(crate) probe: ThroughputProbe,
+    pub(crate) ledger: TransferLedger,
+    /// `Some` = incremental migration: only these blocks need the first
+    /// pass.
+    pub(crate) initial_to_send: Option<FlatBitmap>,
+    pub(crate) scheme: &'static str,
+    pub(crate) block_carry: f64,
+    /// Guest-declared free blocks (§VII future work): never transferred
+    /// unless written, and exempt from the consistency check — their
+    /// contents are, by the guest's own declaration, meaningless.
+    pub(crate) free_blocks: Option<FlatBitmap>,
+}
+
+impl TpmEngine {
+    /// Fresh primary migration: the source disk holds an installed system
+    /// image (every block written once); the destination is blank.
+    pub fn new(cfg: MigrationConfig, kind: WorkloadKind) -> Self {
+        cfg.validate();
+        let mut rng = SimRng::new(cfg.seed);
+        let workload = kind.build(cfg.disk_blocks as u64);
+        let mut src_disk = MetaDisk::new(cfg.disk_blocks);
+        // The installed image: every block distinct from the blank
+        // destination, so the first full pass is load-bearing for the
+        // consistency check.
+        for b in 0..cfg.disk_blocks {
+            src_disk.write(b);
+        }
+        let mut src_mem = GuestMemory::new(4096, cfg.mem_pages);
+        for p in 0..cfg.mem_pages {
+            src_mem.touch(p);
+        }
+        src_mem.drain_dirty();
+        let mut cpu = CpuState::new(cfg.vcpus);
+        cpu.scribble(rng.next_u64());
+        let wss = workload.wss_model(cfg.mem_pages);
+        let tracker = DirtyTracker::new(cfg.bitmap, cfg.disk_blocks);
+        Self {
+            dst_disk: MetaDisk::new(cfg.disk_blocks),
+            dst_mem: GuestMemory::new(4096, cfg.mem_pages),
+            domain: Domain::new(
+                DomainId(1),
+                format!("vm-{}", workload.name()),
+                GuestMemory::new(4096, 1),
+                CpuState::new(1),
+            ),
+            kind,
+            workload,
+            rng,
+            now: SimTime::ZERO,
+            src_disk,
+            src_mem,
+            cpu,
+            wss,
+            tracker,
+            tracking: false,
+            probe: ThroughputProbe::new(),
+            ledger: TransferLedger::new(),
+            initial_to_send: None,
+            scheme: "tpm",
+            cfg,
+            block_carry: 0.0,
+            free_blocks: None,
+        }
+    }
+
+    /// Enable guest-assisted sparse migration (§VII): the guest declares
+    /// `free` blocks unused, the first pre-copy pass skips them, and the
+    /// consistency contract excludes them (unless the guest writes them,
+    /// which re-enters them through the dirty path).
+    ///
+    /// # Panics
+    /// Panics when the bitmap size does not match the disk.
+    pub fn set_free_blocks(&mut self, free: FlatBitmap) {
+        assert_eq!(
+            free.len(),
+            self.cfg.disk_blocks,
+            "free bitmap must cover the whole disk"
+        );
+        self.free_blocks = Some(free);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run the guest without migrating for `duration` (pre-migration
+    /// timeline for the figures; also ages the disk image).
+    pub fn warmup(&mut self, duration: SimDuration) {
+        let end = self.now + duration;
+        while self.now < end {
+            let dt = self.cfg.step.min(end.since(self.now));
+            self.guest_step(dt, self.workload_solo_share());
+        }
+    }
+
+    /// Disk share the workload gets when no migration stream competes.
+    fn workload_solo_share(&self) -> f64 {
+        self.workload.disk_demand().min(self.cfg.disk_capacity)
+    }
+
+    /// Advance the guest by `dt` at the given achieved disk share: apply
+    /// workload ops to the source disk (tracking writes when enabled),
+    /// dirty guest memory, record a throughput sample.
+    fn guest_step(&mut self, dt: SimDuration, w_share: f64) {
+        let ops = self.workload.ops_for(dt, w_share, &mut self.rng);
+        for op in ops {
+            if let OpKind::Write { block } = op.kind {
+                let b = block as usize;
+                self.src_disk.write(b);
+                if self.tracking {
+                    self.tracker.set(b);
+                }
+            }
+        }
+        self.wss.dirty_for(&mut self.src_mem, dt, &mut self.rng);
+        self.probe
+            .record(self.now + dt, self.workload.client_throughput(w_share));
+        self.now += dt;
+    }
+
+    /// Transfer every block marked in `set` to the destination while the
+    /// guest keeps running, contending for the disk. Returns
+    /// (blocks_sent, bytes, duration).
+    fn transfer_disk_set(&mut self, set: &FlatBitmap, cat: Category) -> (u64, u64, SimDuration) {
+        let phase_start = self.now;
+        let total = set.count_ones() as u64;
+        if total == 0 {
+            return (0, 0, SimDuration::ZERO);
+        }
+        let mut bytes = 0u64;
+        let mut sent = 0u64;
+        let mut cursor = 0usize;
+        let bs = self.cfg.block_size;
+        while sent < total {
+            let w_demand = self.workload.disk_demand();
+            let (w_share, m_share) = seek_aware_share(
+                self.cfg.disk_capacity,
+                self.cfg.seek_penalty,
+                w_demand,
+                self.cfg.disk_stream_demand(),
+            );
+            debug_assert!(m_share > 0.0, "migration starved of disk bandwidth");
+            // Blocks transferable in a full step; shrink the step when the
+            // set is nearly done so phase timing stays exact.
+            let remaining = total - sent;
+            let full_step_blocks = m_share * self.cfg.step.as_secs_f64() / bs as f64;
+            let dt = if full_step_blocks + self.block_carry >= remaining as f64 {
+                SimDuration::from_secs_f64(
+                    ((remaining as f64 - self.block_carry).max(0.0) * bs as f64) / m_share,
+                )
+            } else {
+                self.cfg.step
+            };
+            let raw = self.block_carry + m_share * dt.as_secs_f64() / bs as f64;
+            let mut n = (raw.floor() as u64).min(remaining);
+            self.block_carry = raw - n as f64;
+            if dt == SimDuration::ZERO || (n == 0 && dt < self.cfg.step) {
+                // Numerical corner: force the last block(s) through.
+                n = remaining;
+                self.block_carry = 0.0;
+            }
+            for _ in 0..n {
+                let b = set
+                    .next_set_from(cursor)
+                    .expect("set must contain the blocks being counted");
+                self.dst_disk.copy_block_from(&self.src_disk, b);
+                cursor = b + 1;
+            }
+            if n > 0 {
+                self.ledger
+                    .add(cat, n * (bs + 8) + FRAME_OVERHEAD);
+            }
+            sent += n;
+            bytes += n * bs;
+            self.guest_step(dt, w_share);
+        }
+        (sent, bytes, self.now.since(phase_start))
+    }
+
+    /// Transfer every page marked in `set` (memory is network-bound, not
+    /// disk-bound; the guest keeps its full disk share). Returns
+    /// (pages_sent, bytes, duration).
+    fn transfer_mem_set(&mut self, set: &FlatBitmap) -> (u64, u64, SimDuration) {
+        let phase_start = self.now;
+        let total = set.count_ones() as u64;
+        if total == 0 {
+            return (0, 0, SimDuration::ZERO);
+        }
+        let rate = self.cfg.migration_net_rate();
+        let page = 4096u64;
+        let mut sent = 0u64;
+        let mut cursor = 0usize;
+        let mut carry = 0.0f64;
+        while sent < total {
+            let remaining = total - sent;
+            let full_step_pages = rate * self.cfg.step.as_secs_f64() / page as f64;
+            let dt = if full_step_pages + carry >= remaining as f64 {
+                SimDuration::from_secs_f64(((remaining as f64 - carry).max(0.0) * page as f64) / rate)
+            } else {
+                self.cfg.step
+            };
+            let raw = carry + rate * dt.as_secs_f64() / page as f64;
+            let mut n = (raw.floor() as u64).min(remaining);
+            carry = raw - n as f64;
+            if dt == SimDuration::ZERO || (n == 0 && dt < self.cfg.step) {
+                n = remaining;
+                carry = 0.0;
+            }
+            for _ in 0..n {
+                let p = set
+                    .next_set_from(cursor)
+                    .expect("set must contain the pages being counted");
+                self.dst_mem.copy_page_from(&self.src_mem, p);
+                cursor = p + 1;
+            }
+            if n > 0 {
+                self.ledger
+                    .add(Category::Memory, n * (page + 8) + FRAME_OVERHEAD);
+            }
+            sent += n;
+            self.guest_step(dt, self.workload_solo_share());
+        }
+        (sent, total * page, self.now.since(phase_start))
+    }
+
+    /// Execute the three phases. Consumes the engine; the guest ends up
+    /// running on the destination.
+    pub fn run(mut self) -> TpmOutcome {
+        let t_start = self.now;
+        self.tracking = true;
+        let mut disk_iterations: Vec<IterationStats> = Vec::new();
+
+        // ---------------- Phase 1a: iterative disk pre-copy ----------------
+        let mut to_send = match self.initial_to_send.take() {
+            Some(bm) => bm,
+            None => FlatBitmap::all_set(self.cfg.disk_blocks),
+        };
+        if let Some(free) = &self.free_blocks {
+            to_send.subtract(free);
+        }
+        for iter in 1..=self.cfg.max_disk_iterations {
+            let (sent, bytes, duration) = self.transfer_disk_set(&to_send, Category::DiskPrecopy);
+            let dirty = self.tracker.drain();
+            let dirty_count = dirty.count_ones();
+            disk_iterations.push(IterationStats {
+                index: iter,
+                units_sent: sent,
+                bytes,
+                duration_secs: duration.as_secs_f64(),
+                dirty_at_end: dirty_count as u64,
+            });
+            // Stop conditions (§IV-A-1): converged, iteration cap, or a
+            // dirty rate the transfer cannot outrun.
+            let converged = dirty_count <= self.cfg.disk_dirty_threshold;
+            let capped = iter == self.cfg.max_disk_iterations;
+            let diverging = duration > SimDuration::ZERO
+                && sent > 0
+                && (dirty_count as f64 / duration.as_secs_f64())
+                    >= (sent as f64 / duration.as_secs_f64());
+            if converged || capped || diverging {
+                // The final dirty set rides along through the memory phase,
+                // still accumulating, and crosses as the freeze bitmap.
+                self.tracker.merge(&dirty);
+                break;
+            }
+            to_send = dirty;
+        }
+
+        let t_disk_end = self.now;
+
+        // ---------------- Phase 1b: iterative memory pre-copy --------------
+        let mut mem_iterations: Vec<IterationStats> = Vec::new();
+        self.src_mem.drain_dirty(); // everything is sent in pass 1 anyway
+        let mut pages_to_send = FlatBitmap::all_set(self.cfg.mem_pages);
+        let mut remaining_pages = FlatBitmap::new(self.cfg.mem_pages);
+        for iter in 1..=self.cfg.max_mem_iterations {
+            let (sent, bytes, duration) = self.transfer_mem_set(&pages_to_send);
+            let dirty = self.src_mem.drain_dirty();
+            let dirty_count = dirty.count_ones();
+            mem_iterations.push(IterationStats {
+                index: iter,
+                units_sent: sent,
+                bytes,
+                duration_secs: duration.as_secs_f64(),
+                dirty_at_end: dirty_count as u64,
+            });
+            let converged = dirty_count <= self.cfg.mem_dirty_threshold;
+            let capped = iter == self.cfg.max_mem_iterations;
+            let diverging = duration > SimDuration::ZERO
+                && sent > 0
+                && (dirty_count as f64) >= sent as f64;
+            if converged || capped || diverging {
+                remaining_pages = dirty;
+                break;
+            }
+            pages_to_send = dirty;
+        }
+
+        // ---------------- Phase 2: freeze-and-copy -------------------------
+        self.domain.suspend().expect("guest was running");
+        let t_suspend = self.now;
+        self.probe.record(t_suspend, 0.0);
+        let final_bitmap = self.tracker.drain();
+        let bitmap_encoded_len = ser::encoded_len(&final_bitmap) as u64;
+        let page = 4096u64;
+        let rem_count = remaining_pages.count_ones() as u64;
+        let down_bytes = rem_count * (page + 8)
+            + self.cpu.size_bytes() as u64
+            + bitmap_encoded_len
+            + 3 * FRAME_OVERHEAD;
+        self.ledger
+            .add(Category::Memory, rem_count * (page + 8) + FRAME_OVERHEAD);
+        self.ledger
+            .add(Category::Cpu, self.cpu.size_bytes() as u64 + FRAME_OVERHEAD);
+        self.ledger
+            .add(Category::Bitmap, bitmap_encoded_len + FRAME_OVERHEAD);
+        for p in remaining_pages.iter_set() {
+            self.dst_mem.copy_page_from(&self.src_mem, p);
+        }
+        let dst_cpu = self.cpu.clone();
+        let rate = self.cfg.migration_net_rate();
+        let downtime = self.cfg.suspend_overhead
+            + SimDuration::from_secs_f64(down_bytes as f64 / rate)
+            + self.cfg.link.latency()
+            + self.cfg.resume_overhead;
+        self.now += downtime;
+        self.probe.record(self.now, 0.0);
+
+        // Memory and CPU must now be exactly synchronized.
+        let mem_consistent = self.src_mem.content_equals(&self.dst_mem);
+        let cpu_consistent = dst_cpu.checksum() == self.cpu.checksum();
+
+        self.domain.resume().expect("guest was suspended");
+        let t_resume = self.now;
+
+        // ---------------- Phase 3: push-and-pull post-copy -----------------
+        let mut im_tracker = DirtyTracker::new(self.cfg.bitmap, self.cfg.disk_blocks);
+        let (w_share_dst, push_share) = seek_aware_share(
+            self.cfg.disk_capacity,
+            self.cfg.seek_penalty,
+            self.workload.disk_demand(),
+            self.cfg.disk_stream_demand(),
+        );
+        let pc_cfg = PostCopyConfig {
+            block_size: self.cfg.block_size,
+            push_rate: push_share.max(1.0),
+            workload_share: w_share_dst,
+            latency: self.cfg.link.latency(),
+            push_batch: 32,
+            slice: SimDuration::from_millis(20),
+            horizon: self.cfg.postcopy_horizon,
+            push_enabled: true,
+        };
+        let outcome = run_postcopy(
+            pc_cfg,
+            t_resume,
+            &self.src_disk,
+            &mut self.dst_disk,
+            final_bitmap.clone(),
+            final_bitmap,
+            &mut im_tracker,
+            self.workload.as_mut(),
+            &mut self.rng,
+            &mut self.ledger,
+            &mut self.probe,
+        );
+        self.now = outcome.finished_at + self.cfg.postcopy_fixed_overhead;
+        let mut pc_stats = outcome.stats;
+        pc_stats.duration_secs += self.cfg.postcopy_fixed_overhead.as_secs_f64();
+
+        // ---------------- Verification & report ----------------------------
+        // Every difference between source and destination must be a block
+        // the guest wrote after resuming.
+        let im_snapshot = match &im_tracker {
+            DirtyTracker::Flat(b) => b.clone(),
+            DirtyTracker::Layered(b) => b.to_flat(),
+        };
+        let disk_consistent = self
+            .src_disk
+            .diff_blocks(&self.dst_disk)
+            .into_iter()
+            .all(|b| {
+                im_snapshot.get(b)
+                    || self
+                        .free_blocks
+                        .as_ref()
+                        .is_some_and(|f| f.get(b))
+            });
+        let total_time = self.now.since(t_start);
+        let downtime_ms = downtime.as_millis_f64();
+
+        let baseline = self.workload.client_throughput(self.workload_solo_share());
+        let disruption = self.probe.disruption_time(baseline, 0.10);
+
+        let report = MigrationReport {
+            scheme: self.scheme.into(),
+            workload: self.workload.name().into(),
+            total_time_secs: total_time.as_secs_f64(),
+            downtime_ms,
+            disruption_secs: disruption.as_secs_f64(),
+            ledger: self.ledger.clone(),
+            disk_iterations,
+            mem_iterations,
+            phases: PhaseTimings {
+                disk_precopy_secs: t_disk_end.since(t_start).as_secs_f64(),
+                mem_precopy_secs: t_suspend.since(t_disk_end).as_secs_f64(),
+                freeze_secs: downtime.as_secs_f64(),
+                postcopy_secs: pc_stats.duration_secs,
+            },
+            postcopy: pc_stats.clone(),
+            timeline: self.probe.samples().to_vec(),
+            io_blocked_secs: 0.0,
+            residual_blocks: outcome.residual_blocks,
+            redundant_deltas: 0,
+            consistent: disk_consistent && mem_consistent && cpu_consistent,
+        };
+
+        TpmOutcome {
+            report,
+            src_disk: self.src_disk,
+            dst_disk: self.dst_disk,
+            dst_mem: self.dst_mem,
+            im_tracker,
+            workload: self.workload,
+            rng: self.rng,
+            probe: self.probe,
+            end_time: self.now,
+            kind: self.kind,
+        }
+    }
+}
+
+/// Run a primary TPM migration under `cfg` with the given workload.
+pub fn run_tpm(cfg: MigrationConfig, kind: WorkloadKind) -> TpmOutcome {
+    TpmEngine::new(cfg, kind).run()
+}
+
+/// Let the guest run on the destination for `duration` after a migration,
+/// with the IM tracker recording every write — the maintenance window /
+/// telecommute workday between the primary migration and the migration
+/// back.
+pub fn dwell(outcome: &mut TpmOutcome, cfg: &MigrationConfig, duration: SimDuration) {
+    let mut now = outcome.end_time;
+    let end = now + duration;
+    while now < end {
+        let dt = cfg.step.min(end.since(now));
+        let share = outcome.workload.disk_demand().min(cfg.disk_capacity);
+        let ops = outcome.workload.ops_for(dt, share, &mut outcome.rng);
+        for op in ops {
+            if let OpKind::Write { block } = op.kind {
+                outcome.dst_disk.write(block as usize);
+                outcome.im_tracker.set(block as usize);
+            }
+        }
+        outcome
+            .probe
+            .record(now + dt, outcome.workload.client_throughput(share));
+        now += dt;
+    }
+    outcome.end_time = end;
+}
+
+/// Migrate back to the original source using Incremental Migration: the
+/// first pre-copy iteration transfers only the blocks dirtied since the
+/// primary migration (§V).
+pub fn run_im(cfg: MigrationConfig, prev: TpmOutcome) -> TpmOutcome {
+    cfg.validate();
+    assert_eq!(
+        prev.dst_disk.num_blocks(),
+        cfg.disk_blocks,
+        "IM must use the same disk geometry as the primary migration"
+    );
+    let mut engine = TpmEngine::new(cfg.clone(), prev.kind);
+    // Migrating back: the old destination is the new source; the retired
+    // original source still holds its stale image.
+    engine.src_disk = prev.dst_disk;
+    engine.dst_disk = prev.src_disk;
+    engine.src_mem = prev.dst_mem;
+    engine.dst_mem = GuestMemory::new(4096, cfg.mem_pages);
+    engine.workload = prev.workload;
+    engine.rng = prev.rng;
+    engine.probe = prev.probe;
+    engine.now = prev.end_time;
+    engine.kind = prev.kind;
+    engine.scheme = "im";
+    // "We check if the bitmap exists before the first iteration. If it
+    // does, only the blocks marked dirty in the block-bitmap need to be
+    // migrated."
+    let mut im_tracker = prev.im_tracker;
+    engine.initial_to_send = Some(im_tracker.drain());
+    engine.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> MigrationConfig {
+        MigrationConfig::small()
+    }
+
+    #[test]
+    fn idle_guest_migrates_consistently() {
+        let out = run_tpm(small_cfg(), WorkloadKind::Idle);
+        let r = &out.report;
+        assert!(r.consistent, "migration must be consistent");
+        // Idle guest: one disk iteration, nothing dirty, nothing pushed.
+        assert_eq!(r.disk_iterations.len(), 1);
+        assert_eq!(r.disk_iterations[0].units_sent, 65_536);
+        assert_eq!(r.postcopy.remaining_at_resume, 0);
+        assert_eq!(r.residual_blocks, 0);
+        // All blocks crossed exactly once (plus headers).
+        let disk_bytes = r.ledger.get(simnet::proto::Category::DiskPrecopy);
+        assert!(disk_bytes >= 65_536 * 4096);
+        assert!(disk_bytes < 65_536 * 4096 * 102 / 100);
+    }
+
+    #[test]
+    fn downtime_is_milliseconds_not_seconds() {
+        let out = run_tpm(small_cfg(), WorkloadKind::Idle);
+        assert!(
+            out.report.downtime_ms < 1_000.0,
+            "downtime {} ms",
+            out.report.downtime_ms
+        );
+        assert!(out.report.downtime_ms > 1.0);
+    }
+
+    #[test]
+    fn web_guest_converges_and_stays_consistent() {
+        let mut cfg = small_cfg();
+        cfg.disk_blocks = 2 * 1024 * 1024; // 8 GiB: room for the regions
+        let out = run_tpm(cfg, WorkloadKind::Web);
+        let r = &out.report;
+        assert!(r.consistent);
+        assert!(r.disk_iterations.len() >= 2, "writes must force iterations");
+        // Iterations shrink geometrically.
+        let first = r.disk_iterations[0].units_sent;
+        let second = r.disk_iterations[1].units_sent;
+        assert!(second < first / 10, "second iteration {second} vs {first}");
+        assert!(r.downtime_ms < 500.0);
+    }
+
+    #[test]
+    fn im_moves_far_less_data_than_tpm() {
+        let mut cfg = small_cfg();
+        cfg.disk_blocks = 2 * 1024 * 1024;
+        let mut out = run_tpm(cfg.clone(), WorkloadKind::Web);
+        let tpm_mb = out.report.migrated_mb();
+        let tpm_time = out.report.total_time_secs;
+        dwell(&mut out, &cfg, SimDuration::from_secs(30));
+        let back = run_im(cfg, out);
+        assert!(back.report.consistent, "IM must be consistent");
+        assert_eq!(back.report.scheme, "im");
+        let im_mb = back.report.migrated_mb();
+        assert!(
+            im_mb * 20.0 < tpm_mb,
+            "IM moved {im_mb} MB vs TPM {tpm_mb} MB"
+        );
+        assert!(back.report.total_time_secs * 5.0 < tpm_time);
+    }
+
+    #[test]
+    fn rate_limit_stretches_migration() {
+        let cfg = small_cfg();
+        let limited = MigrationConfig {
+            rate_limit: Some(10.0 * 1024.0 * 1024.0),
+            ..cfg.clone()
+        };
+        let fast = run_tpm(cfg, WorkloadKind::Idle);
+        let slow = run_tpm(limited, WorkloadKind::Idle);
+        assert!(
+            slow.report.total_time_secs > fast.report.total_time_secs * 2.0,
+            "limited {} vs unlimited {}",
+            slow.report.total_time_secs,
+            fast.report.total_time_secs
+        );
+    }
+
+    #[test]
+    fn layered_bitmap_produces_identical_migration() {
+        let cfg_flat = small_cfg();
+        let cfg_layered = MigrationConfig {
+            bitmap: crate::BitmapKind::Layered,
+            ..small_cfg()
+        };
+        let a = run_tpm(cfg_flat, WorkloadKind::Web);
+        let b = run_tpm(cfg_layered, WorkloadKind::Web);
+        assert_eq!(a.report.ledger, b.report.ledger);
+        assert_eq!(
+            a.report.total_time_secs.to_bits(),
+            b.report.total_time_secs.to_bits()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_tpm(small_cfg(), WorkloadKind::Web);
+        let b = run_tpm(small_cfg(), WorkloadKind::Web);
+        assert_eq!(a.report.ledger, b.report.ledger);
+        assert_eq!(a.report.downtime_ms.to_bits(), b.report.downtime_ms.to_bits());
+        let c = run_tpm(
+            MigrationConfig {
+                seed: 999,
+                ..small_cfg()
+            },
+            WorkloadKind::Web,
+        );
+        assert_ne!(a.report.ledger, c.report.ledger);
+    }
+
+    #[test]
+    fn warmup_extends_timeline_without_migrating() {
+        let mut engine = TpmEngine::new(small_cfg(), WorkloadKind::Web);
+        engine.warmup(SimDuration::from_secs(10));
+        assert_eq!(engine.now(), SimTime::from_nanos(10_000_000_000));
+        let out = engine.run();
+        assert!(out.report.consistent);
+        // Timeline includes the warmup samples.
+        assert!(out.report.timeline.first().expect("samples").t_secs <= 1.0);
+    }
+}

@@ -1,0 +1,350 @@
+//! §VII future-work extensions, implemented.
+//!
+//! The paper's conclusion sketches three improvements; this module builds
+//! all of them on top of the TPM engine:
+//!
+//! * **Guest-assisted sparse migration** — "If the Guest OS … can take
+//!   part in and tell the migration process which part is not used, the
+//!   amount of migrated data can be reduced further."
+//!   ([`TpmEngine::set_free_blocks`], exercised by
+//!   [`run_sparse_migration`]).
+//! * **Template-based migration** — "Another approach is to track all the
+//!   writes since the Guest OS installation… Only these dirty blocks need
+//!   to be transferred to a VM using the same OS image."
+//!   ([`run_template_migration`]).
+//! * **Multi-site version maintenance** — "The future work will focus on
+//!   local disk storage version maintenance to facilitate IM to decrease
+//!   the total migration time of a VM migrated among any recently used
+//!   physical machines." ([`MultiSiteVm`]).
+
+use block_bitmap::{DirtyMap, FlatBitmap};
+use des::{SimDuration, SimRng};
+use vdisk::MetaDisk;
+use workloads::{OpKind, WorkloadKind};
+
+use crate::sim::engine::{TpmEngine, TpmOutcome};
+use crate::MigrationConfig;
+
+/// Run a primary migration where the guest has declared `free` blocks
+/// unused: the first pass skips them entirely.
+pub fn run_sparse_migration(
+    cfg: MigrationConfig,
+    kind: WorkloadKind,
+    free: FlatBitmap,
+) -> TpmOutcome {
+    let mut engine = TpmEngine::new(cfg, kind);
+    engine.set_free_blocks(free);
+    engine.run()
+}
+
+/// Run a template-based migration: the destination already holds the
+/// guest's installation image, and `dirty_since_install` marks every
+/// block written since the OS was installed (tracked by a block-bitmap
+/// left running from installation time, per §VII). Only those blocks —
+/// not the whole disk — cross in the first pass.
+pub fn run_template_migration(
+    cfg: MigrationConfig,
+    kind: WorkloadKind,
+    dirty_since_install: FlatBitmap,
+) -> TpmOutcome {
+    assert_eq!(
+        dirty_since_install.len(),
+        cfg.disk_blocks,
+        "install bitmap must cover the whole disk"
+    );
+    let mut engine = TpmEngine::new(cfg, kind);
+    // Share the installation image: the destination's copy matches the
+    // source everywhere the guest has not written since install…
+    engine.dst_disk = engine.src_disk.clone();
+    // …and the source has since diverged on exactly the tracked blocks.
+    for b in dirty_since_install.iter_set() {
+        engine.src_disk.write(b);
+    }
+    engine.initial_to_send = Some(dirty_since_install);
+    engine.scheme = "template";
+    engine.run()
+}
+
+/// One machine participating in multi-site migration: it remembers the
+/// disk image it held when the VM last left it.
+struct SiteState {
+    name: String,
+    /// The site's local copy; `None` until the VM has visited once.
+    disk: Option<MetaDisk>,
+}
+
+/// A VM that hops among several physical machines, with per-site storage
+/// version maintenance so every hop is incremental (§VII future work).
+///
+/// Each site keeps the disk image from the VM's last departure. Migrating
+/// to a site transfers exactly the blocks that changed since — computed
+/// by diffing generation vectors, the version-maintenance mechanism the
+/// paper leaves for future work. A never-visited site receives a full
+/// copy (the all-set bitmap of §V).
+pub struct MultiSiteVm {
+    cfg: MigrationConfig,
+    kind: WorkloadKind,
+    /// State carried between hops (live disk, workload, rng, probe…).
+    outcome: Option<TpmOutcome>,
+    sites: Vec<SiteState>,
+    current: usize,
+}
+
+impl MultiSiteVm {
+    /// Create the VM, initially running at `sites[0]`.
+    ///
+    /// # Panics
+    /// Panics with fewer than two sites.
+    pub fn new(cfg: MigrationConfig, kind: WorkloadKind, sites: &[&str]) -> Self {
+        assert!(sites.len() >= 2, "multi-site migration needs >= 2 sites");
+        cfg.validate();
+        Self {
+            cfg,
+            kind,
+            outcome: None,
+            sites: sites
+                .iter()
+                .map(|s| SiteState {
+                    name: s.to_string(),
+                    disk: None,
+                })
+                .collect(),
+            current: 0,
+        }
+    }
+
+    /// Name of the site currently hosting the VM.
+    pub fn current_site(&self) -> &str {
+        &self.sites[self.current].name
+    }
+
+    /// Let the guest run at the current site for `duration`.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        if let Some(outcome) = &mut self.outcome {
+            crate::sim::engine::dwell(outcome, &self.cfg, duration);
+        } else {
+            // Before the first migration the engine does not exist yet;
+            // model the pre-history by aging a fresh engine on site 0.
+            // (The first migrate_to() constructs it.)
+        }
+    }
+
+    /// Migrate the VM to `site`. Returns the migration report.
+    ///
+    /// # Panics
+    /// Panics for an unknown site or a migration to the current site.
+    pub fn migrate_to(&mut self, site: &str) -> crate::MigrationReport {
+        let target = self
+            .sites
+            .iter()
+            .position(|s| s.name == site)
+            .unwrap_or_else(|| panic!("unknown site '{site}'"));
+        assert_ne!(target, self.current, "VM is already at {site}");
+
+        let outcome = match self.outcome.take() {
+            None => {
+                // First hop ever: full TPM from the origin site.
+                let engine = TpmEngine::new(self.cfg.clone(), self.kind);
+                let out = engine.run();
+                self.sites[self.current].disk = Some(out.src_disk.clone());
+                out
+            }
+            Some(prev) => {
+                // Version maintenance: diff the live image against the
+                // target site's remembered copy.
+                let live = &prev.dst_disk;
+                let to_send = match &self.sites[target].disk {
+                    Some(stale) => {
+                        let mut bm = FlatBitmap::new(self.cfg.disk_blocks);
+                        for b in live.diff_blocks(stale) {
+                            bm.set(b);
+                        }
+                        bm
+                    }
+                    // Never visited: "an all-set block-bitmap is
+                    // generated" (§V).
+                    None => FlatBitmap::all_set(self.cfg.disk_blocks),
+                };
+                let mut engine = TpmEngine::new(self.cfg.clone(), self.kind);
+                engine.src_disk = prev.dst_disk;
+                engine.dst_disk = self.sites[target]
+                    .disk
+                    .take()
+                    .unwrap_or_else(|| MetaDisk::new(self.cfg.disk_blocks));
+                engine.src_mem = prev.dst_mem;
+                engine.workload = prev.workload;
+                engine.rng = prev.rng;
+                engine.probe = prev.probe;
+                engine.now = prev.end_time;
+                engine.initial_to_send = Some(to_send);
+                engine.scheme = "multisite-im";
+                let out = engine.run();
+                // The departed site keeps the image as of this departure.
+                self.sites[self.current].disk = Some(out.src_disk.clone());
+                out
+            }
+        };
+        let report = outcome.report.clone();
+        assert!(report.consistent, "multi-site hop must stay consistent");
+        self.outcome = Some(outcome);
+        self.current = target;
+        report
+    }
+}
+
+/// Build a plausible guest-declared free-block map: everything outside
+/// the workload's active regions plus a filesystem-metadata reserve. Used
+/// by the sparse-migration experiment and tests.
+pub fn synthetic_free_map(cfg: &MigrationConfig, used_fraction: f64, seed: u64) -> FlatBitmap {
+    assert!((0.0..=1.0).contains(&used_fraction), "fraction in [0,1]");
+    let mut free = FlatBitmap::all_set(cfg.disk_blocks);
+    let mut rng = SimRng::new(seed);
+    let used = (cfg.disk_blocks as f64 * used_fraction) as usize;
+    // The used set: a few large extents (files) plus scattered metadata.
+    let mut marked = 0usize;
+    while marked < used {
+        let extent = (rng.below(4096) + 64) as usize;
+        let extent = extent.min(used - marked);
+        let start = rng.below((cfg.disk_blocks - extent) as u64) as usize;
+        for b in start..start + extent {
+            if free.clear(b) {
+                marked += 1;
+            }
+        }
+    }
+    free
+}
+
+/// Convenience: mark the blocks a workload will touch as used so sparse
+/// migration cannot skip them. Runs the generator briefly and clears its
+/// blocks from `free`.
+pub fn reserve_workload_blocks(
+    free: &mut FlatBitmap,
+    kind: WorkloadKind,
+    cfg: &MigrationConfig,
+    probe_secs: u64,
+) {
+    let mut w = kind.build(cfg.disk_blocks as u64);
+    let mut rng = SimRng::new(cfg.seed ^ 0xF0F0);
+    for _ in 0..probe_secs * 2 {
+        let demand = w.disk_demand();
+        for op in w.ops_for(SimDuration::from_millis(500), demand, &mut rng) {
+            let (OpKind::Write { block } | OpKind::Read { block }) = op.kind;
+            free.clear(block as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::proto::Category;
+
+    fn cfg() -> MigrationConfig {
+        MigrationConfig::small()
+    }
+
+    #[test]
+    fn sparse_migration_skips_free_blocks() {
+        let c = cfg();
+        // Guest uses 30% of the disk; idle workload so the free map stays
+        // authoritative.
+        let free = synthetic_free_map(&c, 0.3, 9);
+        let free_count = free.count_ones();
+        let full = crate::sim::run_tpm(c.clone(), WorkloadKind::Idle).report;
+        let sparse = run_sparse_migration(c.clone(), WorkloadKind::Idle, free).report;
+        assert!(sparse.consistent);
+        assert_eq!(
+            sparse.disk_iterations[0].units_sent as usize,
+            c.disk_blocks - free_count
+        );
+        assert!(
+            sparse.ledger.disk_total() < full.ledger.disk_total() * 75 / 100,
+            "sparse {} vs full {}",
+            sparse.ledger.disk_total(),
+            full.ledger.disk_total()
+        );
+        assert!(sparse.total_time_secs < full.total_time_secs * 0.75);
+    }
+
+    #[test]
+    fn sparse_migration_with_live_writes_stays_consistent() {
+        let c = cfg();
+        let mut free = synthetic_free_map(&c, 0.2, 11);
+        // The web workload writes into its own regions; they must be
+        // reserved (a real guest would never declare live file blocks
+        // free).
+        reserve_workload_blocks(&mut free, WorkloadKind::Web, &c, 600);
+        let out = run_sparse_migration(c, WorkloadKind::Web, free);
+        assert!(out.report.consistent);
+    }
+
+    #[test]
+    fn template_migration_moves_only_divergence() {
+        let c = cfg();
+        let mut since_install = FlatBitmap::new(c.disk_blocks);
+        for b in (0..c.disk_blocks).step_by(37) {
+            since_install.set(b);
+        }
+        let divergent = since_install.count_ones();
+        let out = run_template_migration(c.clone(), WorkloadKind::Idle, since_install);
+        assert!(out.report.consistent);
+        assert_eq!(out.report.scheme, "template");
+        assert_eq!(out.report.disk_iterations[0].units_sent as usize, divergent);
+        // Far less than the whole disk crossed.
+        assert!(
+            out.report.ledger.get(Category::DiskPrecopy)
+                < c.disk_bytes() / 10
+        );
+    }
+
+    #[test]
+    fn multisite_hops_are_incremental_after_first_visit() {
+        let c = cfg();
+        let mut vm = MultiSiteVm::new(c.clone(), WorkloadKind::Web, &["alpha", "beta", "gamma"]);
+        assert_eq!(vm.current_site(), "alpha");
+
+        // First hop: full copy.
+        let r1 = vm.migrate_to("beta");
+        assert_eq!(vm.current_site(), "beta");
+        let full_blocks = r1.disk_iterations[0].units_sent;
+        assert_eq!(full_blocks as usize, c.disk_blocks);
+
+        // gamma never visited: full copy again.
+        vm.run_for(SimDuration::from_secs(10));
+        let r2 = vm.migrate_to("gamma");
+        assert_eq!(r2.disk_iterations[0].units_sent as usize, c.disk_blocks);
+
+        // Back to alpha (visited at departure time): incremental.
+        vm.run_for(SimDuration::from_secs(10));
+        let r3 = vm.migrate_to("alpha");
+        assert!(
+            r3.disk_iterations[0].units_sent * 10 < full_blocks,
+            "hop to a visited site must be incremental ({} blocks)",
+            r3.disk_iterations[0].units_sent
+        );
+
+        // And back to beta: also incremental.
+        vm.run_for(SimDuration::from_secs(10));
+        let r4 = vm.migrate_to("beta");
+        assert!(r4.disk_iterations[0].units_sent * 10 < full_blocks);
+        assert_eq!(r4.scheme, "multisite-im");
+    }
+
+    #[test]
+    #[should_panic(expected = "already at")]
+    fn migrating_to_current_site_rejected() {
+        let mut vm = MultiSiteVm::new(cfg(), WorkloadKind::Idle, &["a", "b"]);
+        vm.migrate_to("b");
+        vm.migrate_to("b");
+    }
+
+    #[test]
+    fn synthetic_free_map_hits_requested_fraction() {
+        let c = cfg();
+        let free = synthetic_free_map(&c, 0.4, 3);
+        let used = c.disk_blocks - free.count_ones();
+        let frac = used as f64 / c.disk_blocks as f64;
+        assert!((0.38..0.42).contains(&frac), "used fraction {frac}");
+    }
+}

@@ -1,0 +1,393 @@
+//! Binary wire codec for [`MigMessage`].
+//!
+//! The in-process transports pass messages by value; crossing a real
+//! socket needs bytes. The encoding is a simple tagged binary format with
+//! length-prefixed framing ([`write_frame`] / [`read_frame`]) — little
+//! endian throughout, payloads inline.
+
+use std::io::{Read, Write};
+
+use bytes::Bytes;
+
+use crate::proto::MigMessage;
+
+/// Maximum accepted frame size (guards against corrupt length prefixes):
+/// generous enough for a 4096-block batch of 4 KiB blocks.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Errors from decoding a wire frame.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Frame shorter than its own header, unknown tag, or bad lengths.
+    Malformed(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Malformed(m) => write!(f, "malformed frame: {m}"),
+            Self::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+const T_PREPARE: u8 = 1;
+const T_PREPARE_ACK: u8 = 2;
+const T_DISK_BLOCKS: u8 = 3;
+const T_MEM_PAGES: u8 = 4;
+const T_CPU: u8 = 5;
+const T_BITMAP: u8 = 6;
+const T_SUSPENDED: u8 = 7;
+const T_RESUMED: u8 = 8;
+const T_PULL: u8 = 9;
+const T_PC_BLOCK: u8 = 10;
+const T_PUSH_COMPLETE: u8 = 11;
+const T_COMPLETE: u8 = 12;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+    fn u64s(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for x in v {
+            self.u64(*x);
+        }
+    }
+    fn opt_bytes(&mut self, b: &Option<Bytes>) {
+        match b {
+            Some(b) => {
+                self.u8(1);
+                self.bytes(b);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::Malformed(format!(
+                "need {n} bytes at offset {}, frame is {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn bytes(&mut self) -> Result<Bytes, CodecError> {
+        let n = self.u64()? as usize;
+        if n > MAX_FRAME as usize {
+            return Err(CodecError::Malformed(format!("byte run of {n}")));
+        }
+        Ok(Bytes::copy_from_slice(self.take(n)?))
+    }
+    fn u64s(&mut self) -> Result<Vec<u64>, CodecError> {
+        let n = self.u64()? as usize;
+        if n > MAX_FRAME as usize / 8 {
+            return Err(CodecError::Malformed(format!("u64 run of {n}")));
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+    fn opt_bytes(&mut self) -> Result<Option<Bytes>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.bytes()?)),
+            other => Err(CodecError::Malformed(format!("option tag {other}"))),
+        }
+    }
+    fn finish(self) -> Result<(), CodecError> {
+        if self.pos != self.buf.len() {
+            return Err(CodecError::Malformed(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Encode a message to its wire bytes (without the outer length prefix).
+pub fn encode(msg: &MigMessage) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    match msg {
+        MigMessage::PrepareVbd {
+            block_size,
+            num_blocks,
+        } => {
+            w.u8(T_PREPARE);
+            w.u32(*block_size);
+            w.u64(*num_blocks);
+        }
+        MigMessage::PrepareAck => w.u8(T_PREPARE_ACK),
+        MigMessage::DiskBlocks {
+            blocks,
+            payload_len,
+            payload,
+        } => {
+            w.u8(T_DISK_BLOCKS);
+            w.u64s(blocks);
+            w.u64(*payload_len);
+            w.opt_bytes(payload);
+        }
+        MigMessage::MemPages {
+            pages,
+            payload_len,
+            payload,
+        } => {
+            w.u8(T_MEM_PAGES);
+            w.u64s(pages);
+            w.u64(*payload_len);
+            w.opt_bytes(payload);
+        }
+        MigMessage::CpuState {
+            payload_len,
+            payload,
+        } => {
+            w.u8(T_CPU);
+            w.u64(*payload_len);
+            w.opt_bytes(payload);
+        }
+        MigMessage::Bitmap { encoded } => {
+            w.u8(T_BITMAP);
+            w.bytes(encoded);
+        }
+        MigMessage::Suspended => w.u8(T_SUSPENDED),
+        MigMessage::Resumed => w.u8(T_RESUMED),
+        MigMessage::PullRequest { block } => {
+            w.u8(T_PULL);
+            w.u64(*block);
+        }
+        MigMessage::PostCopyBlock {
+            block,
+            pulled,
+            payload_len,
+            payload,
+        } => {
+            w.u8(T_PC_BLOCK);
+            w.u64(*block);
+            w.u8(u8::from(*pulled));
+            w.u64(*payload_len);
+            w.opt_bytes(payload);
+        }
+        MigMessage::PushComplete => w.u8(T_PUSH_COMPLETE),
+        MigMessage::MigrationComplete => w.u8(T_COMPLETE),
+    }
+    w.buf
+}
+
+/// Decode a message from its wire bytes.
+pub fn decode(buf: &[u8]) -> Result<MigMessage, CodecError> {
+    let mut r = Reader { buf, pos: 0 };
+    let msg = match r.u8()? {
+        T_PREPARE => MigMessage::PrepareVbd {
+            block_size: r.u32()?,
+            num_blocks: r.u64()?,
+        },
+        T_PREPARE_ACK => MigMessage::PrepareAck,
+        T_DISK_BLOCKS => MigMessage::DiskBlocks {
+            blocks: r.u64s()?,
+            payload_len: r.u64()?,
+            payload: r.opt_bytes()?,
+        },
+        T_MEM_PAGES => MigMessage::MemPages {
+            pages: r.u64s()?,
+            payload_len: r.u64()?,
+            payload: r.opt_bytes()?,
+        },
+        T_CPU => MigMessage::CpuState {
+            payload_len: r.u64()?,
+            payload: r.opt_bytes()?,
+        },
+        T_BITMAP => MigMessage::Bitmap {
+            encoded: r.bytes()?,
+        },
+        T_SUSPENDED => MigMessage::Suspended,
+        T_RESUMED => MigMessage::Resumed,
+        T_PULL => MigMessage::PullRequest { block: r.u64()? },
+        T_PC_BLOCK => MigMessage::PostCopyBlock {
+            block: r.u64()?,
+            pulled: match r.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(CodecError::Malformed(format!("bool tag {other}")));
+                }
+            },
+            payload_len: r.u64()?,
+            payload: r.opt_bytes()?,
+        },
+        T_PUSH_COMPLETE => MigMessage::PushComplete,
+        T_COMPLETE => MigMessage::MigrationComplete,
+        other => return Err(CodecError::Malformed(format!("unknown tag {other}"))),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+/// Write one length-prefixed frame to a stream.
+pub fn write_frame(w: &mut impl Write, msg: &MigMessage) -> Result<(), CodecError> {
+    let body = encode(msg);
+    assert!(body.len() <= MAX_FRAME as usize, "frame too large");
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame from a stream.
+pub fn read_frame(r: &mut impl Read) -> Result<MigMessage, CodecError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(CodecError::Malformed(format!("frame length {len}")));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    decode(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<MigMessage> {
+        vec![
+            MigMessage::PrepareVbd {
+                block_size: 4096,
+                num_blocks: 1 << 20,
+            },
+            MigMessage::PrepareAck,
+            MigMessage::DiskBlocks {
+                blocks: vec![1, 5, 9],
+                payload_len: 3 * 4096,
+                payload: Some(Bytes::from(vec![7u8; 3 * 4096])),
+            },
+            MigMessage::DiskBlocks {
+                blocks: vec![],
+                payload_len: 0,
+                payload: None,
+            },
+            MigMessage::MemPages {
+                pages: vec![42],
+                payload_len: 4096,
+                payload: None,
+            },
+            MigMessage::CpuState {
+                payload_len: 8192,
+                payload: Some(Bytes::from(vec![1u8; 16])),
+            },
+            MigMessage::Bitmap {
+                encoded: Bytes::from(vec![0u8; 17]),
+            },
+            MigMessage::Suspended,
+            MigMessage::Resumed,
+            MigMessage::PullRequest { block: 12345 },
+            MigMessage::PostCopyBlock {
+                block: 77,
+                pulled: true,
+                payload_len: 512,
+                payload: Some(Bytes::from(vec![3u8; 512])),
+            },
+            MigMessage::PushComplete,
+            MigMessage::MigrationComplete,
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for msg in all_messages() {
+            let enc = encode(&msg);
+            let back = decode(&enc).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn framing_roundtrips_over_a_stream() {
+        let mut wire = Vec::new();
+        for msg in all_messages() {
+            write_frame(&mut wire, &msg).expect("write");
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for expected in all_messages() {
+            let got = read_frame(&mut cursor).expect("read");
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[99]).is_err());
+        // Truncated DiskBlocks.
+        let enc = encode(&MigMessage::PullRequest { block: 1 });
+        assert!(decode(&enc[..enc.len() - 1]).is_err());
+        // Trailing junk.
+        let mut enc = encode(&MigMessage::Suspended);
+        enc.push(0);
+        assert!(decode(&enc).is_err());
+        // Bad option tag.
+        let mut enc = encode(&MigMessage::CpuState {
+            payload_len: 1,
+            payload: None,
+        });
+        let n = enc.len();
+        enc[n - 1] = 9;
+        assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn read_frame_rejects_oversized_length() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        wire.extend_from_slice(&[0; 8]);
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,277 @@
+//! Live-mode transport: duplex message channels between two host threads.
+//!
+//! Live (threaded) migration runs the source and destination protocol
+//! engines on real threads; this module gives them a duplex link built on
+//! crossbeam channels, with the same per-category byte accounting as the
+//! simulated link and an optional wall-clock rate limiter for the §VI-C-3
+//! throttling experiments.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+use crate::proto::{MigMessage, TransferLedger};
+
+/// Errors surfaced by [`Endpoint`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer endpoint was dropped.
+    Disconnected,
+    /// No message arrived within the timeout.
+    Timeout,
+    /// No message is currently queued (non-blocking receive).
+    Empty,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Disconnected => write!(f, "peer endpoint disconnected"),
+            Self::Timeout => write!(f, "receive timed out"),
+            Self::Empty => write!(f, "no message queued"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Wall-clock token bucket used to pace live-mode sends.
+#[derive(Debug)]
+pub(crate) struct WallLimiter {
+    rate: f64,
+    tokens: f64,
+    burst: f64,
+    last: Instant,
+}
+
+impl WallLimiter {
+    pub(crate) fn new(rate: f64) -> Self {
+        // One tenth of a second of burst keeps pacing smooth without
+        // letting large sends bypass the limit.
+        let burst = (rate * 0.1).max(1.0);
+        Self {
+            rate,
+            tokens: burst,
+            burst,
+            last: Instant::now(),
+        }
+    }
+
+    /// Block until `bytes` may pass.
+    pub(crate) fn acquire(&mut self, bytes: u64) {
+        let now = Instant::now();
+        self.tokens = (self.tokens + now.duration_since(self.last).as_secs_f64() * self.rate)
+            .min(self.burst);
+        self.last = now;
+        self.tokens -= bytes as f64;
+        if self.tokens < 0.0 {
+            let wait = Duration::from_secs_f64(-self.tokens / self.rate);
+            std::thread::sleep(wait);
+            self.last = Instant::now();
+            self.tokens = 0.0;
+        }
+    }
+}
+
+/// A duplex migration message channel: the interface both the in-process
+/// ([`Endpoint`]) and TCP ([`crate::tcp::TcpTransport`]) links implement,
+/// so protocol engines are transport-agnostic.
+pub trait Transport: Send {
+    /// Send a message (blocking for pacing when rate-limited).
+    fn send(&self, msg: MigMessage) -> Result<(), TransportError>;
+
+    /// Blocking receive.
+    fn recv(&self) -> Result<MigMessage, TransportError>;
+
+    /// Receive with a wall-clock timeout.
+    fn recv_timeout(&self, timeout: Duration) -> Result<MigMessage, TransportError>;
+
+    /// Non-blocking receive.
+    fn try_recv(&self) -> Result<MigMessage, TransportError>;
+
+    /// Snapshot of bytes sent from this side, by category.
+    fn sent_ledger(&self) -> TransferLedger;
+}
+
+/// One side of a duplex migration link.
+pub struct Endpoint {
+    tx: Sender<MigMessage>,
+    rx: Receiver<MigMessage>,
+    sent: Arc<Mutex<TransferLedger>>,
+    limiter: Option<Mutex<WallLimiter>>,
+}
+
+/// Create a connected pair of endpoints.
+pub fn duplex() -> (Endpoint, Endpoint) {
+    let (a_tx, b_rx) = unbounded();
+    let (b_tx, a_rx) = unbounded();
+    let mk = |tx, rx| Endpoint {
+        tx,
+        rx,
+        sent: Arc::new(Mutex::new(TransferLedger::new())),
+        limiter: None,
+    };
+    (mk(a_tx, a_rx), mk(b_tx, b_rx))
+}
+
+impl Endpoint {
+    /// Pace all subsequent sends at `bytes_per_sec` of wall time.
+    ///
+    /// # Panics
+    /// Panics when the rate is not strictly positive.
+    pub fn set_rate_limit(&mut self, bytes_per_sec: f64) {
+        assert!(
+            bytes_per_sec > 0.0 && bytes_per_sec.is_finite(),
+            "rate must be positive"
+        );
+        self.limiter = Some(Mutex::new(WallLimiter::new(bytes_per_sec)));
+    }
+
+    /// Send a message, blocking for pacing when a rate limit is set.
+    pub fn send(&self, msg: MigMessage) -> Result<(), TransportError> {
+        if let Some(l) = &self.limiter {
+            l.lock().expect("limiter poisoned").acquire(msg.wire_size());
+        }
+        self.sent
+            .lock()
+            .expect("ledger poisoned")
+            .record(&msg);
+        self.tx
+            .send(msg)
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<MigMessage, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Receive with a wall-clock timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<MigMessage, TransportError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<MigMessage, TransportError> {
+        self.rx.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => TransportError::Empty,
+            TryRecvError::Disconnected => TransportError::Disconnected,
+        })
+    }
+
+    /// Snapshot of bytes sent from this endpoint, by category.
+    pub fn sent_ledger(&self) -> TransferLedger {
+        self.sent.lock().expect("ledger poisoned").clone()
+    }
+}
+
+impl Transport for Endpoint {
+    fn send(&self, msg: MigMessage) -> Result<(), TransportError> {
+        Endpoint::send(self, msg)
+    }
+    fn recv(&self) -> Result<MigMessage, TransportError> {
+        Endpoint::recv(self)
+    }
+    fn recv_timeout(&self, timeout: Duration) -> Result<MigMessage, TransportError> {
+        Endpoint::recv_timeout(self, timeout)
+    }
+    fn try_recv(&self) -> Result<MigMessage, TransportError> {
+        Endpoint::try_recv(self)
+    }
+    fn sent_ledger(&self) -> TransferLedger {
+        Endpoint::sent_ledger(self)
+    }
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("rate_limited", &self.limiter.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Category;
+
+    #[test]
+    fn roundtrip_between_threads() {
+        let (a, b) = duplex();
+        let t = std::thread::spawn(move || {
+            let msg = b.recv().unwrap();
+            assert_eq!(msg, MigMessage::Suspended);
+            b.send(MigMessage::Resumed).unwrap();
+        });
+        a.send(MigMessage::Suspended).unwrap();
+        assert_eq!(a.recv().unwrap(), MigMessage::Resumed);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn ledger_counts_sends() {
+        let (a, _b) = duplex();
+        a.send(MigMessage::PullRequest { block: 3 }).unwrap();
+        a.send(MigMessage::PullRequest { block: 4 }).unwrap();
+        let ledger = a.sent_ledger();
+        assert_eq!(
+            ledger.get(Category::DiskPull),
+            2 * MigMessage::PullRequest { block: 0 }.wire_size()
+        );
+    }
+
+    #[test]
+    fn disconnect_reported() {
+        let (a, b) = duplex();
+        drop(b);
+        assert_eq!(
+            a.send(MigMessage::Suspended),
+            Err(TransportError::Disconnected)
+        );
+        assert_eq!(a.recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_empty() {
+        let (a, b) = duplex();
+        assert_eq!(a.try_recv(), Err(TransportError::Empty));
+        b.send(MigMessage::PrepareAck).unwrap();
+        assert_eq!(a.try_recv(), Ok(MigMessage::PrepareAck));
+    }
+
+    #[test]
+    fn recv_timeout_fires() {
+        let (a, _b) = duplex();
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)),
+            Err(TransportError::Timeout)
+        );
+    }
+
+    #[test]
+    fn rate_limit_paces_throughput() {
+        let (mut a, b) = duplex();
+        // 1 MB/s; send ~0.3 MB => at least ~0.2 s (minus the 0.1 s burst).
+        a.set_rate_limit(1_000_000.0);
+        let start = Instant::now();
+        for i in 0..75 {
+            a.send(MigMessage::DiskBlocks {
+                blocks: vec![i],
+                payload_len: 4096,
+                payload: None,
+            })
+            .unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(150),
+            "sent too fast: {elapsed:?}"
+        );
+        drop(b);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the network substrate: codec totality, capacity
+//! sharing invariants, and token-bucket conservation.
+
+use bytes::Bytes;
+use des::{SimDuration, SimTime};
+use proptest::prelude::*;
+use simnet::capacity::{max_min_share, seek_aware_share};
+use simnet::codec::{decode, encode, read_frame, write_frame};
+use simnet::proto::MigMessage;
+use simnet::TokenBucket;
+
+fn arb_message() -> impl Strategy<Value = MigMessage> {
+    let bytes = prop::collection::vec(any::<u8>(), 0..512).prop_map(Bytes::from);
+    let opt_bytes = prop::option::of(bytes.clone());
+    prop_oneof![
+        (any::<u32>(), any::<u64>()).prop_map(|(block_size, num_blocks)| {
+            MigMessage::PrepareVbd {
+                block_size,
+                num_blocks,
+            }
+        }),
+        Just(MigMessage::PrepareAck),
+        (
+            prop::collection::vec(any::<u64>(), 0..50),
+            any::<u64>(),
+            opt_bytes.clone()
+        )
+            .prop_map(|(blocks, payload_len, payload)| MigMessage::DiskBlocks {
+                blocks,
+                payload_len,
+                payload,
+            }),
+        (
+            prop::collection::vec(any::<u64>(), 0..50),
+            any::<u64>(),
+            opt_bytes.clone()
+        )
+            .prop_map(|(pages, payload_len, payload)| MigMessage::MemPages {
+                pages,
+                payload_len,
+                payload,
+            }),
+        (any::<u64>(), opt_bytes.clone()).prop_map(|(payload_len, payload)| {
+            MigMessage::CpuState {
+                payload_len,
+                payload,
+            }
+        }),
+        bytes.prop_map(|encoded| MigMessage::Bitmap { encoded }),
+        Just(MigMessage::Suspended),
+        Just(MigMessage::Resumed),
+        any::<u64>().prop_map(|block| MigMessage::PullRequest { block }),
+        (any::<u64>(), any::<bool>(), any::<u64>(), opt_bytes).prop_map(
+            |(block, pulled, payload_len, payload)| MigMessage::PostCopyBlock {
+                block,
+                pulled,
+                payload_len,
+                payload,
+            }
+        ),
+        Just(MigMessage::PushComplete),
+        Just(MigMessage::MigrationComplete),
+    ]
+}
+
+proptest! {
+    /// Every encodable message decodes back to itself.
+    #[test]
+    fn codec_roundtrip(msg in arb_message()) {
+        let enc = encode(&msg);
+        prop_assert_eq!(decode(&enc).expect("decode"), msg);
+    }
+
+    /// Framed sequences round-trip over a byte stream.
+    #[test]
+    fn framing_roundtrip(msgs in prop::collection::vec(arb_message(), 1..10)) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_frame(&mut wire, m).expect("write");
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for expected in &msgs {
+            prop_assert_eq!(&read_frame(&mut cursor).expect("read"), expected);
+        }
+    }
+
+    /// Truncation is always detected, never mis-decoded.
+    #[test]
+    fn codec_rejects_truncation(msg in arb_message(), cut in 1usize..16) {
+        let enc = encode(&msg);
+        if enc.len() > cut {
+            let truncated = &enc[..enc.len() - cut];
+            // Either an error, or (never) a different message.
+            if let Ok(m) = decode(truncated) {
+                prop_assert_eq!(m, msg); // unreachable in practice
+            }
+        }
+    }
+
+    /// Max-min allocations never exceed capacity or individual demand,
+    /// and are work-conserving (full capacity used when demand suffices).
+    #[test]
+    fn max_min_invariants(
+        capacity in 0.0f64..1_000.0,
+        demands in prop::collection::vec(0.0f64..500.0, 0..8),
+    ) {
+        let alloc = max_min_share(capacity, &demands);
+        let total: f64 = alloc.iter().sum();
+        prop_assert!(total <= capacity + 1e-6);
+        let total_demand: f64 = demands.iter().sum();
+        for (a, d) in alloc.iter().zip(&demands) {
+            prop_assert!(*a <= d + 1e-9);
+            prop_assert!(*a >= 0.0);
+        }
+        if total_demand >= capacity {
+            prop_assert!((total - capacity).abs() < 1e-6, "not work-conserving");
+        } else {
+            prop_assert!((total - total_demand).abs() < 1e-6);
+        }
+    }
+
+    /// Seek-aware sharing degrades gracefully: allocations are bounded by
+    /// demands and by the zero-interference capacity.
+    #[test]
+    fn seek_aware_invariants(
+        c0 in 1.0f64..500.0,
+        penalty in 0.0f64..3.0,
+        w in 0.0f64..400.0,
+        m in 0.0f64..400.0,
+    ) {
+        let (ws, ms) = seek_aware_share(c0, penalty, w, m);
+        prop_assert!(ws >= -1e-9 && ms >= -1e-9);
+        prop_assert!(ws <= w + 1e-6);
+        prop_assert!(ms <= m + 1e-6);
+        // Together they never exceed the uncontended capacity.
+        prop_assert!(ws + ms <= c0 + 1e-6);
+    }
+
+    /// A token bucket never releases more than rate*time + burst bytes.
+    #[test]
+    fn token_bucket_conservation(
+        rate in 1.0f64..1e6,
+        burst in 1.0f64..1e6,
+        requests in prop::collection::vec((0u64..10_000, 0u64..1_000_000), 1..50),
+    ) {
+        let mut tb = TokenBucket::new(rate, burst);
+        let mut granted = 0u64;
+        let mut now = SimTime::ZERO;
+        let mut latest = 0u64;
+        for (dt_us, bytes) in requests {
+            now += SimDuration::from_micros(dt_us);
+            latest = latest.max(now.as_nanos());
+            if tb.try_consume(bytes, now) {
+                granted += bytes;
+            }
+        }
+        let elapsed_secs = latest as f64 / 1e9;
+        prop_assert!(
+            granted as f64 <= rate * elapsed_secs + burst + 1.0,
+            "granted {granted} exceeds rate*t+burst"
+        );
+    }
+}

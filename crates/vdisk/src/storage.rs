@@ -1,0 +1,222 @@
+//! Byte-level backing stores for virtual disks.
+
+use std::collections::HashMap;
+
+/// A block-addressed backing store.
+///
+/// Implementations are single-threaded; thread safety is added by
+/// [`crate::VirtualDisk`], which owns the store behind a lock.
+pub trait Storage: Send + Sync {
+    /// Block size in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Capacity in blocks.
+    fn num_blocks(&self) -> usize;
+
+    /// Copy block `idx` into `out`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range or `out.len() != block_size()`.
+    fn read_block(&self, idx: usize, out: &mut [u8]);
+
+    /// Overwrite block `idx` with `data`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range or `data.len() != block_size()`.
+    fn write_block(&mut self, idx: usize, data: &[u8]);
+
+    /// Bytes of memory the store currently occupies (approximate).
+    fn resident_bytes(&self) -> usize;
+}
+
+/// Dense storage: one contiguous allocation for the whole device.
+pub struct DenseStorage {
+    block_size: usize,
+    data: Vec<u8>,
+}
+
+impl DenseStorage {
+    /// Allocate a zero-filled dense store.
+    ///
+    /// # Panics
+    /// Panics when `block_size == 0`.
+    pub fn new(block_size: usize, num_blocks: usize) -> Self {
+        assert!(block_size > 0, "block size must be non-zero");
+        Self {
+            block_size,
+            data: vec![0; block_size * num_blocks],
+        }
+    }
+
+    fn range(&self, idx: usize) -> std::ops::Range<usize> {
+        let start = idx * self.block_size;
+        start..start + self.block_size
+    }
+}
+
+impl Storage for DenseStorage {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.data.len() / self.block_size
+    }
+
+    fn read_block(&self, idx: usize, out: &mut [u8]) {
+        assert!(idx < self.num_blocks(), "block {idx} out of range");
+        assert_eq!(out.len(), self.block_size, "buffer/block size mismatch");
+        out.copy_from_slice(&self.data[self.range(idx)]);
+    }
+
+    fn write_block(&mut self, idx: usize, data: &[u8]) {
+        assert!(idx < self.num_blocks(), "block {idx} out of range");
+        assert_eq!(data.len(), self.block_size, "buffer/block size mismatch");
+        let r = self.range(idx);
+        self.data[r].copy_from_slice(data);
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.data.capacity()
+    }
+}
+
+/// Sparse storage: blocks are allocated on first write; unwritten blocks
+/// read as zeroes. Suited to large mostly-empty test disks.
+pub struct SparseStorage {
+    block_size: usize,
+    num_blocks: usize,
+    blocks: HashMap<usize, Box<[u8]>>,
+}
+
+impl SparseStorage {
+    /// Create an all-zero sparse store.
+    ///
+    /// # Panics
+    /// Panics when `block_size == 0`.
+    pub fn new(block_size: usize, num_blocks: usize) -> Self {
+        assert!(block_size > 0, "block size must be non-zero");
+        Self {
+            block_size,
+            num_blocks,
+            blocks: HashMap::new(),
+        }
+    }
+
+    /// Number of blocks actually materialized.
+    pub fn allocated_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+impl Storage for SparseStorage {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    fn read_block(&self, idx: usize, out: &mut [u8]) {
+        assert!(idx < self.num_blocks, "block {idx} out of range");
+        assert_eq!(out.len(), self.block_size, "buffer/block size mismatch");
+        match self.blocks.get(&idx) {
+            Some(b) => out.copy_from_slice(b),
+            None => out.fill(0),
+        }
+    }
+
+    fn write_block(&mut self, idx: usize, data: &[u8]) {
+        assert!(idx < self.num_blocks, "block {idx} out of range");
+        assert_eq!(data.len(), self.block_size, "buffer/block size mismatch");
+        if data.iter().all(|&b| b == 0) {
+            // Writing zeroes to an unallocated block can stay unallocated.
+            if let Some(existing) = self.blocks.get_mut(&idx) {
+                existing.fill(0);
+            }
+        } else {
+            self.blocks.insert(idx, data.into());
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.blocks.len() * self.block_size + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(mut s: impl Storage) {
+        let bs = s.block_size();
+        let mut buf = vec![0u8; bs];
+
+        // Fresh blocks read as zero.
+        s.read_block(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+
+        // Write/read round-trip.
+        let data: Vec<u8> = (0..bs).map(|i| (i % 251) as u8).collect();
+        s.write_block(3, &data);
+        s.read_block(3, &mut buf);
+        assert_eq!(buf, data);
+
+        // Overwrite wins.
+        let data2 = vec![0xAB; bs];
+        s.write_block(3, &data2);
+        s.read_block(3, &mut buf);
+        assert_eq!(buf, data2);
+
+        // Neighbours untouched.
+        s.read_block(2, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        s.read_block(4, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        exercise(DenseStorage::new(512, 16));
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        exercise(SparseStorage::new(512, 16));
+    }
+
+    #[test]
+    fn sparse_lazy_allocation() {
+        let mut s = SparseStorage::new(4096, 1_000_000);
+        assert_eq!(s.allocated_blocks(), 0);
+        s.write_block(999_999, &vec![7u8; 4096]);
+        assert_eq!(s.allocated_blocks(), 1);
+        // Zero writes to untouched blocks do not allocate.
+        s.write_block(5, &vec![0u8; 4096]);
+        assert_eq!(s.allocated_blocks(), 1);
+        assert!(s.resident_bytes() < 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dense_out_of_range() {
+        let mut s = DenseStorage::new(512, 4);
+        s.write_block(4, &[0; 512]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn dense_size_mismatch() {
+        let mut s = DenseStorage::new(512, 4);
+        s.write_block(0, &[0; 100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sparse_out_of_range_read() {
+        let s = SparseStorage::new(512, 4);
+        let mut buf = [0u8; 512];
+        s.read_block(9, &mut buf);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the block layer: storage equivalence, tracker
+//! completeness (the correctness property migration rests on), pending
+//! queue conservation, and MetaDisk synchronization.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use block_bitmap::AtomicBitmap;
+use proptest::prelude::*;
+use vdisk::{
+    stamp_bytes, DenseStorage, DomainId, IoRequest, MetaDisk, PendingQueue, SparseStorage,
+    Storage, TrackedDisk, VirtualDisk,
+};
+
+const BLOCKS: usize = 64;
+const BS: usize = 512;
+
+proptest! {
+    /// Dense and sparse storage are observationally identical under any
+    /// write sequence.
+    #[test]
+    fn dense_equals_sparse(writes in prop::collection::vec((0usize..BLOCKS, 0u64..50), 0..100)) {
+        let mut dense = DenseStorage::new(BS, BLOCKS);
+        let mut sparse = SparseStorage::new(BS, BLOCKS);
+        for &(b, stamp) in &writes {
+            let data = stamp_bytes(b, stamp, BS);
+            dense.write_block(b, &data);
+            sparse.write_block(b, &data);
+        }
+        let mut a = vec![0u8; BS];
+        let mut s = vec![0u8; BS];
+        for b in 0..BLOCKS {
+            dense.read_block(b, &mut a);
+            sparse.read_block(b, &mut s);
+            prop_assert_eq!(&a, &s, "block {} diverged", b);
+        }
+    }
+
+    /// The tracker never misses a guest write while enabled: after any
+    /// interleaving of writes and drains, union(drains) ∪ tracker ⊇ all
+    /// written blocks — the property that makes iterative pre-copy sound.
+    #[test]
+    fn tracker_never_loses_a_write(
+        ops in prop::collection::vec((0usize..BLOCKS, proptest::bool::ANY), 1..200),
+    ) {
+        let disk = TrackedDisk::new(Arc::new(VirtualDisk::dense(BS, BLOCKS)));
+        let bm = Arc::new(AtomicBitmap::new(BLOCKS));
+        disk.attach_tracker(Arc::clone(&bm), Some(DomainId(1)));
+        disk.enable_tracking();
+        let mut written = std::collections::HashSet::new();
+        let mut drained = block_bitmap::FlatBitmap::new(BLOCKS);
+        for &(b, drain_now) in &ops {
+            disk.submit(IoRequest::write(b, DomainId(1)), Some(&stamp_bytes(b, 1, BS)));
+            written.insert(b);
+            if drain_now {
+                drained.union_with(&bm.snapshot_and_clear());
+            }
+        }
+        drained.union_with(&bm.snapshot_and_clear());
+        for &b in &written {
+            prop_assert!(block_bitmap::DirtyMap::get(&drained, b), "write to {} lost", b);
+        }
+    }
+
+    /// Pending queue conserves requests: everything pushed is taken
+    /// exactly once, in per-block FIFO order.
+    #[test]
+    fn pending_queue_conserves(blocks in prop::collection::vec(0usize..16, 0..100)) {
+        let mut q = PendingQueue::new();
+        let mut expected: HashMap<usize, usize> = HashMap::new();
+        for (i, &b) in blocks.iter().enumerate() {
+            q.push(IoRequest::read(b, DomainId(i as u32 % 4)));
+            *expected.entry(b).or_default() += 1;
+        }
+        prop_assert_eq!(q.len(), blocks.len());
+        let mut taken = 0usize;
+        for b in 0..16 {
+            let got = q.take_for_block(b);
+            prop_assert_eq!(got.len(), expected.get(&b).copied().unwrap_or(0));
+            prop_assert!(got.iter().all(|r| r.block == b));
+            taken += got.len();
+        }
+        prop_assert_eq!(taken, blocks.len());
+        prop_assert!(q.is_empty());
+    }
+
+    /// MetaDisk diff/copy synchronization converges for any write split
+    /// across two disks, and `content_equals` agrees with `diff_blocks`.
+    #[test]
+    fn metadisk_sync_converges(
+        src_writes in prop::collection::vec(0usize..BLOCKS, 0..80),
+        dst_writes in prop::collection::vec(0usize..BLOCKS, 0..80),
+    ) {
+        let mut src = MetaDisk::new(BLOCKS);
+        let mut dst = MetaDisk::new(BLOCKS);
+        for &b in &src_writes {
+            src.write(b);
+        }
+        for &b in &dst_writes {
+            dst.write(b);
+        }
+        let diff = src.diff_blocks(&dst);
+        prop_assert_eq!(diff.is_empty(), src.content_equals(&dst));
+        for b in diff {
+            dst.copy_block_from(&src, b);
+        }
+        prop_assert!(src.content_equals(&dst));
+        prop_assert!(dst.diff_blocks(&src).is_empty());
+    }
+
+    /// A tracked read never mutates the disk or the bitmap.
+    #[test]
+    fn reads_are_pure(reads in prop::collection::vec(0usize..BLOCKS, 1..50)) {
+        let disk = TrackedDisk::new(Arc::new(VirtualDisk::dense(BS, BLOCKS)));
+        let bm = Arc::new(AtomicBitmap::new(BLOCKS));
+        disk.attach_tracker(Arc::clone(&bm), None);
+        disk.enable_tracking();
+        let before = disk.disk().fingerprint_all();
+        for &b in &reads {
+            disk.submit(IoRequest::read(b, DomainId(1)), None);
+        }
+        prop_assert_eq!(disk.disk().fingerprint_all(), before);
+        prop_assert_eq!(bm.count_ones(), 0);
+    }
+}

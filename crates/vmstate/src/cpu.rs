@@ -1,0 +1,81 @@
+//! CPU context blob.
+
+use serde::{Deserialize, Serialize};
+
+/// Opaque CPU state (registers, FPU/SSE context, per-vCPU hypervisor
+/// state). The migration engine only needs its size — it is transferred
+/// once, during freeze-and-copy — and a checksum so tests can verify it
+/// arrived intact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuState {
+    vcpus: u32,
+    context: Vec<u8>,
+}
+
+impl CpuState {
+    /// Per-vCPU context size: a generous envelope for x86 register state,
+    /// FPU/SSE area and hypervisor bookkeeping (Xen's is of this order).
+    pub const CONTEXT_BYTES_PER_VCPU: usize = 8 * 1024;
+
+    /// Fresh state for `vcpus` virtual CPUs, zero-initialized.
+    ///
+    /// # Panics
+    /// Panics when `vcpus == 0`.
+    pub fn new(vcpus: u32) -> Self {
+        assert!(vcpus > 0, "a VM needs at least one vCPU");
+        Self {
+            vcpus,
+            context: vec![0; vcpus as usize * Self::CONTEXT_BYTES_PER_VCPU],
+        }
+    }
+
+    /// Number of virtual CPUs.
+    pub fn vcpus(&self) -> u32 {
+        self.vcpus
+    }
+
+    /// Size of the state on the wire.
+    pub fn size_bytes(&self) -> usize {
+        self.context.len()
+    }
+
+    /// Mutate the context (tests use this to verify transfer fidelity).
+    pub fn scribble(&mut self, seed: u64) {
+        for (i, b) in self.context.iter_mut().enumerate() {
+            *b = (seed.rotate_left((i % 61) as u32) >> (i % 7)) as u8;
+        }
+    }
+
+    /// FNV-1a checksum of the context.
+    pub fn checksum(&self) -> u64 {
+        vdisk::fingerprint_block(&self.context)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing() {
+        let s = CpuState::new(2);
+        assert_eq!(s.vcpus(), 2);
+        assert_eq!(s.size_bytes(), 2 * CpuState::CONTEXT_BYTES_PER_VCPU);
+    }
+
+    #[test]
+    fn scribble_changes_checksum() {
+        let mut s = CpuState::new(1);
+        let c0 = s.checksum();
+        s.scribble(42);
+        assert_ne!(s.checksum(), c0);
+        let copy = s.clone();
+        assert_eq!(copy.checksum(), s.checksum());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vCPU")]
+    fn zero_vcpus_panics() {
+        CpuState::new(0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Block-granular operations and recordable traces.
+
+use serde::{Deserialize, Serialize};
+
+use des::SimDuration;
+
+/// One disk operation at block granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Read one block.
+    Read {
+        /// Block index.
+        block: u64,
+    },
+    /// Write one block.
+    Write {
+        /// Block index.
+        block: u64,
+    },
+}
+
+impl OpKind {
+    /// The block the operation touches.
+    pub fn block(self) -> u64 {
+        match self {
+            Self::Read { block } | Self::Write { block } => block,
+        }
+    }
+
+    /// `true` for writes.
+    pub fn is_write(self) -> bool {
+        matches!(self, Self::Write { .. })
+    }
+}
+
+/// An operation with a time offset from the start of its generation
+/// interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedOp {
+    /// Offset within the interval the op was generated for.
+    pub offset: SimDurationSerde,
+    /// The operation.
+    pub kind: OpKind,
+}
+
+impl TimedOp {
+    /// Construct from an offset and operation.
+    pub fn new(offset: SimDuration, kind: OpKind) -> Self {
+        Self {
+            offset: SimDurationSerde(offset.as_nanos()),
+            kind,
+        }
+    }
+
+    /// The offset as a [`SimDuration`].
+    pub fn offset(&self) -> SimDuration {
+        SimDuration::from_nanos(self.offset.0)
+    }
+}
+
+/// Serde-friendly wrapper for [`SimDuration`] (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimDurationSerde(pub u64);
+
+/// A recorded operation trace, serializable for replay and offline
+/// analysis (e.g. the rewrite-ratio measurements of §IV-A-2).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OpTrace {
+    /// Operations in generation order.
+    pub ops: Vec<TimedOp>,
+}
+
+impl OpTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an operation.
+    pub fn push(&mut self, op: TimedOp) {
+        self.ops.push(op);
+    }
+
+    /// Append every op of an interval batch.
+    pub fn extend(&mut self, ops: &[TimedOp]) {
+        self.ops.extend_from_slice(ops);
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when no operations are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Count of write operations.
+    pub fn write_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind.is_write()).count()
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opkind_accessors() {
+        let r = OpKind::Read { block: 5 };
+        let w = OpKind::Write { block: 9 };
+        assert_eq!(r.block(), 5);
+        assert_eq!(w.block(), 9);
+        assert!(!r.is_write());
+        assert!(w.is_write());
+    }
+
+    #[test]
+    fn timed_op_offset_roundtrip() {
+        let op = TimedOp::new(SimDuration::from_millis(250), OpKind::Read { block: 1 });
+        assert_eq!(op.offset(), SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn trace_json_roundtrip() {
+        let mut t = OpTrace::new();
+        t.push(TimedOp::new(SimDuration::ZERO, OpKind::Write { block: 7 }));
+        t.push(TimedOp::new(
+            SimDuration::from_micros(3),
+            OpKind::Read { block: 8 },
+        ));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.write_count(), 1);
+        let back = OpTrace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.ops, t.ops);
+    }
+}

@@ -1,0 +1,208 @@
+//! Write-placement pattern with a tunable rewrite ratio.
+//!
+//! §IV-A-2 measures how often workloads *rewrite* blocks they already
+//! wrote: 11 % for a kernel build, 25.2 % for SPECweb Banking, 35.6 % for
+//! Bonnie++. That locality is exactly why a bitmap beats a delta queue.
+//! [`WritePattern`] produces block choices with a calibrated rewrite
+//! probability: with probability `rewrite_prob` the next write targets a
+//! block from the recent-write history, otherwise a fresh block chosen by
+//! the placement policy.
+
+use des::dist::{HotCold, SequentialCursor};
+use des::SimRng;
+
+/// Policy for choosing fresh (non-rewrite) write targets.
+#[derive(Debug, Clone)]
+pub enum Placement {
+    /// Advance sequentially through a region, wrapping (file-append and
+    /// Bonnie++ sequential-output behaviour).
+    Sequential(SequentialCursor),
+    /// Hot/cold skewed placement within a region (database/log behaviour).
+    HotCold(HotCold),
+    /// Uniform over a region `[start, start + len)`.
+    Uniform {
+        /// Region start block.
+        start: u64,
+        /// Region length in blocks.
+        len: u64,
+    },
+}
+
+impl Placement {
+    fn next(&mut self, rng: &mut SimRng) -> u64 {
+        match self {
+            Placement::Sequential(c) => c.next_value(),
+            Placement::HotCold(hc) => hc.sample(rng),
+            Placement::Uniform { start, len } => *start + rng.below(*len),
+        }
+    }
+}
+
+/// Write-target generator with a calibrated rewrite ratio.
+#[derive(Debug, Clone)]
+pub struct WritePattern {
+    placement: Placement,
+    rewrite_prob: f64,
+    history: Vec<u64>,
+    history_cap: usize,
+    cursor: usize,
+}
+
+impl WritePattern {
+    /// Create a pattern. `rewrite_prob` is the probability that a write
+    /// re-targets one of the last `history_cap` distinct choices.
+    ///
+    /// # Panics
+    /// Panics when `rewrite_prob` is outside `[0, 1]` or `history_cap` is
+    /// zero.
+    pub fn new(placement: Placement, rewrite_prob: f64, history_cap: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rewrite_prob),
+            "rewrite probability must be in [0,1]"
+        );
+        assert!(history_cap > 0, "history capacity must be non-zero");
+        Self {
+            placement,
+            rewrite_prob,
+            history: Vec::with_capacity(history_cap.min(4096)),
+            history_cap,
+            cursor: 0,
+        }
+    }
+
+    /// Next write target block.
+    pub fn next_block(&mut self, rng: &mut SimRng) -> u64 {
+        if !self.history.is_empty() && rng.chance(self.rewrite_prob) {
+            *rng.choose(&self.history)
+        } else {
+            let b = self.placement.next(rng);
+            if self.history.len() < self.history_cap {
+                self.history.push(b);
+            } else {
+                // Ring-replace: keeps the history to *recent* writes, which
+                // is what storage-access locality looks like.
+                self.history[self.cursor] = b;
+                self.cursor = (self.cursor + 1) % self.history_cap;
+            }
+            b
+        }
+    }
+
+    /// The configured rewrite probability.
+    pub fn rewrite_prob(&self) -> f64 {
+        self.rewrite_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Measured rewrite ratio of a generated stream: the paper's metric —
+    /// fraction of writes whose block was written before.
+    fn measured_ratio(pattern: &mut WritePattern, n: usize, rng: &mut SimRng) -> f64 {
+        let mut seen = HashSet::new();
+        let mut rewrites = 0usize;
+        for _ in 0..n {
+            let b = pattern.next_block(rng);
+            if !seen.insert(b) {
+                rewrites += 1;
+            }
+        }
+        rewrites as f64 / n as f64
+    }
+
+    #[test]
+    fn zero_rewrite_prob_on_fresh_sequential_is_unique() {
+        let mut p = WritePattern::new(
+            Placement::Sequential(SequentialCursor::new(0, 1_000_000)),
+            0.0,
+            1024,
+        );
+        let mut rng = SimRng::new(1);
+        let r = measured_ratio(&mut p, 10_000, &mut rng);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn kernel_build_ratio_around_11_percent() {
+        let mut p = WritePattern::new(
+            Placement::Sequential(SequentialCursor::new(0, 10_000_000)),
+            0.11,
+            8192,
+        );
+        let mut rng = SimRng::new(2);
+        let r = measured_ratio(&mut p, 50_000, &mut rng);
+        assert!((0.09..0.14).contains(&r), "ratio {r}");
+    }
+
+    #[test]
+    fn specweb_ratio_around_25_percent() {
+        // The web workload's configuration: uniform fresh placement over a
+        // 4 GiB region with explicit 0.23 rewrite probability.
+        let mut p = WritePattern::new(
+            Placement::Uniform {
+                start: 0,
+                len: 1_048_576,
+            },
+            0.23,
+            8192,
+        );
+        let mut rng = SimRng::new(3);
+        let r = measured_ratio(&mut p, 50_000, &mut rng);
+        assert!((0.20..0.30).contains(&r), "ratio {r}");
+    }
+
+    #[test]
+    fn hotcold_placement_inflates_measured_ratio() {
+        // Skewed fresh placement collides with earlier writes, so the
+        // measured rewrite ratio exceeds the explicit probability — the
+        // reason the web workload uses uniform fresh placement.
+        let mut p = WritePattern::new(
+            Placement::HotCold(HotCold::new(500_000, 0, 16_384, 0.6)),
+            0.20,
+            8192,
+        );
+        let mut rng = SimRng::new(3);
+        let r = measured_ratio(&mut p, 50_000, &mut rng);
+        assert!(r > 0.30, "ratio {r}");
+    }
+
+    #[test]
+    fn uniform_placement_stays_in_region() {
+        let mut p = WritePattern::new(Placement::Uniform { start: 100, len: 50 }, 0.3, 16);
+        let mut rng = SimRng::new(4);
+        for _ in 0..1000 {
+            let b = p.next_block(&mut rng);
+            assert!((100..150).contains(&b));
+        }
+    }
+
+    #[test]
+    fn history_ring_replacement() {
+        let mut p = WritePattern::new(
+            Placement::Sequential(SequentialCursor::new(0, 1_000_000)),
+            0.5,
+            4,
+        );
+        let mut rng = SimRng::new(5);
+        // Generate enough to wrap the 4-entry history several times;
+        // rewrites must target recent blocks only.
+        let mut recent = Vec::new();
+        for _ in 0..200 {
+            let b = p.next_block(&mut rng);
+            if !recent.contains(&b) {
+                recent.push(b);
+            }
+        }
+        // Fresh blocks advance; the stream cannot be stuck on early blocks.
+        assert!(recent.iter().max().unwrap() > &20);
+    }
+
+    #[test]
+    #[should_panic(expected = "rewrite probability")]
+    fn bad_prob_panics() {
+        WritePattern::new(Placement::Uniform { start: 0, len: 1 }, 1.5, 8);
+    }
+}

@@ -1,0 +1,170 @@
+//! Client-side throughput probe.
+//!
+//! The paper's client machine measures service throughput over time; the
+//! resulting series are Figures 5 and 6, and "disruption time" (§III-A) is
+//! the total time the client observes degraded responsiveness. The probe
+//! collects `(time, bytes/s)` samples and derives both.
+
+use des::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// One throughput sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Sample {
+    /// Sample time (seconds since experiment start).
+    pub t_secs: f64,
+    /// Client-observed throughput, bytes/second.
+    pub throughput: f64,
+}
+
+/// Accumulates throughput samples and computes disruption metrics.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputProbe {
+    samples: Vec<Sample>,
+}
+
+impl ThroughputProbe {
+    /// Empty probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a sample at virtual time `t`.
+    pub fn record(&mut self, t: SimTime, throughput: f64) {
+        self.samples.push(Sample {
+            t_secs: t.as_secs_f64(),
+            throughput,
+        });
+    }
+
+    /// All samples, in recording order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Mean throughput over all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.throughput).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Mean throughput over samples within `[from, to)` seconds.
+    pub fn mean_between(&self, from: f64, to: f64) -> f64 {
+        let window: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.t_secs >= from && s.t_secs < to)
+            .map(|s| s.throughput)
+            .collect();
+        if window.is_empty() {
+            0.0
+        } else {
+            window.iter().sum::<f64>() / window.len() as f64
+        }
+    }
+
+    /// Total time the client observed throughput below
+    /// `(1 - tolerance) * baseline`, assuming evenly spaced samples —
+    /// the paper's *disruption time*.
+    pub fn disruption_time(&self, baseline: f64, tolerance: f64) -> SimDuration {
+        if self.samples.len() < 2 {
+            return SimDuration::ZERO;
+        }
+        let threshold = baseline * (1.0 - tolerance);
+        let dt = (self.samples.last().expect("non-empty").t_secs - self.samples[0].t_secs)
+            / (self.samples.len() - 1) as f64;
+        let degraded = self
+            .samples
+            .iter()
+            .filter(|s| s.throughput < threshold)
+            .count();
+        SimDuration::from_secs_f64(degraded as f64 * dt)
+    }
+
+    /// Downsample into `bucket` second averages, as the paper's figures
+    /// plot (Figure 5 uses ~10 s buckets).
+    pub fn bucketed(&self, bucket: f64) -> Vec<Sample> {
+        assert!(bucket > 0.0, "bucket width must be positive");
+        let mut out: Vec<Sample> = Vec::new();
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        let mut edge = bucket;
+        for s in &self.samples {
+            while s.t_secs >= edge {
+                if n > 0 {
+                    out.push(Sample {
+                        t_secs: edge - bucket / 2.0,
+                        throughput: acc / n as f64,
+                    });
+                }
+                acc = 0.0;
+                n = 0;
+                edge += bucket;
+            }
+            acc += s.throughput;
+            n += 1;
+        }
+        if n > 0 {
+            out.push(Sample {
+                t_secs: edge - bucket / 2.0,
+                throughput: acc / n as f64,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_with(vals: &[f64]) -> ThroughputProbe {
+        let mut p = ThroughputProbe::new();
+        for (i, &v) in vals.iter().enumerate() {
+            p.record(SimTime::from_nanos(i as u64 * 1_000_000_000), v);
+        }
+        p
+    }
+
+    #[test]
+    fn mean_and_windowed_mean() {
+        let p = probe_with(&[10.0, 20.0, 30.0, 40.0]);
+        assert!((p.mean() - 25.0).abs() < 1e-9);
+        assert!((p.mean_between(1.0, 3.0) - 25.0).abs() < 1e-9);
+        assert_eq!(p.mean_between(100.0, 200.0), 0.0);
+    }
+
+    #[test]
+    fn disruption_time_counts_degraded_samples() {
+        // Baseline 100; tolerance 10% => threshold 90.
+        let p = probe_with(&[100.0, 95.0, 50.0, 60.0, 100.0, 100.0]);
+        let d = p.disruption_time(100.0, 0.10);
+        assert!((d.as_secs_f64() - 2.0).abs() < 1e-9, "{d}");
+        // Empty probe: zero.
+        assert_eq!(
+            ThroughputProbe::new().disruption_time(100.0, 0.1),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn bucketed_averages() {
+        let p = probe_with(&[10.0, 20.0, 30.0, 40.0, 50.0, 60.0]);
+        let b = p.bucketed(2.0);
+        assert_eq!(b.len(), 3);
+        assert!((b[0].throughput - 15.0).abs() < 1e-9);
+        assert!((b[1].throughput - 35.0).abs() < 1e-9);
+        assert!((b[2].throughput - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucketed_skips_empty_buckets() {
+        let mut p = ThroughputProbe::new();
+        p.record(SimTime::from_nanos(0), 1.0);
+        p.record(SimTime::from_nanos(10_000_000_000), 2.0);
+        let b = p.bucketed(1.0);
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Low-latency video streaming workload (Samba file server).
+//!
+//! §VI-C-2: the guest shares a 210 MB video played by a client at under
+//! 500 kbps while the VM migrates. "The write rate is very low in video
+//! server, so only two iterations are performed and only 610 blocks have
+//! been retransferred in the second iteration" — i.e. ~0.8 unique dirty
+//! blocks/s (connection logs, metadata), with 5 blocks left for post-copy.
+//! The client must observe fluent playback throughout; disruption time is
+//! the metric that matters here.
+
+use des::dist::SequentialCursor;
+use des::{SimDuration, SimRng};
+use vmstate::WssModel;
+
+use crate::pattern::Placement;
+use crate::web::take_events;
+use crate::{OpKind, TimedOp, Workload, WritePattern};
+
+/// Samba-like streaming server. See module docs for calibration.
+#[derive(Debug)]
+pub struct VideoStreamWorkload {
+    stream: SequentialCursor,
+    log_writes: WritePattern,
+    write_rate: f64,
+    read_rate: f64,
+    write_carry: f64,
+    read_carry: f64,
+    disk_demand: f64,
+    baseline_client: f64,
+}
+
+impl VideoStreamWorkload {
+    /// Paper-calibrated instance for a disk of `num_blocks` 4 KiB blocks.
+    /// The paper's video file is 210 MB; on smaller test disks it scales
+    /// down to a quarter of the disk.
+    ///
+    /// # Panics
+    /// Panics when the disk is smaller than ~64 MiB.
+    pub fn paper_default(num_blocks: u64) -> Self {
+        assert!(
+            num_blocks >= 16_384,
+            "video workload needs at least ~64 MiB of disk"
+        );
+        // The 210 MB video = 53 760 blocks, placed at 20% of the disk; the
+        // server log lives near the front.
+        let video_start = num_blocks / 5;
+        let video_blocks = 53_760.min(num_blocks / 4);
+        let stream_rate = 500_000.0 / 8.0; // 500 kbps in bytes/s
+        Self {
+            stream: SequentialCursor::new(video_start, video_blocks),
+            log_writes: WritePattern::new(
+                Placement::Sequential(SequentialCursor::new(4096, 4096)),
+                0.05,
+                256,
+            ),
+            write_rate: 0.8,
+            read_rate: stream_rate / 4096.0,
+            write_carry: 0.0,
+            read_carry: 0.0,
+            disk_demand: stream_rate + 0.8 * 4096.0,
+            baseline_client: stream_rate,
+        }
+    }
+}
+
+impl Workload for VideoStreamWorkload {
+    fn name(&self) -> &'static str {
+        "video"
+    }
+
+    fn disk_demand(&self) -> f64 {
+        self.disk_demand
+    }
+
+    fn closed_loop(&self) -> bool {
+        false
+    }
+
+    fn ops_for(&mut self, dt: SimDuration, achieved: f64, rng: &mut SimRng) -> Vec<TimedOp> {
+        if achieved <= 0.0 && self.disk_demand > 0.0 {
+            return Vec::new();
+        }
+        let mut ops = Vec::new();
+        // Streaming reads march sequentially through the video file.
+        let reads = take_events(&mut self.read_carry, self.read_rate, dt);
+        for i in 0..reads {
+            // Evenly paced within the interval: latency-sensitive stream.
+            let at = dt * i / reads.max(1);
+            ops.push(TimedOp::new(
+                at,
+                OpKind::Read {
+                    block: self.stream.next_value(),
+                },
+            ));
+        }
+        // Sparse log appends.
+        let writes = take_events(&mut self.write_carry, self.write_rate, dt);
+        for _ in 0..writes {
+            let at = SimDuration::from_nanos(rng.below(dt.as_nanos().max(1)));
+            ops.push(TimedOp::new(
+                at,
+                OpKind::Write {
+                    block: self.log_writes.next_block(rng),
+                },
+            ));
+        }
+        ops
+    }
+
+    fn client_throughput(&self, achieved: f64) -> f64 {
+        self.baseline_client * (achieved / self.disk_demand).min(1.0)
+    }
+
+    fn wss_model(&self, num_pages: usize) -> WssModel {
+        // A streaming server barely dirties memory: socket buffers and a
+        // small cache-management hot set.
+        WssModel::new(num_pages, 0.005, 0.9, 1200.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BLOCKS_40GB: u64 = 10 * 1024 * 1024;
+
+    #[test]
+    fn write_rate_is_very_low() {
+        let mut w = VideoStreamWorkload::paper_default(BLOCKS_40GB);
+        let mut rng = SimRng::new(1);
+        let mut writes = 0usize;
+        let mut unique = std::collections::HashSet::new();
+        for _ in 0..796 {
+            for op in w.ops_for(SimDuration::from_secs(1), w.disk_demand(), &mut rng) {
+                if let OpKind::Write { block } = op.kind {
+                    writes += 1;
+                    unique.insert(block);
+                }
+            }
+        }
+        // Paper: 610 blocks retransferred in iteration 2 of ~796 s.
+        assert!(
+            (300..1_200).contains(&unique.len()),
+            "unique dirty {}",
+            unique.len()
+        );
+        assert!(writes >= unique.len());
+    }
+
+    #[test]
+    fn reads_are_sequential_through_the_video() {
+        let mut w = VideoStreamWorkload::paper_default(BLOCKS_40GB);
+        let mut rng = SimRng::new(2);
+        let ops = w.ops_for(SimDuration::from_secs(10), w.disk_demand(), &mut rng);
+        let reads: Vec<u64> = ops
+            .iter()
+            .filter(|o| !o.kind.is_write())
+            .map(|o| o.kind.block())
+            .collect();
+        // ~15 blocks/s of stream reads.
+        assert!((100..200).contains(&reads.len()), "{} reads", reads.len());
+        assert!(reads.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn stream_rate_matches_500kbps() {
+        let w = VideoStreamWorkload::paper_default(BLOCKS_40GB);
+        // 500 kbps = 62 500 B/s on the client side.
+        assert!((w.client_throughput(w.disk_demand()) - 62_500.0).abs() < 1.0);
+        // Demand is tiny compared to the disk: the migration barely
+        // contends with it ("the server works well even when the bandwidth
+        // used by the migration process is not limited at all").
+        assert!(w.disk_demand() < 100_000.0);
+    }
+
+    #[test]
+    fn paced_reads_within_interval() {
+        let mut w = VideoStreamWorkload::paper_default(BLOCKS_40GB);
+        let mut rng = SimRng::new(3);
+        let dt = SimDuration::from_secs(1);
+        for op in w.ops_for(dt, w.disk_demand(), &mut rng) {
+            assert!(op.offset() < dt);
+        }
+    }
+}

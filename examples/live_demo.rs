@@ -1,0 +1,61 @@
+//! Live-mode demonstration: a *real* multi-threaded migration with real
+//! bytes, not a simulation.
+//!
+//! Three threads run concurrently: the guest driver (writing stamped
+//! blocks through the intercepting disk), the source protocol (pre-copy
+//! iterations, freeze, post-copy push), and the destination protocol
+//! (apply, pull, drop). Afterwards every destination block is verified
+//! against the guest's own ground-truth write log.
+//!
+//! ```text
+//! cargo run --release --example live_demo
+//! ```
+
+use block_bitmap_migration::prelude::*;
+
+fn main() {
+    let cfg = LiveConfig {
+        num_blocks: 65_536, // 32 MiB of real bytes at 512 B blocks
+        ..LiveConfig::test_default()
+    };
+    println!(
+        "Live migration: {} blocks x {} B, workload={:?}, {} max iterations\n",
+        cfg.num_blocks, cfg.block_size, cfg.workload, cfg.max_iterations
+    );
+
+    let out = run_live_migration(&cfg);
+
+    println!("disk pre-copy iterations (blocks): {:?}", out.iterations);
+    println!("memory pre-copy iterations (pages):{:?}", out.mem_iterations);
+    println!("freeze-phase dirty blocks/pages:   {} / {}", out.frozen_dirty, out.frozen_mem_dirty);
+    println!(
+        "post-copy: {} pushed, {} pulled, {} dropped, {} reads stalled",
+        out.pushed, out.pulled, out.dropped, out.stalled_reads
+    );
+    println!(
+        "downtime: {:?} of {:?} total ({:.1} %)",
+        out.downtime,
+        out.total,
+        100.0 * out.downtime.as_secs_f64() / out.total.as_secs_f64()
+    );
+    println!(
+        "source sent {:.1} MB ({} bytes of bitmap)",
+        out.src_ledger.total() as f64 / 1048576.0,
+        out.src_ledger.get(block_bitmap_migration::simnet::proto::Category::Bitmap),
+    );
+
+    let bad = out.inconsistent_blocks();
+    let bad_pages = out.inconsistent_pages();
+    println!(
+        "\nground-truth verification: {} / {} blocks and {} / {} RAM pages correct, {} read violations",
+        cfg.num_blocks - bad.len(),
+        cfg.num_blocks,
+        cfg.mem_pages - bad_pages.len(),
+        cfg.mem_pages,
+        out.read_violations
+    );
+    assert!(bad.is_empty(), "inconsistent blocks: {bad:?}");
+    assert!(bad_pages.is_empty(), "inconsistent pages: {bad_pages:?}");
+    assert_eq!(out.read_violations, 0);
+    println!("destination disk AND RAM are byte-identical to the guest's view — migration correct.");
+}

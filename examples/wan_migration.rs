@@ -1,0 +1,53 @@
+//! Wide-area migration ablation: the paper's scheme on a slow link.
+//!
+//! Bradford et al. (the delta-queue comparison point) target WAN
+//! migration; this example runs TPM over a 100 Mbit link and shows that
+//! the block-bitmap scheme still converges — pre-copy just takes
+//! proportionally longer, while downtime stays in the hundreds of
+//! milliseconds because the freeze phase still only carries the memory
+//! tail, the CPU context and the bitmap.
+//!
+//! ```text
+//! cargo run --release --example wan_migration
+//! ```
+
+use block_bitmap_migration::prelude::*;
+
+fn main() {
+    // Scale the disk down to 4 GiB so the WAN run stays illustrative
+    // (a 40 GB disk at ~12 MB/s would take ~an hour of virtual time —
+    // feel free to try it; it simulates in seconds).
+    let base = MigrationConfig {
+        disk_blocks: 1_048_576, // 4 GiB
+        ..MigrationConfig::paper_testbed()
+    };
+
+    println!(
+        "{:<28} {:>11} {:>14} {:>11} {:>11}",
+        "link", "total (s)", "downtime (ms)", "data (MB)", "consistent"
+    );
+    for (label, link) in [
+        ("Gigabit LAN (paper)", Link::gigabit()),
+        ("100 Mbit WAN", Link::fast_ethernet()),
+    ] {
+        let cfg = MigrationConfig {
+            link,
+            ..base.clone()
+        };
+        let out = run_tpm(cfg, WorkloadKind::Web);
+        println!(
+            "{:<28} {:>11.1} {:>14.1} {:>11.0} {:>11}",
+            label,
+            out.report.total_time_secs,
+            out.report.downtime_ms,
+            out.report.migrated_mb(),
+            out.report.consistent
+        );
+    }
+
+    println!(
+        "\nOn the WAN the pre-copy stretches with the link, but downtime stays\n\
+         bounded: freeze-and-copy still ships only the dirty-page tail, the CPU\n\
+         context and the (tiny) block-bitmap."
+    );
+}

@@ -1,0 +1,90 @@
+//! Cross-scheme invariants: the qualitative claims of §II and §III must
+//! hold between TPM and every baseline on identical scenarios.
+
+use block_bitmap_migration::migrate::baselines::{
+    dependent_availability, run_delta_queue, run_freeze_and_copy, run_on_demand,
+};
+use block_bitmap_migration::prelude::*;
+
+fn cfg() -> MigrationConfig {
+    MigrationConfig::small()
+}
+
+#[test]
+fn tpm_downtime_is_orders_of_magnitude_below_freeze_and_copy() {
+    let tpm = run_tpm(cfg(), WorkloadKind::Web).report;
+    let fc = run_freeze_and_copy(cfg(), WorkloadKind::Web);
+    assert!(fc.consistent && tpm.consistent);
+    assert!(
+        tpm.downtime_ms * 20.0 < fc.downtime_ms,
+        "TPM {} ms vs freeze-and-copy {} ms",
+        tpm.downtime_ms,
+        fc.downtime_ms
+    );
+    // Freeze-and-copy moves the theoretical minimum (no redundancy) —
+    // TPM pays a small premium for liveness.
+    assert!(tpm.ledger.total() >= fc.ledger.total());
+}
+
+#[test]
+fn on_demand_matches_shared_storage_downtime_but_never_finishes() {
+    let od = run_on_demand(cfg(), WorkloadKind::Web, SimDuration::from_secs(120));
+    let tpm = run_tpm(cfg(), WorkloadKind::Web).report;
+    // Downtime parity (both only move the CPU context + memory tail
+    // while suspended).
+    assert!(od.downtime_ms < 500.0);
+    // But the destination is still incomplete at the horizon while TPM
+    // finished completely.
+    assert!(od.residual_blocks > 0);
+    assert_eq!(tpm.residual_blocks, 0);
+    assert!(!od.consistent);
+}
+
+#[test]
+fn delta_queue_pays_for_rewrites_tpm_does_not() {
+    // The web workload rewrites ~25 % of its writes; each rewrite is a
+    // redundant delta for Bradford's scheme but free for the bitmap.
+    let dq = run_delta_queue(cfg(), WorkloadKind::Web);
+    let tpm = run_tpm(cfg(), WorkloadKind::Web).report;
+    assert!(dq.consistent && tpm.consistent);
+    assert!(dq.redundant_deltas > 0, "locality must produce redundant deltas");
+    assert!(
+        tpm.ledger.disk_total() < dq.ledger.disk_total(),
+        "tpm {} >= delta-queue {}",
+        tpm.ledger.disk_total(),
+        dq.ledger.disk_total()
+    );
+    // And TPM never blocks destination I/O; the delta queue does.
+    assert_eq!(tpm.io_blocked_secs, 0.0);
+    assert!(dq.io_blocked_secs > 0.0);
+}
+
+#[test]
+fn availability_argument() {
+    // §II-B: "Let p (p<1) stand for a machine's availability, then the
+    // migrated VM system's availability is p², which is less than p."
+    for p in [0.9, 0.99, 0.999] {
+        let single = dependent_availability(p, 1);
+        let dual = dependent_availability(p, 2);
+        assert!(dual < single);
+        assert!((dual - p * p).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn every_scheme_agrees_on_the_minimum_payload() {
+    // All consistent schemes must move at least the disk image once.
+    let min_disk = cfg().disk_bytes();
+    for report in [
+        run_tpm(cfg(), WorkloadKind::Idle).report,
+        run_freeze_and_copy(cfg(), WorkloadKind::Idle),
+        run_delta_queue(cfg(), WorkloadKind::Idle),
+    ] {
+        assert!(report.consistent, "{} inconsistent", report.scheme);
+        assert!(
+            report.ledger.disk_total() >= min_disk,
+            "{} moved less than the disk image",
+            report.scheme
+        );
+    }
+}

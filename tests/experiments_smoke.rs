@@ -1,0 +1,58 @@
+//! The repro harness must run every experiment end-to-end at CI scale
+//! and produce well-formed output — guards the (d) deliverable.
+
+use bench_suite::{experiments, Scale};
+
+#[test]
+fn every_experiment_runs_at_ci_scale() {
+    for id in experiments::ALL {
+        let res = experiments::run(id, Scale::Ci)
+            .unwrap_or_else(|| panic!("experiment {id} unknown to the dispatcher"));
+        assert_eq!(res.id, id);
+        assert!(!res.title.is_empty());
+        assert!(
+            res.human.len() > 100,
+            "{id} produced a suspiciously short rendering"
+        );
+        assert!(res.json.is_object(), "{id} must emit a JSON object");
+        assert!(
+            res.json.get("scale").is_some(),
+            "{id} JSON must record its scale"
+        );
+    }
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    assert!(experiments::run("not-an-experiment", Scale::Ci).is_none());
+}
+
+#[test]
+fn table1_ci_scale_is_consistent_and_ordered() {
+    let res = experiments::run("table1", Scale::Ci).expect("table1 exists");
+    let rows = res.json["rows"].as_array().expect("rows array");
+    assert_eq!(rows.len(), 3);
+    for row in rows {
+        assert_eq!(row["report"]["consistent"], true, "{}", row["workload"]);
+    }
+    // The diabolical server must be the slowest migration (Table I's
+    // ordering), at any scale.
+    let t = |i: usize| rows[i]["report"]["total_time_secs"].as_f64().expect("f64");
+    assert!(t(2) > t(0) && t(2) > t(1));
+}
+
+#[test]
+fn locality_ratios_track_paper_ordering() {
+    let res = experiments::run("locality", Scale::Ci).expect("locality exists");
+    let rows = res.json["rows"].as_array().expect("rows");
+    let ratio = |i: usize| rows[i]["measured"]["rewrite_ratio"].as_f64().expect("f64");
+    // kernel < web < bonnie, as in §IV-A-2.
+    assert!(ratio(0) < ratio(1), "kernel {} !< web {}", ratio(0), ratio(1));
+    assert!(ratio(1) < ratio(2), "web {} !< bonnie {}", ratio(1), ratio(2));
+}
+
+#[test]
+fn table3_holds_the_one_percent_claim() {
+    let res = experiments::run("table3", Scale::Ci).expect("table3 exists");
+    assert_eq!(res.json["holds_under_1pct"], true);
+}

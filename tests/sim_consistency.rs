@@ -1,0 +1,111 @@
+//! Cross-crate integration: the simulated TPM/IM engines must produce a
+//! consistent destination under *any* workload, seed, bitmap kind and
+//! (sane) geometry — the paper's §III "Consistency" requirement as a
+//! property.
+
+use block_bitmap_migration::prelude::*;
+use proptest::prelude::*;
+
+fn tiny_cfg(disk_blocks: usize, mem_pages: usize, seed: u64, bitmap: BitmapKind) -> MigrationConfig {
+    MigrationConfig {
+        disk_blocks,
+        mem_pages,
+        bitmap,
+        seed,
+        disk_dirty_threshold: 32,
+        mem_dirty_threshold: 64,
+        step: SimDuration::from_millis(100),
+        ..MigrationConfig::small()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// TPM leaves the destination equal to the source (modulo post-resume
+    /// writes, which the engine verifies internally) for every workload,
+    /// seed and bitmap kind.
+    #[test]
+    fn tpm_always_consistent(
+        seed in 0u64..1_000,
+        kind_idx in 0usize..5,
+        layered in proptest::bool::ANY,
+        disk_kb in 70_000usize..200_000,
+    ) {
+        let kind = WorkloadKind::ALL[kind_idx];
+        let bitmap = if layered { BitmapKind::Layered } else { BitmapKind::Flat };
+        let cfg = tiny_cfg(disk_kb / 4, 4_096, seed, bitmap);
+        let out = run_tpm(cfg, kind);
+        prop_assert!(out.report.consistent, "inconsistent: {}", out.report.summary());
+        prop_assert_eq!(out.report.residual_blocks, 0);
+        // Downtime is bounded: the point of live migration.
+        prop_assert!(out.report.downtime_ms < 2_000.0);
+        // The full disk crossed at least once.
+        prop_assert!(out.report.disk_iterations[0].units_sent as usize == disk_kb / 4);
+    }
+
+    /// A TPM → dwell → IM round trip is consistent and IM moves less
+    /// disk data than the primary.
+    #[test]
+    fn im_roundtrip_consistent_and_cheaper(
+        seed in 0u64..1_000,
+        kind_idx in 0usize..3,
+        dwell_secs in 5u64..60,
+    ) {
+        let kind = WorkloadKind::TABLE1[kind_idx];
+        let cfg = tiny_cfg(32_768, 4_096, seed, BitmapKind::Flat);
+        let mut out = run_tpm(cfg.clone(), kind);
+        let primary_disk = out.report.ledger.disk_total();
+        dwell(&mut out, &cfg, SimDuration::from_secs(dwell_secs));
+        let back = run_im(cfg, out);
+        prop_assert!(back.report.consistent, "IM inconsistent: {}", back.report.summary());
+        prop_assert!(
+            back.report.ledger.disk_total() < primary_disk,
+            "IM moved {} vs primary {}",
+            back.report.ledger.disk_total(),
+            primary_disk
+        );
+    }
+
+    /// The engine is fully deterministic: identical configs give
+    /// bit-identical reports; the bitmap kind never changes the outcome,
+    /// only its cost.
+    #[test]
+    fn deterministic_and_bitmap_kind_invariant(seed in 0u64..500, kind_idx in 0usize..3) {
+        let kind = WorkloadKind::TABLE1[kind_idx];
+        let a = run_tpm(tiny_cfg(16_384, 2_048, seed, BitmapKind::Flat), kind);
+        let b = run_tpm(tiny_cfg(16_384, 2_048, seed, BitmapKind::Flat), kind);
+        let c = run_tpm(tiny_cfg(16_384, 2_048, seed, BitmapKind::Layered), kind);
+        prop_assert_eq!(a.report.ledger.clone(), b.report.ledger.clone());
+        prop_assert_eq!(a.report.downtime_ms.to_bits(), b.report.downtime_ms.to_bits());
+        prop_assert_eq!(a.report.ledger, c.report.ledger);
+        prop_assert_eq!(
+            a.report.total_time_secs.to_bits(),
+            c.report.total_time_secs.to_bits()
+        );
+    }
+}
+
+#[test]
+fn back_to_back_im_stays_consistent() {
+    // Three consecutive round trips (the telecommute pattern).
+    let cfg = tiny_cfg(32_768, 2_048, 7, BitmapKind::Layered);
+    let mut out = run_tpm(cfg.clone(), WorkloadKind::Web);
+    assert!(out.report.consistent);
+    for _ in 0..3 {
+        dwell(&mut out, &cfg, SimDuration::from_secs(20));
+        out = run_im(cfg.clone(), out);
+        assert!(out.report.consistent);
+        assert_eq!(out.report.scheme, "im");
+    }
+}
+
+#[test]
+fn rate_limited_migration_still_consistent() {
+    let cfg = MigrationConfig {
+        rate_limit: Some(2.0 * 1024.0 * 1024.0),
+        ..tiny_cfg(16_384, 2_048, 3, BitmapKind::Flat)
+    };
+    let out = run_tpm(cfg, WorkloadKind::Video);
+    assert!(out.report.consistent);
+}
