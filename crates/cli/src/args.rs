@@ -9,7 +9,7 @@ usage:
                        [--bitmap flat|layered] [--seed N] [--json]
   vmmigrate roundtrip  --workload KIND [--scale paper|ci] [--dwell SECS] [--json]
   vmmigrate live       [--blocks N] [--workload KIND] [--rate-limit MBPS]
-                       [--seed N] [--tcp]
+                       [--seed N] [--tcp] [--faults N] [--max-reconnects N]
   vmmigrate baselines  --workload KIND [--scale paper|ci] [--json]
   vmmigrate trace record  --workload KIND --secs N --out FILE
   vmmigrate trace analyze FILE
@@ -78,6 +78,11 @@ pub struct LiveArgs {
     pub seed: u64,
     /// Run over real loopback TCP sockets instead of in-process channels.
     pub tcp: bool,
+    /// Inject this many seeded connection resets mid-migration; the
+    /// engine must reconnect and resume from the block-bitmap.
+    pub faults: u32,
+    /// Reconnect attempts permitted after the initial connection.
+    pub max_reconnects: u32,
 }
 
 impl Default for LiveArgs {
@@ -88,6 +93,8 @@ impl Default for LiveArgs {
             rate_limit_mbps: None,
             seed: 2008,
             tcp: false,
+            faults: 0,
+            max_reconnects: 3,
         }
     }
 }
@@ -182,8 +189,24 @@ fn parse_live(rest: &[String]) -> Result<LiveArgs, String> {
                     .map_err(|_| "seed must be an integer".to_string())?
             }
             "--tcp" => a.tcp = true,
+            "--faults" => {
+                a.faults = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "faults must be an integer".to_string())?
+            }
+            "--max-reconnects" => {
+                a.max_reconnects = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "max-reconnects must be an integer".to_string())?
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if a.faults > a.max_reconnects {
+        return Err(format!(
+            "{} faults cannot be survived with only {} reconnects",
+            a.faults, a.max_reconnects
+        ));
     }
     Ok(a)
 }
@@ -292,8 +315,27 @@ mod tests {
         assert!(parse(&v(&["simulate", "--rate-limit", "-3"])).is_err());
         assert!(parse(&v(&["simulate", "--rate-limit"])).is_err());
         assert!(parse(&v(&["live", "--blocks", "10"])).is_err());
+        assert!(parse(&v(&["live", "--faults", "5", "--max-reconnects", "2"])).is_err());
         assert!(parse(&v(&["trace"])).is_err());
         assert!(parse(&v(&["trace", "record", "--secs", "5"])).is_err());
+    }
+
+    #[test]
+    fn parses_live_fault_flags() {
+        let Cmd::Live(a) = parse(&v(&[
+            "live",
+            "--faults",
+            "2",
+            "--max-reconnects",
+            "4",
+            "--tcp",
+        ]))
+        .expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert_eq!(a.faults, 2);
+        assert_eq!(a.max_reconnects, 4);
+        assert!(a.tcp);
     }
 
     #[test]

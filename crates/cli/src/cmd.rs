@@ -2,9 +2,10 @@
 
 use des::{SimDuration, SimRng};
 use migrate::baselines::{run_delta_queue, run_freeze_and_copy, run_on_demand};
-use migrate::live::{run_live_migration, run_live_migration_tcp, LiveConfig};
+use migrate::live::{run_live_migration_faulty, run_live_migration_tcp_faulty, LiveConfig};
 use migrate::sim::{dwell, run_im, run_tpm};
-use migrate::{BitmapKind, MigrationConfig, MigrationReport};
+use migrate::{BitmapKind, MigrationConfig, MigrationReport, RetryPolicy};
+use simnet::fault::FaultPlan;
 use workloads::locality::analyze;
 
 use crate::args::{Cmd, LiveArgs, SimArgs};
@@ -130,13 +131,26 @@ fn run_live(a: LiveArgs) -> Result<(), String> {
         workload: a.workload,
         rate_limit: a.rate_limit_mbps.map(|m| m * MB),
         seed: a.seed,
+        retry: RetryPolicy {
+            max_reconnects: a.max_reconnects,
+            ..RetryPolicy::default()
+        },
         ..LiveConfig::test_default()
     };
-    let out = if a.tcp {
-        run_live_migration_tcp(&cfg).map_err(|e| format!("tcp setup: {e}"))?
+    // Each injected fault resets one connection attempt somewhere in its
+    // first few hundred messages (seed-deterministic), so the engine must
+    // reconnect and resume from the block-bitmap.
+    let plan = if a.faults > 0 {
+        FaultPlan::seeded_resets(a.seed, a.faults, 10, 200)
     } else {
-        run_live_migration(&cfg)
+        FaultPlan::none()
     };
+    let out = if a.tcp {
+        run_live_migration_tcp_faulty(&cfg, plan)
+    } else {
+        run_live_migration_faulty(&cfg, plan)
+    }
+    .map_err(|e| format!("migration failed: {e}"))?;
     println!(
         "live migration{}: disk iters {:?}, mem iters {:?}, frozen dirty {}+{}p, downtime {:?} of {:?}",
         if a.tcp { " (TCP)" } else { "" },
@@ -147,6 +161,12 @@ fn run_live(a: LiveArgs) -> Result<(), String> {
         out.downtime,
         out.total
     );
+    if out.reconnects > 0 {
+        println!(
+            "fault recovery: {} reconnects, resumed with {:?} owed blocks per retry",
+            out.reconnects, out.resume_owed
+        );
+    }
     println!(
         "post-copy: {} pushed, {} pulled, {} dropped; src sent {:.1} MB",
         out.pushed,

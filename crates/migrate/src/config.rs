@@ -1,7 +1,47 @@
 //! Migration engine configuration.
 
+use std::time::Duration;
+
 use des::SimDuration;
 use simnet::Link;
+
+/// How the live engine recovers from transport failures.
+///
+/// A mid-stream connection failure is not fatal: the source reconnects
+/// with exponential-free fixed backoff, the two sides exchange a
+/// [`simnet::proto::MigMessage::ResumeFrom`] bitmap, and only the blocks
+/// and pages the destination is still missing are retransmitted — the
+/// paper's Incremental Migration mechanism reused as crash recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Reconnect attempts permitted after the initial connection.
+    pub max_reconnects: u32,
+    /// Wall-clock pause before each reconnect attempt.
+    pub backoff: Duration,
+    /// A protocol phase that makes no progress for this long is declared
+    /// dead (the peer is connected but stuck).
+    pub phase_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_reconnects: 3,
+            backoff: Duration::from_millis(25),
+            phase_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No recovery: the first transport failure ends the migration.
+    pub fn none() -> Self {
+        Self {
+            max_reconnects: 0,
+            ..Self::default()
+        }
+    }
+}
 
 /// Which bitmap structure tracks dirty blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

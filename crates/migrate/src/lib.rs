@@ -47,5 +47,5 @@ pub mod live;
 mod report;
 pub mod sim;
 
-pub use config::{BitmapKind, MigrationConfig};
+pub use config::{BitmapKind, MigrationConfig, RetryPolicy};
 pub use report::{IterationStats, MigrationReport, PhaseTimings, PostCopyStats};

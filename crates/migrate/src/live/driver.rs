@@ -2,6 +2,7 @@
 //! with suspend/resume orchestration and end-to-end stamp verification.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -55,6 +56,7 @@ enum Phase {
 struct CtlInner {
     state: Mutex<CtlState>,
     cv: Condvar,
+    ticks: AtomicU64,
 }
 
 struct CtlState {
@@ -98,6 +100,13 @@ impl DriverCtl {
         st.resumed_at = Some(now);
         self.0.cv.notify_all();
         now
+    }
+
+    /// Guest ticks completed while running (workload ops + memory
+    /// writes). Monotonic; lets the engine wait for guaranteed guest
+    /// progress between protocol phases without sleeping blind.
+    pub fn ticks(&self) -> u64 {
+        self.0.ticks.load(Ordering::Acquire)
     }
 
     fn request_stop(&self) {
@@ -157,6 +166,7 @@ impl DriverHandle {
                 resumed_at: None,
             }),
             cv: Condvar::new(),
+            ticks: AtomicU64::new(0),
         }));
         let thread_ctl = ctl.clone();
         let join = std::thread::spawn(move || {
@@ -225,6 +235,7 @@ impl DriverHandle {
                     stamp += 1;
                     res.mem_writes += 1;
                 }
+                thread_ctl.0.ticks.fetch_add(1, Ordering::Release);
                 std::thread::sleep(tick_wall);
             }
         });

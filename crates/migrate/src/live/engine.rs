@@ -1,21 +1,42 @@
 //! Live migration orchestration: source and destination protocol threads.
+//!
+//! Both protocol engines are **resumable**: they never hold a transport
+//! across a failure. All progress lives in an explicit state value; when
+//! the link dies mid-stream the engine asks its
+//! [`Connector`](crate::live::connect::Connector) for a fresh connection,
+//! the two sides exchange a [`MigMessage::SessionHello`] /
+//! [`MigMessage::ResumeFrom`] handshake, and only the blocks and pages
+//! whose delivery the failed session left uncertain are retransmitted —
+//! the paper's block-bitmap doubling as the crash-recovery ledger.
+//!
+//! The resume rule per failed session: the source tracks what it *sent*
+//! that session, the destination reports what it *received* that
+//! session; their difference (plus whatever worklist was pending) is
+//! owed. During post-copy the destination's still-needed bitmap is
+//! authoritative instead. Re-sent blocks are re-read from the current
+//! disk, so a resend can never apply stale data.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use block_bitmap::{ser, AtomicBitmap, DirtyMap, FlatBitmap};
 use bytes::Bytes;
-use crossbeam::channel::unbounded;
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use des::SimDuration;
-use simnet::proto::{MigMessage, TransferLedger};
-use simnet::tcp::loopback_pair;
-use simnet::transport::{duplex, Transport, TransportError};
-use vdisk::{stamp_bytes, DomainId, TrackedDisk, VirtualDisk};
+use simnet::fault::FaultPlan;
+use simnet::proto::{MigMessage, ResumePhase, TransferLedger};
+use simnet::transport::{Transport, TransportError};
+use vdisk::{stamp_bytes, DomainId, TrackedDisk, TrackerHandle, VirtualDisk};
 use vmstate::LiveRam;
 use workloads::WorkloadKind;
 
+use crate::config::RetryPolicy;
+use crate::live::connect::{
+    duplex_connector_pair, Connector, OnceConnector, TcpDestConnector, TcpSourceConnector,
+};
 use crate::live::driver::{DriverCtl, DriverHandle, DriverResult, LiveWorkload};
+use crate::live::error::MigrationError;
 use crate::live::io::{DestIo, SourceIo};
 
 /// The migrated guest's domain id in live mode.
@@ -55,6 +76,13 @@ pub struct LiveConfig {
     pub mem_batch: usize,
     /// Seed for the guest's op stream.
     pub seed: u64,
+    /// Minimum guest driver ticks between disk pre-copy convergence and
+    /// the suspend request. Non-zero values guarantee a writing workload
+    /// dirties blocks into the freeze bitmap (deterministic
+    /// `frozen_dirty > 0` instead of racing the guest thread).
+    pub min_guest_ticks: u64,
+    /// Transport failure recovery policy.
+    pub retry: RetryPolicy,
 }
 
 impl LiveConfig {
@@ -77,6 +105,8 @@ impl LiveConfig {
             max_mem_iterations: 8,
             mem_batch: 128,
             seed: 2008,
+            min_guest_ticks: 0,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -103,6 +133,13 @@ pub struct LiveOutcome {
     pub dropped: u64,
     /// Guest reads that stalled on a pull.
     pub stalled_reads: u64,
+    /// Reconnections performed after mid-stream transport failures.
+    pub reconnects: u32,
+    /// Disk blocks scheduled for retransmission at each reconnect: the
+    /// failed session's sent-but-unacknowledged set during pre-copy, the
+    /// destination's still-needed bitmap during post-copy. Each entry far
+    /// below `num_blocks` is the resume-efficiency win over restarting.
+    pub resume_owed: Vec<u64>,
     /// Bytes sent by the source, per category.
     pub src_ledger: TransferLedger,
     /// Bytes sent by the destination (pull requests, completion).
@@ -150,9 +187,7 @@ impl LiveOutcome {
     }
 }
 
-/// Run a primary live migration with freshly created disks: the source
-/// holds the stamp-0 image, the destination is blank.
-pub fn run_live_migration(cfg: &LiveConfig) -> LiveOutcome {
+fn fresh_disks(cfg: &LiveConfig) -> (Arc<TrackedDisk>, Arc<TrackedDisk>) {
     let src = Arc::new(TrackedDisk::new(Arc::new(VirtualDisk::dense(
         cfg.block_size,
         cfg.num_blocks,
@@ -164,7 +199,25 @@ pub fn run_live_migration(cfg: &LiveConfig) -> LiveOutcome {
         cfg.block_size,
         cfg.num_blocks,
     ))));
+    (src, dst)
+}
+
+/// Run a primary live migration with freshly created disks: the source
+/// holds the stamp-0 image, the destination is blank.
+pub fn run_live_migration(cfg: &LiveConfig) -> Result<LiveOutcome, MigrationError> {
+    let (src, dst) = fresh_disks(cfg);
     run_live_migration_with(cfg, src, dst, None)
+}
+
+/// Run a primary live migration with a deterministic transport fault
+/// schedule. Faults are evaluated on source sends; each reconnect gets
+/// the plan's faults for its attempt number.
+pub fn run_live_migration_faulty(
+    cfg: &LiveConfig,
+    plan: FaultPlan,
+) -> Result<LiveOutcome, MigrationError> {
+    let (src, dst) = fresh_disks(cfg);
+    run_live_migration_with_faults(cfg, src, dst, None, plan)
 }
 
 /// Run a live migration between existing disks. `initial_bitmap` enables
@@ -176,38 +229,49 @@ pub fn run_live_migration_with(
     src: Arc<TrackedDisk>,
     dst: Arc<TrackedDisk>,
     initial_bitmap: Option<FlatBitmap>,
-) -> LiveOutcome {
-    let (mut src_ep, dst_ep) = duplex();
-    if let Some(limit) = cfg.rate_limit {
-        src_ep.set_rate_limit(limit);
-    }
-    run_live_migration_over(cfg, src, dst, initial_bitmap, src_ep, dst_ep)
+) -> Result<LiveOutcome, MigrationError> {
+    run_live_migration_with_faults(cfg, src, dst, initial_bitmap, FaultPlan::none())
+}
+
+/// Run a live migration between existing disks under a fault plan.
+pub fn run_live_migration_with_faults(
+    cfg: &LiveConfig,
+    src: Arc<TrackedDisk>,
+    dst: Arc<TrackedDisk>,
+    initial_bitmap: Option<FlatBitmap>,
+    plan: FaultPlan,
+) -> Result<LiveOutcome, MigrationError> {
+    let (src_conn, dst_conn) = duplex_connector_pair(plan, cfg.rate_limit);
+    run_live_migration_connected(cfg, src, dst, initial_bitmap, src_conn, dst_conn)
 }
 
 /// Run a primary live migration over **real TCP sockets** on the loopback
 /// interface — the protocol crosses an actual network stack, framed by
 /// `simnet::codec`, exactly as it would between two hosts.
-pub fn run_live_migration_tcp(cfg: &LiveConfig) -> std::io::Result<LiveOutcome> {
-    let src = Arc::new(TrackedDisk::new(Arc::new(VirtualDisk::dense(
-        cfg.block_size,
-        cfg.num_blocks,
-    ))));
-    for b in 0..cfg.num_blocks {
-        src.disk().write_block(b, &stamp_bytes(b, 0, cfg.block_size));
-    }
-    let dst = Arc::new(TrackedDisk::new(Arc::new(VirtualDisk::dense(
-        cfg.block_size,
-        cfg.num_blocks,
-    ))));
-    let (mut src_ep, dst_ep) = loopback_pair()?;
-    if let Some(limit) = cfg.rate_limit {
-        src_ep.set_rate_limit(limit);
-    }
-    Ok(run_live_migration_over(cfg, src, dst, None, src_ep, dst_ep))
+pub fn run_live_migration_tcp(cfg: &LiveConfig) -> Result<LiveOutcome, MigrationError> {
+    run_live_migration_tcp_faulty(cfg, FaultPlan::none())
 }
 
-/// Run a live migration between existing disks over any pair of
-/// connected [`Transport`]s.
+/// TCP migration with injected faults: the source side's transport is
+/// wrapped per attempt; a fired fault also severs the real socket, so
+/// the destination observes it as a genuine dead stream.
+pub fn run_live_migration_tcp_faulty(
+    cfg: &LiveConfig,
+    plan: FaultPlan,
+) -> Result<LiveOutcome, MigrationError> {
+    let (src, dst) = fresh_disks(cfg);
+    let dst_conn = TcpDestConnector::bind("127.0.0.1:0", cfg.retry.clone())?;
+    let addr = dst_conn.local_addr()?.to_string();
+    let mut src_conn = TcpSourceConnector::new(addr, plan, cfg.retry.clone());
+    if let Some(limit) = cfg.rate_limit {
+        src_conn = src_conn.with_rate_limit(limit);
+    }
+    run_live_migration_connected(cfg, src, dst, None, src_conn, dst_conn)
+}
+
+/// Run a live migration between existing disks over a pre-connected pair
+/// of [`Transport`]s. No reconnection is possible on a fixed pair: the
+/// first mid-stream failure surfaces as [`MigrationError`].
 pub fn run_live_migration_over<S, D>(
     cfg: &LiveConfig,
     src: Arc<TrackedDisk>,
@@ -215,10 +279,34 @@ pub fn run_live_migration_over<S, D>(
     initial_bitmap: Option<FlatBitmap>,
     src_ep: S,
     dst_ep: D,
-) -> LiveOutcome
+) -> Result<LiveOutcome, MigrationError>
 where
     S: Transport + 'static,
     D: Transport + 'static,
+{
+    run_live_migration_connected(
+        cfg,
+        src,
+        dst,
+        initial_bitmap,
+        OnceConnector::new(src_ep),
+        OnceConnector::new(dst_ep),
+    )
+}
+
+/// Run a live migration between existing disks, drawing each connection
+/// attempt from the given connectors.
+pub fn run_live_migration_connected<CS, CD>(
+    cfg: &LiveConfig,
+    src: Arc<TrackedDisk>,
+    dst: Arc<TrackedDisk>,
+    initial_bitmap: Option<FlatBitmap>,
+    src_conn: CS,
+    dst_conn: CD,
+) -> Result<LiveOutcome, MigrationError>
+where
+    CS: Connector + 'static,
+    CD: Connector + 'static,
 {
     assert_eq!(src.disk().num_blocks(), cfg.num_blocks);
     assert_eq!(dst.disk().num_blocks(), cfg.num_blocks);
@@ -249,14 +337,14 @@ where
         let src = Arc::clone(&src);
         let ram = Arc::clone(&src_ram);
         let ctl = driver.ctl();
-        std::thread::spawn(move || source_protocol(&cfg, src, ram, src_ep, ctl, initial_bitmap))
+        std::thread::spawn(move || source_protocol(&cfg, &src, &ram, src_conn, &ctl, initial_bitmap))
     };
     let dst_thread = {
         let cfg = cfg.clone();
         let dst = Arc::clone(&dst);
         let ram = Arc::clone(&dst_ram);
         let ctl = driver.ctl();
-        std::thread::spawn(move || dest_protocol(&cfg, dst, ram, dst_ep, ctl))
+        std::thread::spawn(move || dest_protocol(&cfg, &dst, &ram, dst_conn, &ctl))
     };
 
     let src_res = src_thread.join().expect("source protocol panicked");
@@ -268,8 +356,12 @@ where
         read_violations,
         ..
     } = driver.finish();
+    let (src_res, dst_res) = match (src_res, dst_res) {
+        (Ok(s), Ok(d)) => (s, d),
+        (Err(e), _) | (_, Err(e)) => return Err(e),
+    };
 
-    LiveOutcome {
+    Ok(LiveOutcome {
         downtime: dst_res.resumed_at - src_res.suspended_at,
         total,
         iterations: src_res.iterations,
@@ -280,6 +372,8 @@ where
         pulled: dst_res.pulled,
         dropped: dst_res.dropped,
         stalled_reads: dst_res.stalled_reads,
+        reconnects: src_res.reconnects,
+        resume_owed: src_res.resume_owed,
         src_ledger: src_res.ledger,
         dst_ledger: dst_res.ledger,
         dst_disk: dst,
@@ -289,16 +383,82 @@ where
         new_bitmap: dst_res.new_bitmap,
         model,
         read_violations,
+    })
+}
+
+/// How one protocol session ended short of completion.
+enum SessionError {
+    /// The connection died; reconnect and resume.
+    Reconnect(TransportError),
+    /// Unrecoverable: protocol violation, stuck peer, bad state.
+    Fatal(MigrationError),
+}
+
+/// Map a transport failure: dead connections are reconnectable,
+/// anything else (`Empty` misuse) is a protocol-level bug.
+fn classify(phase: &'static str, e: TransportError) -> SessionError {
+    if e.is_fatal() {
+        SessionError::Reconnect(e)
+    } else {
+        SessionError::Fatal(MigrationError::Transport { phase, error: e })
     }
 }
 
-struct SourceResult {
-    iterations: Vec<u64>,
-    mem_iterations: Vec<u64>,
-    frozen_mem_dirty: u64,
-    frozen_dirty: u64,
-    suspended_at: Instant,
-    ledger: TransferLedger,
+fn send_or<T: Transport>(
+    ep: &T,
+    phase: &'static str,
+    msg: MigMessage,
+) -> Result<(), SessionError> {
+    ep.send(msg).map_err(|e| classify(phase, e))
+}
+
+/// Blocking receive with the phase timeout: a peer that stays connected
+/// but silent for the whole window is declared stuck (fatal), a dead
+/// connection triggers a reconnect.
+fn recv_or<T: Transport>(
+    ep: &T,
+    phase: &'static str,
+    timeout: Duration,
+) -> Result<MigMessage, SessionError> {
+    match ep.recv_timeout(timeout) {
+        Ok(msg) => Ok(msg),
+        Err(TransportError::Timeout) => Err(SessionError::Fatal(MigrationError::Timeout {
+            phase,
+            waited: timeout,
+        })),
+        Err(e) => Err(classify(phase, e)),
+    }
+}
+
+fn protocol_err(phase: &'static str, detail: String) -> SessionError {
+    SessionError::Fatal(MigrationError::Protocol { phase, detail })
+}
+
+fn decode_bitmap(phase: &'static str, encoded: &Bytes) -> Result<FlatBitmap, SessionError> {
+    ser::decode(encoded).map_err(|e| protocol_err(phase, format!("undecodable bitmap: {e:?}")))
+}
+
+/// Union of `extra` indices and a `current` worklist, deduplicated and
+/// sorted via a scratch bitmap over `nbits` slots.
+fn merged_worklist(
+    nbits: usize,
+    extra: impl IntoIterator<Item = usize>,
+    current: &[usize],
+) -> Vec<usize> {
+    let mut bm = FlatBitmap::new(nbits);
+    for b in extra {
+        bm.set(b);
+    }
+    for &b in current {
+        bm.set(b);
+    }
+    bm.to_indices()
+}
+
+/// Indices marked in `shipped` but not in `got`: sent during the failed
+/// session with no proof of delivery, hence owed on resume.
+fn owed_indices(shipped: &FlatBitmap, got: &FlatBitmap) -> Vec<usize> {
+    shipped.iter_set().filter(|&b| !got.get(b)).collect()
 }
 
 fn read_batch(disk: &TrackedDisk, blocks: &[usize], block_size: usize) -> Bytes {
@@ -309,204 +469,662 @@ fn read_batch(disk: &TrackedDisk, blocks: &[usize], block_size: usize) -> Bytes 
     Bytes::from(payload)
 }
 
-fn send_block_set(
-    ep: &impl Transport,
+/// Drain a disk worklist into `DiskBlocks` batches, marking each block
+/// in the session-shipped set *before* its send is attempted (delivery
+/// of an errored send is unknown — assume sent, let the destination's
+/// receipt report settle it). On failure the unsent remainder stays in
+/// the worklist.
+fn send_disk_worklist<T: Transport>(
+    ep: &T,
     disk: &TrackedDisk,
-    blocks: &[usize],
+    worklist: &mut Vec<usize>,
+    shipped: &mut FlatBitmap,
     block_size: usize,
     batch: usize,
-) {
-    for chunk in blocks.chunks(batch.max(1)) {
+    phase: &'static str,
+) -> Result<(), SessionError> {
+    let mut done = 0;
+    let res = loop {
+        if done >= worklist.len() {
+            break Ok(());
+        }
+        let end = (done + batch.max(1)).min(worklist.len());
+        let chunk = &worklist[done..end];
+        for &b in chunk {
+            shipped.set(b);
+        }
         let payload = read_batch(disk, chunk, block_size);
-        ep.send(MigMessage::DiskBlocks {
+        match ep.send(MigMessage::DiskBlocks {
             blocks: chunk.iter().map(|&b| b as u64).collect(),
             payload_len: payload.len() as u64,
             payload: Some(payload),
-        })
-        .expect("destination alive");
-    }
+        }) {
+            Ok(()) => done = end,
+            Err(e) => break Err(classify(phase, e)),
+        }
+    };
+    worklist.drain(..done);
+    res
 }
 
-fn send_page_set(ep: &impl Transport, ram: &LiveRam, pages: &[usize], batch: usize) {
-    for chunk in pages.chunks(batch.max(1)) {
+/// `MemPages` analogue of [`send_disk_worklist`].
+fn send_page_worklist<T: Transport>(
+    ep: &T,
+    ram: &LiveRam,
+    worklist: &mut Vec<usize>,
+    shipped: &mut FlatBitmap,
+    batch: usize,
+    phase: &'static str,
+) -> Result<(), SessionError> {
+    let mut done = 0;
+    let res = loop {
+        if done >= worklist.len() {
+            break Ok(());
+        }
+        let end = (done + batch.max(1)).min(worklist.len());
+        let chunk = &worklist[done..end];
+        for &p in chunk {
+            shipped.set(p);
+        }
         let payload = Bytes::from(ram.read_pages(chunk));
-        ep.send(MigMessage::MemPages {
+        match ep.send(MigMessage::MemPages {
             pages: chunk.iter().map(|&p| p as u64).collect(),
             payload_len: payload.len() as u64,
             payload: Some(payload),
-        })
-        .expect("destination alive");
+        }) {
+            Ok(()) => done = end,
+            Err(e) => break Err(classify(phase, e)),
+        }
+    };
+    worklist.drain(..done);
+    res
+}
+
+/// Where the source protocol stands; advanced only on confirmed sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SrcPhase {
+    DiskPrecopy,
+    MemPrecopy,
+    Frozen,
+    PostCopy,
+}
+
+/// All source-side progress, held *outside* any connection so a dead
+/// transport loses nothing but in-flight frames.
+struct SourceState {
+    phase: SrcPhase,
+    session_id: u64,
+    prepared: bool,
+    // Disk pre-copy.
+    disk_worklist: Vec<usize>,
+    disk_resend: Vec<usize>,
+    session_disk_shipped: FlatBitmap,
+    iterations: Vec<u64>,
+    iter_bm: Arc<AtomicBitmap>,
+    tracker: Option<TrackerHandle>,
+    converged_at_tick: Option<u64>,
+    // Memory pre-copy.
+    mem_started: bool,
+    mem_worklist: Vec<usize>,
+    session_mem_shipped: FlatBitmap,
+    mem_iterations: Vec<u64>,
+    // Freeze.
+    dest_suspended: bool,
+    suspended_at: Option<Instant>,
+    frozen_bitmap: FlatBitmap,
+    frozen_dirty: u64,
+    tail_worklist: Vec<usize>,
+    frozen_mem_dirty: u64,
+    // Post-copy.
+    src_bm: FlatBitmap,
+    cursor: usize,
+    push_complete_sent: bool,
+    // Accounting.
+    ledger: TransferLedger,
+    reconnects: u32,
+    resume_owed: Vec<u64>,
+}
+
+impl SourceState {
+    fn new(cfg: &LiveConfig, initial_bitmap: Option<&FlatBitmap>) -> Self {
+        let disk_worklist = match initial_bitmap {
+            Some(bm) => bm.to_indices(),
+            None => (0..cfg.num_blocks).collect(),
+        };
+        Self {
+            phase: SrcPhase::DiskPrecopy,
+            session_id: cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            prepared: false,
+            disk_worklist,
+            disk_resend: Vec::new(),
+            session_disk_shipped: FlatBitmap::new(cfg.num_blocks),
+            iterations: Vec::new(),
+            iter_bm: Arc::new(AtomicBitmap::new(cfg.num_blocks)),
+            tracker: None,
+            converged_at_tick: None,
+            mem_started: false,
+            mem_worklist: Vec::new(),
+            session_mem_shipped: FlatBitmap::new(cfg.mem_pages),
+            mem_iterations: Vec::new(),
+            dest_suspended: false,
+            suspended_at: None,
+            frozen_bitmap: FlatBitmap::new(cfg.num_blocks),
+            frozen_dirty: 0,
+            tail_worklist: Vec::new(),
+            frozen_mem_dirty: 0,
+            src_bm: FlatBitmap::new(cfg.num_blocks),
+            cursor: 0,
+            push_complete_sent: false,
+            ledger: TransferLedger::new(),
+            reconnects: 0,
+            resume_owed: Vec::new(),
+        }
     }
 }
 
-fn source_protocol(
-    cfg: &LiveConfig,
-    disk: Arc<TrackedDisk>,
-    ram: Arc<LiveRam>,
-    ep: impl Transport,
-    ctl: DriverCtl,
-    initial_bitmap: Option<FlatBitmap>,
-) -> SourceResult {
-    ep.send(MigMessage::PrepareVbd {
-        block_size: cfg.block_size as u32,
-        num_blocks: cfg.num_blocks as u64,
-    })
-    .expect("destination alive");
-    assert_eq!(ep.recv().expect("ack"), MigMessage::PrepareAck);
+struct SourceResult {
+    iterations: Vec<u64>,
+    mem_iterations: Vec<u64>,
+    frozen_mem_dirty: u64,
+    frozen_dirty: u64,
+    suspended_at: Instant,
+    ledger: TransferLedger,
+    reconnects: u32,
+    resume_owed: Vec<u64>,
+}
 
+fn source_protocol<C: Connector>(
+    cfg: &LiveConfig,
+    disk: &Arc<TrackedDisk>,
+    ram: &Arc<LiveRam>,
+    mut connector: C,
+    ctl: &DriverCtl,
+    initial_bitmap: Option<FlatBitmap>,
+) -> Result<SourceResult, MigrationError> {
+    let mut st = SourceState::new(cfg, initial_bitmap.as_ref());
     // "Signal blkback to start monitoring write accesses."
-    let iter_bm = Arc::new(AtomicBitmap::new(cfg.num_blocks));
-    let tracker = disk.attach_tracker(Arc::clone(&iter_bm), Some(GUEST));
+    st.tracker = Some(disk.attach_tracker(Arc::clone(&st.iter_bm), Some(GUEST)));
     disk.enable_tracking();
 
-    // Iterative pre-copy. IM: ship only the inherited bitmap's blocks.
-    let mut to_send: Vec<usize> = match &initial_bitmap {
-        Some(bm) => bm.to_indices(),
-        None => (0..cfg.num_blocks).collect(),
-    };
-    let mut iterations = Vec::new();
-    let final_bitmap = loop {
-        let iter = iterations.len() as u32 + 1;
-        send_block_set(&ep, &disk, &to_send, cfg.block_size, cfg.batch);
-        iterations.push(to_send.len() as u64);
-        let snap = iter_bm.snapshot_and_clear();
-        let count = snap.count_ones();
-        if count <= cfg.dirty_threshold || iter >= cfg.max_iterations {
-            break snap;
+    let mut attempt: u32 = 0;
+    let mut last_failure = String::new();
+    let result = loop {
+        if attempt > cfg.retry.max_reconnects {
+            break Err(MigrationError::RetriesExhausted {
+                attempts: attempt,
+                last: last_failure,
+            });
         }
-        to_send = snap.to_indices();
+        if attempt > 0 {
+            std::thread::sleep(cfg.retry.backoff);
+            st.reconnects += 1;
+        }
+        let ep = match connector.connect(attempt) {
+            Ok(ep) => ep,
+            Err(e) => break Err(e),
+        };
+        let session = run_source_session(cfg, disk, ram, &ep, ctl, &mut st, attempt);
+        st.ledger.merge(&ep.sent_ledger());
+        match session {
+            Ok(()) => {
+                break Ok(SourceResult {
+                    iterations: std::mem::take(&mut st.iterations),
+                    mem_iterations: std::mem::take(&mut st.mem_iterations),
+                    frozen_mem_dirty: st.frozen_mem_dirty,
+                    frozen_dirty: st.frozen_dirty,
+                    suspended_at: st
+                        .suspended_at
+                        .expect("completed migrations pass through freeze"),
+                    ledger: std::mem::take(&mut st.ledger),
+                    reconnects: st.reconnects,
+                    resume_owed: std::mem::take(&mut st.resume_owed),
+                })
+            }
+            Err(SessionError::Fatal(e)) => break Err(e),
+            Err(SessionError::Reconnect(te)) => {
+                last_failure = te.to_string();
+                attempt += 1;
+            }
+        }
     };
+    connector.abort();
+    if result.is_err() {
+        // A failed migration leaves the guest on the source: stop paying
+        // the write-interception cost.
+        if let Some(h) = st.tracker.take() {
+            disk.detach_tracker(h);
+        }
+        disk.disable_tracking();
+    }
+    result
+}
 
+/// Handshake + reconcile + drive the protocol to completion (or the next
+/// failure) on one connection.
+fn run_source_session<T: Transport>(
+    cfg: &LiveConfig,
+    disk: &Arc<TrackedDisk>,
+    ram: &Arc<LiveRam>,
+    ep: &T,
+    ctl: &DriverCtl,
+    st: &mut SourceState,
+    attempt: u32,
+) -> Result<(), SessionError> {
+    send_or(
+        ep,
+        "handshake",
+        MigMessage::SessionHello {
+            session_id: st.session_id,
+            attempt,
+        },
+    )?;
+    let resume = recv_or(ep, "handshake", cfg.retry.phase_timeout)?;
+    let MigMessage::ResumeFrom {
+        phase: dest_phase,
+        disk_bitmap,
+        mem_bitmap,
+    } = resume
+    else {
+        return Err(protocol_err(
+            "handshake",
+            format!("expected ResumeFrom, got {resume:?}"),
+        ));
+    };
+    if attempt == 0 && dest_phase != ResumePhase::AwaitPrepare {
+        return Err(protocol_err(
+            "handshake",
+            format!("destination claims {dest_phase:?} on the initial connection"),
+        ));
+    }
+    reconcile_source(cfg, st, attempt, dest_phase, &disk_bitmap, &mem_bitmap)?;
+
+    if !st.prepared {
+        send_or(
+            ep,
+            "prepare",
+            MigMessage::PrepareVbd {
+                block_size: cfg.block_size as u32,
+                num_blocks: cfg.num_blocks as u64,
+            },
+        )?;
+        match recv_or(ep, "prepare", cfg.retry.phase_timeout)? {
+            MigMessage::PrepareAck => st.prepared = true,
+            other => {
+                return Err(protocol_err(
+                    "prepare",
+                    format!("expected PrepareAck, got {other:?}"),
+                ))
+            }
+        }
+    }
+
+    loop {
+        match st.phase {
+            SrcPhase::DiskPrecopy => source_disk_precopy(cfg, disk, ep, ctl, st)?,
+            SrcPhase::MemPrecopy => source_mem_precopy(cfg, disk, ram, ep, st)?,
+            SrcPhase::Frozen => source_freeze(cfg, disk, ram, ep, ctl, st)?,
+            SrcPhase::PostCopy => return source_post_copy(cfg, disk, ep, st),
+        }
+    }
+}
+
+/// Fold the destination's receipt report into the source state: decide
+/// what the failed session left owed, and where to restart.
+fn reconcile_source(
+    cfg: &LiveConfig,
+    st: &mut SourceState,
+    attempt: u32,
+    dest_phase: ResumePhase,
+    disk_bitmap: &Bytes,
+    mem_bitmap: &Bytes,
+) -> Result<(), SessionError> {
+    // Only actual resumes contribute a resume_owed entry; the initial
+    // handshake has nothing owed by construction.
+    let record_owed = attempt > 0;
+    match dest_phase {
+        ResumePhase::AwaitPrepare => {
+            if st.prepared {
+                return Err(protocol_err(
+                    "handshake",
+                    "destination lost its prepared state".to_string(),
+                ));
+            }
+            // Nothing the destination ever acknowledged: everything the
+            // failed sessions attempted rejoins the worklist.
+            let owed = st.session_disk_shipped.to_indices();
+            if record_owed {
+                st.resume_owed.push(owed.len() as u64);
+            }
+            st.disk_worklist = merged_worklist(cfg.num_blocks, owed, &st.disk_worklist);
+        }
+        ResumePhase::Precopy | ResumePhase::Frozen => {
+            let got_blocks = decode_bitmap("handshake", disk_bitmap)?;
+            let got_pages = decode_bitmap("handshake", mem_bitmap)?;
+            let disk_owed = owed_indices(&st.session_disk_shipped, &got_blocks);
+            let mem_owed = owed_indices(&st.session_mem_shipped, &got_pages);
+            if record_owed {
+                st.resume_owed.push(disk_owed.len() as u64);
+            }
+            if dest_phase == ResumePhase::Frozen
+                && matches!(st.phase, SrcPhase::DiskPrecopy | SrcPhase::MemPrecopy)
+            {
+                return Err(protocol_err(
+                    "handshake",
+                    "destination is frozen but the source never suspended".to_string(),
+                ));
+            }
+            match st.phase {
+                SrcPhase::DiskPrecopy => {
+                    st.disk_worklist =
+                        merged_worklist(cfg.num_blocks, disk_owed, &st.disk_worklist);
+                }
+                SrcPhase::MemPrecopy => {
+                    st.disk_resend = merged_worklist(cfg.num_blocks, disk_owed, &st.disk_resend);
+                    st.mem_worklist = merged_worklist(cfg.mem_pages, mem_owed, &st.mem_worklist);
+                }
+                SrcPhase::Frozen | SrcPhase::PostCopy => {
+                    st.disk_resend = merged_worklist(cfg.num_blocks, disk_owed, &st.disk_resend);
+                    st.tail_worklist = merged_worklist(cfg.mem_pages, mem_owed, &st.tail_worklist);
+                    // Post-copy progress is void if the destination never
+                    // resumed: the freeze payloads must go again, and the
+                    // push set reverts to the full frozen bitmap (re-read
+                    // at push time, so content stays current).
+                    st.phase = SrcPhase::Frozen;
+                    st.dest_suspended = dest_phase == ResumePhase::Frozen;
+                }
+            }
+        }
+        ResumePhase::PostCopy => {
+            if st.phase != SrcPhase::PostCopy {
+                return Err(protocol_err(
+                    "handshake",
+                    "destination resumed but the source never shipped the bitmap".to_string(),
+                ));
+            }
+            // The destination's still-needed set is authoritative.
+            st.src_bm = decode_bitmap("handshake", disk_bitmap)?;
+            st.cursor = 0;
+            st.push_complete_sent = false;
+            if record_owed {
+                st.resume_owed.push(st.src_bm.count_ones() as u64);
+            }
+        }
+    }
+    st.session_disk_shipped.clear_all();
+    st.session_mem_shipped.clear_all();
+    Ok(())
+}
+
+fn source_disk_precopy<T: Transport>(
+    cfg: &LiveConfig,
+    disk: &Arc<TrackedDisk>,
+    ep: &T,
+    ctl: &DriverCtl,
+    st: &mut SourceState,
+) -> Result<(), SessionError> {
+    // Iterative pre-copy. IM: iteration 1 ships only the inherited
+    // bitmap's blocks (or everything on a primary migration).
+    loop {
+        let iter = st.iterations.len() as u32 + 1;
+        let count = st.disk_worklist.len() as u64;
+        send_disk_worklist(
+            ep,
+            disk,
+            &mut st.disk_worklist,
+            &mut st.session_disk_shipped,
+            cfg.block_size,
+            cfg.batch,
+            "disk pre-copy",
+        )?;
+        st.iterations.push(count);
+        let snap = st.iter_bm.snapshot_and_clear();
+        let dirty = snap.count_ones();
+        if dirty <= cfg.dirty_threshold || iter >= cfg.max_iterations {
+            // The residual set is NOT sent: it becomes the freeze-phase
+            // bitmap (the paper ships the bitmap, not the blocks).
+            st.frozen_bitmap = snap;
+            st.converged_at_tick = Some(ctl.ticks());
+            st.phase = SrcPhase::MemPrecopy;
+            return Ok(());
+        }
+        st.disk_worklist = snap.to_indices();
+    }
+}
+
+fn source_mem_precopy<T: Transport>(
+    cfg: &LiveConfig,
+    disk: &Arc<TrackedDisk>,
+    ram: &Arc<LiveRam>,
+    ep: &T,
+    st: &mut SourceState,
+) -> Result<(), SessionError> {
+    // Converged disk content lost by a failed session goes first; the
+    // destination applies DiskBlocks the same way in every pre-freeze
+    // state.
+    send_disk_worklist(
+        ep,
+        disk,
+        &mut st.disk_resend,
+        &mut st.session_disk_shipped,
+        cfg.block_size,
+        cfg.batch,
+        "memory pre-copy",
+    )?;
+    if !st.mem_started {
+        ram.enable_tracking();
+        st.mem_worklist = (0..cfg.mem_pages).collect();
+        st.mem_started = true;
+    }
     // Memory pre-copy (disk writes keep accumulating in iter_bm for the
     // freeze bitmap): iteration 1 ships every page, later iterations ship
     // the pages dirtied meanwhile, Xen-style.
-    ram.enable_tracking();
-    let mut mem_iterations = Vec::new();
-    let mut pages_to_send: Vec<usize> = (0..cfg.mem_pages).collect();
-    // The set drained at the convergence decision has NOT been sent; it
-    // must ride into the freeze tail or those pages are silently lost.
-    let leftover_dirty = loop {
-        let iter = mem_iterations.len() as u32 + 1;
-        send_page_set(&ep, &ram, &pages_to_send, cfg.mem_batch);
-        mem_iterations.push(pages_to_send.len() as u64);
-        let dirty = ram.drain_dirty();
-        let count = dirty.count_ones();
-        if count <= cfg.mem_dirty_threshold || iter >= cfg.max_mem_iterations {
-            break dirty;
-        }
-        pages_to_send = dirty.to_indices();
-    };
-
-    // Freeze: suspend the guest, fold in the writes that raced with the
-    // last drains, and ship the memory tail, the CPU context and the
-    // disk bitmap (not the blocks).
-    let suspended_at = ctl.request_suspend();
-    let mut final_bitmap = final_bitmap;
-    final_bitmap.union_with(&iter_bm.snapshot_and_clear());
-    disk.detach_tracker(tracker);
-    let frozen_dirty = final_bitmap.count_ones() as u64;
-    let mut tail_bitmap = leftover_dirty;
-    tail_bitmap.union_with(&ram.drain_dirty());
-    let mem_tail = tail_bitmap.to_indices();
-    let frozen_mem_dirty = mem_tail.len() as u64;
-    ram.disable_tracking();
-    ep.send(MigMessage::Suspended).expect("destination alive");
-    send_page_set(&ep, &ram, &mem_tail, cfg.mem_batch);
-    ep.send(MigMessage::CpuState {
-        payload_len: 8 * 1024,
-        payload: None,
-    })
-    .expect("destination alive");
-    ep.send(MigMessage::Bitmap {
-        encoded: Bytes::from(ser::encode(&final_bitmap)),
-    })
-    .expect("destination alive");
-
-    // Post-copy: push continuously, answer pulls preferentially.
-    let mut src_bm = final_bitmap;
-    let mut cursor = 0usize;
-    let mut push_complete_sent = false;
     loop {
-        // Answer any queued pulls first.
+        let iter = st.mem_iterations.len() as u32 + 1;
+        let count = st.mem_worklist.len() as u64;
+        send_page_worklist(
+            ep,
+            ram,
+            &mut st.mem_worklist,
+            &mut st.session_mem_shipped,
+            cfg.mem_batch,
+            "memory pre-copy",
+        )?;
+        st.mem_iterations.push(count);
+        let dirty = ram.drain_dirty();
+        let remaining = dirty.count_ones();
+        if remaining <= cfg.mem_dirty_threshold || iter >= cfg.max_mem_iterations {
+            // The set drained at the convergence decision has NOT been
+            // sent; it must ride into the freeze tail or those pages are
+            // silently lost.
+            st.tail_worklist = merged_worklist(cfg.mem_pages, dirty.to_indices(), &[]);
+            st.phase = SrcPhase::Frozen;
+            return Ok(());
+        }
+        st.mem_worklist = dirty.to_indices();
+    }
+}
+
+fn source_freeze<T: Transport>(
+    cfg: &LiveConfig,
+    disk: &Arc<TrackedDisk>,
+    ram: &Arc<LiveRam>,
+    ep: &T,
+    ctl: &DriverCtl,
+    st: &mut SourceState,
+) -> Result<(), SessionError> {
+    // First entry: actually suspend the guest and seal the bitmaps. On
+    // re-entry after a reconnect the guest is already suspended and all
+    // frozen content is stable — resending any of it is idempotent.
+    if st.suspended_at.is_none() {
+        if cfg.min_guest_ticks > 0 {
+            // Let the guest run: guarantees a writing workload lands
+            // blocks in the freeze bitmap, deterministically.
+            let target = st.converged_at_tick.unwrap_or(0) + cfg.min_guest_ticks;
+            let guard = Instant::now() + Duration::from_secs(10);
+            while ctl.ticks() < target && Instant::now() < guard {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        st.suspended_at = Some(ctl.request_suspend());
+        // Fold in the writes that raced with the last drains.
+        let mut frozen = std::mem::replace(&mut st.frozen_bitmap, FlatBitmap::new(0));
+        frozen.union_with(&st.iter_bm.snapshot_and_clear());
+        if let Some(h) = st.tracker.take() {
+            disk.detach_tracker(h);
+        }
+        st.frozen_dirty = frozen.count_ones() as u64;
+        st.frozen_bitmap = frozen;
+        let tail_extra = ram.drain_dirty();
+        st.tail_worklist =
+            merged_worklist(cfg.mem_pages, tail_extra.to_indices(), &st.tail_worklist);
+        st.frozen_mem_dirty = st.tail_worklist.len() as u64;
+        ram.disable_tracking();
+    }
+    // Pre-copy disk content still owed from a failed session.
+    send_disk_worklist(
+        ep,
+        disk,
+        &mut st.disk_resend,
+        &mut st.session_disk_shipped,
+        cfg.block_size,
+        cfg.batch,
+        "freeze",
+    )?;
+    if !st.dest_suspended {
+        send_or(ep, "freeze", MigMessage::Suspended)?;
+        st.dest_suspended = true;
+    }
+    // Ship the memory tail, the CPU context and the disk bitmap (not the
+    // blocks).
+    send_page_worklist(
+        ep,
+        ram,
+        &mut st.tail_worklist,
+        &mut st.session_mem_shipped,
+        cfg.mem_batch,
+        "freeze",
+    )?;
+    send_or(
+        ep,
+        "freeze",
+        MigMessage::CpuState {
+            payload_len: 8 * 1024,
+            payload: None,
+        },
+    )?;
+    send_or(
+        ep,
+        "freeze",
+        MigMessage::Bitmap {
+            encoded: Bytes::from(ser::encode(&st.frozen_bitmap)),
+        },
+    )?;
+    st.src_bm = st.frozen_bitmap.clone();
+    st.cursor = 0;
+    st.push_complete_sent = false;
+    st.phase = SrcPhase::PostCopy;
+    Ok(())
+}
+
+fn source_post_copy<T: Transport>(
+    cfg: &LiveConfig,
+    disk: &Arc<TrackedDisk>,
+    ep: &T,
+    st: &mut SourceState,
+) -> Result<(), SessionError> {
+    // Push continuously, answer pulls preferentially.
+    let answer_pull = |st: &mut SourceState, block: u64| -> Result<(), SessionError> {
+        let b = block as usize;
+        let payload = read_batch(disk, &[b], cfg.block_size);
+        st.src_bm.clear(b);
+        send_or(
+            ep,
+            "post-copy",
+            MigMessage::PostCopyBlock {
+                block,
+                pulled: true,
+                payload_len: payload.len() as u64,
+                payload: Some(payload),
+            },
+        )
+    };
+    let mut last_progress = Instant::now();
+    loop {
+        // Answer any queued requests first.
         loop {
             match ep.try_recv() {
                 Ok(MigMessage::PullRequest { block }) => {
-                    let b = block as usize;
-                    let payload = read_batch(&disk, &[b], cfg.block_size);
-                    src_bm.clear(b);
-                    ep.send(MigMessage::PostCopyBlock {
-                        block,
-                        pulled: true,
-                        payload_len: payload.len() as u64,
-                        payload: Some(payload),
-                    })
-                    .expect("destination alive");
+                    last_progress = Instant::now();
+                    answer_pull(st, block)?;
                 }
                 Ok(MigMessage::MigrationComplete) => {
-                    return SourceResult {
-                        iterations,
-                        mem_iterations,
-                        frozen_mem_dirty,
-                        frozen_dirty,
-                        suspended_at,
-                        ledger: ep.sent_ledger(),
-                    };
+                    // Best-effort ack: the destination is provably synced;
+                    // if the ack is lost it completes on its own evidence.
+                    let _ = ep.send(MigMessage::CompleteAck);
+                    return Ok(());
                 }
                 Ok(MigMessage::Resumed) => {} // downtime over; informational
-                Ok(other) => panic!("unexpected message at source: {other:?}"),
+                Ok(other) => {
+                    return Err(protocol_err(
+                        "post-copy",
+                        format!("unexpected message at source: {other:?}"),
+                    ))
+                }
                 Err(TransportError::Empty) => break,
-                Err(e) => panic!("source transport failed: {e}"),
+                Err(e) => return Err(classify("post-copy", e)),
             }
         }
         // Then push the next block.
-        match src_bm.next_set_from(cursor) {
+        match st.src_bm.next_set_from(st.cursor) {
             Some(b) => {
-                src_bm.clear(b);
-                cursor = b + 1;
-                let payload = read_batch(&disk, &[b], cfg.block_size);
-                ep.send(MigMessage::PostCopyBlock {
-                    block: b as u64,
-                    pulled: false,
-                    payload_len: payload.len() as u64,
-                    payload: Some(payload),
-                })
-                .expect("destination alive");
+                st.src_bm.clear(b);
+                st.cursor = b + 1;
+                let payload = read_batch(disk, &[b], cfg.block_size);
+                send_or(
+                    ep,
+                    "post-copy",
+                    MigMessage::PostCopyBlock {
+                        block: b as u64,
+                        pulled: false,
+                        payload_len: payload.len() as u64,
+                        payload: Some(payload),
+                    },
+                )?;
             }
-            None if cursor > 0 && !src_bm.none_set() => {
-                cursor = 0; // wrap to catch pull-cleared gaps... none left
+            None if st.cursor > 0 && !st.src_bm.none_set() => {
+                st.cursor = 0; // wrap to catch pull-cleared gaps... none left
             }
             None => {
-                if !push_complete_sent {
-                    ep.send(MigMessage::PushComplete).expect("destination alive");
-                    push_complete_sent = true;
+                if !st.push_complete_sent {
+                    send_or(ep, "post-copy", MigMessage::PushComplete)?;
+                    st.push_complete_sent = true;
                 }
                 // Nothing to push: wait for pulls or completion.
                 match ep.recv_timeout(Duration::from_millis(20)) {
                     Ok(MigMessage::PullRequest { block }) => {
-                        let b = block as usize;
-                        let payload = read_batch(&disk, &[b], cfg.block_size);
-                        ep.send(MigMessage::PostCopyBlock {
-                            block,
-                            pulled: true,
-                            payload_len: payload.len() as u64,
-                            payload: Some(payload),
-                        })
-                        .expect("destination alive");
+                        last_progress = Instant::now();
+                        answer_pull(st, block)?;
                     }
                     Ok(MigMessage::MigrationComplete) => {
-                        return SourceResult {
-                            iterations,
-                            mem_iterations,
-                            frozen_mem_dirty,
-                            frozen_dirty,
-                            suspended_at,
-                            ledger: ep.sent_ledger(),
-                        };
+                        let _ = ep.send(MigMessage::CompleteAck);
+                        return Ok(());
                     }
                     Ok(MigMessage::Resumed) => {}
-                    Ok(other) => panic!("unexpected message at source: {other:?}"),
-                    Err(TransportError::Timeout) => {}
-                    Err(e) => panic!("source transport failed: {e}"),
+                    Ok(other) => {
+                        return Err(protocol_err(
+                            "post-copy",
+                            format!("unexpected message at source: {other:?}"),
+                        ))
+                    }
+                    Err(TransportError::Timeout) => {
+                        if last_progress.elapsed() > cfg.retry.phase_timeout {
+                            return Err(SessionError::Fatal(MigrationError::Timeout {
+                                phase: "post-copy",
+                                waited: cfg.retry.phase_timeout,
+                            }));
+                        }
+                    }
+                    Err(e) => return Err(classify("post-copy", e)),
                 }
             }
         }
@@ -523,100 +1141,387 @@ struct DestResult {
     ledger: TransferLedger,
 }
 
-fn apply_blocks(disk: &TrackedDisk, blocks: &[u64], payload: &Bytes, block_size: usize) {
-    assert_eq!(payload.len(), blocks.len() * block_size, "payload size");
+fn apply_blocks(
+    disk: &TrackedDisk,
+    blocks: &[u64],
+    payload: &Bytes,
+    block_size: usize,
+) -> Result<(), SessionError> {
+    if payload.len() != blocks.len() * block_size {
+        return Err(protocol_err(
+            "apply",
+            format!(
+                "payload of {} bytes for {} blocks of {block_size}",
+                payload.len(),
+                blocks.len()
+            ),
+        ));
+    }
     for (i, &b) in blocks.iter().enumerate() {
         disk.disk()
             .write_block(b as usize, &payload[i * block_size..(i + 1) * block_size]);
     }
+    Ok(())
 }
 
-fn dest_protocol(
+/// All destination-side progress, held outside any connection.
+struct DestState {
+    phase: ResumePhase,
+    session_seen: Option<u64>,
+    session_got_blocks: FlatBitmap,
+    session_got_pages: FlatBitmap,
+    transferred: Option<Arc<AtomicBitmap>>,
+    new_bm: Option<Arc<AtomicBitmap>>,
+    dest_io: Option<Arc<DestIo>>,
+    pull_tx: Sender<usize>,
+    pull_rx: Receiver<usize>,
+    requested: HashSet<usize>,
+    pushed: u64,
+    pulled: u64,
+    dropped: u64,
+    push_done: bool,
+    complete_sent: bool,
+    resumed_at: Option<Instant>,
+    ledger: TransferLedger,
+}
+
+impl DestState {
+    fn new(cfg: &LiveConfig) -> Self {
+        let (pull_tx, pull_rx) = unbounded();
+        Self {
+            phase: ResumePhase::AwaitPrepare,
+            session_seen: None,
+            session_got_blocks: FlatBitmap::new(cfg.num_blocks),
+            session_got_pages: FlatBitmap::new(cfg.mem_pages),
+            transferred: None,
+            new_bm: None,
+            dest_io: None,
+            pull_tx,
+            pull_rx,
+            requested: HashSet::new(),
+            pushed: 0,
+            pulled: 0,
+            dropped: 0,
+            push_done: false,
+            complete_sent: false,
+            resumed_at: None,
+            ledger: TransferLedger::new(),
+        }
+    }
+}
+
+fn dest_protocol<C: Connector>(
     cfg: &LiveConfig,
-    disk: Arc<TrackedDisk>,
-    ram: Arc<LiveRam>,
-    ep: impl Transport,
-    ctl: DriverCtl,
-) -> DestResult {
-    // Provision the VBD.
-    match ep.recv().expect("source alive") {
-        MigMessage::PrepareVbd {
-            block_size,
-            num_blocks,
-        } => {
-            assert_eq!(block_size as usize, cfg.block_size);
-            assert_eq!(num_blocks as usize, cfg.num_blocks);
+    disk: &Arc<TrackedDisk>,
+    ram: &Arc<LiveRam>,
+    mut connector: C,
+    ctl: &DriverCtl,
+) -> Result<DestResult, MigrationError> {
+    let mut st = DestState::new(cfg);
+    let mut attempt: u32 = 0;
+    let mut last_failure = String::new();
+    let result = loop {
+        if attempt > cfg.retry.max_reconnects {
+            break Err(MigrationError::RetriesExhausted {
+                attempts: attempt,
+                last: last_failure,
+            });
         }
-        other => panic!("expected PrepareVbd, got {other:?}"),
-    }
-    ep.send(MigMessage::PrepareAck).expect("source alive");
-
-    // Pre-copy: apply incoming block and page batches until the source
-    // suspends.
-    let apply_pages = |pages: &[u64], payload: &Bytes| {
-        let idx: Vec<usize> = pages.iter().map(|&p| p as usize).collect();
-        ram.apply_pages(&idx, payload);
+        if attempt > 0 {
+            std::thread::sleep(cfg.retry.backoff);
+        }
+        let ep = match connector.connect(attempt) {
+            Ok(ep) => ep,
+            // The source will never reconnect. If we already announced
+            // full sync, the lost message was only the ack: the data here
+            // is complete and the migration succeeded.
+            Err(_) if st.complete_sent => break Ok(()),
+            Err(e) => break Err(e),
+        };
+        let session = run_dest_session(cfg, disk, ram, &ep, ctl, &mut st);
+        st.ledger.merge(&ep.sent_ledger());
+        match session {
+            Ok(()) => break Ok(()),
+            Err(SessionError::Fatal(e)) => break Err(e),
+            Err(SessionError::Reconnect(_)) if st.complete_sent => break Ok(()),
+            Err(SessionError::Reconnect(te)) => {
+                last_failure = te.to_string();
+                attempt += 1;
+            }
+        }
     };
-    loop {
-        match ep.recv().expect("source alive") {
-            MigMessage::DiskBlocks {
-                blocks, payload, ..
+    connector.abort();
+    match result {
+        Ok(()) => {
+            disk.disable_tracking();
+            let dest_io = st.dest_io.as_ref().expect("completion implies resume");
+            let (stalled_reads, _) = dest_io.stall_stats();
+            Ok(DestResult {
+                pushed: st.pushed,
+                pulled: st.pulled,
+                dropped: st.dropped,
+                stalled_reads,
+                resumed_at: st.resumed_at.expect("completion implies resume"),
+                new_bitmap: st
+                    .new_bm
+                    .as_ref()
+                    .expect("completion implies resume")
+                    .snapshot(),
+                ledger: std::mem::take(&mut st.ledger),
+            })
+        }
+        Err(e) => {
+            // Unpark any guest reads stalled on pulls that will never be
+            // answered, so the driver can be stopped and diagnosed.
+            if let Some(io) = &st.dest_io {
+                io.poison();
+            }
+            Err(e)
+        }
+    }
+}
+
+fn run_dest_session<T: Transport>(
+    cfg: &LiveConfig,
+    disk: &Arc<TrackedDisk>,
+    ram: &Arc<LiveRam>,
+    ep: &T,
+    ctl: &DriverCtl,
+    st: &mut DestState,
+) -> Result<(), SessionError> {
+    let hello = recv_or(ep, "handshake", cfg.retry.phase_timeout)?;
+    let MigMessage::SessionHello { session_id, .. } = hello else {
+        return Err(protocol_err(
+            "handshake",
+            format!("expected SessionHello, got {hello:?}"),
+        ));
+    };
+    match st.session_seen {
+        None => st.session_seen = Some(session_id),
+        Some(seen) if seen == session_id => {}
+        Some(seen) => {
+            return Err(protocol_err(
+                "handshake",
+                format!("session {session_id:#x} reconnected into session {seen:#x}"),
+            ))
+        }
+    }
+    // Report what the last session actually delivered (during pre-copy
+    // and freeze) or what is still needed (during post-copy), then reset
+    // the per-session receipt ledgers for this connection.
+    let (disk_bm, mem_bm) = match st.phase {
+        ResumePhase::AwaitPrepare => (Bytes::new(), Bytes::new()),
+        ResumePhase::Precopy | ResumePhase::Frozen => (
+            Bytes::from(ser::encode(&st.session_got_blocks)),
+            Bytes::from(ser::encode(&st.session_got_pages)),
+        ),
+        ResumePhase::PostCopy => {
+            let needed = st
+                .transferred
+                .as_ref()
+                .expect("post-copy state carries the bitmap")
+                .snapshot();
+            (
+                Bytes::from(ser::encode(&needed)),
+                Bytes::from(ser::encode(&FlatBitmap::new(0))),
+            )
+        }
+    };
+    send_or(
+        ep,
+        "handshake",
+        MigMessage::ResumeFrom {
+            phase: st.phase,
+            disk_bitmap: disk_bm,
+            mem_bitmap: mem_bm,
+        },
+    )?;
+    st.session_got_blocks.clear_all();
+    st.session_got_pages.clear_all();
+
+    if st.phase == ResumePhase::AwaitPrepare {
+        // Provision the VBD.
+        match recv_or(ep, "prepare", cfg.retry.phase_timeout)? {
+            MigMessage::PrepareVbd {
+                block_size,
+                num_blocks,
             } => {
-                let payload = payload.expect("live mode ships real bytes");
-                apply_blocks(&disk, &blocks, &payload, cfg.block_size);
+                if block_size as usize != cfg.block_size || num_blocks as usize != cfg.num_blocks {
+                    return Err(protocol_err(
+                        "prepare",
+                        format!("geometry mismatch: {block_size} B × {num_blocks} blocks"),
+                    ));
+                }
             }
-            MigMessage::MemPages { pages, payload, .. } => {
-                apply_pages(&pages, &payload.expect("live mode ships real bytes"));
+            other => {
+                return Err(protocol_err(
+                    "prepare",
+                    format!("expected PrepareVbd, got {other:?}"),
+                ))
             }
-            MigMessage::Suspended => break,
-            other => panic!("unexpected message at destination: {other:?}"),
+        }
+        send_or(ep, "prepare", MigMessage::PrepareAck)?;
+        st.phase = ResumePhase::Precopy;
+    }
+
+    if st.phase == ResumePhase::Precopy {
+        dest_precopy(cfg, disk, ram, ep, st)?;
+    }
+    if st.phase == ResumePhase::Frozen {
+        dest_freeze(cfg, disk, ram, ep, st)?;
+    }
+    dest_post_copy(cfg, disk, ram, ep, ctl, st)
+}
+
+fn dest_precopy<T: Transport>(
+    cfg: &LiveConfig,
+    disk: &Arc<TrackedDisk>,
+    ram: &Arc<LiveRam>,
+    ep: &T,
+    st: &mut DestState,
+) -> Result<(), SessionError> {
+    // Apply incoming block and page batches until the source suspends.
+    loop {
+        match recv_or(ep, "pre-copy", cfg.retry.phase_timeout)? {
+            MigMessage::DiskBlocks {
+                blocks,
+                payload: Some(payload),
+                ..
+            } => {
+                apply_blocks(disk, &blocks, &payload, cfg.block_size)?;
+                for &b in &blocks {
+                    st.session_got_blocks.set(b as usize);
+                }
+            }
+            MigMessage::MemPages {
+                pages,
+                payload: Some(payload),
+                ..
+            } => {
+                let idx: Vec<usize> = pages.iter().map(|&p| p as usize).collect();
+                ram.apply_pages(&idx, &payload);
+                for &p in &idx {
+                    st.session_got_pages.set(p);
+                }
+            }
+            MigMessage::Suspended => {
+                st.phase = ResumePhase::Frozen;
+                return Ok(());
+            }
+            other => {
+                return Err(protocol_err(
+                    "pre-copy",
+                    format!("unexpected message at destination: {other:?}"),
+                ))
+            }
         }
     }
+}
+
+fn dest_freeze<T: Transport>(
+    cfg: &LiveConfig,
+    disk: &Arc<TrackedDisk>,
+    ram: &Arc<LiveRam>,
+    ep: &T,
+    st: &mut DestState,
+) -> Result<(), SessionError> {
     // Freeze payloads: the memory tail, the CPU context, the block-bitmap.
+    // Re-sent pre-copy blocks (lost by a failed session) and a duplicate
+    // `Suspended` marker are accepted too — frozen content is stable, so
+    // applying any of it twice is harmless.
     let transferred_flat = loop {
-        match ep.recv().expect("source alive") {
-            MigMessage::MemPages { pages, payload, .. } => {
-                apply_pages(&pages, &payload.expect("live mode ships real bytes"));
+        match recv_or(ep, "freeze", cfg.retry.phase_timeout)? {
+            MigMessage::MemPages {
+                pages,
+                payload: Some(payload),
+                ..
+            } => {
+                let idx: Vec<usize> = pages.iter().map(|&p| p as usize).collect();
+                ram.apply_pages(&idx, &payload);
+                for &p in &idx {
+                    st.session_got_pages.set(p);
+                }
             }
-            MigMessage::CpuState { .. } => {}
-            MigMessage::Bitmap { encoded } => {
-                break ser::decode(&encoded).expect("valid bitmap")
+            MigMessage::DiskBlocks {
+                blocks,
+                payload: Some(payload),
+                ..
+            } => {
+                apply_blocks(disk, &blocks, &payload, cfg.block_size)?;
+                for &b in &blocks {
+                    st.session_got_blocks.set(b as usize);
+                }
             }
-            other => panic!("unexpected freeze message: {other:?}"),
+            MigMessage::CpuState { .. } | MigMessage::Suspended => {}
+            MigMessage::Bitmap { encoded } => break decode_bitmap("freeze", &encoded)?,
+            other => {
+                return Err(protocol_err(
+                    "freeze",
+                    format!("unexpected freeze message: {other:?}"),
+                ))
+            }
         }
     };
-
-    // Stand up the destination interception path and resume the guest.
+    // Stand up the destination interception path.
     let transferred = Arc::new(AtomicBitmap::new(cfg.num_blocks));
     transferred.load_from(&transferred_flat);
     let new_bm = Arc::new(AtomicBitmap::new(cfg.num_blocks));
     disk.attach_tracker(Arc::clone(&new_bm), Some(GUEST));
     disk.enable_tracking();
-    let (pull_tx, pull_rx) = unbounded::<usize>();
-    let dest_io = Arc::new(DestIo::new(
-        Arc::clone(&disk),
+    st.dest_io = Some(Arc::new(DestIo::new(
+        Arc::clone(disk),
         GUEST,
         Arc::clone(&transferred),
-        pull_tx,
-    ));
-    let resumed_at =
-        ctl.resume_on(Arc::clone(&dest_io) as Arc<dyn crate::live::GuestIo>, Arc::clone(&ram));
-    ep.send(MigMessage::Resumed).expect("source alive");
+        st.pull_tx.clone(),
+    )));
+    st.transferred = Some(transferred);
+    st.new_bm = Some(new_bm);
+    st.phase = ResumePhase::PostCopy;
+    Ok(())
+}
 
-    // Post-copy: interleave pull forwarding with arrivals.
-    let mut pushed = 0u64;
-    let mut pulled = 0u64;
-    let mut dropped = 0u64;
-    let mut push_done = false;
-    let mut requested = std::collections::HashSet::new();
+fn dest_post_copy<T: Transport>(
+    cfg: &LiveConfig,
+    disk: &Arc<TrackedDisk>,
+    ram: &Arc<LiveRam>,
+    ep: &T,
+    ctl: &DriverCtl,
+    st: &mut DestState,
+) -> Result<(), SessionError> {
+    let transferred = Arc::clone(
+        st.transferred
+            .as_ref()
+            .expect("post-copy state carries the bitmap"),
+    );
+    // First entry: resume the guest on the destination path. Reconnects
+    // find it already running.
+    if st.resumed_at.is_none() {
+        let io = Arc::clone(st.dest_io.as_ref().expect("freeze built the io path"));
+        st.resumed_at = Some(ctl.resume_on(io as Arc<dyn crate::live::GuestIo>, Arc::clone(ram)));
+    }
+    send_or(ep, "post-copy", MigMessage::Resumed)?;
+    // Pull requests forwarded on a dead session got no answer: re-issue
+    // every outstanding one so parked readers make progress.
+    let outstanding: Vec<usize> = st
+        .requested
+        .iter()
+        .copied()
+        .filter(|&b| transferred.get(b))
+        .collect();
+    for b in outstanding {
+        send_or(ep, "post-copy", MigMessage::PullRequest { block: b as u64 })?;
+    }
+    // The source re-announces push completion每 session.
+    st.push_done = false;
+
+    let mut last_progress = Instant::now();
     loop {
         // Forward guest pull requests.
-        while let Ok(b) = pull_rx.try_recv() {
+        while let Ok(b) = st.pull_rx.try_recv() {
             // A block may be requested by several stalled reads or have
             // been cleared since; only forward live, novel requests.
-            if transferred.get(b) && requested.insert(b) {
-                ep.send(MigMessage::PullRequest { block: b as u64 })
-                    .expect("source alive");
+            if transferred.get(b) && st.requested.insert(b) {
+                send_or(ep, "post-copy", MigMessage::PullRequest { block: b as u64 })?;
             }
         }
         // Process arrivals.
@@ -627,44 +1532,82 @@ fn dest_protocol(
                 payload,
                 ..
             }) => {
+                last_progress = Instant::now();
                 let b = block as usize;
                 if transferred.get(b) {
-                    let payload = payload.expect("live mode ships real bytes");
-                    apply_blocks(&disk, &[block], &payload, cfg.block_size);
+                    let Some(payload) = payload else {
+                        return Err(protocol_err(
+                            "post-copy",
+                            "live mode ships real bytes".to_string(),
+                        ));
+                    };
+                    apply_blocks(disk, &[block], &payload, cfg.block_size)?;
                     transferred.clear(b);
-                    dest_io.notify_block();
+                    if let Some(io) = &st.dest_io {
+                        io.notify_block();
+                    }
                     if was_pulled {
-                        pulled += 1;
+                        st.pulled += 1;
                     } else {
-                        pushed += 1;
+                        st.pushed += 1;
                     }
                 } else {
                     // Superseded by a local write: drop (paper lines 2-3
                     // of the receive algorithm).
-                    dropped += 1;
+                    st.dropped += 1;
                 }
             }
-            Ok(MigMessage::PushComplete) => push_done = true,
-            Ok(other) => panic!("unexpected message at destination: {other:?}"),
-            Err(TransportError::Timeout) => {}
-            Err(e) => panic!("destination transport failed: {e}"),
+            Ok(MigMessage::PushComplete) => {
+                last_progress = Instant::now();
+                st.push_done = true;
+            }
+            Ok(other) => {
+                return Err(protocol_err(
+                    "post-copy",
+                    format!("unexpected message at destination: {other:?}"),
+                ))
+            }
+            Err(TransportError::Timeout) => {
+                if last_progress.elapsed() > cfg.retry.phase_timeout {
+                    return Err(SessionError::Fatal(MigrationError::Timeout {
+                        phase: "post-copy",
+                        waited: cfg.retry.phase_timeout,
+                    }));
+                }
+            }
+            Err(TransportError::Empty) => {}
+            Err(e) => return Err(classify("post-copy", e)),
         }
-        if push_done && transferred.count_ones() == 0 {
-            ep.send(MigMessage::MigrationComplete).expect("source alive");
-            break;
+        if st.push_done && transferred.count_ones() == 0 {
+            send_or(ep, "completion", MigMessage::MigrationComplete)?;
+            st.complete_sent = true;
+            // Wait for the source's ack so a lost completion message
+            // cannot strand it in post-copy.
+            let deadline = Instant::now() + cfg.retry.phase_timeout;
+            loop {
+                match ep.recv_timeout(Duration::from_millis(20)) {
+                    Ok(MigMessage::CompleteAck) => return Ok(()),
+                    // Late pushes raced with completion: superseded.
+                    Ok(MigMessage::PostCopyBlock { .. }) => st.dropped += 1,
+                    Ok(MigMessage::PushComplete) => {}
+                    Ok(other) => {
+                        return Err(protocol_err(
+                            "completion",
+                            format!("expected CompleteAck, got {other:?}"),
+                        ))
+                    }
+                    Err(TransportError::Timeout) => {
+                        if Instant::now() > deadline {
+                            return Err(SessionError::Fatal(MigrationError::Timeout {
+                                phase: "completion",
+                                waited: cfg.retry.phase_timeout,
+                            }));
+                        }
+                    }
+                    Err(e) => return Err(classify("completion", e)),
+                }
+            }
         }
-    }
-
-    disk.disable_tracking();
-    let (stalled_reads, _) = dest_io.stall_stats();
-    DestResult {
-        pushed,
-        pulled,
-        dropped,
-        stalled_reads,
-        resumed_at,
-        new_bitmap: new_bm.snapshot(),
-        ledger: ep.sent_ledger(),
     }
 }
 
@@ -678,7 +1621,7 @@ mod tests {
             num_blocks: 16_384,
             ..LiveConfig::test_default()
         };
-        let out = run_live_migration(&cfg);
+        let out = run_live_migration(&cfg).expect("clean migration completes");
         assert_eq!(out.read_violations, 0, "guest saw stale data");
         assert!(
             out.inconsistent_blocks().is_empty(),
@@ -688,6 +1631,9 @@ mod tests {
         // First iteration ships the whole disk.
         assert_eq!(out.iterations[0], 16_384);
         assert!(out.total >= out.downtime);
+        // No faults: no reconnects, no resume traffic.
+        assert_eq!(out.reconnects, 0);
+        assert!(out.resume_owed.is_empty());
     }
 
     #[test]
@@ -696,7 +1642,7 @@ mod tests {
             num_blocks: 32_768,
             ..LiveConfig::test_default()
         };
-        let out = run_live_migration(&cfg);
+        let out = run_live_migration(&cfg).expect("clean migration completes");
         assert_eq!(out.read_violations, 0);
         assert!(out.inconsistent_blocks().is_empty());
         // Live migration: the guest is down far less than the total.
@@ -714,7 +1660,7 @@ mod tests {
             num_blocks: 16_384,
             ..LiveConfig::test_default()
         };
-        let first = run_live_migration(&cfg);
+        let first = run_live_migration(&cfg).expect("clean migration completes");
         assert!(first.inconsistent_blocks().is_empty());
 
         // Migrate back: old destination is the new source; the stale old
@@ -743,7 +1689,8 @@ mod tests {
                 im_bitmap.set(*b);
             }
         }
-        let out = run_live_migration_with(&cfg_back, src_back, dst_back, Some(im_bitmap.clone()));
+        let out = run_live_migration_with(&cfg_back, src_back, dst_back, Some(im_bitmap.clone()))
+            .expect("IM migration completes");
         assert_eq!(out.read_violations, 0);
         // IM's first iteration shipped only the bitmap's blocks.
         assert_eq!(out.iterations[0], im_bitmap.count_ones() as u64);

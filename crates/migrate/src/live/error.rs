@@ -1,0 +1,108 @@
+//! Typed failure surface of a live migration.
+//!
+//! Every way a migration can end other than success is a
+//! [`MigrationError`]: a transport that died mid-stream, a peer that
+//! spoke out of protocol, a phase that made no progress within its
+//! timeout, or a reconnect budget that ran out. Transport deaths inside
+//! a session are *not* immediately fatal — the engine reconnects and
+//! resumes from the block-bitmap — so the variants here describe what
+//! remained wrong after recovery was attempted.
+
+use std::time::Duration;
+
+use simnet::transport::TransportError;
+
+/// Why a live migration failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationError {
+    /// The transport failed in `phase` and no further reconnect was
+    /// possible (or permitted) to recover from it.
+    Transport {
+        /// Protocol phase the failure hit.
+        phase: &'static str,
+        /// The underlying transport failure.
+        error: TransportError,
+    },
+    /// The peer sent something the protocol does not allow in `phase`.
+    Protocol {
+        /// Protocol phase the violation hit.
+        phase: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The peer stayed connected but made no progress within the
+    /// per-phase timeout.
+    Timeout {
+        /// Protocol phase that stalled.
+        phase: &'static str,
+        /// How long we waited.
+        waited: Duration,
+    },
+    /// Reconnect attempts were exhausted without completing the
+    /// migration.
+    RetriesExhausted {
+        /// Connection attempts made (initial connection included).
+        attempts: u32,
+        /// The failure that ended the last attempt.
+        last: String,
+    },
+    /// An I/O error outside the migration protocol itself (e.g. binding
+    /// or connecting the TCP listener).
+    Io(String),
+}
+
+impl std::fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Transport { phase, error } => {
+                write!(f, "transport failed during {phase}: {error}")
+            }
+            Self::Protocol { phase, detail } => {
+                write!(f, "protocol violation during {phase}: {detail}")
+            }
+            Self::Timeout { phase, waited } => {
+                write!(f, "no progress during {phase} for {waited:?}")
+            }
+            Self::RetriesExhausted { attempts, last } => {
+                write!(f, "migration failed after {attempts} connection attempts: {last}")
+            }
+            Self::Io(detail) => write!(f, "i/o error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+impl From<std::io::Error> for MigrationError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_cause() {
+        let e = MigrationError::Transport {
+            phase: "disk pre-copy",
+            error: TransportError::Reset("injected".into()),
+        };
+        let s = e.to_string();
+        assert!(s.contains("disk pre-copy"), "{s}");
+        assert!(s.contains("injected"), "{s}");
+
+        let t = MigrationError::Timeout {
+            phase: "handshake",
+            waited: Duration::from_secs(3),
+        };
+        assert!(t.to_string().contains("handshake"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: MigrationError = std::io::Error::other("bind failed").into();
+        assert!(matches!(e, MigrationError::Io(ref s) if s.contains("bind failed")));
+    }
+}

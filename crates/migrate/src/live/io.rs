@@ -1,6 +1,6 @@
 //! Guest-side I/O paths for live migration.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -63,6 +63,7 @@ pub struct DestIo {
     arrived: Condvar,
     stalled_reads: AtomicU64,
     stall_nanos: AtomicU64,
+    failed: AtomicBool,
 }
 
 impl DestIo {
@@ -84,7 +85,19 @@ impl DestIo {
             arrived: Condvar::new(),
             stalled_reads: AtomicU64::new(0),
             stall_nanos: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
         }
+    }
+
+    /// Mark the synchronization path dead: the protocol thread is gone
+    /// and no pull will ever be answered. Parked readers wake and fall
+    /// through to the local (possibly stale) copy instead of waiting
+    /// forever — the migration itself already failed; this only keeps
+    /// the guest thread stoppable for diagnosis.
+    pub fn poison(&self) {
+        self.failed.store(true, Ordering::SeqCst);
+        let _g = self.gate.lock();
+        self.arrived.notify_all();
     }
 
     /// Called by the destination protocol thread when a block's bit
@@ -106,14 +119,19 @@ impl DestIo {
 
 impl GuestIo for DestIo {
     fn read(&self, block: usize) -> Vec<u8> {
-        if self.transferred.get(block) {
+        if self.transferred.get(block) && !self.failed.load(Ordering::SeqCst) {
             // Dirty: request a pull and wait until some arrival or a
             // superseding write clears the bit.
             let start = std::time::Instant::now();
             self.stalled_reads.fetch_add(1, Ordering::Relaxed);
-            self.pull_tx.send(block).expect("protocol thread alive");
+            // A dropped receiver means the protocol thread died between
+            // our failed-flag check and the send: poison ourselves so no
+            // later reader parks on an unanswerable pull.
+            if self.pull_tx.send(block).is_err() {
+                self.poison();
+            }
             let mut guard = self.gate.lock();
-            while self.transferred.get(block) {
+            while self.transferred.get(block) && !self.failed.load(Ordering::SeqCst) {
                 self.arrived.wait_for(&mut guard, Duration::from_millis(50));
             }
             drop(guard);
@@ -183,7 +201,9 @@ mod tests {
         };
         // The protocol thread observes the pull request, "receives" the
         // block, applies it, clears the bit and notifies.
-        let pulled = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let pulled = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("reader forwards a pull request");
         assert_eq!(pulled, 5);
         disk.disk().write_block(5, &stamp_bytes(5, 42, 512));
         transferred.clear(5);
@@ -193,6 +213,38 @@ mod tests {
         let (stalls, wait) = io.stall_stats();
         assert_eq!(stalls, 1);
         assert!(wait > Duration::ZERO);
+    }
+
+    #[test]
+    fn poisoned_dest_io_unparks_readers_promptly() {
+        let disk = tracked(8);
+        let transferred = Arc::new(AtomicBitmap::new(8));
+        transferred.set(5);
+        let (tx, rx) = unbounded();
+        let io = Arc::new(DestIo::new(
+            Arc::clone(&disk),
+            DomainId(1),
+            Arc::clone(&transferred),
+            tx,
+        ));
+        let reader = {
+            let io = Arc::clone(&io);
+            std::thread::spawn(move || io.read(5))
+        };
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5))
+                .expect("reader forwards a pull request"),
+            5
+        );
+        // The migration fails: the protocol thread poisons the io path
+        // instead of answering. The reader must return (stale data) and
+        // later reads must not park at all.
+        drop(rx);
+        io.poison();
+        let t = std::time::Instant::now();
+        reader.join().expect("reader thread");
+        assert!(t.elapsed() < Duration::from_secs(2), "reader stayed parked");
+        io.read(5); // still-dirty block: returns immediately once failed
     }
 
     #[test]

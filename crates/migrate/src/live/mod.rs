@@ -20,13 +20,21 @@
 //! stamp, and after migration the destination disk must hold, for every
 //! block, exactly the last stamp the guest wrote (or the initial image).
 
+mod connect;
 mod driver;
 mod engine;
+mod error;
 mod io;
 
+pub use connect::{
+    duplex_connector_pair, Connector, DuplexConnector, OnceConnector, TcpDestConnector,
+    TcpSourceConnector,
+};
 pub use driver::{DriverCtl, DriverHandle, DriverResult, LiveWorkload};
 pub use engine::{
-    run_live_migration, run_live_migration_over, run_live_migration_tcp,
-    run_live_migration_with, LiveConfig, LiveOutcome,
+    run_live_migration, run_live_migration_connected, run_live_migration_faulty,
+    run_live_migration_over, run_live_migration_tcp, run_live_migration_tcp_faulty,
+    run_live_migration_with, run_live_migration_with_faults, LiveConfig, LiveOutcome,
 };
+pub use error::MigrationError;
 pub use io::{DestIo, GuestIo, SourceIo};

@@ -400,6 +400,83 @@ mod tests {
         assert!(src.content_equals(&dst));
     }
 
+    fn run_with_workload(
+        kind: WorkloadKind,
+        push_rate: f64,
+        dirty: &[usize],
+    ) -> PostCopyOutcome {
+        let blocks = 65_536;
+        let mut src = MetaDisk::new(blocks);
+        let mut dst = MetaDisk::new(blocks);
+        let mut bm = FlatBitmap::new(blocks);
+        for &b in dirty {
+            src.write(b);
+            bm.set(b);
+        }
+        let mut new_bm = DirtyTracker::new(crate::BitmapKind::Flat, blocks);
+        let mut workload = kind.build(blocks as u64);
+        let mut rng = SimRng::new(7);
+        let mut ledger = TransferLedger::new();
+        let mut probe = ThroughputProbe::new();
+        run_postcopy(
+            PostCopyConfig {
+                push_rate,
+                ..cfg(true)
+            },
+            SimTime::from_nanos(1_000_000_000),
+            &src,
+            &mut dst,
+            bm.clone(),
+            bm,
+            &mut new_bm,
+            workload.as_mut(),
+            &mut rng,
+            &mut ledger,
+            &mut probe,
+        )
+    }
+
+    #[test]
+    fn reading_guest_forces_pulls() {
+        // A live web guest reads its data region (blocks 16384..49152 on
+        // this disk) at ~500 blocks/s while a 2 MiB/s push needs ~16 s to
+        // drain 8192 dirty blocks sitting in that region: reads MUST land
+        // on still-dirty blocks before the push reaches them, firing the
+        // on-demand pull path.
+        let dirty: Vec<usize> = (16_384..24_576).collect();
+        let out = run_with_workload(WorkloadKind::Web, 2.0 * 1024.0 * 1024.0, &dirty);
+        assert!(
+            out.stats.pulled > 0,
+            "a reading guest over a slow push must pull (stats: {:?})",
+            out.stats
+        );
+        assert_eq!(out.residual_blocks, 0, "push still finishes the phase");
+    }
+
+    #[test]
+    fn local_writes_drop_superseded_pushes() {
+        // Bonnie++'s putc phase rewrites its file extent (blocks
+        // 26214..34406 here) sequentially at the same ~512 blocks/s the
+        // push stream achieves, so the write cursor chases the push cursor
+        // through the dirty set and keeps overwriting blocks whose pushed
+        // copy is still in flight. Those arrivals MUST be dropped (the
+        // paper's receive algorithm), never applied over newer local data.
+        let a_start = 65_536 * 2 / 5;
+        let dirty: Vec<usize> = (a_start..a_start + 8_192).collect();
+        let out =
+            run_with_workload(WorkloadKind::Diabolical, 2.0 * 1024.0 * 1024.0, &dirty);
+        assert!(
+            out.stats.dropped > 0,
+            "in-flight pushes superseded by local writes must be dropped (stats: {:?})",
+            out.stats
+        );
+        assert_eq!(out.residual_blocks, 0);
+        assert!(
+            out.stats.pushed + out.stats.pulled < dirty.len() as u64,
+            "superseded blocks must not also count as synchronized arrivals"
+        );
+    }
+
     #[test]
     fn on_demand_without_push_leaves_residual() {
         // Idle workload issues no reads: with push disabled nothing ever

@@ -53,6 +53,9 @@ const T_PULL: u8 = 9;
 const T_PC_BLOCK: u8 = 10;
 const T_PUSH_COMPLETE: u8 = 11;
 const T_COMPLETE: u8 = 12;
+const T_COMPLETE_ACK: u8 = 13;
+const T_HELLO: u8 = 14;
+const T_RESUME_FROM: u8 = 15;
 
 struct Writer {
     buf: Vec<u8>,
@@ -213,6 +216,25 @@ pub fn encode(msg: &MigMessage) -> Vec<u8> {
         }
         MigMessage::PushComplete => w.u8(T_PUSH_COMPLETE),
         MigMessage::MigrationComplete => w.u8(T_COMPLETE),
+        MigMessage::CompleteAck => w.u8(T_COMPLETE_ACK),
+        MigMessage::SessionHello {
+            session_id,
+            attempt,
+        } => {
+            w.u8(T_HELLO);
+            w.u64(*session_id);
+            w.u32(*attempt);
+        }
+        MigMessage::ResumeFrom {
+            phase,
+            disk_bitmap,
+            mem_bitmap,
+        } => {
+            w.u8(T_RESUME_FROM);
+            w.u8(phase.to_u8());
+            w.bytes(disk_bitmap);
+            w.bytes(mem_bitmap);
+        }
     }
     w.buf
 }
@@ -260,6 +282,20 @@ pub fn decode(buf: &[u8]) -> Result<MigMessage, CodecError> {
         },
         T_PUSH_COMPLETE => MigMessage::PushComplete,
         T_COMPLETE => MigMessage::MigrationComplete,
+        T_COMPLETE_ACK => MigMessage::CompleteAck,
+        T_HELLO => MigMessage::SessionHello {
+            session_id: r.u64()?,
+            attempt: r.u32()?,
+        },
+        T_RESUME_FROM => MigMessage::ResumeFrom {
+            phase: {
+                let raw = r.u8()?;
+                crate::proto::ResumePhase::from_u8(raw)
+                    .ok_or_else(|| CodecError::Malformed(format!("resume phase {raw}")))?
+            },
+            disk_bitmap: r.bytes()?,
+            mem_bitmap: r.bytes()?,
+        },
         other => return Err(CodecError::Malformed(format!("unknown tag {other}"))),
     };
     r.finish()?;
@@ -278,15 +314,50 @@ pub fn write_frame(w: &mut impl Write, msg: &MigMessage) -> Result<(), CodecErro
 
 /// Read one length-prefixed frame from a stream.
 pub fn read_frame(r: &mut impl Read) -> Result<MigMessage, CodecError> {
+    match read_frame_or_eof(r)? {
+        Some(msg) => Ok(msg),
+        None => Err(CodecError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "stream closed",
+        ))),
+    }
+}
+
+/// Read one frame, distinguishing a clean shutdown from a broken stream:
+/// returns `Ok(None)` when EOF falls exactly on a frame boundary (the peer
+/// closed between messages), and an error when the stream dies with a
+/// partially delivered frame (truncation, reset, I/O failure).
+pub fn read_frame_or_eof(r: &mut impl Read) -> Result<Option<MigMessage>, CodecError> {
     let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
+    // Read the length prefix byte-wise so EOF before the first byte is
+    // distinguishable from EOF inside the prefix.
+    let mut got = 0usize;
+    while got < len.len() {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(CodecError::Malformed(format!(
+                    "eof after {got} bytes of a frame length prefix"
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(CodecError::Io(e)),
+        }
+    }
     let len = u32::from_le_bytes(len);
     if len > MAX_FRAME {
         return Err(CodecError::Malformed(format!("frame length {len}")));
     }
     let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
-    decode(&body)
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CodecError::Malformed(format!("frame truncated short of {len} bytes"))
+        } else {
+            CodecError::Io(e)
+        }
+    })?;
+    decode(&body).map(Some)
 }
 
 #[cfg(test)]
@@ -333,6 +404,16 @@ mod tests {
             },
             MigMessage::PushComplete,
             MigMessage::MigrationComplete,
+            MigMessage::CompleteAck,
+            MigMessage::SessionHello {
+                session_id: 0xDEAD_BEEF_CAFE,
+                attempt: 3,
+            },
+            MigMessage::ResumeFrom {
+                phase: crate::proto::ResumePhase::PostCopy,
+                disk_bitmap: Bytes::from(vec![5u8; 33]),
+                mem_bitmap: Bytes::from(vec![]),
+            },
         ]
     }
 
@@ -377,6 +458,37 @@ mod tests {
         let n = enc.len();
         enc[n - 1] = 9;
         assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn clean_eof_distinguished_from_truncation() {
+        // EOF on a frame boundary: clean shutdown.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &MigMessage::Suspended).expect("write");
+        let mut cursor = std::io::Cursor::new(wire.clone());
+        assert_eq!(
+            read_frame_or_eof(&mut cursor).expect("frame"),
+            Some(MigMessage::Suspended)
+        );
+        assert_eq!(read_frame_or_eof(&mut cursor).expect("clean eof"), None);
+
+        // EOF inside the length prefix: truncation.
+        let mut cursor = std::io::Cursor::new(wire[..2].to_vec());
+        assert!(matches!(
+            read_frame_or_eof(&mut cursor),
+            Err(CodecError::Malformed(_))
+        ));
+
+        // EOF inside the body: truncation.
+        let mut cursor = std::io::Cursor::new(wire[..wire.len() - 1].to_vec());
+        assert!(matches!(
+            read_frame_or_eof(&mut cursor),
+            Err(CodecError::Malformed(_))
+        ));
+
+        // The plain reader maps clean EOF to an UnexpectedEof I/O error.
+        let mut cursor = std::io::Cursor::new(Vec::new());
+        assert!(matches!(read_frame(&mut cursor), Err(CodecError::Io(_))));
     }
 
     #[test]

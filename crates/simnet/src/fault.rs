@@ -1,0 +1,507 @@
+//! Deterministic fault injection for migration transports.
+//!
+//! [`FaultyTransport`] wraps any [`Transport`] and severs, stalls or
+//! truncates the link at precise, reproducible points — message offsets,
+//! byte offsets, or per-category message counts. A wrapped *pair* shares
+//! one cut flag, so a fault fired by the sender is observed by both sides
+//! as [`TransportError::Reset`], exactly like a real connection reset:
+//! the reconnect-and-resume path in `migrate::live` is exercised against
+//! the same error surface a dead TCP stream produces.
+//!
+//! Faults are armed per connection *attempt* (0 = the initial
+//! connection), so a plan can cut the first connection during disk
+//! pre-copy, cut the second during post-copy, and leave the third alone.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::proto::{Category, MigMessage, TransferLedger, ALL_CATEGORIES};
+use crate::transport::{Transport, TransportError};
+
+/// What happens when a fault's trigger fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Sever the connection. The triggering send fails immediately with
+    /// [`TransportError::Reset`] and every later operation on either side
+    /// fails too.
+    Reset,
+    /// Freeze the sending side for the duration, then deliver normally.
+    Stall(Duration),
+    /// Deliver a truncated frame: the triggering send *appears* to
+    /// succeed (like a write into a socket buffer that never drains), but
+    /// the message is lost and the connection is severed behind it — the
+    /// peer sees a frame cut short, i.e. `Reset`, on its next receive.
+    Truncate,
+}
+
+/// When a fault fires, measured on the side holding the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// After this many messages have been sent on this connection.
+    Messages(u64),
+    /// After this many wire bytes have been sent on this connection.
+    Bytes(u64),
+    /// After this many messages of the given category — e.g.
+    /// `(Category::DiskPush, 5)` fires mid-post-copy regardless of how
+    /// long the earlier phases ran.
+    CategoryMessages(Category, u64),
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// Connection attempt this fault arms on (0 = initial connection).
+    pub attempt: u32,
+    /// When it fires.
+    pub trigger: FaultTrigger,
+    /// What it does.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of transport faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled faults, in no particular order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults ever fire).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a connection reset after `n` messages on attempt `attempt`.
+    pub fn reset_after_messages(mut self, attempt: u32, n: u64) -> Self {
+        self.faults.push(Fault {
+            attempt,
+            trigger: FaultTrigger::Messages(n),
+            kind: FaultKind::Reset,
+        });
+        self
+    }
+
+    /// Add a connection reset after `n` wire bytes on attempt `attempt`.
+    pub fn reset_after_bytes(mut self, attempt: u32, n: u64) -> Self {
+        self.faults.push(Fault {
+            attempt,
+            trigger: FaultTrigger::Bytes(n),
+            kind: FaultKind::Reset,
+        });
+        self
+    }
+
+    /// Add a connection reset after `n` messages of `cat` on `attempt`.
+    pub fn reset_after_category(mut self, attempt: u32, cat: Category, n: u64) -> Self {
+        self.faults.push(Fault {
+            attempt,
+            trigger: FaultTrigger::CategoryMessages(cat, n),
+            kind: FaultKind::Reset,
+        });
+        self
+    }
+
+    /// Add a stall of `dur` after `n` messages on `attempt`.
+    pub fn stall_after_messages(mut self, attempt: u32, n: u64, dur: Duration) -> Self {
+        self.faults.push(Fault {
+            attempt,
+            trigger: FaultTrigger::Messages(n),
+            kind: FaultKind::Stall(dur),
+        });
+        self
+    }
+
+    /// Add a truncated-frame fault after `n` messages on `attempt`.
+    pub fn truncate_after_messages(mut self, attempt: u32, n: u64) -> Self {
+        self.faults.push(Fault {
+            attempt,
+            trigger: FaultTrigger::Messages(n),
+            kind: FaultKind::Reset,
+        });
+        let last = self.faults.last_mut().expect("just pushed");
+        last.kind = FaultKind::Truncate;
+        self
+    }
+
+    /// A seeded schedule of `attempts` connection resets at
+    /// pseudo-random message offsets in `[lo, hi)`: attempt `k` is cut
+    /// after `lo + splitmix(seed, k) % (hi - lo)` messages. Deterministic
+    /// for a given seed, so a failing run is exactly reproducible.
+    ///
+    /// # Panics
+    /// Panics when `lo >= hi`.
+    pub fn seeded_resets(seed: u64, attempts: u32, lo: u64, hi: u64) -> Self {
+        assert!(lo < hi, "offset range must be non-empty");
+        let mut plan = Self::none();
+        for k in 0..attempts {
+            let off = lo + splitmix64(seed.wrapping_add(u64::from(k))) % (hi - lo);
+            plan = plan.reset_after_messages(k, off);
+        }
+        plan
+    }
+
+    /// The faults armed for one connection attempt.
+    pub fn for_attempt(&self, attempt: u32) -> Vec<Fault> {
+        self.faults
+            .iter()
+            .filter(|f| f.attempt == attempt)
+            .cloned()
+            .collect()
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Shared fate of one wrapped connection: set once, observed by both
+/// directions.
+#[derive(Debug, Default)]
+struct CutState {
+    cut: AtomicBool,
+    reason: Mutex<String>,
+}
+
+impl CutState {
+    fn sever(&self, reason: String) {
+        // First reason wins; later cuts (e.g. the peer's own shutdown)
+        // keep the original diagnosis.
+        let mut r = self.reason.lock().expect("cut reason poisoned");
+        if !self.cut.swap(true, Ordering::SeqCst) {
+            *r = reason;
+        }
+    }
+
+    fn error(&self) -> TransportError {
+        TransportError::Reset(self.reason.lock().expect("cut reason poisoned").clone())
+    }
+
+    fn is_cut(&self) -> bool {
+        self.cut.load(Ordering::SeqCst)
+    }
+}
+
+/// A [`Transport`] wrapper that injects the faults of a [`FaultPlan`].
+///
+/// Build connected pairs with [`faulty_pair`]; the plan is evaluated on
+/// the first transport of the pair (by convention, the migration source).
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    shared: Arc<CutState>,
+    faults: Mutex<Vec<Fault>>,
+    sent_msgs: AtomicU64,
+    sent_bytes: AtomicU64,
+    sent_by_cat: Mutex<[u64; ALL_CATEGORIES.len()]>,
+}
+
+/// How long receive paths wait between checks of the shared cut flag.
+const CUT_POLL: Duration = Duration::from_millis(2);
+
+impl<T: Transport> FaultyTransport<T> {
+    fn new(inner: T, shared: Arc<CutState>, faults: Vec<Fault>) -> Self {
+        Self {
+            inner,
+            shared,
+            faults: Mutex::new(faults),
+            sent_msgs: AtomicU64::new(0),
+            sent_bytes: AtomicU64::new(0),
+            sent_by_cat: Mutex::new([0; ALL_CATEGORIES.len()]),
+        }
+    }
+
+    /// Wrap a single transport (no shared-fate peer wrapper) with the
+    /// plan's faults for `attempt`. A fault fired here calls the inner
+    /// transport's [`Transport::shutdown`], so a peer on the far side of
+    /// a real socket still observes the failure as a dead stream.
+    pub fn wrap(inner: T, plan: &FaultPlan, attempt: u32) -> Self {
+        Self::new(inner, Arc::new(CutState::default()), plan.for_attempt(attempt))
+    }
+
+    /// The fault (if any) fired by sending `msg` now. Counters include
+    /// the message being sent, so `Messages(n)` fires ON the n-th send.
+    fn fired_fault(&self, msg: &MigMessage) -> Option<Fault> {
+        let msgs = self.sent_msgs.fetch_add(1, Ordering::SeqCst) + 1;
+        let bytes = self.sent_bytes.fetch_add(msg.wire_size(), Ordering::SeqCst) + msg.wire_size();
+        let cat = msg.category();
+        let cat_idx = ALL_CATEGORIES
+            .iter()
+            .position(|&c| c == cat)
+            .expect("category listed");
+        let cat_count = {
+            let mut counts = self.sent_by_cat.lock().expect("category counts poisoned");
+            counts[cat_idx] += 1;
+            counts[cat_idx]
+        };
+        let mut faults = self.faults.lock().expect("fault list poisoned");
+        let hit = faults.iter().position(|f| match f.trigger {
+            FaultTrigger::Messages(n) => msgs >= n,
+            FaultTrigger::Bytes(n) => bytes >= n,
+            FaultTrigger::CategoryMessages(c, n) => c == cat && cat_count >= n,
+        })?;
+        Some(faults.swap_remove(hit))
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&self, msg: MigMessage) -> Result<(), TransportError> {
+        if self.shared.is_cut() {
+            return Err(self.shared.error());
+        }
+        if let Some(fault) = self.fired_fault(&msg) {
+            match fault.kind {
+                FaultKind::Stall(dur) => std::thread::sleep(dur),
+                FaultKind::Reset => {
+                    self.shared
+                        .sever(format!("injected reset at {:?}", fault.trigger));
+                    self.inner.shutdown();
+                    return Err(self.shared.error());
+                }
+                FaultKind::Truncate => {
+                    // The sender believes the frame went out; the peer
+                    // sees it cut short. Lost, plus a severed link.
+                    self.shared
+                        .sever(format!("injected truncated frame at {:?}", fault.trigger));
+                    self.inner.shutdown();
+                    return Ok(());
+                }
+            }
+        }
+        self.inner.send(msg)
+    }
+
+    fn recv(&self) -> Result<MigMessage, TransportError> {
+        // Messages already in flight when the cut happened are still
+        // delivered (data in the pipe survives a reset of the pipe);
+        // only once the queue is dry does the cut surface.
+        loop {
+            match self.inner.try_recv() {
+                Ok(msg) => return Ok(msg),
+                Err(TransportError::Empty) => {}
+                Err(e) => return Err(e),
+            }
+            if self.shared.is_cut() {
+                return Err(self.shared.error());
+            }
+            match self.inner.recv_timeout(CUT_POLL) {
+                Ok(msg) => return Ok(msg),
+                Err(TransportError::Timeout) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<MigMessage, TransportError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.inner.try_recv() {
+                Ok(msg) => return Ok(msg),
+                Err(TransportError::Empty) => {}
+                Err(e) => return Err(e),
+            }
+            if self.shared.is_cut() {
+                return Err(self.shared.error());
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(TransportError::Timeout);
+            }
+            match self.inner.recv_timeout(left.min(CUT_POLL)) {
+                Ok(msg) => return Ok(msg),
+                Err(TransportError::Timeout) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Result<MigMessage, TransportError> {
+        match self.inner.try_recv() {
+            Err(TransportError::Empty) if self.shared.is_cut() => Err(self.shared.error()),
+            other => other,
+        }
+    }
+
+    fn sent_ledger(&self) -> TransferLedger {
+        self.inner.sent_ledger()
+    }
+
+    fn shutdown(&self) {
+        self.shared.sever("local shutdown".to_string());
+        self.inner.shutdown();
+    }
+}
+
+impl<T: Transport> std::fmt::Debug for FaultyTransport<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyTransport")
+            .field("cut", &self.shared.is_cut())
+            .field("sent_msgs", &self.sent_msgs.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+/// Wrap a connected transport pair with a shared-fate fault injector.
+/// The plan's faults for `attempt` are evaluated on sends from `a` (the
+/// migration source); a fault fired there is observed on both sides.
+pub fn faulty_pair<A: Transport, B: Transport>(
+    a: A,
+    b: B,
+    plan: &FaultPlan,
+    attempt: u32,
+) -> (FaultyTransport<A>, FaultyTransport<B>) {
+    let shared = Arc::new(CutState::default());
+    (
+        FaultyTransport::new(a, Arc::clone(&shared), plan.for_attempt(attempt)),
+        FaultyTransport::new(b, Arc::clone(&shared), Vec::new()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::duplex;
+
+    fn pull(block: u64) -> MigMessage {
+        MigMessage::PullRequest { block }
+    }
+
+    #[test]
+    fn reset_fires_at_exact_message_offset() {
+        let (a, b) = duplex();
+        let plan = FaultPlan::none().reset_after_messages(0, 3);
+        let (a, b) = faulty_pair(a, b, &plan, 0);
+        a.send(pull(1)).expect("1st");
+        a.send(pull(2)).expect("2nd");
+        assert!(matches!(a.send(pull(3)), Err(TransportError::Reset(_))));
+        // Both directions are dead, with the diagnosis preserved.
+        assert!(matches!(a.send(pull(4)), Err(TransportError::Reset(_))));
+        // Messages in flight before the cut still arrive...
+        assert_eq!(b.recv().expect("in flight"), pull(1));
+        assert_eq!(b.recv().expect("in flight"), pull(2));
+        // ...then the reset surfaces, with the diagnosis.
+        match b.recv_timeout(Duration::from_millis(50)) {
+            Err(TransportError::Reset(why)) => assert!(why.contains("Messages(3)"), "{why}"),
+            other => panic!("peer must observe the reset, got {other:?}"),
+        }
+        assert!(matches!(b.send(pull(9)), Err(TransportError::Reset(_))));
+    }
+
+    #[test]
+    fn byte_offset_trigger_counts_wire_size() {
+        let (a, b) = duplex();
+        // Each PullRequest is FRAME_OVERHEAD + 8 = 24 bytes: cut inside
+        // the third message's window.
+        let plan = FaultPlan::none().reset_after_bytes(0, 60);
+        let (a, _b) = faulty_pair(a, b, &plan, 0);
+        a.send(pull(1)).expect("24 bytes");
+        a.send(pull(2)).expect("48 bytes");
+        assert!(matches!(a.send(pull(3)), Err(TransportError::Reset(_))));
+    }
+
+    #[test]
+    fn category_trigger_ignores_other_traffic() {
+        let (a, b) = duplex();
+        let plan = FaultPlan::none().reset_after_category(0, Category::DiskPush, 2);
+        let (a, _b) = faulty_pair(a, b, &plan, 0);
+        for i in 0..10 {
+            a.send(pull(i)).expect("pulls are DiskPull traffic");
+        }
+        let push = |block| MigMessage::PostCopyBlock {
+            block,
+            pulled: false,
+            payload_len: 16,
+            payload: None,
+        };
+        a.send(push(1)).expect("1st push");
+        assert!(matches!(a.send(push(2)), Err(TransportError::Reset(_))));
+    }
+
+    #[test]
+    fn faults_arm_per_attempt() {
+        let plan = FaultPlan::none()
+            .reset_after_messages(0, 1)
+            .reset_after_messages(1, 2);
+        // Attempt 0: first send dies.
+        let (a0, b0) = duplex();
+        let (a0, _b0) = faulty_pair(a0, b0, &plan, 0);
+        assert!(a0.send(pull(1)).is_err());
+        // Attempt 1: survives one send, dies on the second.
+        let (a1, b1) = duplex();
+        let (a1, _b1) = faulty_pair(a1, b1, &plan, 1);
+        a1.send(pull(1)).expect("attempt 1 survives the first send");
+        assert!(a1.send(pull(2)).is_err());
+        // Attempt 2: no faults armed.
+        let (a2, b2) = duplex();
+        let (a2, b2) = faulty_pair(a2, b2, &plan, 2);
+        for i in 0..10 {
+            a2.send(pull(i)).expect("attempt 2 is clean");
+        }
+        for i in 0..10 {
+            assert_eq!(b2.recv().expect("delivery"), pull(i));
+        }
+    }
+
+    #[test]
+    fn stall_delays_but_does_not_kill() {
+        let (a, b) = duplex();
+        let plan = FaultPlan::none().stall_after_messages(0, 2, Duration::from_millis(40));
+        let (a, b) = faulty_pair(a, b, &plan, 0);
+        let start = Instant::now();
+        a.send(pull(1)).expect("1st");
+        a.send(pull(2)).expect("2nd (stalled)");
+        assert!(start.elapsed() >= Duration::from_millis(40), "no stall");
+        a.send(pull(3)).expect("3rd");
+        for i in 1..=3 {
+            assert_eq!(b.recv().expect("delivery"), pull(i));
+        }
+    }
+
+    #[test]
+    fn truncate_loses_the_frame_silently() {
+        let (a, b) = duplex();
+        let plan = FaultPlan::none().truncate_after_messages(0, 2);
+        let (a, b) = faulty_pair(a, b, &plan, 0);
+        a.send(pull(1)).expect("1st");
+        // The truncated send *appears* to succeed...
+        a.send(pull(2)).expect("sender cannot tell");
+        // ...but the frame is lost and the link is dead behind it.
+        assert_eq!(b.recv().expect("1st arrives"), pull(1));
+        assert!(matches!(
+            b.recv_timeout(Duration::from_millis(50)),
+            Err(TransportError::Reset(_))
+        ));
+        assert!(matches!(a.send(pull(3)), Err(TransportError::Reset(_))));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let p1 = FaultPlan::seeded_resets(42, 3, 10, 1000);
+        let p2 = FaultPlan::seeded_resets(42, 3, 10, 1000);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.faults.len(), 3);
+        for (k, f) in p1.faults.iter().enumerate() {
+            assert_eq!(f.attempt, k as u32);
+            let FaultTrigger::Messages(n) = f.trigger else {
+                panic!("seeded plans cut at message offsets")
+            };
+            assert!((10..1000).contains(&n));
+        }
+        assert_ne!(p1, FaultPlan::seeded_resets(43, 3, 10, 1000));
+    }
+
+    #[test]
+    fn clean_pair_is_transparent() {
+        let (a, b) = duplex();
+        let (a, b) = faulty_pair(a, b, &FaultPlan::none(), 0);
+        a.send(MigMessage::Suspended).expect("send");
+        assert_eq!(b.recv().expect("recv"), MigMessage::Suspended);
+        assert_eq!(
+            a.try_recv().expect_err("nothing queued"),
+            TransportError::Empty
+        );
+        assert!(a.sent_ledger().total() > 0);
+    }
+}

@@ -21,12 +21,16 @@
 //! * [`codec`] — a binary wire codec and length-prefixed framing for the
 //!   protocol, and [`tcp`] — a real-socket transport built on it, so the
 //!   live prototype can migrate across processes/machines.
+//! * [`fault`] — deterministic fault injection ([`fault::FaultyTransport`])
+//!   for exercising the reconnect-and-resume path: seeded connection
+//!   resets, stalls and truncated frames at exact wire offsets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod capacity;
 pub mod codec;
+pub mod fault;
 mod link;
 pub mod proto;
 mod ratelimit;

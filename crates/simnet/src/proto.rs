@@ -116,6 +116,70 @@ pub enum MigMessage {
     PushComplete,
     /// Destination confirms full synchronization; source may be retired.
     MigrationComplete,
+    /// Source acknowledges [`MigMessage::MigrationComplete`]; the
+    /// destination may drop the link. Without this ack a lost completion
+    /// message would strand the source in post-copy with no peer.
+    CompleteAck,
+    /// First message on every (re)connection: identifies the migration
+    /// session and the connection attempt, so a destination can tell a
+    /// resumed source from a stranger.
+    SessionHello {
+        /// Random id chosen by the source at migration start.
+        session_id: u64,
+        /// 0 for the initial connection, incremented per reconnect.
+        attempt: u32,
+    },
+    /// Destination's reply to a [`MigMessage::SessionHello`]: where it
+    /// stands, so the source retransmits *only* what was lost — the
+    /// paper's incremental-migration bitmap reused as crash recovery.
+    ResumeFrom {
+        /// Destination protocol phase (see [`ResumePhase`]).
+        phase: ResumePhase,
+        /// Encoded block-bitmap. During pre-copy and freeze: blocks the
+        /// destination has RECEIVED. During post-copy: blocks it still
+        /// NEEDS (its transferred-block bitmap).
+        disk_bitmap: Bytes,
+        /// Encoded page bitmap of RECEIVED memory pages (empty once the
+        /// guest has resumed: memory is complete by then).
+        mem_bitmap: Bytes,
+    },
+}
+
+/// Destination protocol phase reported in [`MigMessage::ResumeFrom`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumePhase {
+    /// Nothing received yet (initial connection).
+    AwaitPrepare,
+    /// Receiving pre-copy disk blocks and memory pages.
+    Precopy,
+    /// `Suspended` seen; waiting for the freeze payloads (tail pages, CPU
+    /// context, block-bitmap).
+    Frozen,
+    /// Guest resumed on the destination; post-copy in progress.
+    PostCopy,
+}
+
+impl ResumePhase {
+    /// Wire encoding.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Self::AwaitPrepare => 0,
+            Self::Precopy => 1,
+            Self::Frozen => 2,
+            Self::PostCopy => 3,
+        }
+    }
+
+    /// Decode; `None` for unknown values.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Self::AwaitPrepare),
+            1 => Some(Self::Precopy),
+            2 => Some(Self::Frozen),
+            3 => Some(Self::PostCopy),
+            _ => None,
+        }
+    }
 }
 
 impl MigMessage {
@@ -136,6 +200,13 @@ impl MigMessage {
                 Self::Bitmap { encoded } => encoded.len() as u64,
                 Self::PullRequest { .. } => 8,
                 Self::PostCopyBlock { payload_len, .. } => 8 + 1 + payload_len,
+                Self::CompleteAck => 0,
+                Self::SessionHello { .. } => 12,
+                Self::ResumeFrom {
+                    disk_bitmap,
+                    mem_bitmap,
+                    ..
+                } => 1 + disk_bitmap.len() as u64 + mem_bitmap.len() as u64,
             }
     }
 
@@ -147,7 +218,10 @@ impl MigMessage {
             | Self::Suspended
             | Self::Resumed
             | Self::PushComplete
-            | Self::MigrationComplete => Category::Control,
+            | Self::MigrationComplete
+            | Self::CompleteAck
+            | Self::SessionHello { .. } => Category::Control,
+            Self::ResumeFrom { .. } => Category::Bitmap,
             Self::DiskBlocks { .. } => Category::DiskPrecopy,
             Self::MemPages { .. } => Category::Memory,
             Self::CpuState { .. } => Category::Cpu,

@@ -14,40 +14,75 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, TryRecvError};
 
-use crate::codec::{read_frame, write_frame};
+use crate::codec::{read_frame_or_eof, write_frame};
 use crate::proto::{MigMessage, TransferLedger};
 use crate::transport::{Transport, TransportError, WallLimiter};
+
+/// How the reader thread ended: set exactly once, before the channel
+/// disconnects, so receive paths can report *why* the stream is over.
+#[derive(Debug, Clone)]
+enum ReaderExit {
+    /// Peer closed on a frame boundary: normal end of session.
+    CleanEof,
+    /// Mid-stream failure: truncated frame, decode error, socket error.
+    Failed(String),
+}
 
 /// A duplex migration link over a TCP stream.
 pub struct TcpTransport {
     writer: Mutex<BufWriter<TcpStream>>,
     incoming: Receiver<MigMessage>,
+    reader_exit: Arc<Mutex<Option<ReaderExit>>>,
     sent: Arc<Mutex<TransferLedger>>,
     limiter: Option<Mutex<WallLimiter>>,
 }
 
 impl TcpTransport {
     /// Wrap a connected stream. Spawns a reader thread that decodes
-    /// frames until the peer closes or the transport is dropped.
+    /// frames until the peer closes or the transport is dropped; whether
+    /// the stream ended cleanly or mid-frame is recorded and surfaced by
+    /// the receive methods as [`TransportError::Disconnected`] vs
+    /// [`TransportError::Reset`].
     pub fn new(stream: TcpStream) -> std::io::Result<Self> {
         stream.set_nodelay(true)?;
         let mut read_half = stream.try_clone()?;
         let (tx, rx) = unbounded();
+        let reader_exit: Arc<Mutex<Option<ReaderExit>>> = Arc::new(Mutex::new(None));
+        let exit_slot = Arc::clone(&reader_exit);
         std::thread::spawn(move || {
-            // Exit on the first decode/IO error: an EOF or a dropped
-            // receiver both end the session.
-            while let Ok(msg) = read_frame(&mut read_half) {
-                if tx.send(msg).is_err() {
-                    break;
+            let exit = loop {
+                match read_frame_or_eof(&mut read_half) {
+                    Ok(Some(msg)) => {
+                        if tx.send(msg).is_err() {
+                            // Receiver dropped: our side ended the session.
+                            break ReaderExit::CleanEof;
+                        }
+                    }
+                    Ok(None) => break ReaderExit::CleanEof,
+                    Err(e) => break ReaderExit::Failed(e.to_string()),
                 }
-            }
+            };
+            // Record the verdict *before* dropping `tx`: a receiver that
+            // observes the disconnect must find the reason already set.
+            *exit_slot.lock().expect("reader exit slot poisoned") = Some(exit);
+            drop(tx);
         });
         Ok(Self {
             writer: Mutex::new(BufWriter::new(stream)),
             incoming: rx,
+            reader_exit,
             sent: Arc::new(Mutex::new(TransferLedger::new())),
             limiter: None,
         })
+    }
+
+    /// The error a dead stream should surface: `Reset` with the recorded
+    /// failure for a mid-stream death, `Disconnected` for a clean close.
+    fn dead_stream_error(&self) -> TransportError {
+        match &*self.reader_exit.lock().expect("reader exit slot poisoned") {
+            Some(ReaderExit::Failed(why)) => TransportError::Reset(why.clone()),
+            Some(ReaderExit::CleanEof) | None => TransportError::Disconnected,
+        }
     }
 
     /// Connect to a listening peer.
@@ -92,27 +127,31 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&self) -> Result<MigMessage, TransportError> {
-        self.incoming
-            .recv()
-            .map_err(|_| TransportError::Disconnected)
+        self.incoming.recv().map_err(|_| self.dead_stream_error())
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<MigMessage, TransportError> {
         self.incoming.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => TransportError::Timeout,
-            RecvTimeoutError::Disconnected => TransportError::Disconnected,
+            RecvTimeoutError::Disconnected => self.dead_stream_error(),
         })
     }
 
     fn try_recv(&self) -> Result<MigMessage, TransportError> {
         self.incoming.try_recv().map_err(|e| match e {
             TryRecvError::Empty => TransportError::Empty,
-            TryRecvError::Disconnected => TransportError::Disconnected,
+            TryRecvError::Disconnected => self.dead_stream_error(),
         })
     }
 
     fn sent_ledger(&self) -> TransferLedger {
         self.sent.lock().expect("ledger poisoned").clone()
+    }
+
+    fn shutdown(&self) {
+        if let Ok(w) = self.writer.lock() {
+            let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
+        }
     }
 }
 
@@ -184,6 +223,44 @@ mod tests {
         drop(b);
         // The reader thread sees EOF; recv eventually reports disconnect.
         assert_eq!(a.recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn truncated_frame_surfaces_as_reset() {
+        use std::io::Write;
+        // Hand-roll the peer so we can kill it mid-frame: write a length
+        // prefix promising 100 bytes, deliver 3, then sever the socket.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let join = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            s.write_all(&100u32.to_le_bytes()).expect("prefix");
+            s.write_all(&[1, 2, 3]).expect("partial body");
+            s.shutdown(std::net::Shutdown::Both).expect("sever");
+        });
+        let a = TcpTransport::connect(&addr.to_string()).expect("connect");
+        join.join().expect("peer thread");
+        match a.recv() {
+            Err(TransportError::Reset(why)) => {
+                assert!(why.contains("truncated"), "diagnosis lost: {why}")
+            }
+            other => panic!("expected Reset for a truncated frame, got {other:?}"),
+        }
+        // The verdict is sticky: later receives report the same failure.
+        assert!(matches!(a.try_recv(), Err(TransportError::Reset(_))));
+        assert!(matches!(
+            a.recv_timeout(Duration::from_millis(5)),
+            Err(TransportError::Reset(_))
+        ));
+    }
+
+    #[test]
+    fn local_shutdown_severs_both_directions() {
+        let (a, b) = loopback_pair().expect("loopback");
+        Transport::shutdown(&a);
+        // The peer sees a clean close (shutdown flushes the FIN).
+        assert!(b.recv().is_err());
+        assert!(a.send(MigMessage::Suspended).is_err());
     }
 
     #[test]

@@ -16,18 +16,32 @@ use crate::proto::{MigMessage, TransferLedger};
 /// Errors surfaced by [`Endpoint`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
-    /// The peer endpoint was dropped.
+    /// The peer endpoint shut down cleanly (EOF at a frame boundary).
     Disconnected,
+    /// The connection failed mid-stream: an I/O error, a frame truncated
+    /// short of its declared length, or an injected fault. Unlike
+    /// [`TransportError::Disconnected`], this is never a normal shutdown;
+    /// recovery means reconnecting and resuming from the bitmap.
+    Reset(String),
     /// No message arrived within the timeout.
     Timeout,
     /// No message is currently queued (non-blocking receive).
     Empty,
 }
 
+impl TransportError {
+    /// True for the failures that end a connection ([`Self::Disconnected`]
+    /// and [`Self::Reset`]) rather than a single receive attempt.
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, Self::Disconnected | Self::Reset(_))
+    }
+}
+
 impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Disconnected => write!(f, "peer endpoint disconnected"),
+            Self::Reset(why) => write!(f, "connection reset mid-stream: {why}"),
             Self::Timeout => write!(f, "receive timed out"),
             Self::Empty => write!(f, "no message queued"),
         }
@@ -92,6 +106,11 @@ pub trait Transport: Send {
 
     /// Snapshot of bytes sent from this side, by category.
     fn sent_ledger(&self) -> TransferLedger;
+
+    /// Tear the connection down immediately (both directions). Used by
+    /// fault injection to sever a link mid-stream; the default is a no-op
+    /// for transports with no independent lifetime.
+    fn shutdown(&self) {}
 }
 
 /// One side of a duplex migration link.

@@ -34,11 +34,11 @@ impl KernelBuildWorkload {
     /// disks both regions scale down proportionally.
     ///
     /// # Panics
-    /// Panics when the disk is smaller than ~64 MiB.
+    /// Panics when the disk is smaller than ~32 MiB.
     pub fn paper_default(num_blocks: u64) -> Self {
         assert!(
-            num_blocks >= 16_384,
-            "kernel build workload needs at least ~64 MiB of disk"
+            num_blocks >= 8_192,
+            "kernel build workload needs at least ~32 MiB of disk"
         );
         // Build output streams into a scratch region; sources are read
         // from a region below it.

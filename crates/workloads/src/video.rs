@@ -35,11 +35,12 @@ impl VideoStreamWorkload {
     /// down to a quarter of the disk.
     ///
     /// # Panics
-    /// Panics when the disk is smaller than ~64 MiB.
+    /// Panics when the disk is smaller than ~32 MiB (the server log
+    /// occupies the fixed block range 4096..8192).
     pub fn paper_default(num_blocks: u64) -> Self {
         assert!(
-            num_blocks >= 16_384,
-            "video workload needs at least ~64 MiB of disk"
+            num_blocks >= 8_192,
+            "video workload needs at least ~32 MiB of disk"
         );
         // The 210 MB video = 53 760 blocks, placed at 20% of the disk; the
         // server log lives near the front.

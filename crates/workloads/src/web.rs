@@ -41,11 +41,11 @@ impl WebServerWorkload {
     /// test disks it scales down proportionally.
     ///
     /// # Panics
-    /// Panics when the disk is smaller than ~64 MiB.
+    /// Panics when the disk is smaller than ~32 MiB.
     pub fn paper_default(num_blocks: u64) -> Self {
         assert!(
-            num_blocks >= 16_384,
-            "web workload needs at least ~64 MiB of disk"
+            num_blocks >= 8_192,
+            "web workload needs at least ~32 MiB of disk"
         );
         // Application data spread over a region in the middle of the
         // disk; fresh writes scatter uniformly (user records), rewrites

@@ -23,7 +23,7 @@ fn main() {
         cfg.num_blocks, cfg.block_size, cfg.workload, cfg.max_iterations
     );
 
-    let out = run_live_migration(&cfg);
+    let out = run_live_migration(&cfg).expect("live migration completes");
 
     println!("disk pre-copy iterations (blocks): {:?}", out.iterations);
     println!("memory pre-copy iterations (pages):{:?}", out.mem_iterations);

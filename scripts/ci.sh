@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification + lint gate. Run from anywhere; no network needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: workspace tests =="
+cargo test -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
+echo "== no unwrap/expect on transport receive paths =="
+# Transport receives in the live engine and the TCP transport must
+# propagate typed errors (MigrationError / TransportError), never panic.
+# Test modules sit below the #[cfg(test)] marker and are exempt.
+fail=0
+for f in crates/migrate/src/live/*.rs crates/simnet/src/tcp.rs; do
+  bad=$(awk -v file="$f" '/#\[cfg\(test\)\]/{exit} {print file ":" FNR ": " $0}' "$f" |
+    grep -E '\.(recv|recv_timeout|try_recv)\([^)]*\)[^;]*\.(unwrap|expect)\(' || true)
+  if [ -n "$bad" ]; then
+    echo "$bad"
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "error: transport receives must propagate errors, not panic" >&2
+  exit 1
+fi
+
+echo "CI OK"

@@ -57,9 +57,12 @@ pub mod prelude {
     pub use block_bitmap::{AtomicBitmap, BlockMapper, DirtyMap, FlatBitmap, LayeredBitmap};
     pub use des::{SimDuration, SimRng, SimTime};
     pub use migrate::baselines::{run_delta_queue, run_freeze_and_copy, run_on_demand};
-    pub use migrate::live::{run_live_migration, LiveConfig, LiveOutcome};
+    pub use migrate::live::{
+        run_live_migration, run_live_migration_faulty, LiveConfig, LiveOutcome, MigrationError,
+    };
     pub use migrate::sim::{dwell, run_im, run_tpm, TpmEngine, TpmOutcome};
-    pub use migrate::{BitmapKind, MigrationConfig, MigrationReport};
+    pub use migrate::{BitmapKind, MigrationConfig, MigrationReport, RetryPolicy};
+    pub use simnet::fault::FaultPlan;
     pub use simnet::Link;
     pub use vdisk::{MetaDisk, TrackedDisk, VirtualDisk};
     pub use vmstate::{CpuState, Domain, GuestMemory, WssModel};

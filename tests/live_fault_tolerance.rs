@@ -1,0 +1,164 @@
+//! Fault-tolerant live migration: deterministic transport faults are
+//! injected mid-migration and the engine must reconnect and resume from
+//! the block-bitmap, finishing with the exact same consistency verdict a
+//! fault-free run produces.
+
+use block_bitmap_migration::migrate::live::{
+    run_live_migration_faulty, run_live_migration_tcp_faulty, LiveConfig, MigrationError,
+};
+use block_bitmap_migration::migrate::RetryPolicy;
+use block_bitmap_migration::simnet::fault::FaultPlan;
+use block_bitmap_migration::simnet::proto::Category;
+use std::time::Duration;
+
+fn fault_cfg() -> LiveConfig {
+    LiveConfig {
+        num_blocks: 16_384,
+        // Guarantee the guest dirties blocks between pre-copy convergence
+        // and suspend, so post-copy has real push traffic to fault.
+        min_guest_ticks: 25,
+        retry: RetryPolicy {
+            max_reconnects: 4,
+            backoff: Duration::from_millis(10),
+            phase_timeout: Duration::from_secs(5),
+        },
+        ..LiveConfig::test_default()
+    }
+}
+
+fn assert_consistent(out: &block_bitmap_migration::migrate::live::LiveOutcome) {
+    assert_eq!(out.read_violations, 0, "guest observed stale data");
+    let bad = out.inconsistent_blocks();
+    assert!(
+        bad.is_empty(),
+        "{} inconsistent blocks (first: {:?})",
+        bad.len(),
+        bad.first()
+    );
+    let bad_pages = out.inconsistent_pages();
+    assert!(
+        bad_pages.is_empty(),
+        "{} inconsistent RAM pages (first: {:?})",
+        bad_pages.len(),
+        bad_pages.first()
+    );
+}
+
+#[test]
+fn resets_during_precopy_and_postcopy_recover() {
+    // The headline scenario: one connection reset in the middle of the
+    // first disk pre-copy pass (message 20 of 64), a second one after the
+    // guest has already resumed on the destination (5th post-copy push).
+    // Both must be absorbed: reconnect, exchange ResumeFrom bitmaps,
+    // retransmit only what the dead sessions left uncertain.
+    let cfg = fault_cfg();
+    let plan = FaultPlan::none()
+        .reset_after_category(0, Category::DiskPrecopy, 20)
+        .reset_after_category(1, Category::DiskPush, 5);
+    let out = run_live_migration_faulty(&cfg, plan).expect("faulted migration recovers");
+    assert_consistent(&out);
+    assert_eq!(out.reconnects, 2, "both injected resets must be survived");
+    assert_eq!(out.resume_owed.len(), 2);
+
+    // Resume efficiency (the bitmap is the recovery ledger, not a restart
+    // marker): the pre-copy reconnect owes only the blocks of the one
+    // unconfirmed batch, never a second full-disk pass.
+    assert!(out.resume_owed[0] >= 1, "the failed batch must be owed");
+    assert!(
+        (out.resume_owed[0] as usize) < cfg.num_blocks / 4,
+        "resume must not degenerate into a full resend ({} owed)",
+        out.resume_owed[0]
+    );
+    // Ledger proof: total pre-copy disk traffic stays well under the two
+    // full passes a restart-from-scratch would cost.
+    let full_pass_bytes = (cfg.num_blocks * (cfg.block_size + 30)) as u64;
+    let precopy = out.src_ledger.get(Category::DiskPrecopy);
+    assert!(
+        precopy < full_pass_bytes * 3 / 2,
+        "pre-copy shipped {precopy} bytes — a full pass is ~{full_pass_bytes}; \
+         resume must not re-ship the whole disk"
+    );
+}
+
+#[test]
+fn truncated_frame_mid_precopy_is_retransmitted() {
+    // A truncate fault makes one send *appear* to succeed while the frame
+    // vanishes (the TCP-RST-after-buffered-write case). The per-session
+    // shipped/received reconciliation must re-owe exactly that batch —
+    // cumulative accounting would mark it delivered and lose the blocks.
+    let cfg = fault_cfg();
+    let plan = FaultPlan::none().truncate_after_messages(0, 10);
+    let out = run_live_migration_faulty(&cfg, plan).expect("truncated migration recovers");
+    assert_consistent(&out);
+    assert_eq!(out.reconnects, 1);
+    assert!(
+        out.resume_owed[0] >= cfg.batch as u64,
+        "the silently-lost batch must be re-owed ({} owed)",
+        out.resume_owed[0]
+    );
+}
+
+#[test]
+fn tcp_reset_recovers_over_real_sockets() {
+    // Same recovery logic across a real network stack: the fault severs
+    // the actual loopback socket, the destination re-accepts, the source
+    // re-dials.
+    let cfg = LiveConfig {
+        num_blocks: 16_384,
+        seed: 41,
+        retry: RetryPolicy {
+            max_reconnects: 2,
+            backoff: Duration::from_millis(10),
+            phase_timeout: Duration::from_secs(5),
+        },
+        ..LiveConfig::test_default()
+    };
+    let plan = FaultPlan::none().reset_after_category(0, Category::DiskPrecopy, 7);
+    let out = run_live_migration_tcp_faulty(&cfg, plan).expect("tcp migration recovers");
+    assert_consistent(&out);
+    assert_eq!(out.reconnects, 1);
+}
+
+#[test]
+fn exhausted_reconnect_budget_is_a_typed_error() {
+    // Every attempt dies on its first message and the policy allows one
+    // reconnect: the migration must fail with RetriesExhausted — not a
+    // panic, not a hang.
+    let cfg = LiveConfig {
+        num_blocks: 16_384,
+        retry: RetryPolicy {
+            max_reconnects: 1,
+            backoff: Duration::from_millis(5),
+            phase_timeout: Duration::from_secs(5),
+        },
+        ..LiveConfig::test_default()
+    };
+    let plan = FaultPlan::none()
+        .reset_after_messages(0, 1)
+        .reset_after_messages(1, 1);
+    match run_live_migration_faulty(&cfg, plan) {
+        Err(MigrationError::RetriesExhausted { attempts, last }) => {
+            assert_eq!(attempts, 2, "initial connection + one reconnect");
+            assert!(!last.is_empty(), "the last failure must be reported");
+        }
+        Err(other) => panic!("expected RetriesExhausted, got {other}"),
+        Ok(_) => panic!("migration cannot succeed when every attempt is reset"),
+    }
+}
+
+#[test]
+fn stall_fault_delays_but_completes_without_reconnect() {
+    // A stall is pure latency, not a failure: the migration rides it out
+    // on the same connection.
+    let cfg = LiveConfig {
+        num_blocks: 16_384,
+        seed: 43,
+        ..LiveConfig::test_default()
+    };
+    let plan =
+        FaultPlan::none().stall_after_messages(0, 12, Duration::from_millis(150));
+    let out = run_live_migration_faulty(&cfg, plan).expect("stalled migration completes");
+    assert_consistent(&out);
+    assert_eq!(out.reconnects, 0);
+    assert!(out.resume_owed.is_empty());
+}

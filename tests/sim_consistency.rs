@@ -30,7 +30,7 @@ proptest! {
         seed in 0u64..1_000,
         kind_idx in 0usize..5,
         layered in proptest::bool::ANY,
-        disk_kb in 70_000usize..200_000,
+        disk_kb in 32_768usize..200_000,
     ) {
         let kind = WorkloadKind::ALL[kind_idx];
         let bitmap = if layered { BitmapKind::Layered } else { BitmapKind::Flat };
@@ -84,6 +84,25 @@ proptest! {
             c.report.total_time_secs.to_bits()
         );
     }
+}
+
+/// Pinned regression from `sim_consistency.proptest-regressions`
+/// (seed = 0, kind_idx = 0, layered = false, disk_kb = 64000): the web
+/// workload used to panic on disks under 64 MiB because of an
+/// over-conservative size floor, and the property's `disk_kb` range had
+/// been narrowed to dodge it instead of fixing the floor. The stub
+/// proptest runner does not replay regression files, so the input is
+/// pinned here explicitly.
+#[test]
+fn tpm_consistent_on_62mib_disk_regression() {
+    let kind = WorkloadKind::ALL[0];
+    let disk_kb = 64_000usize;
+    let cfg = tiny_cfg(disk_kb / 4, 4_096, 0, BitmapKind::Flat);
+    let out = run_tpm(cfg, kind);
+    assert!(out.report.consistent, "inconsistent: {}", out.report.summary());
+    assert_eq!(out.report.residual_blocks, 0);
+    assert!(out.report.downtime_ms < 2_000.0);
+    assert_eq!(out.report.disk_iterations[0].units_sent as usize, disk_kb / 4);
 }
 
 #[test]

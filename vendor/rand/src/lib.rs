@@ -1,0 +1,3 @@
+//! Offline stand-in for `rand`. The workspace declares the dependency but
+//! uses its own deterministic `des::SimRng`; this empty crate satisfies
+//! resolution without network access.

@@ -1,0 +1,419 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of the real crate's serializer/deserializer visitor machinery,
+//! values convert to and from a single [`Content`] tree — sufficient for
+//! the derive shapes and the JSON front-end this workspace uses, and tiny
+//! enough to audit. The derive macro (feature `derive`, crate
+//! `serde_derive`) generates `to_content` / `from_content` pairs.
+
+/// The self-describing data model every value serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / Rust `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (always `< 0`; non-negative values use `U64`).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map with string keys (insertion order preserved).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Look up a key in a `Map`.
+    pub fn get_field(&self, name: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Convert `self` into the [`Content`] data model.
+pub trait Serialize {
+    /// Produce the content tree for this value.
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuild `Self` from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Parse the content tree into a value.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Marker alias matching serde's owned-deserialize bound.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::U64(v) => <$t>::try_from(*v).map_err(|_| {
+                        DeError::custom(format!(
+                            "integer {v} out of range for {}", stringify!($t)
+                        ))
+                    }),
+                    other => Err(DeError::custom(format!(
+                        "expected unsigned integer, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let wide: i64 = match content {
+                    Content::U64(v) => i64::try_from(*v).map_err(|_| {
+                        DeError::custom(format!("integer {v} overflows i64"))
+                    })?,
+                    Content::I64(v) => *v,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, got {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::custom(format!(
+                        "integer {wide} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(DeError::custom(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::custom(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Support for derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Runtime helpers called by the code `serde_derive` generates. Not part
+/// of the public API contract.
+pub mod __private {
+    use super::{Content, DeError, Deserialize};
+
+    /// Deserialize one named struct (or struct-variant) field, treating a
+    /// missing key as `Null` so `Option` fields default to `None`.
+    pub fn field<T: Deserialize>(map: &Content, name: &str) -> Result<T, DeError> {
+        match map.get_field(name) {
+            Some(v) => T::from_content(v)
+                .map_err(|e| DeError::custom(format!("field `{name}`: {e}"))),
+            None => T::from_content(&Content::Null)
+                .map_err(|_| DeError::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Error for content that matches no enum variant.
+    pub fn unknown_variant(type_name: &str, got: &Content) -> DeError {
+        DeError::custom(format!(
+            "unknown {type_name} variant: {:?}",
+            match got {
+                Content::Str(s) => s.clone(),
+                Content::Map(m) => m
+                    .first()
+                    .map(|(k, _)| k.clone())
+                    .unwrap_or_else(|| "<empty map>".into()),
+                other => format!("<{}>", other.kind()),
+            }
+        ))
+    }
+
+    /// Require a `Map` content node (struct deserialization).
+    pub fn as_map<'c>(type_name: &str, content: &'c Content) -> Result<&'c Content, DeError> {
+        match content {
+            Content::Map(_) => Ok(content),
+            other => Err(DeError::custom(format!(
+                "expected map for {type_name}, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_content(&42u32.to_content()), Ok(42));
+        assert_eq!(i64::from_content(&(-7i64).to_content()), Ok(-7));
+        assert_eq!(f64::from_content(&1.5f64.to_content()), Ok(1.5));
+        assert_eq!(
+            String::from_content(&"hi".to_content()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(bool::from_content(&true.to_content()), Ok(true));
+    }
+
+    #[test]
+    fn vec_and_option_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_content(&v.to_content()), Ok(v));
+        let some: Option<u8> = Some(9);
+        assert_eq!(Option::<u8>::from_content(&some.to_content()), Ok(some));
+        assert_eq!(Option::<u8>::from_content(&Content::Null), Ok(None));
+    }
+
+    #[test]
+    fn missing_optional_field_is_none() {
+        let map = Content::Map(vec![("a".into(), Content::U64(1))]);
+        assert_eq!(__private::field::<Option<u8>>(&map, "b"), Ok(None));
+        assert!(__private::field::<u8>(&map, "b").is_err());
+        assert_eq!(__private::field::<u8>(&map, "a"), Ok(1));
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+        assert!(u64::from_content(&Content::I64(-1)).is_err());
+    }
+}

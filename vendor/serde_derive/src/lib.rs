@@ -1,0 +1,361 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! stub crate's [`Content`] data model. Parsing is a hand-rolled walk over
+//! `proc_macro` token trees (no `syn`/`quote`, which are unavailable
+//! offline), so only the shapes this workspace uses are supported:
+//!
+//! - structs with named fields
+//! - single-field tuple structs (serialized transparently, like newtypes)
+//! - enums of unit variants (string representation)
+//! - enums of struct variants (externally tagged maps)
+//!
+//! Generics, `#[serde(...)]` attributes, and tuple variants are rejected
+//! with a compile-time panic naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    /// `struct Name { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(T);`
+    NewtypeStruct { name: String },
+    /// `enum Name { Unit, Struct { a: T } }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+/// Derive `serde::Serialize` via the `Content` data model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                     ::serde::Serialize::to_content(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),",
+                        v = v.name
+                    ),
+                    Some(fields) => {
+                        let binds = fields.join(", ");
+                        let entries = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), \
+                                     ::serde::Serialize::to_content({f})),"
+                                )
+                            })
+                            .collect::<String>();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Content::Map(vec![\
+                                 (\"{v}\".to_string(), \
+                                  ::serde::Content::Map(vec![{entries}]))]),",
+                            v = v.name
+                        )
+                    }
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("derived Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` via the `Content` data model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(m, \"{f}\")?,"))
+                .collect::<String>();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> Result<Self, ::serde::DeError> {{\n\
+                         let m = ::serde::__private::as_map(\"{name}\", content)?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) \
+                     -> Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::from_content(content)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),", v = v.name))
+                .collect::<String>();
+            let map_arms = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|f| (v, f)))
+                .map(|(v, fields)| {
+                    let inits = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::__private::field(v, \"{f}\")?,"))
+                        .collect::<String>();
+                    format!(
+                        "\"{vn}\" => Ok({name}::{vn} {{ {inits} }}),",
+                        vn = v.name
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> Result<Self, ::serde::DeError> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 _ => Err(::serde::__private::unknown_variant(\
+                                          \"{name}\", content)),\n\
+                             }},\n\
+                             ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (k, v) = &entries[0];\n\
+                                 let _ = v;\n\
+                                 match k.as_str() {{\n\
+                                     {map_arms}\n\
+                                     _ => Err(::serde::__private::unknown_variant(\
+                                              \"{name}\", content)),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::__private::unknown_variant(\
+                                      \"{name}\", content)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("derived Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i, "struct/enum keyword");
+    let name = expect_ident(&tokens, &mut i, "type name");
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                if arity != 1 {
+                    panic!(
+                        "serde stub derive: tuple struct `{name}` has {arity} fields; \
+                         only single-field newtypes are supported"
+                    );
+                }
+                Item::NewtypeStruct { name }
+            }
+            other => panic!("serde stub derive: unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                variants: parse_variants(&name, g.stream()),
+                name,
+            },
+            other => panic!("serde stub derive: unexpected token after `enum {name}`: {other:?}"),
+        },
+        kw => panic!("serde stub derive: cannot derive for `{kw} {name}` (unions unsupported)"),
+    }
+}
+
+/// Advance past `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1; // the [...] group
+                } else {
+                    panic!("serde stub derive: stray `#` outside an attribute");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde stub derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Field names of a `{ a: T, b: U }` body; types are skipped (the generated
+/// code relies on inference through `Deserialize`).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut i, "field name");
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected `:` after field `{field}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(field);
+    }
+    fields
+}
+
+/// Skip one type expression up to a top-level `,` (commas inside `<...>`,
+/// and any bracketed group, do not count).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        // Delimited groups ((), [], {}) nest their own commas safely.
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1; // consume the separator
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Count the fields of a tuple-struct body by top-level commas.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(enum_name: &str, stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i, "variant name");
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!(
+                    "serde stub derive: tuple variant `{enum_name}::{name}` is not supported"
+                );
+            }
+            _ => None,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!(
+                "serde stub derive: explicit discriminant on `{enum_name}::{name}` \
+                 is not supported"
+            );
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
