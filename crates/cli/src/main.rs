@@ -11,6 +11,8 @@
 //! vmmigrate trace      analyze FILE
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod cmd;
 

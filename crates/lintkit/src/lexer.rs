@@ -1,0 +1,412 @@
+//! A hand-rolled Rust lexer: just enough tokenization for the lint rules.
+//!
+//! The sandbox has no crates.io (so no `syn`/`proc-macro2`); the rules
+//! instead run over this token stream. The lexer must get right exactly
+//! the things a `grep`-based gate gets wrong:
+//!
+//! * string/char/byte literals — `"panic!(...)"` inside a string is data,
+//!   not code, including raw strings `r#"..."#` with any `#` depth;
+//! * comments — line comments and *nested* block comments;
+//! * lifetimes vs. char literals — `'a` is a lifetime, `'a'` is a char;
+//! * raw identifiers — `r#match` is an identifier, not a raw string.
+//!
+//! Literal and comment *contents* are discarded: no rule ever matches
+//! inside them.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `_` and raw identifiers).
+    Ident,
+    /// A lifetime such as `'a` (text includes the leading quote).
+    Lifetime,
+    /// Any literal: number, string, raw string, byte string, char.
+    Literal,
+    /// Punctuation. Multi-character `::`, `=>`, `->`, `..`, `..=` are
+    /// joined into one token; everything else is a single character.
+    Punct,
+}
+
+/// One token with its byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Exact source text (empty-ish placeholder `"…"` for literals whose
+    /// content does not matter to any rule).
+    pub text: String,
+    /// Byte offset of the first character in the source.
+    pub off: usize,
+}
+
+impl Token {
+    /// True when this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Tokenize Rust source. Invalid input never panics; unterminated
+/// constructs simply run to end-of-file.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let at = |i: usize| if i < n { b[i] } else { 0 };
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also swallows `//!` and `///` doc comments).
+        if c == b'/' && at(i + 1) == b'/' {
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Nested block comment.
+        if c == b'/' && at(i + 1) == b'*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && at(i + 1) == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && at(i + 1) == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings, byte strings, and raw identifiers.
+        if is_ident_start(c) {
+            // r"..." / r#"..."# / br"..." / br#"..."# — but r#ident is a
+            // raw identifier, not a raw string.
+            let (prefix_len, is_raw) = if c == b'r' && (at(i + 1) == b'"' || at(i + 1) == b'#') {
+                (1usize, true)
+            } else if (c == b'b' || c == b'c')
+                && at(i + 1) == b'r'
+                && (at(i + 2) == b'"' || at(i + 2) == b'#')
+            {
+                (2, true)
+            } else {
+                (0, false)
+            };
+            if is_raw {
+                let mut j = i + prefix_len;
+                let mut hashes = 0usize;
+                while at(j) == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if at(j) == b'"' {
+                    // Raw string: scan for `"` followed by `hashes` hashes.
+                    j += 1;
+                    'scan: while j < n {
+                        if b[j] == b'"' {
+                            let mut k = 0usize;
+                            while k < hashes && at(j + 1 + k) == b'#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    out.push(Token {
+                        kind: TokKind::Literal,
+                        text: "…".to_string(),
+                        off: i,
+                    });
+                    i = j;
+                    continue;
+                }
+                if hashes > 0 && is_ident_start(at(j)) {
+                    // Raw identifier `r#match`: emit the bare name.
+                    let start = j;
+                    while j < n && is_ident_char(b[j]) {
+                        j += 1;
+                    }
+                    out.push(Token {
+                        kind: TokKind::Ident,
+                        text: src[start..j].to_string(),
+                        off: i,
+                    });
+                    i = j;
+                    continue;
+                }
+                // `r#` followed by nothing useful: fall through as ident.
+            }
+            // b"..." / c"..." (escaped, non-raw).
+            if (c == b'b' || c == b'c') && at(i + 1) == b'"' {
+                let start = i;
+                i = skip_quoted(b, i + 1, b'"');
+                out.push(Token {
+                    kind: TokKind::Literal,
+                    text: "…".to_string(),
+                    off: start,
+                });
+                continue;
+            }
+            if c == b'b' && at(i + 1) == b'\'' {
+                let start = i;
+                i = skip_quoted(b, i + 1, b'\'');
+                out.push(Token {
+                    kind: TokKind::Literal,
+                    text: "…".to_string(),
+                    off: start,
+                });
+                continue;
+            }
+            // Plain identifier / keyword.
+            let start = i;
+            while i < n && is_ident_char(b[i]) {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokKind::Ident,
+                text: src[start..i].to_string(),
+                off: start,
+            });
+            continue;
+        }
+        // String literal.
+        if c == b'"' {
+            let start = i;
+            i = skip_quoted(b, i, b'"');
+            out.push(Token {
+                kind: TokKind::Literal,
+                text: "…".to_string(),
+                off: start,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == b'\'' {
+            let start = i;
+            if at(i + 1) == b'\\' {
+                // Escaped char literal: '\n', '\'', '\u{..}'.
+                i = skip_quoted(b, i, b'\'');
+                out.push(Token {
+                    kind: TokKind::Literal,
+                    text: "…".to_string(),
+                    off: start,
+                });
+                continue;
+            }
+            if is_ident_start(at(i + 1)) {
+                let mut j = i + 2;
+                while j < n && is_ident_char(b[j]) {
+                    j += 1;
+                }
+                if at(j) == b'\'' {
+                    // Char literal like 'a' (exactly one ident char fits;
+                    // longer runs ending in ' only occur in broken code).
+                    out.push(Token {
+                        kind: TokKind::Literal,
+                        text: "…".to_string(),
+                        off: start,
+                    });
+                    i = j + 1;
+                } else {
+                    // Lifetime 'a / 'static.
+                    out.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[start..j].to_string(),
+                        off: start,
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // Char literal of a single non-ident char: '(' , '\u{0}' etc.
+            if at(i + 2) == b'\'' {
+                out.push(Token {
+                    kind: TokKind::Literal,
+                    text: "…".to_string(),
+                    off: start,
+                });
+                i += 3;
+                continue;
+            }
+            // Stray quote: emit as punct and move on (never happens in
+            // code that compiles).
+            out.push(Token {
+                kind: TokKind::Punct,
+                text: "'".to_string(),
+                off: start,
+            });
+            i += 1;
+            continue;
+        }
+        // Number literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (is_ident_char(b[i])) {
+                i += 1;
+            }
+            // Fraction / exponent: consume `.` only when a digit follows
+            // (so `0..10` leaves the range operator alone).
+            if at(i) == b'.' && at(i + 1).is_ascii_digit() {
+                i += 1;
+                while i < n && (is_ident_char(b[i])) {
+                    i += 1;
+                }
+            }
+            out.push(Token {
+                kind: TokKind::Literal,
+                text: src[start..i].to_string(),
+                off: start,
+            });
+            continue;
+        }
+        // Punctuation; join the few multi-char tokens the rules care about.
+        let joined: Option<&str> = if c == b'.' && at(i + 1) == b'.' && at(i + 2) == b'=' {
+            Some("..=")
+        } else if c == b'.' && at(i + 1) == b'.' {
+            Some("..")
+        } else if c == b':' && at(i + 1) == b':' {
+            Some("::")
+        } else if c == b'=' && at(i + 1) == b'>' {
+            Some("=>")
+        } else if c == b'-' && at(i + 1) == b'>' {
+            Some("->")
+        } else {
+            None
+        };
+        if let Some(j) = joined {
+            out.push(Token {
+                kind: TokKind::Punct,
+                text: j.to_string(),
+                off: i,
+            });
+            i += j.len();
+            continue;
+        }
+        out.push(Token {
+            kind: TokKind::Punct,
+            text: (c as char).to_string(),
+            off: i,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Skip a quoted run starting at the opening quote `b[start] == quote`,
+/// honoring backslash escapes. Returns the index just past the closing
+/// quote (or end of input).
+fn skip_quoted(b: &[u8], start: usize, quote: u8) -> usize {
+    let n = b.len();
+    let mut i = start + 1;
+    while i < n {
+        if b[i] == b'\\' {
+            i += 2;
+        } else if b[i] == quote {
+            return i + 1;
+        } else {
+            i += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        // `.unwrap()` inside a raw string is data, not code.
+        let toks = lex(r####"let s = r#"x.unwrap() panic!"#; s.len()"####);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+        assert!(toks.iter().any(|t| t.is_ident("len")));
+        // Deeper hash fences, and a byte raw string.
+        let toks = lex(r#####"let s = r##"a "# b.unwrap()"##; let t = br"panic!";"#####);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn raw_identifiers_are_identifiers_not_strings() {
+        let toks = lex("fn r#match() { r#fn + 1 }");
+        assert!(toks.iter().any(|t| t.is_ident("match")));
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn nested_block_comments_fully_skipped() {
+        let toks = lex("a /* x /* y.unwrap() */ panic! */ b");
+        assert_eq!(idents("a /* x /* y.unwrap() */ panic! */ b"), ["a", "b"]);
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn line_comments_and_strings_skipped() {
+        let src = "call(); // tail.unwrap()\nlet s = \"panic!(\\\"no\\\")\";";
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'static str { 'x' ; '\\n' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(chars, 2, "'x' and '\\n' are char literals");
+    }
+
+    #[test]
+    fn ranges_do_not_eat_numbers() {
+        let toks = lex("for i in 0..10 { a[i..=j]; 1.5 }");
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+        assert!(toks.iter().any(|t| t.is_punct("..=")));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Literal && t.text == "1.5"));
+    }
+
+    #[test]
+    fn multichar_puncts_joined() {
+        let toks = lex("Foo::Bar => x -> y");
+        assert!(toks.iter().any(|t| t.is_punct("::")));
+        assert!(toks.iter().any(|t| t.is_punct("=>")));
+        assert!(toks.iter().any(|t| t.is_punct("->")));
+    }
+}

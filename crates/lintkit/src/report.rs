@@ -1,0 +1,24 @@
+//! Diagnostics: what a rule found, where, and why it matters.
+
+/// One rule violation, pointing at a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule identifier, e.g. `no-panic-transport`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the specific finding.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}

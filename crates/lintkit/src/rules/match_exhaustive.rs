@@ -1,0 +1,212 @@
+//! Rule `protocol-exhaustive`: matches over the wire protocol must be
+//! exhaustive by construction — no `_ =>` catch-alls.
+//!
+//! The migration protocol evolves (PR 1 added resume/reconnect
+//! messages); a wildcard arm silently swallows any message variant added
+//! later, which is exactly how a destination comes to ignore a
+//! `DirtyBitmap` frame. Forcing every variant to be named turns "new
+//! message kind" into a compile-time/CI-time checklist of every decode
+//! and dispatch site.
+//!
+//! A match participates when any arm *pattern* mentions
+//! `MigMessage::`/`Category::` — or `Self::` inside an `impl` of those
+//! types. Only pattern position counts: `match ep.send(MigMessage::Ack)`
+//! matches over a `Result` and may use wildcards freely, and
+//! `from_u8`-style matches over integers returning protocol values are
+//! likewise untouched.
+
+use super::Rule;
+use crate::lexer::{TokKind, Token};
+use crate::report::Violation;
+use crate::Workspace;
+
+/// Types whose matches must name every variant.
+const PROTOCOL_TYPES: &[&str] = &["MigMessage", "Category"];
+
+/// See module docs.
+pub struct MatchExhaustive;
+
+impl Rule for MatchExhaustive {
+    fn id(&self) -> &'static str {
+        "protocol-exhaustive"
+    }
+
+    fn summary(&self) -> &'static str {
+        "matches over MigMessage/Category name every variant — no `_ =>` arms"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            let toks = &file.tokens;
+            let impl_ranges = protocol_impl_ranges(toks, &file.brace_match);
+            for i in 0..toks.len() {
+                if file.in_test[i] || !toks[i].is_ident("match") {
+                    continue;
+                }
+                let Some((open, close)) = match_body(toks, &file.brace_match, i) else {
+                    continue;
+                };
+                let in_protocol_impl = impl_ranges.iter().any(|&(s, e)| i > s && i < e);
+                let arms = split_arms(toks, &file.brace_match, open + 1, close);
+                let protocol = arms
+                    .iter()
+                    .any(|a| pattern_is_protocol(&toks[a.0..a.1], in_protocol_impl));
+                if !protocol {
+                    continue;
+                }
+                for &(ps, pe) in &arms {
+                    let pat = &toks[ps..pe];
+                    if pattern_is_wildcard(pat) {
+                        out.push(Violation {
+                            rule: self.id(),
+                            path: file.rel.clone(),
+                            line: file.line_of_token(ps),
+                            message: "`_ =>` arm in a match over a protocol type — name \
+                                      every variant so new messages cannot be silently \
+                                      dropped"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Token ranges `(body_open, body_close)` of `impl` blocks whose header
+/// names a protocol type (`impl MigMessage`, `impl From<u8> for Category`).
+fn protocol_impl_ranges(toks: &[Token], brace_match: &[Option<usize>]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("impl") {
+            let mut names_protocol = false;
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct("(") || t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct("{") {
+                    break;
+                } else if PROTOCOL_TYPES.iter().any(|p| t.is_ident(p)) {
+                    names_protocol = true;
+                }
+                j += 1;
+            }
+            if names_protocol && j < toks.len() {
+                if let Some(close) = brace_match[j] {
+                    out.push((j, close));
+                }
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The `{`/`}` token indices of the body of the match at keyword `m`.
+/// The scrutinee cannot contain a top-level `{` (struct literals need
+/// parens there), so the first depth-0 `{` is the body.
+fn match_body(
+    toks: &[Token],
+    brace_match: &[Option<usize>],
+    m: usize,
+) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(m + 1) {
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct("{") {
+            return brace_match[j].map(|c| (j, c));
+        }
+    }
+    None
+}
+
+/// Split a match body (token range, exclusive) into arm pattern ranges
+/// `(pattern_start, pattern_end_exclusive)` — the tokens before each
+/// depth-0 `=>`, including any `if` guard.
+fn split_arms(
+    toks: &[Token],
+    brace_match: &[Option<usize>],
+    start: usize,
+    end: usize,
+) -> Vec<(usize, usize)> {
+    let mut arms = Vec::new();
+    let mut j = start;
+    while j < end {
+        let pat_start = j;
+        // Find the `=>` terminating this pattern.
+        let mut depth = 0i32;
+        let mut arrow = None;
+        let mut k = j;
+        while k < end {
+            let t = &toks[k];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct("=>") {
+                arrow = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        arms.push((pat_start, arrow));
+        // Skip the arm body: a block, or an expression up to a depth-0 `,`.
+        let mut b = arrow + 1;
+        if b < end && toks[b].is_punct("{") {
+            b = brace_match[b].map(|c| c + 1).unwrap_or(end);
+            if b < end && toks[b].is_punct(",") {
+                b += 1;
+            }
+        } else {
+            let mut depth = 0i32;
+            while b < end {
+                let t = &toks[b];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(",") {
+                    b += 1;
+                    break;
+                }
+                b += 1;
+            }
+        }
+        j = b;
+    }
+    arms
+}
+
+/// Does this arm pattern name a protocol type? `MigMessage::…`,
+/// `Category::…`, or `Self::…` when inside an `impl` of a protocol type.
+fn pattern_is_protocol(pat: &[Token], in_protocol_impl: bool) -> bool {
+    pat.windows(2).any(|w| {
+        w[1].is_punct("::")
+            && (PROTOCOL_TYPES.iter().any(|p| w[0].is_ident(p))
+                || (in_protocol_impl && w[0].is_ident("Self")))
+    })
+}
+
+/// Is this pattern a catch-all: exactly `_`, or `_ if <guard>`?
+fn pattern_is_wildcard(pat: &[Token]) -> bool {
+    match pat {
+        [only] => only.is_ident("_"),
+        [first, second, ..] => {
+            first.is_ident("_") && second.kind == TokKind::Ident && second.is_ident("if")
+        }
+        [] => false,
+    }
+}

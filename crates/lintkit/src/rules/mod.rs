@@ -1,0 +1,38 @@
+//! The rule framework: each rule checks one invariant the compiler
+//! cannot see, over the whole lexed workspace at once (some rules are
+//! cross-file, e.g. the lock-ordering graph).
+
+use crate::report::Violation;
+use crate::Workspace;
+
+mod lock_order;
+mod match_exhaustive;
+mod no_panic;
+mod unsafe_audit;
+
+pub use lock_order::LockOrder;
+pub use match_exhaustive::MatchExhaustive;
+pub use no_panic::NoPanicTransport;
+pub use unsafe_audit::UnsafeAudit;
+
+/// One static-analysis rule.
+pub trait Rule {
+    /// Stable identifier used in diagnostics (kebab-case).
+    fn id(&self) -> &'static str;
+
+    /// One-line statement of the invariant the rule protects.
+    fn summary(&self) -> &'static str;
+
+    /// Check the workspace and return every violation found.
+    fn check(&self, ws: &Workspace) -> Vec<Violation>;
+}
+
+/// Every rule, in the order they are run and reported.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoPanicTransport),
+        Box::new(LockOrder),
+        Box::new(MatchExhaustive),
+        Box::new(UnsafeAudit),
+    ]
+}

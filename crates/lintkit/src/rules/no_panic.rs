@@ -1,0 +1,82 @@
+//! Rule `no-panic-transport`: the live-migration receive/transport zones
+//! must never panic.
+//!
+//! The fault-tolerance story (DESIGN.md §9) depends on every transport
+//! failure surfacing as a typed `TransportError`/`MigrationError` so the
+//! engine can reconnect and resume from the block-bitmap. A single
+//! `unwrap()` on a receive, lock, or channel path turns a recoverable
+//! connection reset into a dead protocol thread. This rule generalizes
+//! the old `awk | grep` CI gate (which only caught `.recv().unwrap()` on
+//! two path globs) to *all* `unwrap`/`expect` calls and panic-family
+//! macros in the transport zones, outside `#[cfg(test)]` code.
+
+use super::Rule;
+use crate::report::Violation;
+use crate::Workspace;
+
+/// Path prefixes (workspace-relative) where panicking is forbidden.
+pub const ZONES: &[&str] = &["crates/migrate/src/live/", "crates/simnet/src/"];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// See module docs.
+pub struct NoPanicTransport;
+
+impl Rule for NoPanicTransport {
+    fn id(&self) -> &'static str {
+        "no-panic-transport"
+    }
+
+    fn summary(&self) -> &'static str {
+        "transport zones propagate typed errors; they never unwrap/expect/panic"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !ZONES.iter().any(|z| file.rel.starts_with(z)) {
+                continue;
+            }
+            let toks = &file.tokens;
+            for i in 0..toks.len() {
+                if file.in_test[i] {
+                    continue;
+                }
+                let t = &toks[i];
+                // panic!/unreachable!/todo!/unimplemented!
+                if PANIC_MACROS.iter().any(|m| t.is_ident(m))
+                    && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"))
+                {
+                    out.push(Violation {
+                        rule: self.id(),
+                        path: file.rel.clone(),
+                        line: file.line_of_token(i),
+                        message: format!(
+                            "`{}!` in a transport zone — return a typed \
+                             MigrationError/TransportError instead",
+                            t.text
+                        ),
+                    });
+                }
+                // .unwrap( / .expect(
+                if (t.is_ident("unwrap") || t.is_ident("expect"))
+                    && i > 0
+                    && toks[i - 1].is_punct(".")
+                    && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+                {
+                    out.push(Violation {
+                        rule: self.id(),
+                        path: file.rel.clone(),
+                        line: file.line_of_token(i),
+                        message: format!(
+                            "`.{}()` in a transport zone — propagate the error \
+                             (or recover) instead of panicking",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,47 @@
+//! Fixture: compliant locking — consistent global order, guards released
+//! before blocking, the condvar wait pattern, shared read pairs. NOT
+//! compiled.
+
+pub fn source_side(s: &Shared) {
+    let a = s.ledger.lock();
+    let b = s.pending.lock(); // ledger -> pending, both sides agree
+    a.record(&b);
+}
+
+pub fn dest_side(s: &Shared) {
+    let a = s.ledger.lock();
+    let b = s.pending.lock(); // same order: no cycle
+    b.record(&a);
+}
+
+pub fn released_before_send(s: &Shared, tx: &Sender<MigMessage>) {
+    let guard = s.ledger.lock();
+    let msg = guard.next_message();
+    drop(guard);
+    tx.send(msg); // guard explicitly dropped first
+}
+
+pub fn scoped_before_send(s: &Shared, tx: &Sender<MigMessage>) {
+    let msg = {
+        let guard = s.ledger.lock();
+        guard.next_message()
+    };
+    tx.send(msg); // guard died with its block
+}
+
+pub fn condvar_wait(s: &Shared) {
+    let mut st = s.state.lock();
+    while !st.ready {
+        s.cv.wait(&mut st); // wait() consumes the guard: exempt
+    }
+}
+
+pub fn shared_readers(a: &Disk, b: &Disk) -> bool {
+    let x = a.storage.read();
+    let y = b.storage.read(); // shared+shared cannot deadlock
+    x.bytes() == y.bytes()
+}
+
+pub fn io_read_is_not_a_lock(stream: &mut TcpStream, buf: &mut [u8]) {
+    stream.read(buf); // has arguments: I/O, not a RwLock acquisition
+}

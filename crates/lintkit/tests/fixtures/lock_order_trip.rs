@@ -1,0 +1,27 @@
+//! Fixture: lock-order violations — an ordering cycle between two lock
+//! functions, a guard held across a blocking call, and a re-acquisition
+//! of a held lock. NOT compiled.
+
+pub fn source_side(s: &Shared) {
+    let a = s.ledger.lock();
+    let b = s.pending.lock(); // edge: ledger -> pending
+    a.record(&b);
+}
+
+pub fn dest_side(s: &Shared) {
+    let b = s.pending.lock();
+    let a = s.ledger.lock(); // edge: pending -> ledger — cycle!
+    b.record(&a);
+}
+
+pub fn held_across_send(s: &Shared, tx: &Sender<MigMessage>) {
+    let guard = s.ledger.lock();
+    tx.send(MigMessage::Suspended); // blocking send under `guard`
+    guard.record_send();
+}
+
+pub fn double_acquire(s: &Shared) {
+    let first = s.ledger.lock();
+    let again = s.ledger.lock(); // self-deadlock
+    first.merge(&again);
+}

@@ -1,0 +1,34 @@
+//! Fixture: compliant matches — exhaustive protocol matches, and
+//! wildcards over non-protocol scrutinees that must stay legal. NOT
+//! compiled.
+
+pub fn dispatch(msg: MigMessage) {
+    match msg {
+        MigMessage::Suspended => on_suspend(),
+        MigMessage::Resumed => on_resume(),
+        MigMessage::PullRequest { block } => on_pull(block),
+    }
+}
+
+pub fn category_of(cat: Category) -> u8 {
+    match cat {
+        Category::Memory => 0,
+        Category::Bitmap => 1,
+        Category::Control => 2,
+    }
+}
+
+pub fn from_u8(v: u8) -> Option<Category> {
+    match v {
+        0 => Some(Category::Memory),
+        1 => Some(Category::Bitmap),
+        _ => None, // scrutinee is an integer: wildcard is the only option
+    }
+}
+
+pub fn send_result(ep: &Endpoint) {
+    match ep.send(MigMessage::Suspended) {
+        Ok(()) => {}
+        _ => reconnect(), // protocol type in the scrutinee, not the pattern
+    }
+}

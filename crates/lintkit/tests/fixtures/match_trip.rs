@@ -1,0 +1,27 @@
+//! Fixture: wildcard arms in protocol matches — every form the
+//! protocol-exhaustive rule must reject. NOT compiled.
+
+pub fn dispatch(msg: MigMessage) {
+    match msg {
+        MigMessage::Suspended => on_suspend(),
+        MigMessage::Resumed => on_resume(),
+        _ => {} // line 8: silently drops every other protocol message
+    }
+}
+
+pub fn guarded(msg: MigMessage, strict: bool) {
+    match msg {
+        MigMessage::Suspended => on_suspend(),
+        _ if strict => reject(), // line 15: guarded wildcard still hides variants
+        _ => {}                  // line 16: and so does the plain one
+    }
+}
+
+impl MigMessage {
+    pub fn weight(&self) -> u64 {
+        match self {
+            Self::Suspended => 1,
+            _ => 0, // line 24: Self:: is MigMessage:: inside this impl
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: the compliant version of the transport zone — typed errors
+//! propagated, no panic paths. NOT compiled.
+
+pub fn recv_loop(rx: &Receiver<MigMessage>) -> Result<MigMessage, TransportError> {
+    rx.recv().map_err(|_| TransportError::Disconnected)
+}
+
+pub fn strict(st: &State) -> Result<Instant, MigrationError> {
+    st.suspended_at.ok_or(MigrationError::Io("not stamped".into()))
+}
+
+pub fn dispatch(kind: u8) -> Result<(), MigrationError> {
+    match kind {
+        0 => Ok(()),
+        // unwrap_or_else is recovery, not a panic path.
+        other => Err(MigrationError::Io(format!("unknown kind {other}"))),
+    }
+}
+
+pub fn fallback(st: &State) -> Instant {
+    st.suspended_at.unwrap_or_else(Instant::now)
+}

@@ -1,0 +1,29 @@
+//! Fixture: every panic path the no-panic-transport rule must catch.
+//! Mapped under a transport zone by the test harness; NOT compiled.
+
+pub fn recv_loop(rx: &Receiver<MigMessage>) -> MigMessage {
+    rx.recv().unwrap() // line 5: .unwrap()
+}
+
+pub fn strict(st: &State) -> Instant {
+    st.suspended_at.expect("stamped") // line 9: .expect()
+}
+
+pub fn dispatch(kind: u8) {
+    match kind {
+        0 => {}
+        _ => panic!("unknown kind"), // line 15: panic!
+    }
+}
+
+pub fn later() {
+    todo!() // line 20: todo!
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        makes_result().unwrap(); // masked: test code never trips the rule
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: a compliant crate root — pragma present, no unsafe. The word
+//! "unsafe" in comments and strings must not trip the token-level rule.
+//! NOT compiled.
+
+#![forbid(unsafe_code)]
+
+pub fn describe() -> &'static str {
+    "this crate has no unsafe code"
+}

@@ -1,0 +1,7 @@
+//! Fixture: unlisted unsafe code plus a crate root missing the
+//! forbid(unsafe_code) pragma. NOT compiled.
+
+pub fn raw_len(v: &[u8]) -> usize {
+    unsafe { v.get_unchecked(0) }; // line 5: unsafe outside the allowlist
+    v.len()
+}

@@ -1,0 +1,32 @@
+//! The invariant the whole PR exists to hold: the real workspace is
+//! lint-clean. Running this as a tier-1 test means `cargo test -q` fails
+//! the moment someone reintroduces a transport unwrap, an inverted lock
+//! order, a protocol wildcard, or unlisted unsafe — even without ci.sh.
+
+use std::path::Path;
+
+use lintkit::Workspace;
+
+#[test]
+fn the_repo_passes_its_own_lint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lintkit sits two levels under the workspace root");
+    let ws = Workspace::scan(root).expect("workspace scan");
+    assert!(
+        ws.files.len() > 50,
+        "scan found only {} files — scope bug?",
+        ws.files.len()
+    );
+    let violations = ws.run();
+    assert!(
+        violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

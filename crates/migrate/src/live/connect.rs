@@ -16,8 +16,10 @@
 use std::collections::HashMap;
 use std::net::{TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use simnet::fault::{faulty_pair, FaultPlan, FaultyTransport};
 use simnet::tcp::TcpTransport;
@@ -129,7 +131,7 @@ impl Connector for DuplexConnector {
                 detail: "peer will not reconnect".to_string(),
             });
         }
-        let mut pending = self.shared.pending.lock().expect("rendezvous poisoned");
+        let mut pending = self.shared.pending.lock();
         if let Some(mine) = pending.remove(&(attempt, self.side)) {
             return Ok(mine);
         }

@@ -12,6 +12,8 @@ use des::{SimDuration, SimRng};
 use parking_lot::{Condvar, Mutex};
 use vdisk::stamp_bytes;
 use vmstate::LiveRam;
+
+use crate::live::error::MigrationError;
 use workloads::{OpKind, Workload, WorkloadKind};
 
 use crate::live::GuestIo;
@@ -85,7 +87,9 @@ impl DriverCtl {
         while st.phase != Phase::Suspended {
             self.0.cv.wait(&mut st);
         }
-        st.suspended_at.expect("suspension stamps an instant")
+        // Phase::Suspended implies the driver stamped the instant; fall
+        // back to "now" rather than panicking a protocol thread.
+        st.suspended_at.unwrap_or_else(Instant::now)
     }
 
     /// Resume the guest on the destination's I/O path and RAM. Returns
@@ -247,10 +251,14 @@ impl DriverHandle {
         self.ctl.clone()
     }
 
-    /// Stop the guest and collect its ground-truth model.
-    pub fn finish(self) -> DriverResult {
+    /// Stop the guest and collect its ground-truth model. A driver
+    /// thread that died surfaces as a protocol error, not a panic.
+    pub fn finish(self) -> Result<DriverResult, MigrationError> {
         self.ctl.request_stop();
-        self.join.join().expect("driver thread must not panic")
+        self.join.join().map_err(|_| MigrationError::Protocol {
+            phase: "guest driver",
+            detail: "guest driver thread panicked".into(),
+        })
     }
 }
 
@@ -289,7 +297,7 @@ mod tests {
             Duration::from_millis(1),
         );
         std::thread::sleep(Duration::from_millis(100));
-        let res = h.finish();
+        let res = h.finish().expect("driver thread healthy");
         assert!(res.writes > 0, "driver made no writes");
         assert!(res.mem_writes > 0, "driver dirtied no memory");
         assert_eq!(res.read_violations, 0, "read-your-writes violated");
@@ -325,7 +333,7 @@ mod tests {
         let t_resume = ctl.resume_on(g, ram);
         assert!(t_resume > t_suspend);
         assert!(t_resume - t_suspend >= Duration::from_millis(15));
-        let res = h.finish();
+        let res = h.finish().expect("driver thread healthy");
         assert_eq!(res.read_violations, 0);
     }
 }

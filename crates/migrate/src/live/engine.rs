@@ -347,15 +347,25 @@ where
         std::thread::spawn(move || dest_protocol(&cfg, &dst, &ram, dst_conn, &ctl))
     };
 
-    let src_res = src_thread.join().expect("source protocol panicked");
-    let dst_res = dst_thread.join().expect("destination protocol panicked");
+    let src_res = src_thread.join().unwrap_or_else(|_| {
+        Err(MigrationError::Protocol {
+            phase: "source",
+            detail: "source protocol thread panicked".into(),
+        })
+    });
+    let dst_res = dst_thread.join().unwrap_or_else(|_| {
+        Err(MigrationError::Protocol {
+            phase: "destination",
+            detail: "destination protocol thread panicked".into(),
+        })
+    });
     let total = start.elapsed();
     let DriverResult {
         model,
         mem_model,
         read_violations,
         ..
-    } = driver.finish();
+    } = driver.finish()?;
     let (src_res, dst_res) = match (src_res, dst_res) {
         (Ok(s), Ok(d)) => (s, d),
         (Err(e), _) | (_, Err(e)) => return Err(e),
@@ -667,18 +677,25 @@ fn source_protocol<C: Connector>(
         st.ledger.merge(&ep.sent_ledger());
         match session {
             Ok(()) => {
+                // Completed migrations pass through freeze, which stamps
+                // the suspension instant; a missing stamp is a protocol
+                // bug, reported as such rather than unwound as a panic.
+                let Some(suspended_at) = st.suspended_at else {
+                    break Err(MigrationError::Protocol {
+                        phase: "freeze-and-copy",
+                        detail: "session completed without suspending the guest".into(),
+                    });
+                };
                 break Ok(SourceResult {
                     iterations: std::mem::take(&mut st.iterations),
                     mem_iterations: std::mem::take(&mut st.mem_iterations),
                     frozen_mem_dirty: st.frozen_mem_dirty,
                     frozen_dirty: st.frozen_dirty,
-                    suspended_at: st
-                        .suspended_at
-                        .expect("completed migrations pass through freeze"),
+                    suspended_at,
                     ledger: std::mem::take(&mut st.ledger),
                     reconnects: st.reconnects,
                     resume_owed: std::mem::take(&mut st.resume_owed),
-                })
+                });
             }
             Err(SessionError::Fatal(e)) => break Err(e),
             Err(SessionError::Reconnect(te)) => {
@@ -1254,21 +1271,26 @@ fn dest_protocol<C: Connector>(
     match result {
         Ok(()) => {
             disk.disable_tracking();
-            let dest_io = st.dest_io.as_ref().expect("completion implies resume");
-            let (stalled_reads, _) = dest_io.stall_stats();
-            Ok(DestResult {
-                pushed: st.pushed,
-                pulled: st.pulled,
-                dropped: st.dropped,
-                stalled_reads,
-                resumed_at: st.resumed_at.expect("completion implies resume"),
-                new_bitmap: st
-                    .new_bm
-                    .as_ref()
-                    .expect("completion implies resume")
-                    .snapshot(),
-                ledger: std::mem::take(&mut st.ledger),
-            })
+            // Completion implies the guest resumed here, which populates
+            // all three of these; a gap is a protocol bug, not a panic.
+            match (&st.dest_io, st.resumed_at, &st.new_bm) {
+                (Some(dest_io), Some(resumed_at), Some(new_bm)) => {
+                    let (stalled_reads, _) = dest_io.stall_stats();
+                    Ok(DestResult {
+                        pushed: st.pushed,
+                        pulled: st.pulled,
+                        dropped: st.dropped,
+                        stalled_reads,
+                        resumed_at,
+                        new_bitmap: new_bm.snapshot(),
+                        ledger: std::mem::take(&mut st.ledger),
+                    })
+                }
+                _ => Err(MigrationError::Protocol {
+                    phase: "resume",
+                    detail: "session completed without resuming the guest".into(),
+                }),
+            }
         }
         Err(e) => {
             // Unpark any guest reads stalled on pulls that will never be
@@ -1316,13 +1338,14 @@ fn run_dest_session<T: Transport>(
             Bytes::from(ser::encode(&st.session_got_pages)),
         ),
         ResumePhase::PostCopy => {
-            let needed = st
-                .transferred
-                .as_ref()
-                .expect("post-copy state carries the bitmap")
-                .snapshot();
+            let Some(transferred) = st.transferred.as_ref() else {
+                return Err(protocol_err(
+                    "handshake",
+                    "post-copy resume state lost its transfer bitmap".into(),
+                ));
+            };
             (
-                Bytes::from(ser::encode(&needed)),
+                Bytes::from(ser::encode(&transferred.snapshot())),
                 Bytes::from(ser::encode(&FlatBitmap::new(0))),
             )
         }
@@ -1488,15 +1511,19 @@ fn dest_post_copy<T: Transport>(
     ctl: &DriverCtl,
     st: &mut DestState,
 ) -> Result<(), SessionError> {
-    let transferred = Arc::clone(
-        st.transferred
-            .as_ref()
-            .expect("post-copy state carries the bitmap"),
-    );
+    // Freeze-and-copy builds both of these before entering post-copy; a
+    // gap is a protocol bug surfaced as an error, not a panic.
+    let (Some(transferred), Some(dest_io)) = (st.transferred.as_ref(), st.dest_io.as_ref()) else {
+        return Err(protocol_err(
+            "post-copy",
+            "post-copy entered without the freeze-phase bitmap and io path".into(),
+        ));
+    };
+    let transferred = Arc::clone(transferred);
+    let io = Arc::clone(dest_io);
     // First entry: resume the guest on the destination path. Reconnects
     // find it already running.
     if st.resumed_at.is_none() {
-        let io = Arc::clone(st.dest_io.as_ref().expect("freeze built the io path"));
         st.resumed_at = Some(ctl.resume_on(io as Arc<dyn crate::live::GuestIo>, Arc::clone(ram)));
     }
     send_or(ep, "post-copy", MigMessage::Resumed)?;
@@ -1511,7 +1538,7 @@ fn dest_post_copy<T: Transport>(
     for b in outstanding {
         send_or(ep, "post-copy", MigMessage::PullRequest { block: b as u64 })?;
     }
-    // The source re-announces push completion每 session.
+    // The source re-announces push completion every session.
     st.push_done = false;
 
     let mut last_progress = Instant::now();

@@ -34,9 +34,7 @@ impl SourceIo {
 
 impl GuestIo for SourceIo {
     fn read(&self, block: usize) -> Vec<u8> {
-        self.disk
-            .submit(IoRequest::read(block, self.domain), None)
-            .expect("read returns data")
+        self.disk.read_block(block)
     }
 
     fn write(&self, block: usize, data: &[u8]) {
@@ -138,9 +136,7 @@ impl GuestIo for DestIo {
             self.stall_nanos
                 .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
-        self.disk
-            .submit(IoRequest::read(block, self.domain), None)
-            .expect("read returns data")
+        self.disk.read_block(block)
     }
 
     fn write(&self, block: usize, data: &[u8]) {

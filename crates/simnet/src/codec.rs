@@ -114,10 +114,16 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        match *self.take(4)? {
+            [a, b, c, d] => Ok(u32::from_le_bytes([a, b, c, d])),
+            _ => Err(CodecError::Malformed("short u32".into())),
+        }
     }
     fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        match *self.take(8)? {
+            [a, b, c, d, e, f, g, h] => Ok(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
+            _ => Err(CodecError::Malformed("short u64".into())),
+        }
     }
     fn bytes(&mut self) -> Result<Bytes, CodecError> {
         let n = self.u64()? as usize;

@@ -13,8 +13,10 @@
 //! pre-copy, cut the second during post-copy, and leave the third alone.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use crate::proto::{Category, MigMessage, TransferLedger, ALL_CATEGORIES};
 use crate::transport::{Transport, TransportError};
@@ -117,10 +119,8 @@ impl FaultPlan {
         self.faults.push(Fault {
             attempt,
             trigger: FaultTrigger::Messages(n),
-            kind: FaultKind::Reset,
+            kind: FaultKind::Truncate,
         });
-        let last = self.faults.last_mut().expect("just pushed");
-        last.kind = FaultKind::Truncate;
         self
     }
 
@@ -151,6 +151,20 @@ impl FaultPlan {
     }
 }
 
+/// Position of `cat` in [`ALL_CATEGORIES`] — exhaustive, so adding a
+/// category is a compile error here until the counter array grows too.
+fn cat_index(cat: Category) -> usize {
+    match cat {
+        Category::DiskPrecopy => 0,
+        Category::DiskPush => 1,
+        Category::DiskPull => 2,
+        Category::Memory => 3,
+        Category::Bitmap => 4,
+        Category::Cpu => 5,
+        Category::Control => 6,
+    }
+}
+
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -170,14 +184,14 @@ impl CutState {
     fn sever(&self, reason: String) {
         // First reason wins; later cuts (e.g. the peer's own shutdown)
         // keep the original diagnosis.
-        let mut r = self.reason.lock().expect("cut reason poisoned");
+        let mut r = self.reason.lock();
         if !self.cut.swap(true, Ordering::SeqCst) {
             *r = reason;
         }
     }
 
     fn error(&self) -> TransportError {
-        TransportError::Reset(self.reason.lock().expect("cut reason poisoned").clone())
+        TransportError::Reset(self.reason.lock().clone())
     }
 
     fn is_cut(&self) -> bool {
@@ -227,16 +241,13 @@ impl<T: Transport> FaultyTransport<T> {
         let msgs = self.sent_msgs.fetch_add(1, Ordering::SeqCst) + 1;
         let bytes = self.sent_bytes.fetch_add(msg.wire_size(), Ordering::SeqCst) + msg.wire_size();
         let cat = msg.category();
-        let cat_idx = ALL_CATEGORIES
-            .iter()
-            .position(|&c| c == cat)
-            .expect("category listed");
+        let cat_idx = cat_index(cat);
         let cat_count = {
-            let mut counts = self.sent_by_cat.lock().expect("category counts poisoned");
+            let mut counts = self.sent_by_cat.lock();
             counts[cat_idx] += 1;
             counts[cat_idx]
         };
-        let mut faults = self.faults.lock().expect("fault list poisoned");
+        let mut faults = self.faults.lock();
         let hit = faults.iter().position(|f| match f.trigger {
             FaultTrigger::Messages(n) => msgs >= n,
             FaultTrigger::Bytes(n) => bytes >= n,
@@ -474,6 +485,13 @@ mod tests {
             Err(TransportError::Reset(_))
         ));
         assert!(matches!(a.send(pull(3)), Err(TransportError::Reset(_))));
+    }
+
+    #[test]
+    fn cat_index_agrees_with_all_categories_order() {
+        for (i, &c) in ALL_CATEGORIES.iter().enumerate() {
+            assert_eq!(cat_index(c), i, "{c:?} moved in ALL_CATEGORIES");
+        }
     }
 
     #[test]

@@ -9,8 +9,10 @@
 
 use std::io::BufWriter;
 use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, TryRecvError};
 
@@ -64,7 +66,7 @@ impl TcpTransport {
             };
             // Record the verdict *before* dropping `tx`: a receiver that
             // observes the disconnect must find the reason already set.
-            *exit_slot.lock().expect("reader exit slot poisoned") = Some(exit);
+            *exit_slot.lock() = Some(exit);
             drop(tx);
         });
         Ok(Self {
@@ -79,7 +81,7 @@ impl TcpTransport {
     /// The error a dead stream should surface: `Reset` with the recorded
     /// failure for a mid-stream death, `Disconnected` for a clean close.
     fn dead_stream_error(&self) -> TransportError {
-        match &*self.reader_exit.lock().expect("reader exit slot poisoned") {
+        match &*self.reader_exit.lock() {
             Some(ReaderExit::Failed(why)) => TransportError::Reset(why.clone()),
             Some(ReaderExit::CleanEof) | None => TransportError::Disconnected,
         }
@@ -119,10 +121,10 @@ pub fn loopback_pair() -> std::io::Result<(TcpTransport, TcpTransport)> {
 impl Transport for TcpTransport {
     fn send(&self, msg: MigMessage) -> Result<(), TransportError> {
         if let Some(l) = &self.limiter {
-            l.lock().expect("limiter poisoned").acquire(msg.wire_size());
+            l.lock().acquire(msg.wire_size());
         }
-        self.sent.lock().expect("ledger poisoned").record(&msg);
-        let mut w = self.writer.lock().expect("writer poisoned");
+        self.sent.lock().record(&msg);
+        let mut w = self.writer.lock();
         write_frame(&mut *w, &msg).map_err(|_| TransportError::Disconnected)
     }
 
@@ -145,13 +147,12 @@ impl Transport for TcpTransport {
     }
 
     fn sent_ledger(&self) -> TransferLedger {
-        self.sent.lock().expect("ledger poisoned").clone()
+        self.sent.lock().clone()
     }
 
     fn shutdown(&self) {
-        if let Ok(w) = self.writer.lock() {
-            let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
-        }
+        let w = self.writer.lock();
+        let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -160,9 +161,8 @@ impl Drop for TcpTransport {
         // The reader thread holds a clone of the socket; without an
         // explicit shutdown the connection would stay half-open and the
         // peer would never observe EOF.
-        if let Ok(w) = self.writer.lock() {
-            let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
-        }
+        let w = self.writer.lock();
+        let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
     }
 }
 

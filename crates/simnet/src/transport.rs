@@ -6,8 +6,10 @@
 //! simulated link and an optional wall-clock rate limiter for the §VI-C-3
 //! throttling experiments.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
@@ -150,12 +152,9 @@ impl Endpoint {
     /// Send a message, blocking for pacing when a rate limit is set.
     pub fn send(&self, msg: MigMessage) -> Result<(), TransportError> {
         if let Some(l) = &self.limiter {
-            l.lock().expect("limiter poisoned").acquire(msg.wire_size());
+            l.lock().acquire(msg.wire_size());
         }
-        self.sent
-            .lock()
-            .expect("ledger poisoned")
-            .record(&msg);
+        self.sent.lock().record(&msg);
         self.tx
             .send(msg)
             .map_err(|_| TransportError::Disconnected)
@@ -184,7 +183,7 @@ impl Endpoint {
 
     /// Snapshot of bytes sent from this endpoint, by category.
     pub fn sent_ledger(&self) -> TransferLedger {
-        self.sent.lock().expect("ledger poisoned").clone()
+        self.sent.lock().clone()
     }
 }
 

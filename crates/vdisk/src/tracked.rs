@@ -132,6 +132,15 @@ impl TrackedDisk {
         }
     }
 
+    /// Read one block, counted like a submitted read request. Reads are
+    /// infallible by construction (the disk owns its backing store), so
+    /// guest read paths can use this without an unwrap on the
+    /// [`TrackedDisk::submit`] `Option`.
+    pub fn read_block(&self, block: usize) -> Vec<u8> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.disk.read_block(block)
+    }
+
     /// Record a write into the trackers without performing byte I/O — used
     /// by the metadata-only simulation path, where the same interception
     /// semantics apply but blocks have no materialized contents.

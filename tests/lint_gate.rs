@@ -1,0 +1,24 @@
+//! Tier-1 lint gate: the workspace passes its own static analysis.
+//!
+//! This mirrors `crates/lintkit/tests/workspace_clean.rs` at the root
+//! package, so a plain `cargo test -q` (the tier-1 invocation) enforces
+//! the migration-protocol and concurrency invariants even when the
+//! workspace members' own test suites are not being run.
+
+use lintkit::Workspace;
+
+#[test]
+fn workspace_passes_lintkit() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let ws = Workspace::scan(root).expect("workspace scan");
+    let violations = ws.run();
+    assert!(
+        violations.is_empty(),
+        "lintkit violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
