@@ -88,6 +88,7 @@ fn bench_postcopy(c: &mut Criterion) {
                     &mut rng,
                     &mut ledger,
                     &mut probe,
+                    &telemetry::Recorder::off(),
                 );
                 assert_eq!(out.residual_blocks, 0);
                 black_box(out.stats.pushed)

@@ -67,7 +67,10 @@ fn main() {
                     .expect("write results");
             }
             None => {
-                eprintln!("unknown experiment '{id}'; known: {}", experiments::ALL.join(", "));
+                eprintln!(
+                    "unknown experiment '{id}'; known: {}",
+                    experiments::ALL.join(", ")
+                );
                 failed = true;
             }
         }

@@ -5,8 +5,8 @@
 //! availability, and the delta queue's redundant traffic and destination
 //! I/O blocking.
 
-use des::SimDuration;
 use block_bitmap::{DirtyMap, FlatBitmap};
+use des::SimDuration;
 use migrate::baselines::{
     dependent_availability, run_collective, run_delta_queue, run_freeze_and_copy, run_on_demand,
 };

@@ -56,10 +56,26 @@ pub fn run(scale: Scale) -> ExpResult {
     let nbits = scale.config().disk_blocks;
     let mut rng = SimRng::new(7);
     let cases = [
-        Case { label: "web end-of-precopy (6.7k clustered)", dirty: 6_680, clustered: true },
-        Case { label: "video end-of-precopy (610 clustered)", dirty: 610, clustered: true },
-        Case { label: "diabolical (360k clustered)", dirty: 360_000, clustered: true },
-        Case { label: "uniform scatter (10k)", dirty: 10_000, clustered: false },
+        Case {
+            label: "web end-of-precopy (6.7k clustered)",
+            dirty: 6_680,
+            clustered: true,
+        },
+        Case {
+            label: "video end-of-precopy (610 clustered)",
+            dirty: 610,
+            clustered: true,
+        },
+        Case {
+            label: "diabolical (360k clustered)",
+            dirty: 360_000,
+            clustered: true,
+        },
+        Case {
+            label: "uniform scatter (10k)",
+            dirty: 10_000,
+            clustered: false,
+        },
     ];
 
     let mut t = Table::new(&[

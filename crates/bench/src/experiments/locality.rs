@@ -26,7 +26,12 @@ pub const PAPER: [(&str, f64); 3] = [
 /// fraction of its (scaled) working regions. The diabolical workload runs
 /// exactly one Bonnie++ cycle — one benchmark execution, as the paper
 /// measured.
-fn measure(kind: WorkloadKind, blocks: u64, secs: u64, seed: u64) -> workloads::locality::LocalityReport {
+fn measure(
+    kind: WorkloadKind,
+    blocks: u64,
+    secs: u64,
+    seed: u64,
+) -> workloads::locality::LocalityReport {
     let mut rng = SimRng::new(seed);
     let mut ops = Vec::new();
     let dt = SimDuration::from_millis(500);
@@ -61,9 +66,21 @@ fn measure(kind: WorkloadKind, blocks: u64, secs: u64, seed: u64) -> workloads::
 pub fn run(scale: Scale) -> ExpResult {
     let blocks = scale.config().disk_blocks as u64;
     let rows = [
-        ("Kernel build", measure(WorkloadKind::KernelBuild, blocks, 300, 1), PAPER[0].1),
-        ("SPECweb Banking", measure(WorkloadKind::Web, blocks, 800, 2), PAPER[1].1),
-        ("Bonnie++", measure(WorkloadKind::Diabolical, blocks, 120, 3), PAPER[2].1),
+        (
+            "Kernel build",
+            measure(WorkloadKind::KernelBuild, blocks, 300, 1),
+            PAPER[0].1,
+        ),
+        (
+            "SPECweb Banking",
+            measure(WorkloadKind::Web, blocks, 800, 2),
+            PAPER[1].1,
+        ),
+        (
+            "Bonnie++",
+            measure(WorkloadKind::Diabolical, blocks, 120, 3),
+            PAPER[2].1,
+        ),
     ];
 
     let mut t = Table::new(&[

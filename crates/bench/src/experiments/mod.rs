@@ -7,8 +7,8 @@ pub mod baselines;
 pub mod bitmap;
 pub mod detail;
 pub mod fig5;
-pub mod futurework;
 pub mod fig6;
+pub mod futurework;
 pub mod locality;
 pub mod ordering;
 pub mod ratelimit;

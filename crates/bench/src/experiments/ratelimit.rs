@@ -52,8 +52,7 @@ pub fn run(scale: Scale) -> ExpResult {
         // nominal rates weighted by phase duration; approximate with the
         // observed pre-migration value from a short warmup run instead.
         drop(w);
-        let mut engine =
-            migrate::sim::TpmEngine::new(scale.config(), WorkloadKind::Diabolical);
+        let mut engine = migrate::sim::TpmEngine::new(scale.config(), WorkloadKind::Diabolical);
         engine.warmup(des::SimDuration::from_secs(120));
         // Take the mean of the warmup timeline from a throwaway probe run.
         let out = engine.run();

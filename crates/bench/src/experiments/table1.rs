@@ -62,7 +62,12 @@ pub fn run(scale: Scale) -> ExpResult {
             "798".into(),
             "957".into(),
         ]);
-        p.row(&["Downtime (ms)".into(), "60".into(), "62".into(), "110".into()]);
+        p.row(&[
+            "Downtime (ms)".into(),
+            "60".into(),
+            "62".into(),
+            "110".into(),
+        ]);
         p.row(&[
             "Amount of migrated data (MB)".into(),
             "39097".into(),
@@ -72,10 +77,7 @@ pub fn run(scale: Scale) -> ExpResult {
         human.push_str(&p.render());
     }
     human.push_str("\nAll runs verified consistent: ");
-    human.push_str(&format!(
-        "{}\n",
-        rows.iter().all(|(_, r)| r.consistent)
-    ));
+    human.push_str(&format!("{}\n", rows.iter().all(|(_, r)| r.consistent)));
 
     let json = json!({
         "scale": scale.label(),

@@ -29,7 +29,11 @@ pub const PAPER: [(&str, f64, f64, f64, f64); 3] = [
 ];
 
 fn disk_phase_secs(r: &MigrationReport) -> f64 {
-    r.disk_iterations.iter().map(|i| i.duration_secs).sum::<f64>() + r.postcopy.duration_secs
+    r.disk_iterations
+        .iter()
+        .map(|i| i.duration_secs)
+        .sum::<f64>()
+        + r.postcopy.duration_secs
 }
 
 fn disk_mb(r: &MigrationReport) -> f64 {

@@ -21,12 +21,18 @@ use crate::render::Table;
 use crate::{ExpResult, Scale};
 
 /// Paper's Table III "Normal" row, KB/s: putc, write(2), rewrite.
-pub const PAPER_NORMAL: [(&str, f64); 3] =
-    [("putc", 47_740.0), ("write(2)", 96_122.0), ("rewrite", 26_125.0)];
+pub const PAPER_NORMAL: [(&str, f64); 3] = [
+    ("putc", 47_740.0),
+    ("write(2)", 96_122.0),
+    ("rewrite", 26_125.0),
+];
 
 /// Paper's Table III "With writes tracked" row, KB/s.
-pub const PAPER_TRACKED: [(&str, f64); 3] =
-    [("putc", 47_604.0), ("write(2)", 95_569.0), ("rewrite", 25_887.0)];
+pub const PAPER_TRACKED: [(&str, f64); 3] = [
+    ("putc", 47_604.0),
+    ("write(2)", 95_569.0),
+    ("rewrite", 25_887.0),
+];
 
 /// One timed pass of `n` block writes (sequential with periodic rewrites,
 /// like Bonnie++'s output phases). Returns seconds elapsed.
@@ -105,12 +111,7 @@ pub fn run(scale: Scale) -> ExpResult {
         100_000.0 * 4096.0 / secs / 1024.0
     };
 
-    let mut t = Table::new(&[
-        "",
-        "putc",
-        "write(2)",
-        "rewrite",
-    ]);
+    let mut t = Table::new(&["", "putc", "write(2)", "rewrite"]);
     let mut rows = Vec::new();
     let mut worst_pct: f64 = 0.0;
     let mut normal_cells = vec!["Normal (KB/s)".to_string()];

@@ -141,7 +141,11 @@ impl AtomicBitmap {
     pub fn set_all(&self) {
         let n = self.words.len();
         for (i, w) in self.words.iter().enumerate() {
-            let val = if i + 1 == n { tail_mask(self.nbits) } else { u64::MAX };
+            let val = if i + 1 == n {
+                tail_mask(self.nbits)
+            } else {
+                u64::MAX
+            };
             w.store(val, Ordering::Release);
         }
     }

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{FlatBitmap, DirtyMap};
+use crate::{DirtyMap, FlatBitmap};
 
 /// Default number of blocks covered by one leaf part: 32 Ki blocks
 /// (= 128 MiB of disk at 4 KiB blocks, a 4 KiB leaf bitmap).

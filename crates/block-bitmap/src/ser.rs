@@ -168,7 +168,9 @@ pub fn decode(data: &[u8]) -> Result<FlatBitmap, DecodeError> {
             for pair in payload.chunks_exact(16) {
                 let start = u64::from_le_bytes(pair[..8].try_into().expect("8 bytes"));
                 let len = u64::from_le_bytes(pair[8..].try_into().expect("8 bytes"));
-                let end = start.checked_add(len).ok_or(DecodeError::IndexOutOfRange(start))?;
+                let end = start
+                    .checked_add(len)
+                    .ok_or(DecodeError::IndexOutOfRange(start))?;
                 if end > nbits as u64 {
                     return Err(DecodeError::IndexOutOfRange(end));
                 }
@@ -317,7 +319,10 @@ mod tests {
         // End of pre-copy for the web workload: 62 dirty blocks out of a
         // 40 GB disk (10 Mi blocks). The paper transfers the bitmap during
         // downtime; sparse encoding keeps that well under a kilobyte.
-        let bm = sample(10 * 1024 * 1024, &(0..62).map(|i| i * 1000).collect::<Vec<_>>());
+        let bm = sample(
+            10 * 1024 * 1024,
+            &(0..62).map(|i| i * 1000).collect::<Vec<_>>(),
+        );
         assert!(encoded_len(&bm) < 1024);
         // Raw form would be 1.25 MiB.
         assert!(encode_raw(&bm).len() > 1024 * 1024);

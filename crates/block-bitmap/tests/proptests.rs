@@ -13,10 +13,7 @@ enum Op {
 
 fn ops(nbits: usize) -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
-        prop_oneof![
-            (0..nbits).prop_map(Op::Set),
-            (0..nbits).prop_map(Op::Clear),
-        ],
+        prop_oneof![(0..nbits).prop_map(Op::Set), (0..nbits).prop_map(Op::Clear),],
         0..200,
     )
 }

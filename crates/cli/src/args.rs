@@ -7,14 +7,21 @@ pub const USAGE: &str = "\
 usage:
   vmmigrate simulate   --workload KIND [--scale paper|ci] [--rate-limit MBPS]
                        [--bitmap flat|layered] [--seed N] [--json]
+                       [--trace-out FILE] [--metrics-out FILE]
   vmmigrate roundtrip  --workload KIND [--scale paper|ci] [--dwell SECS] [--json]
   vmmigrate live       [--blocks N] [--workload KIND] [--rate-limit MBPS]
                        [--seed N] [--tcp] [--faults N] [--max-reconnects N]
+                       [--trace-out FILE] [--metrics-out FILE]
   vmmigrate baselines  --workload KIND [--scale paper|ci] [--json]
   vmmigrate trace record  --workload KIND --secs N --out FILE
   vmmigrate trace analyze FILE
 
-KIND: web | video | diabolical | kernel-build | idle";
+KIND: web | video | diabolical | kernel-build | idle
+
+--trace-out writes the telemetry event journal (JSONL) and prints a phase
+summary; --metrics-out writes a JSON metrics snapshot. Either flag enables
+the recorder; without them telemetry stays disabled (a single relaxed
+atomic load per call site).";
 
 /// Parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +60,10 @@ pub struct SimArgs {
     pub seed: u64,
     pub dwell_secs: u64,
     pub json: bool,
+    /// Write the telemetry event journal (JSONL) here.
+    pub trace_out: Option<String>,
+    /// Write a JSON metrics snapshot here.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for SimArgs {
@@ -65,6 +76,8 @@ impl Default for SimArgs {
             seed: 2008,
             dwell_secs: 1500,
             json: false,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -83,6 +96,10 @@ pub struct LiveArgs {
     pub faults: u32,
     /// Reconnect attempts permitted after the initial connection.
     pub max_reconnects: u32,
+    /// Write the telemetry event journal (JSONL) here.
+    pub trace_out: Option<String>,
+    /// Write a JSON metrics snapshot here.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for LiveArgs {
@@ -95,6 +112,8 @@ impl Default for LiveArgs {
             tcp: false,
             faults: 0,
             max_reconnects: 3,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -110,10 +129,7 @@ fn parse_workload(s: &str) -> Result<WorkloadKind, String> {
     }
 }
 
-fn need<'a>(
-    it: &mut impl Iterator<Item = &'a String>,
-    flag: &str,
-) -> Result<&'a String, String> {
+fn need<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<&'a String, String> {
     it.next().ok_or_else(|| format!("{flag} requires a value"))
 }
 
@@ -157,6 +173,8 @@ fn parse_sim(rest: &[String]) -> Result<SimArgs, String> {
                     .map_err(|_| "dwell must be an integer (seconds)".to_string())?
             }
             "--json" => a.json = true,
+            "--trace-out" => a.trace_out = Some(need(&mut it, flag)?.clone()),
+            "--metrics-out" => a.metrics_out = Some(need(&mut it, flag)?.clone()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -199,6 +217,8 @@ fn parse_live(rest: &[String]) -> Result<LiveArgs, String> {
                     .parse()
                     .map_err(|_| "max-reconnects must be an integer".to_string())?
             }
+            "--trace-out" => a.trace_out = Some(need(&mut it, flag)?.clone()),
+            "--metrics-out" => a.metrics_out = Some(need(&mut it, flag)?.clone()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -235,9 +255,11 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                         match flag.as_str() {
                             "--workload" => workload = Some(parse_workload(need(&mut it, flag)?)?),
                             "--secs" => {
-                                secs = Some(need(&mut it, flag)?.parse().map_err(|_| {
-                                    "secs must be an integer".to_string()
-                                })?)
+                                secs = Some(
+                                    need(&mut it, flag)?
+                                        .parse()
+                                        .map_err(|_| "secs must be an integer".to_string())?,
+                                )
                             }
                             "--out" => out = Some(need(&mut it, flag)?.clone()),
                             other => return Err(format!("unknown flag '{other}'")),
@@ -336,12 +358,45 @@ mod tests {
         assert_eq!(a.faults, 2);
         assert_eq!(a.max_reconnects, 4);
         assert!(a.tcp);
+        assert_eq!(a.trace_out, None);
+        assert_eq!(a.metrics_out, None);
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let Cmd::Live(a) = parse(&v(&[
+            "live",
+            "--trace-out",
+            "/tmp/j.jsonl",
+            "--metrics-out",
+            "/tmp/m.json",
+        ]))
+        .expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert_eq!(a.trace_out.as_deref(), Some("/tmp/j.jsonl"));
+        assert_eq!(a.metrics_out.as_deref(), Some("/tmp/m.json"));
+        let Cmd::Simulate(a) = parse(&v(&["simulate", "--trace-out", "j.jsonl"])).expect("valid")
+        else {
+            panic!("wrong cmd")
+        };
+        assert_eq!(a.trace_out.as_deref(), Some("j.jsonl"));
+        assert_eq!(a.metrics_out, None);
+        assert!(parse(&v(&["live", "--trace-out"])).is_err());
+        assert!(parse(&v(&["simulate", "--metrics-out"])).is_err());
     }
 
     #[test]
     fn parses_trace_commands() {
         let cmd = parse(&v(&[
-            "trace", "record", "--workload", "web", "--secs", "60", "--out", "/tmp/t.json",
+            "trace",
+            "record",
+            "--workload",
+            "web",
+            "--secs",
+            "60",
+            "--out",
+            "/tmp/t.json",
         ]))
         .expect("valid");
         assert_eq!(

@@ -1,16 +1,53 @@
 //! Command execution.
 
+use std::sync::Arc;
+
 use des::{SimDuration, SimRng};
 use migrate::baselines::{run_delta_queue, run_freeze_and_copy, run_on_demand};
 use migrate::live::{run_live_migration_faulty, run_live_migration_tcp_faulty, LiveConfig};
-use migrate::sim::{dwell, run_im, run_tpm};
+use migrate::sim::{dwell, run_im, run_tpm, run_tpm_traced};
 use migrate::{BitmapKind, MigrationConfig, MigrationReport, RetryPolicy};
 use simnet::fault::FaultPlan;
+use telemetry::Recorder;
 use workloads::locality::analyze;
 
 use crate::args::{Cmd, LiveArgs, SimArgs};
 
 const MB: f64 = 1024.0 * 1024.0;
+
+/// An enabled recorder when either telemetry flag asks for one.
+fn recorder_for(trace_out: &Option<String>, metrics_out: &Option<String>) -> Option<Arc<Recorder>> {
+    if trace_out.is_some() || metrics_out.is_some() {
+        Some(Recorder::enabled())
+    } else {
+        None
+    }
+}
+
+/// Write the journal / metrics snapshot a run recorded and print the
+/// phase summary reconstructed from the journal.
+fn export_telemetry(
+    rec: &Recorder,
+    trace_out: &Option<String>,
+    metrics_out: &Option<String>,
+) -> Result<(), String> {
+    if let Some(path) = trace_out {
+        let records = rec.records();
+        std::fs::write(path, telemetry::to_jsonl(&records))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("telemetry journal: {} records -> {path}", records.len());
+        print!("{}", telemetry::phase_summary(&records));
+        if rec.dropped() > 0 {
+            println!("warning: journal full, {} events dropped", rec.dropped());
+        }
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, telemetry::metrics_json(rec.metrics()))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("metrics snapshot -> {path}");
+    }
+    Ok(())
+}
 
 fn config_for(a: &SimArgs) -> MigrationConfig {
     let mut cfg = if a.paper_scale {
@@ -49,8 +86,15 @@ fn emit(report: &MigrationReport, json: bool) {
 pub fn run(cmd: Cmd) -> Result<(), String> {
     match cmd {
         Cmd::Simulate(a) => {
-            let out = run_tpm(config_for(&a), a.workload);
+            let rec = recorder_for(&a.trace_out, &a.metrics_out);
+            let out = match &rec {
+                Some(r) => run_tpm_traced(config_for(&a), a.workload, Arc::clone(r)),
+                None => run_tpm(config_for(&a), a.workload),
+            };
             emit(&out.report, a.json);
+            if let Some(r) = &rec {
+                export_telemetry(r, &a.trace_out, &a.metrics_out)?;
+            }
             if !out.report.consistent {
                 return Err("migration verified INCONSISTENT".into());
             }
@@ -104,7 +148,8 @@ pub fn run(cmd: Cmd) -> Result<(), String> {
             Ok(())
         }
         Cmd::TraceAnalyze { path } => {
-            let data = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            let data =
+                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
             let trace =
                 workloads::OpTrace::from_json(&data).map_err(|e| format!("parsing {path}: {e}"))?;
             let rep = analyze(trace.ops.iter().map(|o| o.kind), 4096);
@@ -126,6 +171,7 @@ pub fn run(cmd: Cmd) -> Result<(), String> {
 }
 
 fn run_live(a: LiveArgs) -> Result<(), String> {
+    let rec = recorder_for(&a.trace_out, &a.metrics_out);
     let cfg = LiveConfig {
         num_blocks: a.blocks,
         workload: a.workload,
@@ -135,6 +181,7 @@ fn run_live(a: LiveArgs) -> Result<(), String> {
             max_reconnects: a.max_reconnects,
             ..RetryPolicy::default()
         },
+        telemetry: rec.clone().unwrap_or_else(Recorder::off),
         ..LiveConfig::test_default()
     };
     // Each injected fault resets one connection attempt somewhere in its
@@ -174,6 +221,9 @@ fn run_live(a: LiveArgs) -> Result<(), String> {
         out.dropped,
         out.src_ledger.total() as f64 / MB
     );
+    if let Some(r) = &rec {
+        export_telemetry(r, &a.trace_out, &a.metrics_out)?;
+    }
     let bad = out.inconsistent_blocks();
     let bad_pages = out.inconsistent_pages();
     if out.read_violations > 0 || !bad.is_empty() || !bad_pages.is_empty() {
@@ -186,7 +236,8 @@ fn run_live(a: LiveArgs) -> Result<(), String> {
     }
     println!(
         "verification: all {} blocks and {} RAM pages byte-identical to guest ground truth",
-        a.blocks, out.dst_ram.num_pages()
+        a.blocks,
+        out.dst_ram.num_pages()
     );
     Ok(())
 }

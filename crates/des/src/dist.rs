@@ -79,9 +79,7 @@ impl Zipf {
             let x = self.h_integral_inverse(u);
             let k = (x + 0.5) as i64;
             let k = k.clamp(1, self.n as i64) as f64;
-            if k - x <= self.threshold
-                || u >= self.h_integral(k + 0.5) - k.powf(-self.s)
-            {
+            if k - x <= self.threshold || u >= self.h_integral(k + 0.5) - k.powf(-self.s) {
                 return k as u64 - 1;
             }
         }
@@ -208,7 +206,12 @@ mod tests {
             counts[r] += 1;
         }
         // Rank 0 must dominate rank 100 heavily under s=1.
-        assert!(counts[0] > counts[100] * 5, "{} vs {}", counts[0], counts[100]);
+        assert!(
+            counts[0] > counts[100] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[100]
+        );
         // Head mass: top-10 ranks should hold a large share.
         let head: u32 = counts[..10].iter().sum();
         assert!(head as f64 > 0.25 * 50_000.0, "head mass {head}");

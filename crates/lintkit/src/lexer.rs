@@ -399,7 +399,9 @@ mod tests {
         let toks = lex("for i in 0..10 { a[i..=j]; 1.5 }");
         assert!(toks.iter().any(|t| t.is_punct("..")));
         assert!(toks.iter().any(|t| t.is_punct("..=")));
-        assert!(toks.iter().any(|t| t.kind == TokKind::Literal && t.text == "1.5"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "1.5"));
     }
 
     #[test]

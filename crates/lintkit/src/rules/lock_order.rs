@@ -101,7 +101,12 @@ impl Rule for LockOrder {
     }
 }
 
-fn scan_file(rule: &'static str, file: &SourceFile, edges: &mut Vec<Edge>, out: &mut Vec<Violation>) {
+fn scan_file(
+    rule: &'static str,
+    file: &SourceFile,
+    edges: &mut Vec<Edge>,
+    out: &mut Vec<Violation>,
+) {
     let toks = &file.tokens;
     let mut guards: Vec<Guard> = Vec::new();
     // Innermost-open-brace stack, to scope `let`-bound guards.

@@ -114,11 +114,7 @@ fn protocol_impl_ranges(toks: &[Token], brace_match: &[Option<usize>]) -> Vec<(u
 /// The `{`/`}` token indices of the body of the match at keyword `m`.
 /// The scrutinee cannot contain a top-level `{` (struct literals need
 /// parens there), so the first depth-0 `{` is the body.
-fn match_body(
-    toks: &[Token],
-    brace_match: &[Option<usize>],
-    m: usize,
-) -> Option<(usize, usize)> {
+fn match_body(toks: &[Token], brace_match: &[Option<usize>], m: usize) -> Option<(usize, usize)> {
     let mut depth = 0i32;
     for (j, t) in toks.iter().enumerate().skip(m + 1) {
         if t.is_punct("(") || t.is_punct("[") {

@@ -15,7 +15,14 @@ use crate::report::Violation;
 use crate::Workspace;
 
 /// Path prefixes (workspace-relative) where panicking is forbidden.
-pub const ZONES: &[&str] = &["crates/migrate/src/live/", "crates/simnet/src/"];
+/// `crates/telemetry/src/` is in the zone because recording runs inline
+/// on those same transport/protocol paths: a panicking recorder would be
+/// indistinguishable from a panicking transport.
+pub const ZONES: &[&str] = &[
+    "crates/migrate/src/live/",
+    "crates/simnet/src/",
+    "crates/telemetry/src/",
+];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 

@@ -197,7 +197,11 @@ mod tests {
             .filter(|(_, t)| t.is_ident("unwrap"))
             .map(|(i, _)| f.in_test[i])
             .collect();
-        assert_eq!(unwraps, [false, true], "only the test-module unwrap is masked");
+        assert_eq!(
+            unwraps,
+            [false, true],
+            "only the test-module unwrap is masked"
+        );
         // Code after the test module is live again.
         let tail = f.tokens.iter().position(|t| t.is_ident("tail"));
         assert!(matches!(tail, Some(i) if !f.in_test[i]));

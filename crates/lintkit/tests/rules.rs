@@ -32,8 +32,14 @@ fn no_panic_trips_on_each_panic_path() {
     let vs = run(&[("crates/simnet/src/fixture.rs", NO_PANIC_TRIP)]);
     let hits = lines_of(&vs, "no-panic-transport");
     let lines: Vec<usize> = hits.iter().map(|&(_, l)| l).collect();
-    assert_eq!(lines, [5, 9, 15, 20], "unwrap/expect/panic!/todo! sites: {vs:#?}");
-    assert!(hits.iter().all(|&(p, _)| p == "crates/simnet/src/fixture.rs"));
+    assert_eq!(
+        lines,
+        [5, 9, 15, 20],
+        "unwrap/expect/panic!/todo! sites: {vs:#?}"
+    );
+    assert!(hits
+        .iter()
+        .all(|&(p, _)| p == "crates/simnet/src/fixture.rs"));
 }
 
 #[test]
@@ -56,17 +62,27 @@ fn no_panic_only_applies_inside_the_zones() {
 fn lock_order_finds_cycle_blocking_call_and_reacquisition() {
     let vs = run(&[("crates/migrate/src/live/fixture.rs", LOCK_ORDER_TRIP)]);
     let hits = lines_of(&vs, "lock-order");
-    assert_eq!(hits.len(), 3, "cycle + blocked send + re-acquisition: {vs:#?}");
+    assert_eq!(
+        hits.len(),
+        3,
+        "cycle + blocked send + re-acquisition: {vs:#?}"
+    );
     let msgs: Vec<&str> = vs
         .iter()
         .filter(|v| v.rule == "lock-order")
         .map(|v| v.message.as_str())
         .collect();
     assert!(msgs.iter().any(|m| m.contains("cycle")), "{msgs:?}");
-    assert!(msgs.iter().any(|m| m.contains("blocking `send`")), "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("blocking `send`")),
+        "{msgs:?}"
+    );
     assert!(msgs.iter().any(|m| m.contains("already held")), "{msgs:?}");
     // The blocking-send diagnostic points at the send, line 19.
-    assert!(hits.contains(&("crates/migrate/src/live/fixture.rs", 19)), "{hits:?}");
+    assert!(
+        hits.contains(&("crates/migrate/src/live/fixture.rs", 19)),
+        "{hits:?}"
+    );
 }
 
 #[test]
@@ -88,7 +104,10 @@ fn lock_order_cycle_detection_is_cross_file() {
     let hits = lines_of(&vs, "lock-order");
     assert_eq!(hits.len(), 1, "one cycle, reported once: {vs:#?}");
     // Neither file alone trips.
-    for (path, src) in [("crates/migrate/src/a.rs", a), ("crates/vmstate/src/b.rs", b)] {
+    for (path, src) in [
+        ("crates/migrate/src/a.rs", a),
+        ("crates/vmstate/src/b.rs", b),
+    ] {
         let solo = run(&[(path, src)]);
         assert!(lines_of(&solo, "lock-order").is_empty(), "{solo:#?}");
     }

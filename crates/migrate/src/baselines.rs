@@ -27,7 +27,7 @@ use workloads::probe::ThroughputProbe;
 use workloads::{OpKind, Workload, WorkloadKind};
 
 use crate::report::{IterationStats, MigrationReport, PhaseTimings, PostCopyStats};
-use crate::sim::{PostCopyConfig, DirtyTracker};
+use crate::sim::{DirtyTracker, PostCopyConfig};
 use crate::MigrationConfig;
 
 /// Availability of the migrated system when it depends on `n` machines
@@ -133,8 +133,7 @@ pub fn run_freeze_and_copy(cfg: MigrationConfig, kind: WorkloadKind) -> Migratio
     w.now += downtime;
     w.probe.record(w.now, 0.0);
 
-    let consistent =
-        w.src_disk.content_equals(&w.dst_disk) && w.src_mem.content_equals(&w.dst_mem);
+    let consistent = w.src_disk.content_equals(&w.dst_disk) && w.src_mem.content_equals(&w.dst_mem);
     MigrationReport {
         total_time_secs: downtime.as_secs_f64(),
         downtime_ms: downtime.as_millis_f64(),
@@ -231,6 +230,7 @@ pub fn run_on_demand(
         &mut rng,
         &mut w.ledger,
         &mut w.probe,
+        &telemetry::Recorder::off(),
     );
     w.now = out.finished_at;
 
@@ -300,8 +300,7 @@ pub fn run_collective(
     w.now += downtime;
     w.probe.record(w.now, 0.0);
 
-    let consistent =
-        w.src_disk.content_equals(&w.dst_disk) && w.src_mem.content_equals(&w.dst_mem);
+    let consistent = w.src_disk.content_equals(&w.dst_disk) && w.src_mem.content_equals(&w.dst_mem);
     MigrationReport {
         total_time_secs: downtime.as_secs_f64(),
         downtime_ms: downtime.as_millis_f64(),
@@ -407,8 +406,7 @@ pub fn run_delta_queue(cfg: MigrationConfig, kind: WorkloadKind) -> MigrationRep
     for b in seen.iter_set() {
         w.dst_disk.copy_block_from(&w.src_disk, b);
     }
-    let consistent =
-        w.src_disk.content_equals(&w.dst_disk) && w.src_mem.content_equals(&w.dst_mem);
+    let consistent = w.src_disk.content_equals(&w.dst_disk) && w.src_mem.content_equals(&w.dst_mem);
 
     MigrationReport {
         total_time_secs: w.now.since(SimTime::ZERO).as_secs_f64(),

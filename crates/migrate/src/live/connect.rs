@@ -263,7 +263,9 @@ impl Connector for TcpDestConnector {
                     std::thread::sleep(Duration::from_millis(2));
                 }
                 Err(e) => {
-                    return Err(MigrationError::Io(format!("accept (attempt {attempt}): {e}")))
+                    return Err(MigrationError::Io(format!(
+                        "accept (attempt {attempt}): {e}"
+                    )))
                 }
             }
         }
@@ -285,10 +287,7 @@ mod tests {
         let mut c = OnceConnector::new(a);
         let t = c.connect(0).expect("first connect");
         drop(t);
-        assert!(matches!(
-            c.connect(1),
-            Err(MigrationError::Protocol { .. })
-        ));
+        assert!(matches!(c.connect(1), Err(MigrationError::Protocol { .. })));
     }
 
     #[test]
@@ -323,7 +322,8 @@ mod tests {
         let addr = dst.local_addr().expect("addr").to_string();
         for attempt in 0..2 {
             let join = std::thread::spawn({
-                let mut s = TcpSourceConnector::new(addr.clone(), FaultPlan::none(), policy.clone());
+                let mut s =
+                    TcpSourceConnector::new(addr.clone(), FaultPlan::none(), policy.clone());
                 move || s.connect(attempt).expect("source connects")
             });
             let d = dst.connect(attempt).expect("dest accepts");

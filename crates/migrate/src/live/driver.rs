@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 use des::dist::HotCold;
 use des::{SimDuration, SimRng};
 use parking_lot::{Condvar, Mutex};
+use telemetry::Recorder;
 use vdisk::stamp_bytes;
 use vmstate::LiveRam;
 
@@ -96,7 +97,11 @@ impl DriverCtl {
     /// the resume instant — downtime ends here.
     pub fn resume_on(&self, target: Arc<dyn GuestIo>, ram: Arc<LiveRam>) -> Instant {
         let mut st = self.0.state.lock();
-        assert_eq!(st.phase, Phase::Suspended, "guest must be suspended to resume");
+        assert_eq!(
+            st.phase,
+            Phase::Suspended,
+            "guest must be suspended to resume"
+        );
         st.target = target;
         st.ram = ram;
         st.phase = Phase::Running;
@@ -147,7 +152,9 @@ pub struct DriverHandle {
 impl DriverHandle {
     /// Start the guest: plays `workload` against `initial` (the source
     /// path) and dirties `ram` at `mem_writes_per_tick` pages/tick, one
-    /// tick per `tick_wall` of wall time.
+    /// tick per `tick_wall` of wall time. Guest activity totals land in
+    /// `telemetry`'s `guest.*` counters when the recorder is enabled.
+    #[allow(clippy::too_many_arguments)]
     pub fn start(
         mut workload: LiveWorkload,
         initial: Arc<dyn GuestIo>,
@@ -156,6 +163,7 @@ impl DriverHandle {
         block_size: usize,
         seed: u64,
         tick_wall: Duration,
+        telemetry: Arc<Recorder>,
     ) -> Self {
         let page_size = ram.page_size();
         let num_pages = ram.num_pages();
@@ -193,12 +201,18 @@ impl DriverHandle {
                         if st.stop {
                             res.model = model;
                             res.mem_model = mem_model;
+                            if telemetry.is_enabled() {
+                                let m = telemetry.metrics();
+                                m.counter("guest.disk_writes").add(res.writes);
+                                m.counter("guest.disk_reads").add(res.reads);
+                                m.counter("guest.mem_writes").add(res.mem_writes);
+                                m.counter("guest.ticks")
+                                    .add(thread_ctl.0.ticks.load(Ordering::Acquire));
+                            }
                             return res;
                         }
                         match st.phase {
-                            Phase::Running => {
-                                break (Arc::clone(&st.target), Arc::clone(&st.ram))
-                            }
+                            Phase::Running => break (Arc::clone(&st.target), Arc::clone(&st.ram)),
                             Phase::SuspendRequested => {
                                 st.phase = Phase::Suspended;
                                 st.suspended_at = Some(Instant::now());
@@ -295,6 +309,7 @@ mod tests {
             512,
             3,
             Duration::from_millis(1),
+            Recorder::off(),
         );
         std::thread::sleep(Duration::from_millis(100));
         let res = h.finish().expect("driver thread healthy");
@@ -322,6 +337,7 @@ mod tests {
             512,
             4,
             Duration::from_millis(1),
+            Recorder::off(),
         );
         std::thread::sleep(Duration::from_millis(30));
         let ctl = h.ctl();

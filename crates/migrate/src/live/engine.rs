@@ -27,6 +27,7 @@ use des::SimDuration;
 use simnet::fault::FaultPlan;
 use simnet::proto::{MigMessage, ResumePhase, TransferLedger};
 use simnet::transport::{Transport, TransportError};
+use telemetry::{Event, Phase, Recorder, Resource, Side};
 use vdisk::{stamp_bytes, DomainId, TrackedDisk, TrackerHandle, VirtualDisk};
 use vmstate::LiveRam;
 use workloads::WorkloadKind;
@@ -83,6 +84,10 @@ pub struct LiveConfig {
     pub min_guest_ticks: u64,
     /// Transport failure recovery policy.
     pub retry: RetryPolicy,
+    /// Telemetry sink for the run. Defaults to a disabled recorder, whose
+    /// record calls cost one relaxed atomic load; hand in
+    /// `Recorder::enabled()` to capture the journal and metrics.
+    pub telemetry: Arc<Recorder>,
 }
 
 impl LiveConfig {
@@ -107,6 +112,7 @@ impl LiveConfig {
             seed: 2008,
             min_guest_ticks: 0,
             retry: RetryPolicy::default(),
+            telemetry: Recorder::off(),
         }
     }
 }
@@ -193,7 +199,8 @@ fn fresh_disks(cfg: &LiveConfig) -> (Arc<TrackedDisk>, Arc<TrackedDisk>) {
         cfg.num_blocks,
     ))));
     for b in 0..cfg.num_blocks {
-        src.disk().write_block(b, &stamp_bytes(b, 0, cfg.block_size));
+        src.disk()
+            .write_block(b, &stamp_bytes(b, 0, cfg.block_size));
     }
     let dst = Arc::new(TrackedDisk::new(Arc::new(VirtualDisk::dense(
         cfg.block_size,
@@ -310,6 +317,8 @@ where
 {
     assert_eq!(src.disk().num_blocks(), cfg.num_blocks);
     assert_eq!(dst.disk().num_blocks(), cfg.num_blocks);
+    src.set_telemetry(&cfg.telemetry, "disk.src");
+    dst.set_telemetry(&cfg.telemetry, "disk.dst");
 
     // Byte-real RAM on both ends; the source starts with the stamp-0
     // image the verifier expects.
@@ -329,6 +338,7 @@ where
         cfg.block_size,
         cfg.seed,
         Duration::from_millis(1),
+        Arc::clone(&cfg.telemetry),
     );
     let start = Instant::now();
 
@@ -337,7 +347,9 @@ where
         let src = Arc::clone(&src);
         let ram = Arc::clone(&src_ram);
         let ctl = driver.ctl();
-        std::thread::spawn(move || source_protocol(&cfg, &src, &ram, src_conn, &ctl, initial_bitmap))
+        std::thread::spawn(move || {
+            source_protocol(&cfg, &src, &ram, src_conn, &ctl, initial_bitmap)
+        })
     };
     let dst_thread = {
         let cfg = cfg.clone();
@@ -371,7 +383,7 @@ where
         (Err(e), _) | (_, Err(e)) => return Err(e),
     };
 
-    Ok(LiveOutcome {
+    let outcome = LiveOutcome {
         downtime: dst_res.resumed_at - src_res.suspended_at,
         total,
         iterations: src_res.iterations,
@@ -393,7 +405,23 @@ where
         new_bitmap: dst_res.new_bitmap,
         model,
         read_violations,
-    })
+    };
+    if cfg.telemetry.is_enabled() {
+        let m = cfg.telemetry.metrics();
+        m.counter("live.postcopy.pushed").add(outcome.pushed);
+        m.counter("live.postcopy.pulled").add(outcome.pulled);
+        m.counter("live.postcopy.dropped").add(outcome.dropped);
+        m.counter("live.reconnects")
+            .add(u64::from(outcome.reconnects));
+        m.gauge("live.frozen_dirty").set(outcome.frozen_dirty);
+        m.gauge("live.downtime_nanos")
+            .set(u64::try_from(outcome.downtime.as_nanos()).unwrap_or(u64::MAX));
+        m.gauge("live.src_bytes_total")
+            .set(outcome.src_ledger.total());
+        m.histogram("live.iteration_blocks")
+            .observe_all(outcome.iterations.iter().copied());
+    }
+    Ok(outcome)
 }
 
 /// How one protocol session ended short of completion.
@@ -414,11 +442,7 @@ fn classify(phase: &'static str, e: TransportError) -> SessionError {
     }
 }
 
-fn send_or<T: Transport>(
-    ep: &T,
-    phase: &'static str,
-    msg: MigMessage,
-) -> Result<(), SessionError> {
+fn send_or<T: Transport>(ep: &T, phase: &'static str, msg: MigMessage) -> Result<(), SessionError> {
     ep.send(msg).map_err(|e| classify(phase, e))
 }
 
@@ -652,6 +676,11 @@ fn source_protocol<C: Connector>(
     initial_bitmap: Option<FlatBitmap>,
 ) -> Result<SourceResult, MigrationError> {
     let mut st = SourceState::new(cfg, initial_bitmap.as_ref());
+    let rec = Arc::clone(&cfg.telemetry);
+    rec.record(|| Event::PhaseStart {
+        side: Side::Source,
+        phase: Phase::DiskPrecopy,
+    });
     // "Signal blkback to start monitoring write accesses."
     st.tracker = Some(disk.attach_tracker(Arc::clone(&st.iter_bm), Some(GUEST)));
     disk.enable_tracking();
@@ -668,13 +697,23 @@ fn source_protocol<C: Connector>(
         if attempt > 0 {
             std::thread::sleep(cfg.retry.backoff);
             st.reconnects += 1;
+            rec.record(|| Event::Reconnect {
+                side: Side::Source,
+                attempt: u64::from(attempt),
+            });
         }
         let ep = match connector.connect(attempt) {
             Ok(ep) => ep,
             Err(e) => break Err(e),
         };
+        ep.set_telemetry(&rec, Side::Source);
         let session = run_source_session(cfg, disk, ram, &ep, ctl, &mut st, attempt);
-        st.ledger.merge(&ep.sent_ledger());
+        let session_ledger = ep.sent_ledger();
+        rec.record(|| Event::TransportBytes {
+            side: Side::Source,
+            bytes: session_ledger.total(),
+        });
+        st.ledger.merge(&session_ledger);
         match session {
             Ok(()) => {
                 // Completed migrations pass through freeze, which stamps
@@ -896,12 +935,31 @@ fn source_disk_precopy<T: Transport>(
         st.iterations.push(count);
         let snap = st.iter_bm.snapshot_and_clear();
         let dirty = snap.count_ones();
+        cfg.telemetry.record(|| Event::Iteration {
+            side: Side::Source,
+            resource: Resource::Disk,
+            index: u64::from(iter),
+            units_sent: count,
+            dirty_at_end: dirty as u64,
+        });
+        cfg.telemetry.record(|| Event::BitmapSnapshot {
+            side: Side::Source,
+            set_bits: dirty as u64,
+        });
         if dirty <= cfg.dirty_threshold || iter >= cfg.max_iterations {
             // The residual set is NOT sent: it becomes the freeze-phase
             // bitmap (the paper ships the bitmap, not the blocks).
             st.frozen_bitmap = snap;
             st.converged_at_tick = Some(ctl.ticks());
             st.phase = SrcPhase::MemPrecopy;
+            cfg.telemetry.record(|| Event::PhaseEnd {
+                side: Side::Source,
+                phase: Phase::DiskPrecopy,
+            });
+            cfg.telemetry.record(|| Event::PhaseStart {
+                side: Side::Source,
+                phase: Phase::MemPrecopy,
+            });
             return Ok(());
         }
         st.disk_worklist = snap.to_indices();
@@ -949,6 +1007,13 @@ fn source_mem_precopy<T: Transport>(
         st.mem_iterations.push(count);
         let dirty = ram.drain_dirty();
         let remaining = dirty.count_ones();
+        cfg.telemetry.record(|| Event::Iteration {
+            side: Side::Source,
+            resource: Resource::Memory,
+            index: u64::from(iter),
+            units_sent: count,
+            dirty_at_end: remaining as u64,
+        });
         if remaining <= cfg.mem_dirty_threshold || iter >= cfg.max_mem_iterations {
             // The set drained at the convergence decision has NOT been
             // sent; it must ride into the freeze tail or those pages are
@@ -982,7 +1047,22 @@ fn source_freeze<T: Transport>(
                 std::thread::sleep(Duration::from_millis(1));
             }
         }
-        st.suspended_at = Some(ctl.request_suspend());
+        let suspended_at = ctl.request_suspend();
+        st.suspended_at = Some(suspended_at);
+        // Stamped at the same instant the guest stopped, so the journal's
+        // freeze span reproduces the reported downtime exactly.
+        cfg.telemetry
+            .record_at_instant(suspended_at, || Event::PhaseEnd {
+                side: Side::Source,
+                phase: Phase::MemPrecopy,
+            });
+        cfg.telemetry
+            .record_at_instant(suspended_at, || Event::PhaseStart {
+                side: Side::Source,
+                phase: Phase::Freeze,
+            });
+        cfg.telemetry
+            .record_at_instant(suspended_at, || Event::Suspended { side: Side::Source });
         // Fold in the writes that raced with the last drains.
         let mut frozen = std::mem::replace(&mut st.frozen_bitmap, FlatBitmap::new(0));
         frozen.union_with(&st.iter_bm.snapshot_and_clear());
@@ -1029,13 +1109,12 @@ fn source_freeze<T: Transport>(
             payload: None,
         },
     )?;
-    send_or(
-        ep,
-        "freeze",
-        MigMessage::Bitmap {
-            encoded: Bytes::from(ser::encode(&st.frozen_bitmap)),
-        },
-    )?;
+    let encoded = Bytes::from(ser::encode(&st.frozen_bitmap));
+    cfg.telemetry.record(|| Event::BitmapEncoded {
+        set_bits: st.frozen_bitmap.count_ones() as u64,
+        encoded_bytes: encoded.len() as u64,
+    });
+    send_or(ep, "freeze", MigMessage::Bitmap { encoded })?;
     st.src_bm = st.frozen_bitmap.clone();
     st.cursor = 0;
     st.push_complete_sent = false;
@@ -1235,6 +1314,7 @@ fn dest_protocol<C: Connector>(
     ctl: &DriverCtl,
 ) -> Result<DestResult, MigrationError> {
     let mut st = DestState::new(cfg);
+    let rec = Arc::clone(&cfg.telemetry);
     let mut attempt: u32 = 0;
     let mut last_failure = String::new();
     let result = loop {
@@ -1246,6 +1326,10 @@ fn dest_protocol<C: Connector>(
         }
         if attempt > 0 {
             std::thread::sleep(cfg.retry.backoff);
+            rec.record(|| Event::Reconnect {
+                side: Side::Destination,
+                attempt: u64::from(attempt),
+            });
         }
         let ep = match connector.connect(attempt) {
             Ok(ep) => ep,
@@ -1255,8 +1339,14 @@ fn dest_protocol<C: Connector>(
             Err(_) if st.complete_sent => break Ok(()),
             Err(e) => break Err(e),
         };
+        ep.set_telemetry(&rec, Side::Destination);
         let session = run_dest_session(cfg, disk, ram, &ep, ctl, &mut st);
-        st.ledger.merge(&ep.sent_ledger());
+        let session_ledger = ep.sent_ledger();
+        rec.record(|| Event::TransportBytes {
+            side: Side::Destination,
+            bytes: session_ledger.total(),
+        });
+        st.ledger.merge(&session_ledger);
         match session {
             Ok(()) => break Ok(()),
             Err(SessionError::Fatal(e)) => break Err(e),
@@ -1271,6 +1361,10 @@ fn dest_protocol<C: Connector>(
     match result {
         Ok(()) => {
             disk.disable_tracking();
+            rec.record(|| Event::PhaseEnd {
+                side: Side::Destination,
+                phase: Phase::PostCopy,
+            });
             // Completion implies the guest resumed here, which populates
             // all three of these; a gap is a protocol bug, not a panic.
             match (&st.dest_io, st.resumed_at, &st.new_bm) {
@@ -1496,6 +1590,7 @@ fn dest_freeze<T: Transport>(
         GUEST,
         Arc::clone(&transferred),
         st.pull_tx.clone(),
+        Arc::clone(&cfg.telemetry),
     )));
     st.transferred = Some(transferred);
     st.new_bm = Some(new_bm);
@@ -1524,7 +1619,24 @@ fn dest_post_copy<T: Transport>(
     // First entry: resume the guest on the destination path. Reconnects
     // find it already running.
     if st.resumed_at.is_none() {
-        st.resumed_at = Some(ctl.resume_on(io as Arc<dyn crate::live::GuestIo>, Arc::clone(ram)));
+        let resumed_at = ctl.resume_on(io as Arc<dyn crate::live::GuestIo>, Arc::clone(ram));
+        st.resumed_at = Some(resumed_at);
+        // Stamped at the resume instant: with the source's suspend stamp
+        // this bounds the freeze span to exactly the reported downtime.
+        cfg.telemetry
+            .record_at_instant(resumed_at, || Event::PhaseEnd {
+                side: Side::Destination,
+                phase: Phase::Freeze,
+            });
+        cfg.telemetry
+            .record_at_instant(resumed_at, || Event::Resumed {
+                side: Side::Destination,
+            });
+        cfg.telemetry
+            .record_at_instant(resumed_at, || Event::PhaseStart {
+                side: Side::Destination,
+                phase: Phase::PostCopy,
+            });
     }
     send_or(ep, "post-copy", MigMessage::Resumed)?;
     // Pull requests forwarded on a dead session got no answer: re-issue
@@ -1548,6 +1660,8 @@ fn dest_post_copy<T: Transport>(
             // A block may be requested by several stalled reads or have
             // been cleared since; only forward live, novel requests.
             if transferred.get(b) && st.requested.insert(b) {
+                cfg.telemetry
+                    .record(|| Event::PullRequested { block: b as u64 });
                 send_or(ep, "post-copy", MigMessage::PullRequest { block: b as u64 })?;
             }
         }
@@ -1575,13 +1689,16 @@ fn dest_post_copy<T: Transport>(
                     }
                     if was_pulled {
                         st.pulled += 1;
+                        cfg.telemetry.record(|| Event::BlockPulled { block });
                     } else {
                         st.pushed += 1;
+                        cfg.telemetry.record(|| Event::BlockPushed { block });
                     }
                 } else {
                     // Superseded by a local write: drop (paper lines 2-3
                     // of the receive algorithm).
                     st.dropped += 1;
+                    cfg.telemetry.record(|| Event::BlockDropped { block });
                 }
             }
             Ok(MigMessage::PushComplete) => {
@@ -1615,7 +1732,10 @@ fn dest_post_copy<T: Transport>(
                 match ep.recv_timeout(Duration::from_millis(20)) {
                     Ok(MigMessage::CompleteAck) => return Ok(()),
                     // Late pushes raced with completion: superseded.
-                    Ok(MigMessage::PostCopyBlock { .. }) => st.dropped += 1,
+                    Ok(MigMessage::PostCopyBlock { block, .. }) => {
+                        st.dropped += 1;
+                        cfg.telemetry.record(|| Event::BlockDropped { block });
+                    }
                     Ok(MigMessage::PushComplete) => {}
                     Ok(other) => {
                         return Err(protocol_err(

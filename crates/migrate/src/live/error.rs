@@ -64,7 +64,10 @@ impl std::fmt::Display for MigrationError {
                 write!(f, "no progress during {phase} for {waited:?}")
             }
             Self::RetriesExhausted { attempts, last } => {
-                write!(f, "migration failed after {attempts} connection attempts: {last}")
+                write!(
+                    f,
+                    "migration failed after {attempts} connection attempts: {last}"
+                )
             }
             Self::Io(detail) => write!(f, "i/o error: {detail}"),
         }

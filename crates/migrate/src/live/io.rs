@@ -7,6 +7,7 @@ use std::time::Duration;
 use block_bitmap::AtomicBitmap;
 use crossbeam::channel::Sender;
 use parking_lot::{Condvar, Mutex};
+use telemetry::{Event, Recorder};
 use vdisk::{DomainId, IoRequest, TrackedDisk};
 
 /// The block I/O interface the guest driver uses, switching from
@@ -62,17 +63,20 @@ pub struct DestIo {
     stalled_reads: AtomicU64,
     stall_nanos: AtomicU64,
     failed: AtomicBool,
+    recorder: Arc<Recorder>,
 }
 
 impl DestIo {
     /// Build the destination path. `transferred` is the received copy of
     /// the freeze-phase block-bitmap; pull requests are sent through
-    /// `pull_tx` to the destination protocol thread.
+    /// `pull_tx` to the destination protocol thread; `recorder` journals
+    /// each §IV-A-3 synchronization cancellation.
     pub fn new(
         disk: Arc<TrackedDisk>,
         domain: DomainId,
         transferred: Arc<AtomicBitmap>,
         pull_tx: Sender<usize>,
+        recorder: Arc<Recorder>,
     ) -> Self {
         Self {
             disk,
@@ -84,6 +88,7 @@ impl DestIo {
             stalled_reads: AtomicU64::new(0),
             stall_nanos: AtomicU64::new(0),
             failed: AtomicBool::new(false),
+            recorder,
         }
     }
 
@@ -145,6 +150,9 @@ impl GuestIo for DestIo {
         self.disk
             .submit(IoRequest::write(block, self.domain), Some(data));
         if self.transferred.clear(block) {
+            self.recorder.record(|| Event::SyncCancelled {
+                block: block as u64,
+            });
             self.notify_block();
         }
     }
@@ -173,7 +181,13 @@ mod tests {
         let disk = tracked(8);
         let transferred = Arc::new(AtomicBitmap::new(8));
         let (tx, rx) = unbounded();
-        let io = DestIo::new(Arc::clone(&disk), DomainId(1), transferred, tx);
+        let io = DestIo::new(
+            Arc::clone(&disk),
+            DomainId(1),
+            transferred,
+            tx,
+            Recorder::off(),
+        );
         io.read(2);
         assert!(rx.try_recv().is_err(), "clean read must not pull");
         assert_eq!(io.stall_stats().0, 0);
@@ -190,6 +204,7 @@ mod tests {
             DomainId(1),
             Arc::clone(&transferred),
             tx,
+            Recorder::off(),
         ));
         let reader = {
             let io = Arc::clone(&io);
@@ -222,6 +237,7 @@ mod tests {
             DomainId(1),
             Arc::clone(&transferred),
             tx,
+            Recorder::off(),
         ));
         let reader = {
             let io = Arc::clone(&io);
@@ -249,7 +265,13 @@ mod tests {
         let transferred = Arc::new(AtomicBitmap::new(8));
         transferred.set(4);
         let (tx, rx) = unbounded();
-        let io = DestIo::new(Arc::clone(&disk), DomainId(1), Arc::clone(&transferred), tx);
+        let io = DestIo::new(
+            Arc::clone(&disk),
+            DomainId(1),
+            Arc::clone(&transferred),
+            tx,
+            Recorder::off(),
+        );
         io.write(4, &stamp_bytes(4, 9, 512));
         assert!(!transferred.get(4), "write must clear the dirty bit");
         assert!(rx.try_recv().is_err(), "write must not pull");

@@ -1,9 +1,12 @@
 //! The simulated TPM/IM engine.
 
+use std::sync::Arc;
+
 use block_bitmap::{ser, DirtyMap, FlatBitmap};
 use des::{SimDuration, SimRng, SimTime};
 use simnet::capacity::seek_aware_share;
 use simnet::proto::{Category, TransferLedger, FRAME_OVERHEAD};
+use telemetry::Recorder;
 use vdisk::MetaDisk;
 use vmstate::{CpuState, Domain, DomainId, GuestMemory, WssModel};
 use workloads::probe::ThroughputProbe;
@@ -69,6 +72,9 @@ pub struct TpmEngine {
     /// unless written, and exempt from the consistency check — their
     /// contents are, by the guest's own declaration, meaningless.
     pub(crate) free_blocks: Option<FlatBitmap>,
+    /// Telemetry sink; disabled by default (a single atomic check per
+    /// potential record). Events are stamped with virtual time.
+    pub(crate) recorder: Arc<Recorder>,
 }
 
 impl TpmEngine {
@@ -120,7 +126,14 @@ impl TpmEngine {
             cfg,
             block_carry: 0.0,
             free_blocks: None,
+            recorder: Recorder::off(),
         }
+    }
+
+    /// Attach a telemetry recorder; every subsequent phase, iteration, and
+    /// post-copy block event is journaled in virtual time.
+    pub fn set_recorder(&mut self, recorder: Arc<Recorder>) {
+        self.recorder = recorder;
     }
 
     /// Enable guest-assisted sparse migration (§VII): the guest declares
@@ -228,8 +241,7 @@ impl TpmEngine {
                 cursor = b + 1;
             }
             if n > 0 {
-                self.ledger
-                    .add(cat, n * (bs + 8) + FRAME_OVERHEAD);
+                self.ledger.add(cat, n * (bs + 8) + FRAME_OVERHEAD);
             }
             sent += n;
             bytes += n * bs;
@@ -256,7 +268,9 @@ impl TpmEngine {
             let remaining = total - sent;
             let full_step_pages = rate * self.cfg.step.as_secs_f64() / page as f64;
             let dt = if full_step_pages + carry >= remaining as f64 {
-                SimDuration::from_secs_f64(((remaining as f64 - carry).max(0.0) * page as f64) / rate)
+                SimDuration::from_secs_f64(
+                    ((remaining as f64 - carry).max(0.0) * page as f64) / rate,
+                )
             } else {
                 self.cfg.step
             };
@@ -290,6 +304,11 @@ impl TpmEngine {
         let t_start = self.now;
         self.tracking = true;
         let mut disk_iterations: Vec<IterationStats> = Vec::new();
+        let rec = Arc::clone(&self.recorder);
+        rec.record_at_nanos(t_start.as_nanos(), || telemetry::Event::PhaseStart {
+            side: telemetry::Side::Source,
+            phase: telemetry::Phase::DiskPrecopy,
+        });
 
         // ---------------- Phase 1a: iterative disk pre-copy ----------------
         let mut to_send = match self.initial_to_send.take() {
@@ -310,6 +329,17 @@ impl TpmEngine {
                 duration_secs: duration.as_secs_f64(),
                 dirty_at_end: dirty_count as u64,
             });
+            rec.record_at_nanos(self.now.as_nanos(), || telemetry::Event::Iteration {
+                side: telemetry::Side::Source,
+                resource: telemetry::Resource::Disk,
+                index: iter as u64,
+                units_sent: sent,
+                dirty_at_end: dirty_count as u64,
+            });
+            rec.record_at_nanos(self.now.as_nanos(), || telemetry::Event::BitmapSnapshot {
+                side: telemetry::Side::Source,
+                set_bits: dirty_count as u64,
+            });
             // Stop conditions (§IV-A-1): converged, iteration cap, or a
             // dirty rate the transfer cannot outrun.
             let converged = dirty_count <= self.cfg.disk_dirty_threshold;
@@ -328,6 +358,14 @@ impl TpmEngine {
         }
 
         let t_disk_end = self.now;
+        rec.record_at_nanos(t_disk_end.as_nanos(), || telemetry::Event::PhaseEnd {
+            side: telemetry::Side::Source,
+            phase: telemetry::Phase::DiskPrecopy,
+        });
+        rec.record_at_nanos(t_disk_end.as_nanos(), || telemetry::Event::PhaseStart {
+            side: telemetry::Side::Source,
+            phase: telemetry::Phase::MemPrecopy,
+        });
 
         // ---------------- Phase 1b: iterative memory pre-copy --------------
         let mut mem_iterations: Vec<IterationStats> = Vec::new();
@@ -345,11 +383,17 @@ impl TpmEngine {
                 duration_secs: duration.as_secs_f64(),
                 dirty_at_end: dirty_count as u64,
             });
+            rec.record_at_nanos(self.now.as_nanos(), || telemetry::Event::Iteration {
+                side: telemetry::Side::Source,
+                resource: telemetry::Resource::Memory,
+                index: iter as u64,
+                units_sent: sent,
+                dirty_at_end: dirty_count as u64,
+            });
             let converged = dirty_count <= self.cfg.mem_dirty_threshold;
             let capped = iter == self.cfg.max_mem_iterations;
-            let diverging = duration > SimDuration::ZERO
-                && sent > 0
-                && (dirty_count as f64) >= sent as f64;
+            let diverging =
+                duration > SimDuration::ZERO && sent > 0 && (dirty_count as f64) >= sent as f64;
             if converged || capped || diverging {
                 remaining_pages = dirty;
                 break;
@@ -360,9 +404,24 @@ impl TpmEngine {
         // ---------------- Phase 2: freeze-and-copy -------------------------
         self.domain.suspend().expect("guest was running");
         let t_suspend = self.now;
+        rec.record_at_nanos(t_suspend.as_nanos(), || telemetry::Event::PhaseEnd {
+            side: telemetry::Side::Source,
+            phase: telemetry::Phase::MemPrecopy,
+        });
+        rec.record_at_nanos(t_suspend.as_nanos(), || telemetry::Event::PhaseStart {
+            side: telemetry::Side::Source,
+            phase: telemetry::Phase::Freeze,
+        });
+        rec.record_at_nanos(t_suspend.as_nanos(), || telemetry::Event::Suspended {
+            side: telemetry::Side::Source,
+        });
         self.probe.record(t_suspend, 0.0);
         let final_bitmap = self.tracker.drain();
         let bitmap_encoded_len = ser::encoded_len(&final_bitmap) as u64;
+        rec.record_at_nanos(t_suspend.as_nanos(), || telemetry::Event::BitmapEncoded {
+            set_bits: final_bitmap.count_ones() as u64,
+            encoded_bytes: bitmap_encoded_len,
+        });
         let page = 4096u64;
         let rem_count = remaining_pages.count_ones() as u64;
         let down_bytes = rem_count * (page + 8)
@@ -393,6 +452,17 @@ impl TpmEngine {
 
         self.domain.resume().expect("guest was suspended");
         let t_resume = self.now;
+        rec.record_at_nanos(t_resume.as_nanos(), || telemetry::Event::PhaseEnd {
+            side: telemetry::Side::Source,
+            phase: telemetry::Phase::Freeze,
+        });
+        rec.record_at_nanos(t_resume.as_nanos(), || telemetry::Event::Resumed {
+            side: telemetry::Side::Destination,
+        });
+        rec.record_at_nanos(t_resume.as_nanos(), || telemetry::Event::PhaseStart {
+            side: telemetry::Side::Destination,
+            phase: telemetry::Phase::PostCopy,
+        });
 
         // ---------------- Phase 3: push-and-pull post-copy -----------------
         let mut im_tracker = DirtyTracker::new(self.cfg.bitmap, self.cfg.disk_blocks);
@@ -424,10 +494,18 @@ impl TpmEngine {
             &mut self.rng,
             &mut self.ledger,
             &mut self.probe,
+            &rec,
         );
         self.now = outcome.finished_at + self.cfg.postcopy_fixed_overhead;
         let mut pc_stats = outcome.stats;
-        pc_stats.duration_secs += self.cfg.postcopy_fixed_overhead.as_secs_f64();
+        // One subtraction over the whole span (rather than summing partial
+        // spans) so the report and a journal-reconstructed timing are the
+        // same f64, bit for bit.
+        pc_stats.duration_secs = self.now.since(t_resume).as_secs_f64();
+        rec.record_at_nanos(self.now.as_nanos(), || telemetry::Event::PhaseEnd {
+            side: telemetry::Side::Destination,
+            phase: telemetry::Phase::PostCopy,
+        });
 
         // ---------------- Verification & report ----------------------------
         // Every difference between source and destination must be a block
@@ -440,13 +518,7 @@ impl TpmEngine {
             .src_disk
             .diff_blocks(&self.dst_disk)
             .into_iter()
-            .all(|b| {
-                im_snapshot.get(b)
-                    || self
-                        .free_blocks
-                        .as_ref()
-                        .is_some_and(|f| f.get(b))
-            });
+            .all(|b| im_snapshot.get(b) || self.free_blocks.as_ref().is_some_and(|f| f.get(b)));
         let total_time = self.now.since(t_start);
         let downtime_ms = downtime.as_millis_f64();
 
@@ -476,6 +548,21 @@ impl TpmEngine {
             consistent: disk_consistent && mem_consistent && cpu_consistent,
         };
 
+        if rec.is_enabled() {
+            let m = rec.metrics();
+            m.counter("sim.disk.blocks_sent")
+                .add(report.disk_iterations.iter().map(|i| i.units_sent).sum());
+            m.counter("sim.mem.pages_sent")
+                .add(report.mem_iterations.iter().map(|i| i.units_sent).sum());
+            m.counter("sim.postcopy.pushed").add(report.postcopy.pushed);
+            m.counter("sim.postcopy.pulled").add(report.postcopy.pulled);
+            m.counter("sim.postcopy.dropped")
+                .add(report.postcopy.dropped);
+            m.gauge("sim.freeze.remaining_at_resume")
+                .set(report.postcopy.remaining_at_resume);
+            m.gauge("sim.bytes_total").set(report.ledger.total());
+        }
+
         TpmOutcome {
             report,
             src_disk: self.src_disk,
@@ -494,6 +581,19 @@ impl TpmEngine {
 /// Run a primary TPM migration under `cfg` with the given workload.
 pub fn run_tpm(cfg: MigrationConfig, kind: WorkloadKind) -> TpmOutcome {
     TpmEngine::new(cfg, kind).run()
+}
+
+/// Run a primary TPM migration with a telemetry recorder attached: every
+/// phase transition, pre-copy iteration, and post-copy block event is
+/// journaled in virtual time.
+pub fn run_tpm_traced(
+    cfg: MigrationConfig,
+    kind: WorkloadKind,
+    recorder: Arc<Recorder>,
+) -> TpmOutcome {
+    let mut engine = TpmEngine::new(cfg, kind);
+    engine.set_recorder(recorder);
+    engine.run()
 }
 
 /// Let the guest run on the destination for `duration` after a migration,
@@ -659,7 +759,10 @@ mod tests {
         let a = run_tpm(small_cfg(), WorkloadKind::Web);
         let b = run_tpm(small_cfg(), WorkloadKind::Web);
         assert_eq!(a.report.ledger, b.report.ledger);
-        assert_eq!(a.report.downtime_ms.to_bits(), b.report.downtime_ms.to_bits());
+        assert_eq!(
+            a.report.downtime_ms.to_bits(),
+            b.report.downtime_ms.to_bits()
+        );
         let c = run_tpm(
             MigrationConfig {
                 seed: 999,

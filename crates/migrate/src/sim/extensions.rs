@@ -292,10 +292,7 @@ mod tests {
         assert_eq!(out.report.scheme, "template");
         assert_eq!(out.report.disk_iterations[0].units_sent as usize, divergent);
         // Far less than the whole disk crossed.
-        assert!(
-            out.report.ledger.get(Category::DiskPrecopy)
-                < c.disk_bytes() / 10
-        );
+        assert!(out.report.ledger.get(Category::DiskPrecopy) < c.disk_bytes() / 10);
     }
 
     #[test]

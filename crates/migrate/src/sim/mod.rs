@@ -18,7 +18,7 @@ mod extensions;
 mod postcopy;
 mod tracker;
 
-pub use engine::{dwell, run_im, run_tpm, TpmEngine, TpmOutcome};
+pub use engine::{dwell, run_im, run_tpm, run_tpm_traced, TpmEngine, TpmOutcome};
 pub use extensions::{
     reserve_workload_blocks, run_sparse_migration, run_template_migration, synthetic_free_map,
     MultiSiteVm,

@@ -16,9 +16,12 @@
 //! on-demand-fetching baseline of §II-B) leaves a residual dependency on
 //! the source that this module measures.
 
+use std::sync::Arc;
+
 use block_bitmap::{DirtyMap, FlatBitmap};
 use des::{SimDuration, SimRng, SimTime, Simulator};
 use simnet::proto::{Category, MigMessage, TransferLedger};
+use telemetry::Recorder;
 use vdisk::{DomainId, IoRequest, MetaDisk, PendingQueue};
 use workloads::probe::ThroughputProbe;
 use workloads::{OpKind, Workload};
@@ -80,22 +83,35 @@ struct PcState<'a> {
     stats: PostCopyStats,
     done: bool,
     finished_at: SimTime,
+    rec: Arc<Recorder>,
 }
 
 impl PcState<'_> {
-    fn apply_arrival(&mut self, block: usize, pulled: bool) {
+    fn apply_arrival(&mut self, now: SimTime, block: usize, pulled: bool) {
         if self.dst_bm.get(block) {
             self.dst_disk.copy_block_from(self.src_disk, block);
             self.dst_bm.clear(block);
             if pulled {
                 self.stats.pulled += 1;
+                self.rec
+                    .record_at_nanos(now.as_nanos(), || telemetry::Event::BlockPulled {
+                        block: block as u64,
+                    });
             } else {
                 self.stats.pushed += 1;
+                self.rec
+                    .record_at_nanos(now.as_nanos(), || telemetry::Event::BlockPushed {
+                        block: block as u64,
+                    });
             }
         } else {
             // Superseded by a destination write (or a racing pull/push
             // pair): drop, per the paper's receive algorithm.
             self.stats.dropped += 1;
+            self.rec
+                .record_at_nanos(now.as_nanos(), || telemetry::Event::BlockDropped {
+                    block: block as u64,
+                });
         }
         // Release any reads parked on this block: its data is now local
         // either way.
@@ -168,7 +184,7 @@ fn schedule_push(sim: &mut Simulator<PcState<'_>>, st: &mut PcState<'_>) {
     let arrive_in = serialize + st.cfg.latency;
     sim.schedule_in(arrive_in, move |sim2, st2: &mut PcState<'_>| {
         for b in batch {
-            st2.apply_arrival(b, false);
+            st2.apply_arrival(sim2.now(), b, false);
             st2.in_flight -= 1;
         }
         st2.check_done(sim2.now());
@@ -193,6 +209,11 @@ fn workload_slice(sim: &mut Simulator<PcState<'_>>, st: &mut PcState<'_>) {
                 if st.dst_bm.get(block) {
                     // Whole-block overwrite: no pull needed, cancel sync.
                     st.dst_bm.clear(block);
+                    st.rec.record_at_nanos(sim.now().as_nanos(), || {
+                        telemetry::Event::SyncCancelled {
+                            block: block as u64,
+                        }
+                    });
                     for req in st.pending.take_for_block(block) {
                         debug_assert!(!req.is_write());
                     }
@@ -203,8 +224,10 @@ fn workload_slice(sim: &mut Simulator<PcState<'_>>, st: &mut PcState<'_>) {
                 if st.dst_bm.get(block) {
                     let already_waiting = st.pending.waiting_on(block);
                     st.pending.push(IoRequest::read(block, DomainId(1)));
-                    st.stats.pending_high_water =
-                        st.stats.pending_high_water.max(st.pending.high_water() as u64);
+                    st.stats.pending_high_water = st
+                        .stats
+                        .pending_high_water
+                        .max(st.pending.high_water() as u64);
                     if !already_waiting {
                         // Issue a pull. The source answers preferentially
                         // and removes the block from its push plan.
@@ -212,13 +235,16 @@ fn workload_slice(sim: &mut Simulator<PcState<'_>>, st: &mut PcState<'_>) {
                             block: block as u64,
                         };
                         st.ledger.record(&req);
+                        st.rec.record_at_nanos(sim.now().as_nanos(), || {
+                            telemetry::Event::PullRequested {
+                                block: block as u64,
+                            }
+                        });
                         st.src_bm.clear(block);
                         st.pulls_outstanding += 1;
                         let resp_bytes = st.cfg.block_size;
                         let rtt = st.cfg.latency * 2u64
-                            + SimDuration::from_secs_f64(
-                                resp_bytes as f64 / st.cfg.push_rate,
-                            );
+                            + SimDuration::from_secs_f64(resp_bytes as f64 / st.cfg.push_rate);
                         let resp = MigMessage::PostCopyBlock {
                             block: block as u64,
                             pulled: true,
@@ -226,14 +252,11 @@ fn workload_slice(sim: &mut Simulator<PcState<'_>>, st: &mut PcState<'_>) {
                             payload: None,
                         };
                         st.ledger.record(&resp);
-                        sim.schedule_in(
-                            op.offset() + rtt,
-                            move |sim2, st2: &mut PcState<'_>| {
-                                st2.apply_arrival(block, true);
-                                st2.pulls_outstanding -= 1;
-                                st2.check_done(sim2.now());
-                            },
-                        );
+                        sim.schedule_in(op.offset() + rtt, move |sim2, st2: &mut PcState<'_>| {
+                            st2.apply_arrival(sim2.now(), block, true);
+                            st2.pulls_outstanding -= 1;
+                            st2.check_done(sim2.now());
+                        });
                     }
                 }
             }
@@ -252,7 +275,9 @@ fn workload_slice(sim: &mut Simulator<PcState<'_>>, st: &mut PcState<'_>) {
 /// `src_bm` and `dst_bm` are the two copies of the freeze-phase bitmap;
 /// `new_bm` is the destination-side tracker feeding a later IM. The source
 /// disk is immutable during the phase (the guest now runs on the
-/// destination); destination writes land in `dst_disk`.
+/// destination); destination writes land in `dst_disk`. Per-block push /
+/// pull / drop / cancel events are journaled into `recorder` in virtual
+/// time (pass `Recorder::off()` for no tracing).
 #[allow(clippy::too_many_arguments)]
 pub fn run_postcopy(
     cfg: PostCopyConfig,
@@ -266,6 +291,7 @@ pub fn run_postcopy(
     rng: &mut SimRng,
     ledger: &mut TransferLedger,
     probe: &mut ThroughputProbe,
+    recorder: &Arc<Recorder>,
 ) -> PostCopyOutcome {
     assert!(cfg.push_rate > 0.0, "push rate must be positive");
     assert_eq!(src_bm.len(), dst_bm.len(), "bitmap sizes must match");
@@ -297,6 +323,7 @@ pub fn run_postcopy(
         },
         done: false,
         finished_at: start,
+        rec: Arc::clone(recorder),
     };
 
     // Degenerate case: nothing to synchronize.
@@ -376,6 +403,7 @@ mod tests {
             &mut rng,
             &mut ledger,
             &mut probe,
+            &Recorder::off(),
         );
         (out, src, dst)
     }
@@ -400,11 +428,7 @@ mod tests {
         assert!(src.content_equals(&dst));
     }
 
-    fn run_with_workload(
-        kind: WorkloadKind,
-        push_rate: f64,
-        dirty: &[usize],
-    ) -> PostCopyOutcome {
+    fn run_with_workload(kind: WorkloadKind, push_rate: f64, dirty: &[usize]) -> PostCopyOutcome {
         let blocks = 65_536;
         let mut src = MetaDisk::new(blocks);
         let mut dst = MetaDisk::new(blocks);
@@ -433,6 +457,7 @@ mod tests {
             &mut rng,
             &mut ledger,
             &mut probe,
+            &Recorder::off(),
         )
     }
 
@@ -463,8 +488,7 @@ mod tests {
         // paper's receive algorithm), never applied over newer local data.
         let a_start = 65_536 * 2 / 5;
         let dirty: Vec<usize> = (a_start..a_start + 8_192).collect();
-        let out =
-            run_with_workload(WorkloadKind::Diabolical, 2.0 * 1024.0 * 1024.0, &dirty);
+        let out = run_with_workload(WorkloadKind::Diabolical, 2.0 * 1024.0 * 1024.0, &dirty);
         assert!(
             out.stats.dropped > 0,
             "in-flight pushes superseded by local writes must be dropped (stats: {:?})",

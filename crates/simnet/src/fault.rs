@@ -18,6 +18,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use telemetry::{Event, FaultLabel, Recorder, Side};
+
 use crate::proto::{Category, MigMessage, TransferLedger, ALL_CATEGORIES};
 use crate::transport::{Transport, TransportError};
 
@@ -210,6 +212,7 @@ pub struct FaultyTransport<T: Transport> {
     sent_msgs: AtomicU64,
     sent_bytes: AtomicU64,
     sent_by_cat: Mutex<[u64; ALL_CATEGORIES.len()]>,
+    telemetry: Mutex<Arc<Recorder>>,
 }
 
 /// How long receive paths wait between checks of the shared cut flag.
@@ -224,6 +227,7 @@ impl<T: Transport> FaultyTransport<T> {
             sent_msgs: AtomicU64::new(0),
             sent_bytes: AtomicU64::new(0),
             sent_by_cat: Mutex::new([0; ALL_CATEGORIES.len()]),
+            telemetry: Mutex::new(Recorder::off()),
         }
     }
 
@@ -232,7 +236,11 @@ impl<T: Transport> FaultyTransport<T> {
     /// transport's [`Transport::shutdown`], so a peer on the far side of
     /// a real socket still observes the failure as a dead stream.
     pub fn wrap(inner: T, plan: &FaultPlan, attempt: u32) -> Self {
-        Self::new(inner, Arc::new(CutState::default()), plan.for_attempt(attempt))
+        Self::new(
+            inner,
+            Arc::new(CutState::default()),
+            plan.for_attempt(attempt),
+        )
     }
 
     /// The fault (if any) fired by sending `msg` now. Counters include
@@ -255,6 +263,13 @@ impl<T: Transport> FaultyTransport<T> {
         })?;
         Some(faults.swap_remove(hit))
     }
+
+    /// Clone the attached recorder out of its cell. The lock guard is a
+    /// temporary confined to this function, so callers (which may sleep
+    /// on a Stall fault) never hold it across a blocking call.
+    fn recorder(&self) -> Arc<Recorder> {
+        self.telemetry.lock().clone()
+    }
 }
 
 impl<T: Transport> Transport for FaultyTransport<T> {
@@ -263,6 +278,20 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             return Err(self.shared.error());
         }
         if let Some(fault) = self.fired_fault(&msg) {
+            // Journal the injection before acting on it: a Stall sleeps,
+            // and no telemetry guard may be live across that, so the
+            // recorder is cloned out behind a helper.
+            let rec = self.recorder();
+            let label = match fault.kind {
+                FaultKind::Reset => FaultLabel::Reset,
+                FaultKind::Stall(_) => FaultLabel::Stall,
+                FaultKind::Truncate => FaultLabel::Truncate,
+            };
+            let messages_before = self.sent_msgs.load(Ordering::SeqCst).saturating_sub(1);
+            rec.record(|| Event::FaultInjected {
+                fault: label,
+                messages_before,
+            });
             match fault.kind {
                 FaultKind::Stall(dur) => std::thread::sleep(dur),
                 FaultKind::Reset => {
@@ -342,6 +371,11 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     fn shutdown(&self) {
         self.shared.sever("local shutdown".to_string());
         self.inner.shutdown();
+    }
+
+    fn set_telemetry(&self, recorder: &Arc<Recorder>, side: Side) {
+        *self.telemetry.lock() = Arc::clone(recorder);
+        self.inner.set_telemetry(recorder, side);
     }
 }
 

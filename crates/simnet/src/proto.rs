@@ -191,7 +191,9 @@ impl MigMessage {
                 Self::PrepareAck | Self::Suspended | Self::Resumed => 0,
                 Self::PushComplete | Self::MigrationComplete => 0,
                 Self::DiskBlocks {
-                    blocks, payload_len, ..
+                    blocks,
+                    payload_len,
+                    ..
                 } => 8 * blocks.len() as u64 + payload_len,
                 Self::MemPages {
                     pages, payload_len, ..

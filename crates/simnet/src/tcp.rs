@@ -16,9 +16,11 @@ use parking_lot::Mutex;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, TryRecvError};
 
+use telemetry::{Recorder, Side};
+
 use crate::codec::{read_frame_or_eof, write_frame};
 use crate::proto::{MigMessage, TransferLedger};
-use crate::transport::{Transport, TransportError, WallLimiter};
+use crate::transport::{SendStats, Transport, TransportError, WallLimiter};
 
 /// How the reader thread ended: set exactly once, before the channel
 /// disconnects, so receive paths can report *why* the stream is over.
@@ -37,6 +39,7 @@ pub struct TcpTransport {
     reader_exit: Arc<Mutex<Option<ReaderExit>>>,
     sent: Arc<Mutex<TransferLedger>>,
     limiter: Option<Mutex<WallLimiter>>,
+    telemetry: Mutex<Option<SendStats>>,
 }
 
 impl TcpTransport {
@@ -75,6 +78,7 @@ impl TcpTransport {
             reader_exit,
             sent: Arc::new(Mutex::new(TransferLedger::new())),
             limiter: None,
+            telemetry: Mutex::new(None),
         })
     }
 
@@ -124,6 +128,10 @@ impl Transport for TcpTransport {
             l.lock().acquire(msg.wire_size());
         }
         self.sent.lock().record(&msg);
+        if let Some(stats) = &*self.telemetry.lock() {
+            stats.bytes.add(msg.wire_size());
+            stats.msgs.inc();
+        }
         let mut w = self.writer.lock();
         write_frame(&mut *w, &msg).map_err(|_| TransportError::Disconnected)
     }
@@ -154,6 +162,10 @@ impl Transport for TcpTransport {
         let w = self.writer.lock();
         let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
     }
+
+    fn set_telemetry(&self, recorder: &Arc<Recorder>, side: Side) {
+        *self.telemetry.lock() = SendStats::register(recorder, side);
+    }
 }
 
 impl Drop for TcpTransport {
@@ -177,8 +189,8 @@ impl std::fmt::Debug for TcpTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
     use crate::proto::Category;
+    use bytes::Bytes;
 
     #[test]
     fn loopback_roundtrip() {
@@ -192,7 +204,11 @@ mod tests {
     #[test]
     fn payloads_cross_intact() {
         let (a, b) = loopback_pair().expect("loopback");
-        let payload = Bytes::from((0..8192u32).flat_map(|x| x.to_le_bytes()).collect::<Vec<_>>());
+        let payload = Bytes::from(
+            (0..8192u32)
+                .flat_map(|x| x.to_le_bytes())
+                .collect::<Vec<_>>(),
+        );
         let msg = MigMessage::DiskBlocks {
             blocks: (0..8).collect(),
             payload_len: payload.len() as u64,
@@ -212,7 +228,10 @@ mod tests {
             }
         });
         for i in 0..1000u64 {
-            assert_eq!(b.recv().expect("recv"), MigMessage::PullRequest { block: i });
+            assert_eq!(
+                b.recv().expect("recv"),
+                MigMessage::PullRequest { block: i }
+            );
         }
         t.join().expect("sender");
     }

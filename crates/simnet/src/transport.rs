@@ -13,7 +13,36 @@ use parking_lot::Mutex;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
+use telemetry::{Recorder, Side};
+
 use crate::proto::{MigMessage, TransferLedger};
+
+/// Send-path counters registered under a side-specific prefix. Cloned out
+/// of the registry once on attach, so the hot path only does relaxed
+/// atomic adds.
+#[derive(Debug, Clone)]
+pub(crate) struct SendStats {
+    pub(crate) bytes: telemetry::Counter,
+    pub(crate) msgs: telemetry::Counter,
+}
+
+impl SendStats {
+    /// Register (or look up) the side's counters; `None` when telemetry is
+    /// disabled, so instrumented transports skip the accounting entirely.
+    pub(crate) fn register(recorder: &Recorder, side: Side) -> Option<Self> {
+        if !recorder.is_enabled() {
+            return None;
+        }
+        let prefix = match side {
+            Side::Source => "transport.src",
+            Side::Destination => "transport.dst",
+        };
+        Some(Self {
+            bytes: recorder.metrics().counter(&format!("{prefix}.bytes_sent")),
+            msgs: recorder.metrics().counter(&format!("{prefix}.msgs_sent")),
+        })
+    }
+}
 
 /// Errors surfaced by [`Endpoint`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,8 +106,8 @@ impl WallLimiter {
     /// Block until `bytes` may pass.
     pub(crate) fn acquire(&mut self, bytes: u64) {
         let now = Instant::now();
-        self.tokens = (self.tokens + now.duration_since(self.last).as_secs_f64() * self.rate)
-            .min(self.burst);
+        self.tokens =
+            (self.tokens + now.duration_since(self.last).as_secs_f64() * self.rate).min(self.burst);
         self.last = now;
         self.tokens -= bytes as f64;
         if self.tokens < 0.0 {
@@ -113,6 +142,12 @@ pub trait Transport: Send {
     /// fault injection to sever a link mid-stream; the default is a no-op
     /// for transports with no independent lifetime.
     fn shutdown(&self) {}
+
+    /// Attach a telemetry recorder: subsequent sends count bytes and
+    /// messages into side-scoped counters, and instrumented wrappers (the
+    /// fault injector) journal their events into it. The default is a
+    /// no-op so bare test transports need no instrumentation.
+    fn set_telemetry(&self, _recorder: &Arc<Recorder>, _side: Side) {}
 }
 
 /// One side of a duplex migration link.
@@ -121,6 +156,7 @@ pub struct Endpoint {
     rx: Receiver<MigMessage>,
     sent: Arc<Mutex<TransferLedger>>,
     limiter: Option<Mutex<WallLimiter>>,
+    telemetry: Mutex<Option<SendStats>>,
 }
 
 /// Create a connected pair of endpoints.
@@ -132,6 +168,7 @@ pub fn duplex() -> (Endpoint, Endpoint) {
         rx,
         sent: Arc::new(Mutex::new(TransferLedger::new())),
         limiter: None,
+        telemetry: Mutex::new(None),
     };
     (mk(a_tx, a_rx), mk(b_tx, b_rx))
 }
@@ -155,9 +192,11 @@ impl Endpoint {
             l.lock().acquire(msg.wire_size());
         }
         self.sent.lock().record(&msg);
-        self.tx
-            .send(msg)
-            .map_err(|_| TransportError::Disconnected)
+        if let Some(stats) = &*self.telemetry.lock() {
+            stats.bytes.add(msg.wire_size());
+            stats.msgs.inc();
+        }
+        self.tx.send(msg).map_err(|_| TransportError::Disconnected)
     }
 
     /// Blocking receive.
@@ -202,6 +241,10 @@ impl Transport for Endpoint {
     }
     fn sent_ledger(&self) -> TransferLedger {
         Endpoint::sent_ledger(self)
+    }
+
+    fn set_telemetry(&self, recorder: &Arc<Recorder>, side: Side) {
+        *self.telemetry.lock() = SendStats::register(recorder, side);
     }
 }
 

@@ -1,0 +1,27 @@
+//! The dual-clock model: one event taxonomy, two time sources.
+//!
+//! The simulated engine runs on deterministic virtual time (`des::SimTime`,
+//! a plain nanosecond counter), the live engine on the machine's monotonic
+//! clock. A journal record carries its timestamp as raw `u64` nanoseconds
+//! plus a [`ClockDomain`] tag saying which clock produced it, so consumers
+//! can reconstruct spans without caring which engine ran — but never
+//! accidentally mix the two domains in one subtraction.
+
+use serde::{Deserialize, Serialize};
+
+/// Which clock stamped a journal record.
+///
+/// * [`ClockDomain::Sim`] — deterministic virtual time: the nanosecond value
+///   of `des::SimTime` at the instant the event was recorded. Bit-exact
+///   across runs under the same seed.
+/// * [`ClockDomain::Wall`] — monotonic wall time: nanoseconds since the
+///   [`Recorder`](crate::Recorder)'s epoch (the instant the recorder was
+///   created). Spans between two wall records are exact `Instant`
+///   differences; absolute values are only meaningful relative to the epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClockDomain {
+    /// Virtual time from the discrete-event simulator.
+    Sim,
+    /// Monotonic wall time relative to the recorder epoch.
+    Wall,
+}

@@ -1,0 +1,182 @@
+//! The typed event taxonomy shared by the simulated and live engines.
+//!
+//! Every variant models one observable step of the paper's Three-Phase
+//! Migration: phase transitions (§IV), pre-copy iteration stats (§IV-B),
+//! bitmap snapshot/encoding sizes (§IV-A), transport-level reconnects and
+//! injected faults (DESIGN.md §9), and the §III-A post-copy block events —
+//! push, pull, drop, and the write-cancellation rule.
+//!
+//! Shapes are deliberately plain (unit and named-struct variants, `u64`
+//! numeric fields) so the vendored serde derive round-trips them through
+//! JSONL without attributes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::ClockDomain;
+
+/// Which side of the migration recorded the event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Side {
+    /// The host the VM is migrating away from.
+    Source,
+    /// The host the VM is migrating to.
+    Destination,
+}
+
+/// The paper's §IV phase structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Iterative disk pre-copy under the block-bitmap.
+    DiskPrecopy,
+    /// Xen-style iterative memory pre-copy.
+    MemPrecopy,
+    /// Freeze-and-copy: the VM is suspended; the span is the downtime.
+    Freeze,
+    /// Push-and-pull post-copy after the VM resumed on the destination.
+    PostCopy,
+}
+
+/// What a pre-copy iteration moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Resource {
+    /// Disk blocks (the block-bitmap's unit).
+    Disk,
+    /// Guest memory pages.
+    Memory,
+}
+
+/// An injected transport fault, by kind.
+///
+/// Mirrors `simnet::fault::FaultKind` without its payloads, so it stays
+/// within the journal's serializable shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultLabel {
+    /// Connection severed; queued data lost.
+    Reset,
+    /// Transport wedged for a while, then recovered.
+    Stall,
+    /// Send reported success but the frame was lost.
+    Truncate,
+}
+
+/// One observable step of a migration run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A §IV phase began on `side`.
+    PhaseStart {
+        /// Recording side.
+        side: Side,
+        /// Which phase began.
+        phase: Phase,
+    },
+    /// A §IV phase ended on `side`.
+    PhaseEnd {
+        /// Recording side.
+        side: Side,
+        /// Which phase ended.
+        phase: Phase,
+    },
+    /// A pre-copy iteration finished.
+    Iteration {
+        /// Recording side.
+        side: Side,
+        /// Disk blocks or memory pages.
+        resource: Resource,
+        /// Zero-based iteration index.
+        index: u64,
+        /// Units (blocks/pages) shipped this iteration.
+        units_sent: u64,
+        /// Units dirtied while the iteration ran (the next worklist).
+        dirty_at_end: u64,
+    },
+    /// The dirty bitmap was snapshotted (and cleared) between iterations.
+    BitmapSnapshot {
+        /// Recording side.
+        side: Side,
+        /// Bits set in the snapshot.
+        set_bits: u64,
+    },
+    /// The frozen bitmap was encoded for the wire (§IV-C ships the bitmap,
+    /// never the blocks).
+    BitmapEncoded {
+        /// Bits set in the encoded bitmap.
+        set_bits: u64,
+        /// Encoded wire size in bytes.
+        encoded_bytes: u64,
+    },
+    /// The guest was suspended — downtime starts here.
+    Suspended {
+        /// Recording side.
+        side: Side,
+    },
+    /// The guest resumed — downtime ends here.
+    Resumed {
+        /// Recording side.
+        side: Side,
+    },
+    /// A protocol thread reconnected after a transport failure.
+    Reconnect {
+        /// Recording side.
+        side: Side,
+        /// One-based reconnect attempt number.
+        attempt: u64,
+    },
+    /// The fault plan fired on a send.
+    FaultInjected {
+        /// Kind of fault injected.
+        fault: FaultLabel,
+        /// Messages sent on this transport before the fault fired.
+        messages_before: u64,
+    },
+    /// Cumulative bytes a side has put on the wire (ledger total).
+    TransportBytes {
+        /// Recording side.
+        side: Side,
+        /// Cumulative bytes sent.
+        bytes: u64,
+    },
+    /// The destination requested a dirty block a guest read touched.
+    PullRequested {
+        /// Block index.
+        block: u64,
+    },
+    /// A pushed block arrived while still wanted and was applied.
+    BlockPushed {
+        /// Block index.
+        block: u64,
+    },
+    /// A pulled block arrived while still wanted and was applied.
+    BlockPulled {
+        /// Block index.
+        block: u64,
+    },
+    /// An arriving block was superseded (bit already clear) and discarded.
+    BlockDropped {
+        /// Block index.
+        block: u64,
+    },
+    /// §III-A cancellation: a destination guest write to a still-dirty block
+    /// cancelled its synchronization outright.
+    SyncCancelled {
+        /// Block index.
+        block: u64,
+    },
+}
+
+/// One journal entry: a sequence number (total order of recording), a
+/// timestamp in its [`ClockDomain`], and the [`Event`].
+///
+/// `seq` is assigned under the journal lock, so it is the canonical
+/// happened-before order of the journal even when timestamps tie or when
+/// multiple threads record concurrently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Journal-order sequence number (dense from 0 unless records dropped).
+    pub seq: u64,
+    /// Timestamp in nanoseconds; meaning depends on `clock`.
+    pub t_nanos: u64,
+    /// Which clock produced `t_nanos`.
+    pub clock: ClockDomain,
+    /// The recorded event.
+    pub event: Event,
+}

@@ -1,0 +1,331 @@
+//! Counters, gauges, and fixed-bucket log2 histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap atomic cells
+//! behind `Arc`s: hot paths clone a handle once at setup time and then
+//! update lock-free. The [`Registry`] is only locked on registration and
+//! snapshot, never on update.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Number of log2 histogram buckets: bucket 0 holds zeros, bucket `k`
+/// (1 ≤ k ≤ 64) holds values in `[2^(k-1), 2^k)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The log2 bucket a value falls into (see [`HISTOGRAM_BUCKETS`]).
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the current value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket log2 histogram (for block latencies, round durations,
+/// transfer sizes — anything spanning orders of magnitude).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    fn new() -> Self {
+        Self(Arc::new(HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record every observation in the iterator.
+    pub fn observe_all(&self, values: impl IntoIterator<Item = u64>) {
+        for v in values {
+            self.observe(v);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// A named collection of metrics. Registration is get-or-create by name,
+/// so independent subsystems can share a counter without coordination.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut i = self.inner.lock();
+        if let Some((_, c)) = i.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        i.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut i = self.inner.lock();
+        if let Some((_, g)) = i.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        i.gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut i = self.inner.lock();
+        if let Some((_, h)) = i.histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = Histogram::default();
+        i.histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// A serializable point-in-time snapshot, sorted by name so output is
+    /// deterministic regardless of registration order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let i = self.inner.lock();
+        let mut counters: Vec<CounterSnapshot> = i
+            .counters
+            .iter()
+            .map(|(n, c)| CounterSnapshot {
+                name: n.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let mut gauges: Vec<GaugeSnapshot> = i
+            .gauges
+            .iter()
+            .map(|(n, g)| GaugeSnapshot {
+                name: n.clone(),
+                value: g.get(),
+            })
+            .collect();
+        let mut histograms: Vec<HistogramSnapshot> = i
+            .histograms
+            .iter()
+            .map(|(n, h)| HistogramSnapshot {
+                name: n.clone(),
+                count: h.count(),
+                sum: h.sum(),
+                buckets: h
+                    .0
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.load(Ordering::Relaxed) > 0)
+                    .map(|(k, b)| HistogramBucket {
+                        log2_upper: k as u64,
+                        count: b.load(Ordering::Relaxed),
+                    })
+                    .collect(),
+            })
+            .collect();
+        drop(i);
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Snapshot of one counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// Snapshot of one gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One non-empty log2 bucket: `count` observations in
+/// `[2^(log2_upper-1), 2^log2_upper)` (bucket 0 holds exact zeros).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Bucket index `k`; upper bound is `2^k`.
+    pub log2_upper: u64,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// Snapshot of one histogram (empty buckets elided).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Non-empty buckets in index order.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+/// Serializable snapshot of a whole [`Registry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn registry_get_or_create_shares_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("pushes");
+        let b = reg.counter("pushes");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("pushes").get(), 3);
+        reg.gauge("dirty").set(17);
+        assert_eq!(reg.gauge("dirty").get(), 17);
+    }
+
+    #[test]
+    fn histogram_observes_into_log2_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("latency");
+        for v in [0, 1, 2, 3, 900, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1930);
+        let snap = reg.snapshot();
+        let hs = &snap.histograms[0];
+        assert_eq!(hs.name, "latency");
+        let by_bucket: Vec<(u64, u64)> =
+            hs.buckets.iter().map(|b| (b.log2_upper, b.count)).collect();
+        assert_eq!(by_bucket, vec![(0, 1), (1, 1), (2, 2), (10, 1), (11, 1)]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_round_trips() {
+        let reg = Registry::new();
+        reg.counter("zeta").inc();
+        reg.counter("alpha").add(5);
+        reg.gauge("mid").set(9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].name, "alpha");
+        assert_eq!(snap.counters[1].name, "zeta");
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, snap);
+    }
+}

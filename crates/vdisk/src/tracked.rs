@@ -36,6 +36,13 @@ struct Tracker {
     domain: Option<DomainId>,
 }
 
+/// Per-device telemetry counters, registered once on attach so the I/O
+/// paths only do relaxed atomic adds.
+struct DiskStats {
+    reads: telemetry::Counter,
+    writes: telemetry::Counter,
+}
+
 /// A [`VirtualDisk`] wrapped with write interception.
 pub struct TrackedDisk {
     disk: Arc<VirtualDisk>,
@@ -44,6 +51,8 @@ pub struct TrackedDisk {
     tracking_enabled: AtomicBool,
     reads: AtomicU64,
     writes: AtomicU64,
+    telemetry_on: AtomicBool,
+    telemetry: RwLock<Option<DiskStats>>,
 }
 
 impl TrackedDisk {
@@ -57,6 +66,39 @@ impl TrackedDisk {
             tracking_enabled: AtomicBool::new(false),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            telemetry_on: AtomicBool::new(false),
+            telemetry: RwLock::new(None),
+        }
+    }
+
+    /// Mirror this device's read/write totals into `recorder`'s metrics
+    /// as `{prefix}.reads` / `{prefix}.writes`. A disabled recorder keeps
+    /// the I/O paths at a single relaxed atomic load.
+    pub fn set_telemetry(&self, recorder: &telemetry::Recorder, prefix: &str) {
+        if !recorder.is_enabled() {
+            return;
+        }
+        let m = recorder.metrics();
+        *self.telemetry.write() = Some(DiskStats {
+            reads: m.counter(&format!("{prefix}.reads")),
+            writes: m.counter(&format!("{prefix}.writes")),
+        });
+        self.telemetry_on.store(true, Ordering::Release);
+    }
+
+    fn tel_read(&self) {
+        if self.telemetry_on.load(Ordering::Relaxed) {
+            if let Some(s) = &*self.telemetry.read() {
+                s.reads.inc();
+            }
+        }
+    }
+
+    fn tel_write(&self) {
+        if self.telemetry_on.load(Ordering::Relaxed) {
+            if let Some(s) = &*self.telemetry.read() {
+                s.writes.inc();
+            }
         }
     }
 
@@ -120,10 +162,12 @@ impl TrackedDisk {
         match req.op {
             IoOp::Read => {
                 self.reads.fetch_add(1, Ordering::Relaxed);
+                self.tel_read();
                 Some(self.disk.read_block(req.block))
             }
             IoOp::Write => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
+                self.tel_write();
                 let data = data.expect("write request requires data");
                 self.disk.write_block(req.block, data);
                 self.record_write(req.block, req.domain);
@@ -138,6 +182,7 @@ impl TrackedDisk {
     /// [`TrackedDisk::submit`] `Option`.
     pub fn read_block(&self, block: usize) -> Vec<u8> {
         self.reads.fetch_add(1, Ordering::Relaxed);
+        self.tel_read();
         self.disk.read_block(block)
     }
 
@@ -187,6 +232,7 @@ impl TrackedDisk {
             }
             self.record_write(block, domain);
             self.writes.fetch_add(1, Ordering::Relaxed);
+            self.tel_write();
             consumed += span;
         }
         debug_assert_eq!(consumed, data.len());
@@ -221,6 +267,7 @@ impl TrackedDisk {
         let mut out = Vec::with_capacity(len);
         for block in range.iter() {
             self.reads.fetch_add(1, Ordering::Relaxed);
+            self.tel_read();
             let buf = self.disk.read_block(block);
             let block_start = mapper.byte_of_block(block);
             let start = offset.saturating_sub(block_start) as usize;
@@ -268,7 +315,10 @@ mod tests {
     #[test]
     fn disabled_tracking_records_nothing() {
         let (td, bm) = setup(8);
-        td.submit(IoRequest::write(3, DomainId(1)), Some(&stamp_bytes(3, 1, 512)));
+        td.submit(
+            IoRequest::write(3, DomainId(1)),
+            Some(&stamp_bytes(3, 1, 512)),
+        );
         assert_eq!(bm.count_ones(), 0);
     }
 
@@ -276,7 +326,10 @@ mod tests {
     fn enabled_tracking_records_writes_only() {
         let (td, bm) = setup(8);
         td.enable_tracking();
-        td.submit(IoRequest::write(3, DomainId(1)), Some(&stamp_bytes(3, 1, 512)));
+        td.submit(
+            IoRequest::write(3, DomainId(1)),
+            Some(&stamp_bytes(3, 1, 512)),
+        );
         let read = td.submit(IoRequest::read(3, DomainId(1)), None).unwrap();
         assert_eq!(read, stamp_bytes(3, 1, 512));
         assert_eq!(bm.snapshot().to_indices(), vec![3]);
@@ -288,7 +341,10 @@ mod tests {
         let (td, bm) = setup(8);
         td.enable_tracking();
         // Dom0 write: performed, but not tracked for the migrated domain.
-        td.submit(IoRequest::write(5, DomainId::DOM0), Some(&stamp_bytes(5, 1, 512)));
+        td.submit(
+            IoRequest::write(5, DomainId::DOM0),
+            Some(&stamp_bytes(5, 1, 512)),
+        );
         assert_eq!(bm.count_ones(), 0);
         assert_eq!(td.disk().read_block(5), stamp_bytes(5, 1, 512));
     }
@@ -299,13 +355,19 @@ mod tests {
         let bm2 = Arc::new(AtomicBitmap::new(8));
         let h2 = td.attach_tracker(Arc::clone(&bm2), None);
         td.enable_tracking();
-        td.submit(IoRequest::write(2, DomainId(1)), Some(&stamp_bytes(2, 1, 512)));
+        td.submit(
+            IoRequest::write(2, DomainId(1)),
+            Some(&stamp_bytes(2, 1, 512)),
+        );
         assert!(bm1.get(2));
         assert!(bm2.get(2));
         // Detach the second; further writes only land in the first.
         td.detach_tracker(h2);
         td.detach_tracker(h2); // idempotent
-        td.submit(IoRequest::write(6, DomainId(1)), Some(&stamp_bytes(6, 1, 512)));
+        td.submit(
+            IoRequest::write(6, DomainId(1)),
+            Some(&stamp_bytes(6, 1, 512)),
+        );
         assert!(bm1.get(6));
         assert!(!bm2.get(6));
     }
@@ -396,5 +458,25 @@ mod tests {
     fn write_without_data_panics() {
         let (td, _) = setup(8);
         td.submit(IoRequest::write(0, DomainId(1)), None);
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_io_counts() {
+        let (td, _) = setup(8);
+        let rec = telemetry::Recorder::enabled();
+        td.set_telemetry(&rec, "disk.src");
+        td.submit(
+            IoRequest::write(1, DomainId(1)),
+            Some(&stamp_bytes(1, 1, 512)),
+        );
+        td.read_block(1);
+        td.read_block(2);
+        assert_eq!(rec.metrics().counter("disk.src.reads").get(), 2);
+        assert_eq!(rec.metrics().counter("disk.src.writes").get(), 1);
+        // A disabled recorder attaches nothing.
+        let (td2, _) = setup(8);
+        td2.set_telemetry(&telemetry::Recorder::off(), "disk.dst");
+        td2.read_block(0);
+        assert_eq!(rec.metrics().counter("disk.dst.reads").get(), 0);
     }
 }

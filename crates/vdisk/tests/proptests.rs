@@ -8,8 +8,8 @@ use std::sync::Arc;
 use block_bitmap::AtomicBitmap;
 use proptest::prelude::*;
 use vdisk::{
-    stamp_bytes, DenseStorage, DomainId, IoRequest, MetaDisk, PendingQueue, SparseStorage,
-    Storage, TrackedDisk, VirtualDisk,
+    stamp_bytes, DenseStorage, DomainId, IoRequest, MetaDisk, PendingQueue, SparseStorage, Storage,
+    TrackedDisk, VirtualDisk,
 };
 
 const BLOCKS: usize = 64;

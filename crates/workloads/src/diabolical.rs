@@ -364,7 +364,9 @@ mod tests {
     fn starved_disk_generates_nothing() {
         let mut w = DiabolicalWorkload::paper_default(BLOCKS_40GB);
         let mut rng = SimRng::new(4);
-        assert!(w.ops_for(SimDuration::from_secs(1), 0.0, &mut rng).is_empty());
+        assert!(w
+            .ops_for(SimDuration::from_secs(1), 0.0, &mut rng)
+            .is_empty());
     }
 
     #[test]

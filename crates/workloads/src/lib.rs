@@ -31,8 +31,8 @@ mod kernel;
 pub mod locality;
 mod op;
 mod pattern;
-mod trace;
 pub mod probe;
+mod trace;
 mod video;
 mod web;
 mod workload;

@@ -171,7 +171,14 @@ mod tests {
 
     #[test]
     fn uniform_placement_stays_in_region() {
-        let mut p = WritePattern::new(Placement::Uniform { start: 100, len: 50 }, 0.3, 16);
+        let mut p = WritePattern::new(
+            Placement::Uniform {
+                start: 100,
+                len: 50,
+            },
+            0.3,
+            16,
+        );
         let mut rng = SimRng::new(4);
         for _ in 0..1000 {
             let b = p.next_block(&mut rng);

@@ -178,7 +178,10 @@ mod tests {
                 .ops_for(SimDuration::from_secs(1), 1e6, &mut rng2)
                 .len();
         }
-        assert_eq!(replayed, total, "every recorded op must replay exactly once");
+        assert_eq!(
+            replayed, total,
+            "every recorded op must replay exactly once"
+        );
         assert_eq!(replay.remaining(), 0);
     }
 

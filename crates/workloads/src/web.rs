@@ -185,7 +185,9 @@ mod tests {
     fn starved_disk_stalls_the_app() {
         let mut w = WebServerWorkload::paper_default(BLOCKS_40GB);
         let mut rng = SimRng::new(3);
-        assert!(w.ops_for(SimDuration::from_secs(1), 0.0, &mut rng).is_empty());
+        assert!(w
+            .ops_for(SimDuration::from_secs(1), 0.0, &mut rng)
+            .is_empty());
         assert_eq!(w.client_throughput(0.0), 0.0);
     }
 

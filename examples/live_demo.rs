@@ -9,13 +9,35 @@
 //!
 //! ```text
 //! cargo run --release --example live_demo
+//! cargo run --release --example live_demo -- --trace-out /tmp/journal.jsonl
 //! ```
+//!
+//! With `--trace-out FILE` the run records a telemetry journal: every
+//! phase transition, pre-copy iteration, and post-copy block event lands
+//! in FILE as JSONL, and a phase summary reconstructed *from the journal*
+//! is printed alongside the engine's own numbers.
 
 use block_bitmap_migration::prelude::*;
 
 fn main() {
+    let trace_out = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match args.as_slice() {
+            [] => None,
+            [flag, path] if flag == "--trace-out" => Some(path.clone()),
+            _ => {
+                eprintln!("usage: live_demo [--trace-out FILE]");
+                std::process::exit(2);
+            }
+        }
+    };
     let cfg = LiveConfig {
         num_blocks: 65_536, // 32 MiB of real bytes at 512 B blocks
+        telemetry: if trace_out.is_some() {
+            Recorder::enabled()
+        } else {
+            Recorder::off()
+        },
         ..LiveConfig::test_default()
     };
     println!(
@@ -25,9 +47,27 @@ fn main() {
 
     let out = run_live_migration(&cfg).expect("live migration completes");
 
+    if let Some(path) = &trace_out {
+        let records = cfg.telemetry.records();
+        std::fs::write(path, block_bitmap_migration::telemetry::to_jsonl(&records))
+            .expect("journal written");
+        println!("telemetry journal: {} records -> {path}", records.len());
+        print!(
+            "{}",
+            block_bitmap_migration::telemetry::phase_summary(&records)
+        );
+        println!();
+    }
+
     println!("disk pre-copy iterations (blocks): {:?}", out.iterations);
-    println!("memory pre-copy iterations (pages):{:?}", out.mem_iterations);
-    println!("freeze-phase dirty blocks/pages:   {} / {}", out.frozen_dirty, out.frozen_mem_dirty);
+    println!(
+        "memory pre-copy iterations (pages):{:?}",
+        out.mem_iterations
+    );
+    println!(
+        "freeze-phase dirty blocks/pages:   {} / {}",
+        out.frozen_dirty, out.frozen_mem_dirty
+    );
     println!(
         "post-copy: {} pushed, {} pulled, {} dropped, {} reads stalled",
         out.pushed, out.pulled, out.dropped, out.stalled_reads
@@ -41,7 +81,8 @@ fn main() {
     println!(
         "source sent {:.1} MB ({} bytes of bitmap)",
         out.src_ledger.total() as f64 / 1048576.0,
-        out.src_ledger.get(block_bitmap_migration::simnet::proto::Category::Bitmap),
+        out.src_ledger
+            .get(block_bitmap_migration::simnet::proto::Category::Bitmap),
     );
 
     let bad = out.inconsistent_blocks();
@@ -57,5 +98,7 @@ fn main() {
     assert!(bad.is_empty(), "inconsistent blocks: {bad:?}");
     assert!(bad_pages.is_empty(), "inconsistent pages: {bad_pages:?}");
     assert_eq!(out.read_violations, 0);
-    println!("destination disk AND RAM are byte-identical to the guest's view — migration correct.");
+    println!(
+        "destination disk AND RAM are byte-identical to the guest's view — migration correct."
+    );
 }

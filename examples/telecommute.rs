@@ -29,7 +29,10 @@ fn main() {
     let mut location = ["home", "office"].iter().cycle();
     for trip in 1..=4 {
         let here = location.next().expect("cycle is infinite");
-        println!("== working at {here} for {:.0} h ==", workday.as_secs_f64() / 3600.0);
+        println!(
+            "== working at {here} for {:.0} h ==",
+            workday.as_secs_f64() / 3600.0
+        );
         dwell(&mut outcome, &cfg, workday);
 
         println!("== commute #{trip}: migrate back with IM ==");

@@ -3,6 +3,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== rustfmt (check only) =="
+cargo fmt --all -- --check
+
 echo "== tier-1: release build =="
 cargo build --release
 

@@ -27,6 +27,7 @@
 //! * [`simnet`] — link models, rate limiting, wire protocol, transport.
 //! * [`workloads`] — the paper's workload generators and analysis.
 //! * [`migrate`] — the TPM/IM engines (simulated and live) and baselines.
+//! * [`telemetry`] — dual-clock tracing, metrics, and event journal.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use block_bitmap;
 pub use des;
 pub use migrate;
 pub use simnet;
+pub use telemetry;
 pub use vdisk;
 pub use vmstate;
 pub use workloads;
@@ -64,6 +66,7 @@ pub mod prelude {
     pub use migrate::{BitmapKind, MigrationConfig, MigrationReport, RetryPolicy};
     pub use simnet::fault::FaultPlan;
     pub use simnet::Link;
+    pub use telemetry::Recorder;
     pub use vdisk::{MetaDisk, TrackedDisk, VirtualDisk};
     pub use vmstate::{CpuState, Domain, GuestMemory, WssModel};
     pub use workloads::{Workload, WorkloadKind};

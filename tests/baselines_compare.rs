@@ -47,7 +47,10 @@ fn delta_queue_pays_for_rewrites_tpm_does_not() {
     let dq = run_delta_queue(cfg(), WorkloadKind::Web);
     let tpm = run_tpm(cfg(), WorkloadKind::Web).report;
     assert!(dq.consistent && tpm.consistent);
-    assert!(dq.redundant_deltas > 0, "locality must produce redundant deltas");
+    assert!(
+        dq.redundant_deltas > 0,
+        "locality must produce redundant deltas"
+    );
     assert!(
         tpm.ledger.disk_total() < dq.ledger.disk_total(),
         "tpm {} >= delta-queue {}",

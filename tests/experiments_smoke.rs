@@ -47,8 +47,18 @@ fn locality_ratios_track_paper_ordering() {
     let rows = res.json["rows"].as_array().expect("rows");
     let ratio = |i: usize| rows[i]["measured"]["rewrite_ratio"].as_f64().expect("f64");
     // kernel < web < bonnie, as in §IV-A-2.
-    assert!(ratio(0) < ratio(1), "kernel {} !< web {}", ratio(0), ratio(1));
-    assert!(ratio(1) < ratio(2), "web {} !< bonnie {}", ratio(1), ratio(2));
+    assert!(
+        ratio(0) < ratio(1),
+        "kernel {} !< web {}",
+        ratio(0),
+        ratio(1)
+    );
+    assert!(
+        ratio(1) < ratio(2),
+        "web {} !< bonnie {}",
+        ratio(1),
+        ratio(2)
+    );
 }
 
 #[test]

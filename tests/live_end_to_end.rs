@@ -2,12 +2,12 @@
 //! concurrency, ground-truth verification against the guest's own write
 //! log.
 
+use block_bitmap_migration::des;
 use block_bitmap_migration::migrate::live::{
     run_live_migration, run_live_migration_with, LiveConfig,
 };
 use block_bitmap_migration::prelude::*;
 use std::sync::Arc;
-use block_bitmap_migration::des;
 
 fn base_cfg() -> LiveConfig {
     LiveConfig {
@@ -97,7 +97,11 @@ fn live_idle_guest_single_iteration() {
     };
     let out = run_live_migration(&cfg).expect("migration completes");
     assert_fully_consistent(&out);
-    assert_eq!(out.iterations.len(), 1, "an idle guest converges immediately");
+    assert_eq!(
+        out.iterations.len(),
+        1,
+        "an idle guest converges immediately"
+    );
     assert_eq!(out.frozen_dirty, 0);
     assert_eq!(out.pushed + out.pulled, 0);
 }
@@ -144,8 +148,9 @@ fn live_migration_ships_bitmap_not_blocks_in_freeze() {
     // The defining trick of the paper: the freeze phase carries the
     // bitmap (bytes), never the dirty blocks themselves.
     let out = run_live_migration(&base_cfg()).expect("migration completes");
-    let bitmap_bytes =
-        out.src_ledger.get(block_bitmap_migration::simnet::proto::Category::Bitmap);
+    let bitmap_bytes = out
+        .src_ledger
+        .get(block_bitmap_migration::simnet::proto::Category::Bitmap);
     assert!(bitmap_bytes > 0, "a bitmap must cross during freeze");
     assert!(
         bitmap_bytes < 64 * 1024,

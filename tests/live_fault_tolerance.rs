@@ -9,6 +9,7 @@ use block_bitmap_migration::migrate::live::{
 use block_bitmap_migration::migrate::RetryPolicy;
 use block_bitmap_migration::simnet::fault::FaultPlan;
 use block_bitmap_migration::simnet::proto::Category;
+use block_bitmap_migration::telemetry::{Event, FaultLabel, Recorder, Side};
 use std::time::Duration;
 
 fn fault_cfg() -> LiveConfig {
@@ -147,6 +148,93 @@ fn exhausted_reconnect_budget_is_a_typed_error() {
 }
 
 #[test]
+fn journal_counts_match_the_fault_plan() {
+    // The telemetry journal is the black-box flight recorder for fault
+    // runs: every injected fault and every survived reconnect must appear
+    // in it, with counts matching the configured FaultPlan and the
+    // engine's own tally.
+    let cfg = LiveConfig {
+        telemetry: Recorder::enabled(),
+        ..fault_cfg()
+    };
+    let plan = FaultPlan::none()
+        .reset_after_category(0, Category::DiskPrecopy, 20)
+        .reset_after_category(1, Category::DiskPush, 5);
+    let out = run_live_migration_faulty(&cfg, plan).expect("faulted migration recovers");
+    assert_consistent(&out);
+    assert_eq!(out.reconnects, 2);
+
+    let records = cfg.telemetry.records();
+    let resets = records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.event,
+                Event::FaultInjected {
+                    fault: FaultLabel::Reset,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(resets, 2, "both configured resets must be journaled");
+
+    // Source-side reconnect events are the journal's counterpart of
+    // `LiveOutcome::reconnects`; their attempt numbers count up from 1.
+    let mut attempts: Vec<u64> = records
+        .iter()
+        .filter_map(|r| match r.event {
+            Event::Reconnect {
+                side: Side::Source,
+                attempt,
+            } => Some(attempt),
+            _ => None,
+        })
+        .collect();
+    attempts.sort_unstable();
+    assert_eq!(attempts.len() as u32, out.reconnects);
+    assert_eq!(attempts, vec![1, 2]);
+}
+
+#[test]
+fn journal_records_a_stall_without_reconnects() {
+    // A stall journals as an injected fault but causes no reconnect:
+    // the fault count still matches the plan while the reconnect count
+    // stays zero, matching the engine.
+    let cfg = LiveConfig {
+        num_blocks: 16_384,
+        seed: 43,
+        telemetry: Recorder::enabled(),
+        ..LiveConfig::test_default()
+    };
+    let plan = FaultPlan::none().stall_after_messages(0, 12, Duration::from_millis(150));
+    let out = run_live_migration_faulty(&cfg, plan).expect("stalled migration completes");
+    assert_consistent(&out);
+    assert_eq!(out.reconnects, 0);
+
+    let records = cfg.telemetry.records();
+    let stalls = records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.event,
+                Event::FaultInjected {
+                    fault: FaultLabel::Stall,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(stalls, 1, "the configured stall must be journaled");
+    assert!(
+        !records
+            .iter()
+            .any(|r| matches!(r.event, Event::Reconnect { .. })),
+        "a stall must not journal a reconnect"
+    );
+}
+
+#[test]
 fn stall_fault_delays_but_completes_without_reconnect() {
     // A stall is pure latency, not a failure: the migration rides it out
     // on the same connection.
@@ -155,8 +243,7 @@ fn stall_fault_delays_but_completes_without_reconnect() {
         seed: 43,
         ..LiveConfig::test_default()
     };
-    let plan =
-        FaultPlan::none().stall_after_messages(0, 12, Duration::from_millis(150));
+    let plan = FaultPlan::none().stall_after_messages(0, 12, Duration::from_millis(150));
     let out = run_live_migration_faulty(&cfg, plan).expect("stalled migration completes");
     assert_consistent(&out);
     assert_eq!(out.reconnects, 0);

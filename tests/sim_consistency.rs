@@ -6,7 +6,12 @@
 use block_bitmap_migration::prelude::*;
 use proptest::prelude::*;
 
-fn tiny_cfg(disk_blocks: usize, mem_pages: usize, seed: u64, bitmap: BitmapKind) -> MigrationConfig {
+fn tiny_cfg(
+    disk_blocks: usize,
+    mem_pages: usize,
+    seed: u64,
+    bitmap: BitmapKind,
+) -> MigrationConfig {
     MigrationConfig {
         disk_blocks,
         mem_pages,
@@ -99,10 +104,17 @@ fn tpm_consistent_on_62mib_disk_regression() {
     let disk_kb = 64_000usize;
     let cfg = tiny_cfg(disk_kb / 4, 4_096, 0, BitmapKind::Flat);
     let out = run_tpm(cfg, kind);
-    assert!(out.report.consistent, "inconsistent: {}", out.report.summary());
+    assert!(
+        out.report.consistent,
+        "inconsistent: {}",
+        out.report.summary()
+    );
     assert_eq!(out.report.residual_blocks, 0);
     assert!(out.report.downtime_ms < 2_000.0);
-    assert_eq!(out.report.disk_iterations[0].units_sent as usize, disk_kb / 4);
+    assert_eq!(
+        out.report.disk_iterations[0].units_sent as usize,
+        disk_kb / 4
+    );
 }
 
 #[test]

@@ -55,13 +55,17 @@ impl<T: ?Sized> Mutex<T> {
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.inner.as_deref().expect("guard present outside condvar wait")
+        self.inner
+            .as_deref()
+            .expect("guard present outside condvar wait")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.inner.as_deref_mut().expect("guard present outside condvar wait")
+        self.inner
+            .as_deref_mut()
+            .expect("guard present outside condvar wait")
     }
 }
 
@@ -134,7 +138,10 @@ fn replace_guard<'a, T>(
     guard: &mut MutexGuard<'a, T>,
     f: impl FnOnce(StdMutexGuard<'a, T>) -> StdMutexGuard<'a, T>,
 ) {
-    let inner = guard.inner.take().expect("guard present outside condvar wait");
+    let inner = guard
+        .inner
+        .take()
+        .expect("guard present outside condvar wait");
     guard.inner = Some(f(inner));
 }
 

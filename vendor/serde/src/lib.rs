@@ -221,7 +221,10 @@ impl Deserialize for bool {
     fn from_content(content: &Content) -> Result<Self, DeError> {
         match content {
             Content::Bool(b) => Ok(*b),
-            other => Err(DeError::custom(format!("expected bool, got {}", other.kind()))),
+            other => Err(DeError::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -278,7 +281,10 @@ impl Deserialize for f64 {
             Content::F64(v) => Ok(*v),
             Content::U64(v) => Ok(*v as f64),
             Content::I64(v) => Ok(*v as f64),
-            other => Err(DeError::custom(format!("expected number, got {}", other.kind()))),
+            other => Err(DeError::custom(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -293,7 +299,10 @@ impl Deserialize for String {
     fn from_content(content: &Content) -> Result<Self, DeError> {
         match content {
             Content::Str(s) => Ok(s.clone()),
-            other => Err(DeError::custom(format!("expected string, got {}", other.kind()))),
+            other => Err(DeError::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -344,8 +353,9 @@ pub mod __private {
     /// missing key as `Null` so `Option` fields default to `None`.
     pub fn field<T: Deserialize>(map: &Content, name: &str) -> Result<T, DeError> {
         match map.get_field(name) {
-            Some(v) => T::from_content(v)
-                .map_err(|e| DeError::custom(format!("field `{name}`: {e}"))),
+            Some(v) => {
+                T::from_content(v).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+            }
             None => T::from_content(&Content::Null)
                 .map_err(|_| DeError::custom(format!("missing field `{name}`"))),
         }

@@ -44,9 +44,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let entries = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"
-                    )
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),")
                 })
                 .collect::<String>();
             format!(
@@ -146,10 +144,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         .iter()
                         .map(|f| format!("{f}: ::serde::__private::field(v, \"{f}\")?,"))
                         .collect::<String>();
-                    format!(
-                        "\"{vn}\" => Ok({name}::{vn} {{ {inits} }}),",
-                        vn = v.name
-                    )
+                    format!("\"{vn}\" => Ok({name}::{vn} {{ {inits} }}),", vn = v.name)
                 })
                 .collect::<String>();
             format!(
@@ -199,12 +194,10 @@ fn parse_item(input: TokenStream) -> Item {
 
     match keyword.as_str() {
         "struct" => match tokens.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Item::NamedStruct {
-                    name,
-                    fields: parse_named_fields(g.stream()),
-                }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 let arity = tuple_arity(g.stream());
                 if arity != 1 {
@@ -279,7 +272,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         let field = expect_ident(&tokens, &mut i, "field name");
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => panic!("serde stub derive: expected `:` after field `{field}`, found {other:?}"),
+            other => {
+                panic!("serde stub derive: expected `:` after field `{field}`, found {other:?}")
+            }
         }
         skip_type(&tokens, &mut i);
         fields.push(field);
@@ -340,9 +335,7 @@ fn parse_variants(enum_name: &str, stream: TokenStream) -> Vec<Variant> {
                 Some(parse_named_fields(g.stream()))
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                panic!(
-                    "serde stub derive: tuple variant `{enum_name}::{name}` is not supported"
-                );
+                panic!("serde stub derive: tuple variant `{enum_name}::{name}` is not supported");
             }
             _ => None,
         };

@@ -495,7 +495,10 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
                 // Consume one UTF-8 scalar.
                 let rest = std::str::from_utf8(&b[*pos..])
                     .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                let c = rest.chars().next().ok_or_else(|| Error::new("empty char"))?;
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| Error::new("empty char"))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -519,8 +522,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
             _ => break,
         }
     }
-    let text = std::str::from_utf8(&b[start..*pos])
-        .map_err(|_| Error::new("invalid number"))?;
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error::new("invalid number"))?;
     if text.is_empty() || text == "-" {
         return Err(Error::new(format!("expected number at byte {start}")));
     }
