@@ -1,0 +1,93 @@
+//! Fleet-scale policy comparison — the paper's §V incremental win under
+//! a cluster scheduler.
+//!
+//! One seed, one two-wave scenario (every VM evacuated, then — after a
+//! dwell — migrated back), run once per scheduling policy. A FIFO or
+//! SRDF scheduler places return migrations naively, so wave 2 repeats a
+//! full disk pre-copy; the IM-aware policy sends each VM back to the
+//! host still holding its stale replica, so wave 2 ships only the
+//! block-bitmap diff. The gap between the two wave-2 byte counts is the
+//! paper's Table II result at fleet scale.
+
+use des::SimDuration;
+use orchestrator::{ClusterConfig, Orchestrator, Policy, Scenario};
+use serde_json::json;
+use telemetry::Recorder;
+
+use crate::render::Table;
+use crate::{ExpResult, Scale};
+
+/// Fleet geometry per scale: (hosts, vms, disk blocks per VM).
+pub fn geometry(scale: Scale) -> (usize, usize, usize) {
+    match scale {
+        Scale::Paper => (4, 8, 131_072), // 512 MiB per VM disk
+        Scale::Ci => (3, 6, 32_768),     // 128 MiB per VM disk
+    }
+}
+
+/// Run the two-wave scenario under one policy.
+pub fn run_policy(scale: Scale, policy: Policy) -> orchestrator::ClusterReport {
+    let (hosts, vms, blocks) = geometry(scale);
+    let mut cfg = ClusterConfig::new(hosts, vms);
+    cfg.disk_blocks = blocks;
+    cfg.seed = 2008;
+    let scenario = Scenario::two_wave(&cfg, SimDuration::from_secs(30));
+    let mut orch = Orchestrator::new(cfg, policy, Recorder::off()).expect("valid bench config");
+    orch.run(&scenario)
+}
+
+/// Run the cluster policy comparison.
+pub fn run(scale: Scale) -> ExpResult {
+    let (hosts, vms, blocks) = geometry(scale);
+    let mut t = Table::new(&[
+        "policy",
+        "completed",
+        "incremental",
+        "total (MiB)",
+        "wave-2 (MiB)",
+        "makespan (s)",
+        "sum downtime (ms)",
+    ]);
+    let mut rows = Vec::new();
+    for policy in Policy::ALL {
+        let report = run_policy(scale, policy);
+        let wave2 = report.bytes_from_request(vms);
+        t.row(&[
+            policy.name().into(),
+            format!("{}/{}", report.completed(), report.records.len()),
+            format!("{}", report.incremental()),
+            format!("{:.0}", report.total_bytes() as f64 / 1048576.0),
+            format!("{:.0}", wave2 as f64 / 1048576.0),
+            format!("{:.1}", report.makespan_secs()),
+            format!("{:.1}", report.aggregate_downtime_ms()),
+        ]);
+        rows.push(json!({
+            "policy": policy.name(),
+            "completed": report.completed(),
+            "migrations": report.records.len(),
+            "incremental": report.incremental(),
+            "total_bytes": report.total_bytes(),
+            "wave2_bytes": wave2,
+            "makespan_secs": report.makespan_secs(),
+            "aggregate_downtime_ms": report.aggregate_downtime_ms(),
+            "max_concurrent": report.max_concurrent,
+            "all_consistent": report.all_consistent(),
+        }));
+    }
+
+    let human = format!(
+        "Fleet-scale policy comparison — {hosts} hosts, {vms} VMs x {} MiB disk, \
+         two-wave evacuate-and-return\nWave 2 is the return trip: an IM-aware \
+         scheduler lands each VM on the host holding its stale replica, so only \
+         the bitmap diff crosses the wire (§V, Table II, at cluster scale).\n\n{}",
+        blocks * 4096 / 1048576,
+        t.render()
+    );
+    let json = json!({ "scale": scale.label(), "hosts": hosts, "vms": vms, "rows": rows });
+    ExpResult {
+        id: "cluster",
+        title: "Fleet-scale IM-aware scheduling — policy comparison",
+        human,
+        json,
+    }
+}

@@ -5,6 +5,7 @@
 
 pub mod baselines;
 pub mod bitmap;
+pub mod cluster;
 pub mod detail;
 pub mod fig5;
 pub mod fig6;
@@ -19,7 +20,7 @@ pub mod table3;
 use crate::{ExpResult, Scale};
 
 /// All experiment ids, in presentation order.
-pub const ALL: [&str; 12] = [
+pub const ALL: [&str; 13] = [
     "table1",
     "table2",
     "table3",
@@ -32,6 +33,7 @@ pub const ALL: [&str; 12] = [
     "bitmap",
     "ordering",
     "futurework",
+    "cluster",
 ];
 
 /// Run one experiment by id.
@@ -49,6 +51,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExpResult> {
         "bitmap" => bitmap::run(scale),
         "ordering" => ordering::run(scale),
         "futurework" => futurework::run(scale),
+        "cluster" => cluster::run(scale),
         _ => return None,
     })
 }

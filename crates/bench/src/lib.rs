@@ -16,6 +16,7 @@
 //! | `bitmap`    | §IV-A-2 — layered vs flat bitmap memory & scan cost |
 //! | `ordering`  | §IV-B — disk-before-memory pre-copy ordering ablation |
 //! | `futurework`| §VII — sparse / template / multi-site IM extensions |
+//! | `cluster`   | fleet-scale IM-aware scheduling — policy comparison |
 //!
 //! Each experiment prints a human-readable table with the paper's values
 //! alongside and writes machine-readable JSON under `results/`.

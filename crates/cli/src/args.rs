@@ -1,5 +1,6 @@
 //! Argument parsing (std-only, no external parser).
 
+use orchestrator::Policy;
 use workloads::WorkloadKind;
 
 /// Top-level usage text.
@@ -13,10 +14,19 @@ usage:
                        [--seed N] [--tcp] [--faults N] [--max-reconnects N]
                        [--trace-out FILE] [--metrics-out FILE]
   vmmigrate baselines  --workload KIND [--scale paper|ci] [--json]
+  vmmigrate orchestrate [--hosts N] [--vms N] [--policy fifo|srdf|im-aware]
+                       [--blocks N] [--seed N] [--faults N] [--dwell SECS]
+                       [--json] [--trace-out FILE] [--metrics-out FILE]
   vmmigrate trace record  --workload KIND --secs N --out FILE
   vmmigrate trace analyze FILE
 
 KIND: web | video | diabolical | kernel-build | idle
+
+orchestrate runs a deterministic virtual-time cluster: every VM is
+evacuated at t=0, dwells, then migrates again, with concurrent streams
+contending for per-host NIC/disk capacity under the chosen scheduling
+policy (im-aware returns VMs to hosts holding stale replicas, so the
+second wave ships only bitmap diffs).
 
 --trace-out writes the telemetry event journal (JSONL) and prints a phase
 summary; --metrics-out writes a JSON metrics snapshot. Either flag enables
@@ -34,6 +44,8 @@ pub enum Cmd {
     Live(LiveArgs),
     /// Compare TPM with the three baselines.
     Baselines(SimArgs),
+    /// Deterministic cluster run under a scheduling policy.
+    Orchestrate(OrchArgs),
     /// Record a workload trace to a JSON file.
     TraceRecord {
         /// Workload to record.
@@ -116,6 +128,100 @@ impl Default for LiveArgs {
             metrics_out: None,
         }
     }
+}
+
+/// Options for the orchestrate subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrchArgs {
+    pub hosts: usize,
+    pub vms: usize,
+    pub policy: Policy,
+    pub blocks: usize,
+    pub seed: u64,
+    /// Seeded connection resets injected per migration stream.
+    pub faults: u32,
+    /// Dwell between the evacuation wave and the return wave.
+    pub dwell_secs: u64,
+    pub json: bool,
+    /// Write the telemetry event journal (JSONL) here.
+    pub trace_out: Option<String>,
+    /// Write a JSON metrics snapshot here.
+    pub metrics_out: Option<String>,
+}
+
+impl Default for OrchArgs {
+    fn default() -> Self {
+        Self {
+            hosts: 4,
+            vms: 8,
+            policy: Policy::ImAware,
+            blocks: 65_536,
+            seed: 2008,
+            faults: 0,
+            dwell_secs: 30,
+            json: false,
+            trace_out: None,
+            metrics_out: None,
+        }
+    }
+}
+
+fn parse_orch(rest: &[String]) -> Result<OrchArgs, String> {
+    let mut a = OrchArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--hosts" => {
+                a.hosts = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "hosts must be an integer".to_string())?;
+                if a.hosts < 2 {
+                    return Err("orchestrate needs at least 2 hosts".into());
+                }
+            }
+            "--vms" => {
+                a.vms = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "vms must be an integer".to_string())?;
+                if a.vms == 0 {
+                    return Err("orchestrate needs at least 1 VM".into());
+                }
+            }
+            "--policy" => {
+                let s = need(&mut it, flag)?;
+                a.policy = Policy::parse(s)
+                    .ok_or_else(|| format!("unknown policy '{s}' (fifo|srdf|im-aware)"))?;
+            }
+            "--blocks" => {
+                a.blocks = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "blocks must be an integer".to_string())?;
+                if a.blocks < 8_192 {
+                    return Err("orchestrate needs at least 8192 blocks per VM".into());
+                }
+            }
+            "--seed" => {
+                a.seed = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "seed must be an integer".to_string())?
+            }
+            "--faults" => {
+                a.faults = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "faults must be an integer".to_string())?
+            }
+            "--dwell" => {
+                a.dwell_secs = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "dwell must be an integer (seconds)".to_string())?
+            }
+            "--json" => a.json = true,
+            "--trace-out" => a.trace_out = Some(need(&mut it, flag)?.clone()),
+            "--metrics-out" => a.metrics_out = Some(need(&mut it, flag)?.clone()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(a)
 }
 
 fn parse_workload(s: &str) -> Result<WorkloadKind, String> {
@@ -241,6 +347,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         "roundtrip" => Ok(Cmd::Roundtrip(parse_sim(rest)?)),
         "live" => Ok(Cmd::Live(parse_live(rest)?)),
         "baselines" => Ok(Cmd::Baselines(parse_sim(rest)?)),
+        "orchestrate" => Ok(Cmd::Orchestrate(parse_orch(rest)?)),
         "trace" => {
             let Some((verb, rest)) = rest.split_first() else {
                 return Err("trace requires 'record' or 'analyze'".into());
@@ -384,6 +491,46 @@ mod tests {
         assert_eq!(a.metrics_out, None);
         assert!(parse(&v(&["live", "--trace-out"])).is_err());
         assert!(parse(&v(&["simulate", "--metrics-out"])).is_err());
+    }
+
+    #[test]
+    fn parses_orchestrate() {
+        let Cmd::Orchestrate(a) = parse(&v(&[
+            "orchestrate",
+            "--hosts",
+            "4",
+            "--vms",
+            "8",
+            "--policy",
+            "im-aware",
+            "--seed",
+            "2008",
+            "--faults",
+            "1",
+            "--dwell",
+            "45",
+            "--json",
+        ]))
+        .expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert_eq!(a.hosts, 4);
+        assert_eq!(a.vms, 8);
+        assert_eq!(a.policy, Policy::ImAware);
+        assert_eq!(a.seed, 2008);
+        assert_eq!(a.faults, 1);
+        assert_eq!(a.dwell_secs, 45);
+        assert!(a.json);
+        // Defaults.
+        let Cmd::Orchestrate(d) = parse(&v(&["orchestrate"])).expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert_eq!(d.policy, Policy::ImAware);
+        assert_eq!(d.blocks, 65_536);
+        // Rejections.
+        assert!(parse(&v(&["orchestrate", "--hosts", "1"])).is_err());
+        assert!(parse(&v(&["orchestrate", "--policy", "lifo"])).is_err());
+        assert!(parse(&v(&["orchestrate", "--blocks", "64"])).is_err());
     }
 
     #[test]

@@ -11,7 +11,9 @@ use simnet::fault::FaultPlan;
 use telemetry::Recorder;
 use workloads::locality::analyze;
 
-use crate::args::{Cmd, LiveArgs, SimArgs};
+use orchestrator::{ClusterConfig, Orchestrator, Scenario};
+
+use crate::args::{Cmd, LiveArgs, OrchArgs, SimArgs};
 
 const MB: f64 = 1024.0 * 1024.0;
 
@@ -113,6 +115,7 @@ pub fn run(cmd: Cmd) -> Result<(), String> {
             Ok(())
         }
         Cmd::Live(a) => run_live(a),
+        Cmd::Orchestrate(a) => run_orchestrate(a),
         Cmd::Baselines(a) => {
             let cfg = config_for(&a);
             let reports = [
@@ -168,6 +171,59 @@ pub fn run(cmd: Cmd) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+fn run_orchestrate(a: OrchArgs) -> Result<(), String> {
+    let rec = recorder_for(&a.trace_out, &a.metrics_out);
+    let mut cfg = ClusterConfig::new(a.hosts, a.vms);
+    cfg.disk_blocks = a.blocks;
+    cfg.seed = a.seed;
+    cfg.fault_resets = a.faults;
+    let scenario = Scenario::two_wave(&cfg, SimDuration::from_secs(a.dwell_secs));
+    let recorder = rec.clone().unwrap_or_else(Recorder::off);
+    let mut orch = Orchestrator::new(cfg, a.policy, recorder).map_err(|e| e.to_string())?;
+    let report = orch.run(&scenario);
+    if a.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        print!("{}", report.render());
+    }
+    if let Some(r) = &rec {
+        // The cluster journal holds per-migration spans, not the
+        // single-migration phase events `export_telemetry` summarizes.
+        if let Some(path) = &a.trace_out {
+            let records = r.records();
+            std::fs::write(path, telemetry::to_jsonl(&records))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "telemetry journal: {} records across {} migrations -> {path}",
+                records.len(),
+                telemetry::migration_ids(&records).len()
+            );
+            if r.dropped() > 0 {
+                println!("warning: journal full, {} events dropped", r.dropped());
+            }
+        }
+        if let Some(path) = &a.metrics_out {
+            std::fs::write(path, telemetry::metrics_json(r.metrics()))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("metrics snapshot -> {path}");
+        }
+    }
+    if !report.all_consistent() {
+        return Err("a migrated image verified INCONSISTENT".into());
+    }
+    if report.completed() < report.records.len() {
+        return Err(format!(
+            "{} of {} migrations failed",
+            report.records.len() - report.completed(),
+            report.records.len()
+        ));
+    }
+    Ok(())
 }
 
 fn run_live(a: LiveArgs) -> Result<(), String> {

@@ -7,6 +7,7 @@
 //! vmmigrate roundtrip  --workload web [--dwell SECS] [--json]
 //! vmmigrate live       [--blocks N] [--workload web] [--rate-limit MB/s]
 //! vmmigrate baselines  --workload web [--json]
+//! vmmigrate orchestrate [--hosts N] [--vms N] [--policy fifo|srdf|im-aware]
 //! vmmigrate trace      record --workload web --secs N --out FILE
 //! vmmigrate trace      analyze FILE
 //! ```

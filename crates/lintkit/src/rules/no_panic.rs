@@ -22,6 +22,7 @@ pub const ZONES: &[&str] = &[
     "crates/migrate/src/live/",
     "crates/simnet/src/",
     "crates/telemetry/src/",
+    "crates/orchestrator/src/",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

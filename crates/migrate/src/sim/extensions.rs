@@ -19,7 +19,7 @@
 
 use block_bitmap::{DirtyMap, FlatBitmap};
 use des::{SimDuration, SimRng};
-use vdisk::MetaDisk;
+use vdisk::{MetaDisk, ReplicaTable};
 use workloads::{OpKind, WorkloadKind};
 
 use crate::sim::engine::{TpmEngine, TpmOutcome};
@@ -65,30 +65,28 @@ pub fn run_template_migration(
     engine.run()
 }
 
-/// One machine participating in multi-site migration: it remembers the
-/// disk image it held when the VM last left it.
-struct SiteState {
-    name: String,
-    /// The site's local copy; `None` until the VM has visited once.
-    disk: Option<MetaDisk>,
-}
-
 /// A VM that hops among several physical machines, with per-site storage
 /// version maintenance so every hop is incremental (§VII future work).
 ///
-/// Each site keeps the disk image from the VM's last departure. Migrating
-/// to a site transfers exactly the blocks that changed since — computed
-/// by diffing generation vectors, the version-maintenance mechanism the
-/// paper leaves for future work. A never-visited site receives a full
-/// copy (the all-set bitmap of §V).
+/// Each site keeps the disk image from the VM's last departure, stored in
+/// a [`ReplicaTable`] (the same structure the cluster orchestrator
+/// schedules against). Migrating to a site transfers exactly the blocks
+/// that changed since — computed by diffing generation vectors, the
+/// version-maintenance mechanism the paper leaves for future work. A
+/// never-visited site receives a full copy (the all-set bitmap of §V).
 pub struct MultiSiteVm {
     cfg: MigrationConfig,
     kind: WorkloadKind,
     /// State carried between hops (live disk, workload, rng, probe…).
     outcome: Option<TpmOutcome>,
-    sites: Vec<SiteState>,
+    names: Vec<String>,
+    /// Per-site departure images, keyed by (vm=0, site index).
+    replicas: ReplicaTable,
     current: usize,
 }
+
+/// The single VM's id inside its private [`ReplicaTable`].
+const MULTISITE_VM: u64 = 0;
 
 impl MultiSiteVm {
     /// Create the VM, initially running at `sites[0]`.
@@ -102,20 +100,15 @@ impl MultiSiteVm {
             cfg,
             kind,
             outcome: None,
-            sites: sites
-                .iter()
-                .map(|s| SiteState {
-                    name: s.to_string(),
-                    disk: None,
-                })
-                .collect(),
+            names: sites.iter().map(|s| s.to_string()).collect(),
+            replicas: ReplicaTable::new(),
             current: 0,
         }
     }
 
     /// Name of the site currently hosting the VM.
     pub fn current_site(&self) -> &str {
-        &self.sites[self.current].name
+        &self.names[self.current]
     }
 
     /// Let the guest run at the current site for `duration`.
@@ -135,9 +128,9 @@ impl MultiSiteVm {
     /// Panics for an unknown site or a migration to the current site.
     pub fn migrate_to(&mut self, site: &str) -> crate::MigrationReport {
         let target = self
-            .sites
+            .names
             .iter()
-            .position(|s| s.name == site)
+            .position(|s| s == site)
             .unwrap_or_else(|| panic!("unknown site '{site}'"));
         assert_ne!(target, self.current, "VM is already at {site}");
 
@@ -146,30 +139,23 @@ impl MultiSiteVm {
                 // First hop ever: full TPM from the origin site.
                 let engine = TpmEngine::new(self.cfg.clone(), self.kind);
                 let out = engine.run();
-                self.sites[self.current].disk = Some(out.src_disk.clone());
+                self.replicas
+                    .record(MULTISITE_VM, self.current as u64, out.src_disk.clone());
                 out
             }
             Some(prev) => {
                 // Version maintenance: diff the live image against the
-                // target site's remembered copy.
-                let live = &prev.dst_disk;
-                let to_send = match &self.sites[target].disk {
-                    Some(stale) => {
-                        let mut bm = FlatBitmap::new(self.cfg.disk_blocks);
-                        for b in live.diff_blocks(stale) {
-                            bm.set(b);
-                        }
-                        bm
-                    }
-                    // Never visited: "an all-set block-bitmap is
-                    // generated" (§V).
-                    None => FlatBitmap::all_set(self.cfg.disk_blocks),
-                };
+                // target site's remembered copy; a never-visited site gets
+                // the all-set bitmap of §V.
+                let to_send =
+                    self.replicas
+                        .first_pass_bitmap(MULTISITE_VM, target as u64, &prev.dst_disk);
                 let mut engine = TpmEngine::new(self.cfg.clone(), self.kind);
                 engine.src_disk = prev.dst_disk;
-                engine.dst_disk = self.sites[target]
-                    .disk
-                    .take()
+                engine.dst_disk = self
+                    .replicas
+                    .take(MULTISITE_VM, target as u64)
+                    .map(|r| r.disk)
                     .unwrap_or_else(|| MetaDisk::new(self.cfg.disk_blocks));
                 engine.src_mem = prev.dst_mem;
                 engine.workload = prev.workload;
@@ -180,7 +166,8 @@ impl MultiSiteVm {
                 engine.scheme = "multisite-im";
                 let out = engine.run();
                 // The departed site keeps the image as of this departure.
-                self.sites[self.current].disk = Some(out.src_disk.clone());
+                self.replicas
+                    .record(MULTISITE_VM, self.current as u64, out.src_disk.clone());
                 out
             }
         };

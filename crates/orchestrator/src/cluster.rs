@@ -1,0 +1,162 @@
+//! The fleet model: hosts, VM handles, and the shared replica table.
+
+use std::collections::BTreeSet;
+
+use des::SimRng;
+use vdisk::{MetaDisk, ReplicaTable};
+use workloads::{Workload, WorkloadKind};
+
+use crate::config::{ClusterConfig, ConfigError};
+
+/// A physical machine, by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub usize);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A virtual machine, by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmId(pub usize);
+
+impl std::fmt::Display for VmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// One physical machine: its NIC and disk capacities live in
+/// [`ClusterConfig`] (a homogeneous fleet); the host tracks which VMs
+/// currently run on it.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// This host's id.
+    pub id: HostId,
+    /// VMs currently running here, ascending.
+    pub resident: BTreeSet<VmId>,
+}
+
+/// One VM: its live disk image, its workload generator, and its private
+/// RNG stream (forked from the master seed, so per-VM behaviour is
+/// independent of scheduling order).
+pub struct VmHandle {
+    /// This VM's id.
+    pub id: VmId,
+    /// Host the VM currently runs on.
+    pub host: HostId,
+    /// Which workload the VM runs.
+    pub kind: WorkloadKind,
+    /// The live disk image (generation counters per block).
+    pub disk: MetaDisk,
+    /// The workload generator.
+    pub workload: Box<dyn Workload>,
+    /// Private RNG stream.
+    pub rng: SimRng,
+}
+
+impl std::fmt::Debug for VmHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VmHandle")
+            .field("id", &self.id)
+            .field("host", &self.host)
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+/// The whole fleet: hosts, VMs, and the shared stale-replica table.
+#[derive(Debug)]
+pub struct Cluster {
+    /// Physical machines, by index.
+    pub hosts: Vec<Host>,
+    /// Virtual machines, by index.
+    pub vms: Vec<VmHandle>,
+    /// §VII version maintenance, fleet-wide: the stale image each host
+    /// kept when a VM departed (or a failed stream's partial copy).
+    pub replicas: ReplicaTable,
+}
+
+impl Cluster {
+    /// Build the fleet: VM `i` starts on host `i % hosts`, runs
+    /// `workload_cycle[i % len]`, and owns a fully-written disk image
+    /// (every block at a real generation, so a primary migration must
+    /// move the whole disk, as in §V).
+    pub fn new(cfg: &ClusterConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let hosts: Vec<Host> = (0..cfg.hosts)
+            .map(|h| Host {
+                id: HostId(h),
+                resident: BTreeSet::new(),
+            })
+            .collect();
+        let mut cluster = Self {
+            hosts,
+            vms: Vec::with_capacity(cfg.vms),
+            replicas: ReplicaTable::new(),
+        };
+        let mut master = SimRng::new(cfg.seed);
+        for i in 0..cfg.vms {
+            let host = HostId(i % cfg.hosts);
+            let kind = cfg.workload_cycle[i % cfg.workload_cycle.len()];
+            let mut disk = MetaDisk::new(cfg.disk_blocks);
+            for b in 0..cfg.disk_blocks {
+                disk.write(b);
+            }
+            cluster.vms.push(VmHandle {
+                id: VmId(i),
+                host,
+                kind,
+                disk,
+                workload: kind.build(cfg.disk_blocks as u64),
+                rng: master.fork(i as u64),
+            });
+            cluster.hosts[host.0].resident.insert(VmId(i));
+        }
+        Ok(cluster)
+    }
+
+    /// Move a VM between hosts' resident sets and update its handle.
+    pub(crate) fn relocate(&mut self, vm: VmId, to: HostId) {
+        let from = self.vms[vm.0].host;
+        self.hosts[from.0].resident.remove(&vm);
+        self.hosts[to.0].resident.insert(vm);
+        self.vms[vm.0].host = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_round_robins_vms_and_workloads() {
+        let cfg = ClusterConfig::new(3, 7);
+        let c = Cluster::new(&cfg).expect("valid config");
+        assert_eq!(c.hosts.len(), 3);
+        assert_eq!(c.vms.len(), 7);
+        assert_eq!(c.vms[4].host, HostId(1));
+        assert_eq!(c.hosts[0].resident.len(), 3);
+        assert_eq!(c.hosts[1].resident.len(), 2);
+        // Every block starts at a real generation.
+        assert!((0..cfg.disk_blocks).all(|b| c.vms[0].disk.generation(b) > 0));
+        assert!(c.replicas.is_empty());
+    }
+
+    #[test]
+    fn relocate_moves_residency() {
+        let cfg = ClusterConfig::new(2, 2);
+        let mut c = Cluster::new(&cfg).expect("valid config");
+        c.relocate(VmId(0), HostId(1));
+        assert_eq!(c.vms[0].host, HostId(1));
+        assert!(!c.hosts[0].resident.contains(&VmId(0)));
+        assert!(c.hosts[1].resident.contains(&VmId(0)));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        assert!(Cluster::new(&ClusterConfig::new(1, 4)).is_err());
+    }
+}

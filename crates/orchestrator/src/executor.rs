@@ -1,0 +1,952 @@
+//! The fleet executor: a time-sliced engine running many concurrent
+//! migrations under shared per-host capacity.
+//!
+//! Each admitted migration is a [`Task`] walking the paper's §IV phase
+//! structure — iterative disk pre-copy under a block-bitmap, one memory
+//! pre-copy pass, freeze-and-copy, then push post-copy with §III-A write
+//! cancellation. The per-stream numerics (block-carry accumulator, wire
+//! framing, the freeze-window downtime formula) mirror `migrate`'s
+//! simulated TPM engine; the memory model is coarsened to a single
+//! pre-copy pass plus a fixed frozen working set, because a fleet run
+//! simulates dozens of migrations at once (DESIGN.md §13 records the
+//! mapping).
+//!
+//! Every tick the executor: admits pending requests through the
+//! scheduling policy, pools stream and guest-workload demands on each
+//! host's NIC and disk and splits them with
+//! [`simnet::capacity::max_min_share`], advances every stream at its
+//! bottleneck rate, then advances every guest workload at its achieved
+//! disk rate. Iteration is index-ordered everywhere and the only clock
+//! is virtual time, so a run is a pure function of its configuration:
+//! same seed, same journal, byte for byte.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use block_bitmap::{ser, DirtyMap, FlatBitmap};
+use des::{SimDuration, SimTime};
+use migrate::sim::DirtyTracker;
+use simnet::capacity::max_min_share;
+use simnet::fault::{Fault, FaultKind, FaultPlan, FaultTrigger};
+use simnet::proto::FRAME_OVERHEAD;
+use telemetry::{Event, FaultLabel, Phase, Recorder};
+use vdisk::MetaDisk;
+
+use crate::cluster::{Cluster, HostId, VmId};
+use crate::config::{ClusterConfig, ConfigError, Scenario};
+use crate::report::{ClusterReport, MigrationRecord};
+use crate::scheduler::{ClusterView, MigrationRequest, Policy};
+
+/// Message-count window for seeded per-migration fault schedules: a
+/// reset armed by `fault_resets` fires after between `FAULT_LO` and
+/// `FAULT_HI` pre-copy batches on its connection attempt.
+const FAULT_LO: u64 = 2;
+/// Upper bound (exclusive) of the seeded fault window.
+const FAULT_HI: u64 = 16;
+
+/// Per-page wire cost: 4 KiB payload plus the 8-byte index header, the
+/// same framing the TPM engine charges per block.
+const PAGE_WIRE: u64 = 4096 + 8;
+
+/// One in-flight migration stream.
+struct Task {
+    id: u64,
+    request: usize,
+    vm: VmId,
+    src: HostId,
+    dst: HostId,
+    phase: Phase,
+    pass: u32,
+    /// Blocks still to ship this pass (bits clear as blocks go out, so a
+    /// reconnect resumes exactly where the cut stream stopped, and a
+    /// destination write can cancel a pending post-copy push).
+    to_send: FlatBitmap,
+    cursor: usize,
+    carry: f64,
+    dst_disk: MetaDisk,
+    /// Source-side writes since the current pass's bitmap was snapshot.
+    tracker: DirtyTracker,
+    /// Destination-side guest writes after resume (consistency witness).
+    post_writes: FlatBitmap,
+    mem_remaining: f64,
+    resume_at: SimTime,
+    stall_until: SimTime,
+    plan: FaultPlan,
+    armed: Vec<Fault>,
+    attempt: u32,
+    msgs: u64,
+    attempt_bytes: u64,
+    incremental: bool,
+    first_pass_blocks: u64,
+    blocks_sent: u64,
+    blocks_cancelled: u64,
+    bytes: u64,
+    retries: u32,
+    failed: bool,
+    start: SimTime,
+    freeze_at: SimTime,
+    downtime: SimDuration,
+    workload_name: &'static str,
+}
+
+impl Task {
+    fn done(&self) -> bool {
+        self.failed || (self.phase == Phase::PostCopy && self.to_send.none_set())
+    }
+
+    fn touches(&self, host: usize) -> bool {
+        self.src.0 == host || self.dst.0 == host
+    }
+}
+
+/// Which pool participant an allocation belongs to.
+#[derive(Clone, Copy)]
+enum Part {
+    Vm(usize),
+    Task(usize),
+}
+
+/// The cluster executor: owns the fleet, runs scenarios.
+pub struct Orchestrator {
+    cfg: ClusterConfig,
+    cluster: Cluster,
+    policy: Policy,
+    recorder: Arc<Recorder>,
+    next_id: u64,
+}
+
+impl Orchestrator {
+    /// Build an orchestrator over a fresh fleet.
+    pub fn new(
+        cfg: ClusterConfig,
+        policy: Policy,
+        recorder: Arc<Recorder>,
+    ) -> Result<Self, ConfigError> {
+        let cluster = Cluster::new(&cfg)?;
+        Ok(Self {
+            cfg,
+            cluster,
+            policy,
+            recorder,
+            next_id: 0,
+        })
+    }
+
+    /// The fleet state (replica table, VM placement) as it stands now —
+    /// inspect after [`Orchestrator::run`] to see where VMs landed.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Run a scenario to completion (or to the configured horizon) and
+    /// return the fleet report. The replica table persists across calls,
+    /// so a second scenario on the same orchestrator sees the stale
+    /// images the first one left behind.
+    pub fn run(&mut self, scenario: &Scenario) -> ClusterReport {
+        let step = self.cfg.step;
+        let mut now = SimTime::ZERO;
+        let mut future: Vec<(usize, MigrationRequest)> =
+            scenario.requests.iter().copied().enumerate().collect();
+        let mut pending: Vec<(usize, MigrationRequest)> = Vec::new();
+        let mut tasks: Vec<Task> = Vec::new();
+        let mut records: Vec<MigrationRecord> = Vec::new();
+        let mut max_concurrent = 0usize;
+        let mut makespan = SimTime::ZERO;
+
+        loop {
+            // 1. Arrivals: requests whose time has come join the queue.
+            let mut still_future = Vec::with_capacity(future.len());
+            for (idx, req) in future.drain(..) {
+                if req.at <= now {
+                    pending.push((idx, req));
+                } else {
+                    still_future.push((idx, req));
+                }
+            }
+            future = still_future;
+
+            // 2. Scheduling: admit until the policy (or admission
+            // control) says stop.
+            self.admit(&mut pending, &mut tasks, now);
+            max_concurrent = max_concurrent.max(tasks.len());
+
+            if future.is_empty() && pending.is_empty() && tasks.is_empty() {
+                break;
+            }
+            if now.as_nanos() > self.cfg.horizon.as_nanos() {
+                // Safety valve: abandon whatever is still running.
+                for t in &mut tasks {
+                    t.failed = true;
+                }
+                for t in tasks.drain(..) {
+                    records.push(self.finalize(t, now));
+                }
+                break;
+            }
+
+            let tick_end = now + step;
+
+            // 3. Capacity: pool demands per host, max-min share them.
+            let (task_rates, vm_rates) = self.compute_rates(&tasks, now);
+
+            // 4. Streams advance at their bottleneck rates.
+            for (ti, t) in tasks.iter_mut().enumerate() {
+                self.advance_stream(t, task_rates[ti], now, tick_end, step);
+            }
+
+            // 5. Guests advance at their achieved disk rates.
+            self.advance_vms(&mut tasks, &vm_rates, step);
+
+            // 6. Reap finished streams.
+            let mut live = Vec::with_capacity(tasks.len());
+            for t in tasks.drain(..) {
+                if t.done() {
+                    makespan = makespan.max(tick_end);
+                    records.push(self.finalize(t, tick_end));
+                } else {
+                    live.push(t);
+                }
+            }
+            tasks = live;
+
+            now = tick_end;
+        }
+
+        let unserved = pending.len() + future.len();
+        self.publish_metrics(&records, max_concurrent, unserved);
+        ClusterReport {
+            policy: self.policy.name().to_string(),
+            hosts: self.cfg.hosts,
+            vms: self.cfg.vms,
+            seed: self.cfg.seed,
+            records,
+            unserved,
+            max_concurrent,
+            makespan_nanos: makespan.as_nanos(),
+        }
+    }
+
+    /// Run the scheduling policy until it stops producing admissible
+    /// decisions, turning each one into a live [`Task`].
+    fn admit(
+        &mut self,
+        pending: &mut Vec<(usize, MigrationRequest)>,
+        tasks: &mut Vec<Task>,
+        now: SimTime,
+    ) {
+        let mut scheduler = self.policy.build();
+        loop {
+            if pending.is_empty() {
+                return;
+            }
+            let streams = self.streams_per_host(tasks);
+            let busy: BTreeSet<usize> = tasks.iter().map(|t| t.vm.0).collect();
+            let reqs: Vec<MigrationRequest> = pending.iter().map(|(_, r)| *r).collect();
+            let view = ClusterView {
+                hosts: self.cfg.hosts,
+                vms: &self.cluster.vms,
+                replicas: &self.cluster.replicas,
+                streams: &streams,
+                max_streams_per_host: self.cfg.max_streams_per_host,
+                disk_blocks: self.cfg.disk_blocks,
+                busy: &busy,
+            };
+            let Some(d) = scheduler.next(&reqs, &view) else {
+                return;
+            };
+            if d.index >= pending.len() || d.dest.0 >= self.cfg.hosts {
+                return;
+            }
+            let vm = reqs[d.index].vm;
+            let src = self.cluster.vms[vm.0].host;
+            if view.vm_busy(vm) || !view.admissible(src, d.dest) {
+                // A misbehaving policy stalls the round instead of
+                // oversubscribing a host.
+                return;
+            }
+            let (request, _) = pending.remove(d.index);
+            let task = self.open_task(request, vm, src, d.dest, now);
+            tasks.push(task);
+        }
+    }
+
+    /// Create the stream for an admitted migration: consume the
+    /// destination's stale replica if it holds a usable one (§V — the
+    /// first pass ships only the bitmap diff), otherwise start from an
+    /// empty image and an all-set bitmap.
+    fn open_task(
+        &mut self,
+        request: usize,
+        vm: VmId,
+        src: HostId,
+        dst: HostId,
+        now: SimTime,
+    ) -> Task {
+        let id = self.next_id;
+        self.next_id += 1;
+        let nblocks = self.cfg.disk_blocks;
+        let live_blocks = self.cluster.vms[vm.0].disk.num_blocks();
+        let replica = self
+            .cluster
+            .replicas
+            .take(vm.0 as u64, dst.0 as u64)
+            .filter(|r| r.disk.num_blocks() == live_blocks);
+        let (dst_disk, to_send, incremental) = match replica {
+            Some(r) => {
+                let mut bm = FlatBitmap::new(nblocks);
+                for b in self.cluster.vms[vm.0].disk.diff_blocks(&r.disk) {
+                    bm.set(b);
+                }
+                (r.disk, bm, true)
+            }
+            None => (MetaDisk::new(nblocks), FlatBitmap::all_set(nblocks), false),
+        };
+        let first_pass_blocks = to_send.count_ones() as u64;
+        let plan = if self.cfg.fault_resets > 0 {
+            FaultPlan::seeded_resets(
+                self.cfg.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                self.cfg.fault_resets,
+                FAULT_LO,
+                FAULT_HI,
+            )
+        } else {
+            FaultPlan::none()
+        };
+        let armed = plan.for_attempt(0);
+        let t_nanos = now.as_nanos();
+        self.recorder
+            .record_at_nanos(t_nanos, || Event::MigrationAdmitted {
+                migration: id,
+                vm: vm.0 as u64,
+                src: src.0 as u64,
+                dst: dst.0 as u64,
+                incremental,
+                first_pass_blocks,
+            });
+        self.recorder
+            .record_at_nanos(t_nanos, || Event::MigrationPhaseStart {
+                migration: id,
+                phase: Phase::DiskPrecopy,
+            });
+        Task {
+            id,
+            request,
+            vm,
+            src,
+            dst,
+            phase: Phase::DiskPrecopy,
+            pass: 0,
+            to_send,
+            cursor: 0,
+            carry: 0.0,
+            dst_disk,
+            tracker: DirtyTracker::new(self.cfg.bitmap, nblocks),
+            post_writes: FlatBitmap::new(nblocks),
+            mem_remaining: (self.cfg.mem_pages as u64 * PAGE_WIRE) as f64,
+            resume_at: SimTime::ZERO,
+            stall_until: SimTime::ZERO,
+            plan,
+            armed,
+            attempt: 0,
+            msgs: 0,
+            attempt_bytes: 0,
+            incremental,
+            first_pass_blocks,
+            blocks_sent: 0,
+            blocks_cancelled: 0,
+            bytes: 0,
+            retries: 0,
+            failed: false,
+            start: now,
+            freeze_at: SimTime::ZERO,
+            downtime: SimDuration::ZERO,
+            workload_name: self.cluster.vms[vm.0].workload.name(),
+        }
+    }
+
+    /// Streams touching each host (any phase — a frozen stream still
+    /// occupies its admission slot).
+    fn streams_per_host(&self, tasks: &[Task]) -> Vec<usize> {
+        let mut streams = vec![0usize; self.cfg.hosts];
+        for t in tasks {
+            streams[t.src.0] += 1;
+            streams[t.dst.0] += 1;
+        }
+        streams
+    }
+
+    /// Pool every demand on each host's disk and NIC, max-min share each
+    /// pool, and fold allocations back: a stream's rate is the minimum
+    /// over every pool it crosses; a guest's achieved rate is its share
+    /// of its host's disk.
+    ///
+    /// Pool membership by phase: disk pre-copy and post-copy streams
+    /// read the source disk, write the destination disk and cross both
+    /// NICs; the memory pass crosses both NICs only; a frozen stream's
+    /// bytes are inside its downtime formula, so it leaves the pools.
+    fn compute_rates(&self, tasks: &[Task], now: SimTime) -> (Vec<f64>, Vec<f64>) {
+        let mut task_rates = vec![0.0f64; tasks.len()];
+        let mut task_seen = vec![false; tasks.len()];
+        let mut vm_rates = vec![0.0f64; self.cluster.vms.len()];
+        let suspended: BTreeSet<usize> = tasks
+            .iter()
+            .filter(|t| t.phase == Phase::Freeze)
+            .map(|t| t.vm.0)
+            .collect();
+        for h in 0..self.cfg.hosts {
+            let mut parts: Vec<Part> = Vec::new();
+            let mut demands: Vec<f64> = Vec::new();
+            for vm in &self.cluster.hosts[h].resident {
+                if suspended.contains(&vm.0) {
+                    continue;
+                }
+                parts.push(Part::Vm(vm.0));
+                demands.push(self.cluster.vms[vm.0].workload.disk_demand());
+            }
+            for (ti, t) in tasks.iter().enumerate() {
+                let active = !t.failed && now >= t.stall_until;
+                let uses_disk = matches!(t.phase, Phase::DiskPrecopy | Phase::PostCopy);
+                if active && uses_disk && t.touches(h) {
+                    parts.push(Part::Task(ti));
+                    demands.push(self.cfg.stream_demand);
+                }
+            }
+            let alloc = max_min_share(self.cfg.disk_capacity, &demands);
+            for (part, a) in parts.iter().zip(alloc) {
+                match *part {
+                    Part::Vm(v) => vm_rates[v] = a,
+                    Part::Task(ti) => {
+                        task_rates[ti] = if task_seen[ti] {
+                            task_rates[ti].min(a)
+                        } else {
+                            a
+                        };
+                        task_seen[ti] = true;
+                    }
+                }
+            }
+            let mut nic_parts: Vec<usize> = Vec::new();
+            let mut nic_demands: Vec<f64> = Vec::new();
+            for (ti, t) in tasks.iter().enumerate() {
+                let active = !t.failed && now >= t.stall_until;
+                let uses_nic = matches!(
+                    t.phase,
+                    Phase::DiskPrecopy | Phase::MemPrecopy | Phase::PostCopy
+                );
+                if active && uses_nic && t.touches(h) {
+                    nic_parts.push(ti);
+                    nic_demands.push(self.cfg.stream_demand);
+                }
+            }
+            let alloc = max_min_share(self.cfg.nic_capacity, &nic_demands);
+            for (ti, a) in nic_parts.iter().zip(alloc) {
+                task_rates[*ti] = if task_seen[*ti] {
+                    task_rates[*ti].min(a)
+                } else {
+                    a
+                };
+                task_seen[*ti] = true;
+            }
+        }
+        (task_rates, vm_rates)
+    }
+
+    /// Advance one stream by one tick at its bottleneck rate.
+    fn advance_stream(
+        &mut self,
+        t: &mut Task,
+        rate: f64,
+        now: SimTime,
+        tick_end: SimTime,
+        dt: SimDuration,
+    ) {
+        if t.failed || now < t.stall_until {
+            return;
+        }
+        match t.phase {
+            Phase::DiskPrecopy => {
+                let last = self.pump_blocks(t, rate, dt);
+                self.check_faults(t, tick_end, last);
+                if t.failed || now < t.stall_until || t.phase != Phase::DiskPrecopy {
+                    return;
+                }
+                if t.to_send.none_set() {
+                    t.pass += 1;
+                    let next = t.tracker.drain();
+                    let dirty = next.count_ones();
+                    if t.pass >= self.cfg.max_disk_passes || dirty <= self.cfg.dirty_threshold {
+                        // Leftover dirt keeps accumulating into the
+                        // freeze bitmap while memory pre-copies.
+                        t.tracker.merge(&next);
+                        self.switch_phase(t, Phase::MemPrecopy, tick_end);
+                        t.carry = 0.0;
+                    } else {
+                        t.to_send = next;
+                        t.cursor = 0;
+                        t.carry = 0.0;
+                    }
+                }
+            }
+            Phase::MemPrecopy => {
+                t.mem_remaining -= rate * dt.as_secs_f64();
+                t.msgs += 1;
+                t.attempt_bytes += (rate * dt.as_secs_f64()) as u64;
+                self.check_faults(t, tick_end, None);
+                if t.failed || now < t.stall_until {
+                    return;
+                }
+                if t.mem_remaining <= 0.0 {
+                    self.enter_freeze(t, rate, tick_end);
+                }
+            }
+            Phase::Freeze => {
+                if tick_end >= t.resume_at {
+                    let resume_nanos = t.resume_at.as_nanos();
+                    self.recorder
+                        .record_at_nanos(resume_nanos, || Event::MigrationPhaseEnd {
+                            migration: t.id,
+                            phase: Phase::Freeze,
+                        });
+                    self.recorder
+                        .record_at_nanos(resume_nanos, || Event::MigrationPhaseStart {
+                            migration: t.id,
+                            phase: Phase::PostCopy,
+                        });
+                    t.phase = Phase::PostCopy;
+                    t.cursor = 0;
+                    t.carry = 0.0;
+                    // The VM resumes on the destination: its workload
+                    // demand moves to the destination's disk pool.
+                    self.cluster.relocate(t.vm, t.dst);
+                }
+            }
+            Phase::PostCopy => {
+                self.pump_blocks(t, rate, dt);
+            }
+        }
+    }
+
+    /// Ship up to `rate * dt` worth of blocks off the worklist using the
+    /// TPM engine's carry accumulator, charging per-block framing plus
+    /// one frame overhead per batch. Returns the last block shipped.
+    fn pump_blocks(&self, t: &mut Task, rate: f64, dt: SimDuration) -> Option<usize> {
+        let bs = self.cfg.block_size as f64;
+        let raw = t.carry + rate * dt.as_secs_f64() / bs;
+        let remaining = t.to_send.count_ones() as u64;
+        let n = (raw.floor().max(0.0) as u64).min(remaining);
+        t.carry = raw - n as f64;
+        if n == 0 {
+            return None;
+        }
+        let mut last = None;
+        let src_disk = &self.cluster.vms[t.vm.0].disk;
+        for _ in 0..n {
+            let b = match t.to_send.next_set_from(t.cursor) {
+                Some(b) => b,
+                None => match t.to_send.next_set_from(0) {
+                    Some(b) => b,
+                    None => break,
+                },
+            };
+            t.dst_disk.copy_block_from(src_disk, b);
+            t.to_send.clear(b);
+            t.cursor = b + 1;
+            t.blocks_sent += 1;
+            last = Some(b);
+        }
+        let wire = n * (self.cfg.block_size + 8) + FRAME_OVERHEAD;
+        t.bytes += wire;
+        t.attempt_bytes += wire;
+        t.msgs += 1;
+        last
+    }
+
+    /// Fire the first armed fault whose trigger has been crossed.
+    /// Faults only arm during pre-copy (disk and memory): that is where
+    /// the bitmap-resume story lives; freeze and post-copy are protected
+    /// by the same retry machinery in the two-host engine and would only
+    /// duplicate it here.
+    fn check_faults(&self, t: &mut Task, tick_end: SimTime, last: Option<usize>) {
+        let hit = |f: &Fault| match f.trigger {
+            FaultTrigger::Messages(n) => t.msgs >= n,
+            FaultTrigger::Bytes(n) => t.attempt_bytes >= n,
+            FaultTrigger::CategoryMessages(_, n) => t.msgs >= n,
+        };
+        let Some(pos) = t.armed.iter().position(hit) else {
+            return;
+        };
+        let fault = t.armed.remove(pos);
+        t.armed.retain(|f| !hit(f));
+        let t_nanos = tick_end.as_nanos();
+        match fault.kind {
+            FaultKind::Stall(d) => {
+                self.recorder
+                    .record_at_nanos(t_nanos, || Event::FaultInjected {
+                        fault: FaultLabel::Stall,
+                        messages_before: t.msgs,
+                    });
+                t.stall_until = tick_end + SimDuration::from_nanos(d.as_nanos() as u64);
+            }
+            FaultKind::Truncate => {
+                self.recorder
+                    .record_at_nanos(t_nanos, || Event::FaultInjected {
+                        fault: FaultLabel::Truncate,
+                        messages_before: t.msgs,
+                    });
+                // The last frame was silently lost: its block rides the
+                // next pass, and the connection is severed behind it.
+                if let Some(b) = last {
+                    t.to_send.set(b);
+                }
+                self.reset_stream(t, tick_end);
+            }
+            FaultKind::Reset => {
+                self.recorder
+                    .record_at_nanos(t_nanos, || Event::FaultInjected {
+                        fault: FaultLabel::Reset,
+                        messages_before: t.msgs,
+                    });
+                self.reset_stream(t, tick_end);
+            }
+        }
+    }
+
+    /// The stream lost its connection: burn a retry, back off, and
+    /// reconnect by re-shipping the current worklist bitmap — never the
+    /// blocks already applied, which is the whole point of bitmap-based
+    /// resume.
+    fn reset_stream(&self, t: &mut Task, tick_end: SimTime) {
+        t.retries += 1;
+        if t.retries > self.cfg.max_retries {
+            t.failed = true;
+            return;
+        }
+        t.attempt += 1;
+        let t_nanos = tick_end.as_nanos();
+        self.recorder
+            .record_at_nanos(t_nanos, || Event::MigrationRetry {
+                migration: t.id,
+                attempt: u64::from(t.attempt),
+            });
+        t.armed = t.plan.for_attempt(t.attempt);
+        t.msgs = 0;
+        t.attempt_bytes = 0;
+        t.carry = 0.0;
+        t.stall_until = tick_end + self.cfg.retry_backoff;
+        let enc = ser::encoded_len(&t.to_send) as u64;
+        t.bytes += enc + FRAME_OVERHEAD;
+    }
+
+    /// Suspend the guest: drain the dirty tracker into the final bitmap,
+    /// price the freeze window with the engine's downtime formula
+    /// (remaining state + encoded bitmap + handshake frames at the rate
+    /// the stream held going in), and schedule the exact resume instant.
+    fn enter_freeze(&mut self, t: &mut Task, rate: f64, tick_end: SimTime) {
+        t.bytes += self.cfg.mem_pages as u64 * PAGE_WIRE + FRAME_OVERHEAD;
+        let final_bm = t.tracker.drain();
+        let enc = ser::encoded_len(&final_bm) as u64;
+        let down_bytes = self.cfg.frozen_mem_pages as u64 * PAGE_WIRE
+            + self.cfg.cpu_state_bytes
+            + enc
+            + 3 * FRAME_OVERHEAD;
+        let down_rate = rate.max(1.0);
+        let downtime = self.cfg.suspend_overhead
+            + SimDuration::from_secs_f64(down_bytes as f64 / down_rate)
+            + self.cfg.latency
+            + self.cfg.resume_overhead;
+        t.bytes += down_bytes;
+        t.downtime = downtime;
+        t.freeze_at = tick_end;
+        t.resume_at = tick_end + downtime;
+        t.to_send = final_bm;
+        t.cursor = 0;
+        t.carry = 0.0;
+        self.switch_phase(t, Phase::Freeze, tick_end);
+    }
+
+    /// Journal the end of the current phase and the start of the next,
+    /// both at the same instant.
+    fn switch_phase(&self, t: &mut Task, next: Phase, at: SimTime) {
+        let t_nanos = at.as_nanos();
+        let prev = t.phase;
+        self.recorder
+            .record_at_nanos(t_nanos, || Event::MigrationPhaseEnd {
+                migration: t.id,
+                phase: prev,
+            });
+        self.recorder
+            .record_at_nanos(t_nanos, || Event::MigrationPhaseStart {
+                migration: t.id,
+                phase: next,
+            });
+        t.phase = next;
+    }
+
+    /// Advance every guest one tick at its achieved disk rate, routing
+    /// writes by migration phase: pre-copy writes land on the source
+    /// image and the dirty tracker; post-copy writes land on the
+    /// destination image and cancel any pending push of the same block
+    /// (§III-A); a frozen guest does nothing.
+    fn advance_vms(&mut self, tasks: &mut [Task], vm_rates: &[f64], dt: SimDuration) {
+        let nblocks = self.cfg.disk_blocks;
+        for (vi, &rate) in vm_rates.iter().enumerate() {
+            let ti = tasks.iter().position(|t| t.vm.0 == vi && !t.failed);
+            if let Some(ti) = ti {
+                if tasks[ti].phase == Phase::Freeze {
+                    continue;
+                }
+            }
+            let ops = {
+                let vm = &mut self.cluster.vms[vi];
+                vm.workload.ops_for(dt, rate, &mut vm.rng)
+            };
+            for op in ops {
+                if !op.kind.is_write() {
+                    continue;
+                }
+                let b = op.kind.block() as usize;
+                if b >= nblocks {
+                    continue;
+                }
+                match ti {
+                    Some(ti) if tasks[ti].phase == Phase::PostCopy => {
+                        let t = &mut tasks[ti];
+                        t.dst_disk.write(b);
+                        t.post_writes.set(b);
+                        if t.to_send.get(b) {
+                            t.to_send.clear(b);
+                            t.blocks_cancelled += 1;
+                        }
+                    }
+                    Some(ti) => {
+                        self.cluster.vms[vi].disk.write(b);
+                        tasks[ti].tracker.set(b);
+                    }
+                    None => {
+                        self.cluster.vms[vi].disk.write(b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Close out a finished stream: verify consistency, install the new
+    /// image, retire the old one into the replica table (that is what a
+    /// later IM-aware hop comes back for), and journal the outcome.
+    fn finalize(&mut self, mut t: Task, at: SimTime) -> MigrationRecord {
+        let t_nanos = at.as_nanos();
+        let vm = t.vm.0;
+        let consistent;
+        if t.failed {
+            // Close whatever phase was open so journal spans balance.
+            let phase = t.phase;
+            self.recorder
+                .record_at_nanos(t_nanos, || Event::MigrationPhaseEnd {
+                    migration: t.id,
+                    phase,
+                });
+            if t.phase == Phase::PostCopy {
+                // Aborted after resume (horizon): the VM falls back to
+                // its source image.
+                self.cluster.relocate(t.vm, t.src);
+            }
+            // The partial image is still a (stale) replica the next
+            // attempt can diff against.
+            self.cluster
+                .replicas
+                .record(vm as u64, t.dst.0 as u64, t.dst_disk.clone());
+            consistent = false;
+        } else {
+            self.recorder
+                .record_at_nanos(t_nanos, || Event::MigrationPhaseEnd {
+                    migration: t.id,
+                    phase: Phase::PostCopy,
+                });
+            // Every block that differs from the frozen source image must
+            // be explained by a destination guest write.
+            consistent = t
+                .dst_disk
+                .diff_blocks(&self.cluster.vms[vm].disk)
+                .iter()
+                .all(|&b| t.post_writes.get(b));
+            let fresh = std::mem::replace(&mut t.dst_disk, MetaDisk::new(0));
+            let old = std::mem::replace(&mut self.cluster.vms[vm].disk, fresh);
+            self.cluster.replicas.record(vm as u64, t.src.0 as u64, old);
+        }
+        let completed = !t.failed;
+        self.recorder
+            .record_at_nanos(t_nanos, || Event::MigrationCompleted {
+                migration: t.id,
+                bytes: t.bytes,
+                retries: u64::from(t.retries),
+                completed,
+            });
+        MigrationRecord {
+            migration: t.id,
+            request: t.request,
+            vm,
+            src: t.src.0,
+            dst: t.dst.0,
+            workload: t.workload_name,
+            incremental: t.incremental,
+            first_pass_blocks: t.first_pass_blocks,
+            passes: t.pass,
+            blocks_sent: t.blocks_sent,
+            blocks_cancelled: t.blocks_cancelled,
+            bytes: t.bytes,
+            retries: t.retries,
+            completed,
+            consistent,
+            start_nanos: t.start.as_nanos(),
+            freeze_nanos: t.freeze_at.as_nanos(),
+            resume_nanos: t.resume_at.as_nanos(),
+            finish_nanos: t_nanos,
+            downtime_nanos: t.downtime.as_nanos(),
+        }
+    }
+
+    /// Publish `cluster.*` metrics into the recorder's registry.
+    fn publish_metrics(&self, records: &[MigrationRecord], max_concurrent: usize, unserved: usize) {
+        let m = self.recorder.metrics();
+        let completed = records.iter().filter(|r| r.completed).count() as u64;
+        m.counter("cluster.migrations.admitted")
+            .add(records.len() as u64);
+        m.counter("cluster.migrations.completed").add(completed);
+        m.counter("cluster.migrations.failed")
+            .add(records.len() as u64 - completed);
+        m.counter("cluster.migrations.incremental")
+            .add(records.iter().filter(|r| r.incremental).count() as u64);
+        m.counter("cluster.migrations.unserved")
+            .add(unserved as u64);
+        m.counter("cluster.retries")
+            .add(records.iter().map(|r| u64::from(r.retries)).sum());
+        m.counter("cluster.bytes.total")
+            .add(records.iter().map(|r| r.bytes).sum());
+        m.counter("cluster.blocks.sent")
+            .add(records.iter().map(|r| r.blocks_sent).sum());
+        m.counter("cluster.blocks.cancelled")
+            .add(records.iter().map(|r| r.blocks_cancelled).sum());
+        m.gauge("cluster.hosts").set(self.cfg.hosts as u64);
+        m.gauge("cluster.vms").set(self.cfg.vms as u64);
+        m.gauge("cluster.max_concurrent").set(max_concurrent as u64);
+        let total_ms = m.histogram("cluster.migration.total_ms");
+        let down_us = m.histogram("cluster.migration.downtime_us");
+        for r in records.iter().filter(|r| r.completed) {
+            total_ms.observe(r.finish_nanos.saturating_sub(r.start_nanos) / 1_000_000);
+            down_us.observe(r.downtime_nanos / 1_000);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::WorkloadKind;
+
+    fn small_cfg(hosts: usize, vms: usize) -> ClusterConfig {
+        let mut cfg = ClusterConfig::new(hosts, vms);
+        cfg.disk_blocks = 8_192;
+        cfg.mem_pages = 256;
+        cfg.frozen_mem_pages = 32;
+        cfg.dirty_threshold = 64;
+        cfg
+    }
+
+    #[test]
+    fn single_wave_completes_consistently() {
+        let cfg = small_cfg(3, 3);
+        let scenario = Scenario::single_wave(&cfg, None);
+        let rec = Recorder::enabled();
+        let mut orch = Orchestrator::new(cfg, Policy::Fifo, rec.clone()).expect("valid config");
+        let report = orch.run(&scenario);
+        assert_eq!(report.completed(), 3);
+        assert!(report.all_consistent());
+        assert_eq!(report.unserved, 0);
+        assert!(report.max_concurrent >= 1);
+        // Each VM left a replica behind on its old host.
+        assert_eq!(orch.cluster().replicas.len(), 3);
+        // Each VM actually moved (ring placement).
+        assert_eq!(orch.cluster().vms[0].host, HostId(1));
+        // The journal balances starts and ends.
+        let records = rec.records();
+        let starts = records
+            .iter()
+            .filter(|r| matches!(r.event, Event::MigrationPhaseStart { .. }))
+            .count();
+        let ends = records
+            .iter()
+            .filter(|r| matches!(r.event, Event::MigrationPhaseEnd { .. }))
+            .count();
+        assert_eq!(starts, ends);
+    }
+
+    #[test]
+    fn second_hop_back_is_incremental_and_cheaper() {
+        let cfg = small_cfg(2, 1);
+        let rec = Recorder::enabled();
+        let mut orch = Orchestrator::new(cfg.clone(), Policy::ImAware, rec).expect("valid config");
+        let scenario = Scenario::two_wave(&cfg, SimDuration::from_secs(5));
+        let report = orch.run(&scenario);
+        assert_eq!(report.completed(), 2);
+        assert!(report.all_consistent());
+        let first = &report.records[0];
+        let second = &report.records[1];
+        assert!(!first.incremental);
+        assert!(second.incremental, "return hop must find the stale replica");
+        assert!(
+            second.bytes < first.bytes / 4,
+            "incremental hop moved {} vs full {}",
+            second.bytes,
+            first.bytes
+        );
+        assert!(second.total_secs() < first.total_secs());
+    }
+
+    #[test]
+    fn injected_resets_retry_and_still_complete() {
+        let mut cfg = small_cfg(2, 1);
+        cfg.fault_resets = 2;
+        let rec = Recorder::enabled();
+        let mut orch =
+            Orchestrator::new(cfg.clone(), Policy::Fifo, rec.clone()).expect("valid config");
+        let report = orch.run(&Scenario::single_wave(&cfg, None));
+        assert_eq!(report.completed(), 1);
+        assert!(report.all_consistent());
+        assert!(report.records[0].retries >= 1, "the seeded reset must fire");
+        assert!(rec
+            .records()
+            .iter()
+            .any(|r| matches!(r.event, Event::MigrationRetry { .. })));
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_the_migration_in_place() {
+        let mut cfg = small_cfg(2, 1);
+        cfg.fault_resets = 8;
+        cfg.max_retries = 1;
+        // Slow the stream so pre-copy always spans the whole seeded fault
+        // window — every attempt is guaranteed to hit its reset.
+        cfg.stream_demand = 5.0 * 1024.0 * 1024.0;
+        let rec = Recorder::enabled();
+        let mut orch = Orchestrator::new(cfg.clone(), Policy::Fifo, rec).expect("valid config");
+        let report = orch.run(&Scenario::single_wave(&cfg, None));
+        assert_eq!(report.completed(), 0);
+        assert!(!report.records.is_empty());
+        // The VM never moved.
+        assert_eq!(orch.cluster().vms[0].host, HostId(0));
+        // The partial copy was kept as a stale replica at the target.
+        assert!(orch.cluster().replicas.has(0, 1));
+    }
+
+    #[test]
+    fn admission_control_caps_concurrency() {
+        let mut cfg = small_cfg(2, 6);
+        cfg.max_streams_per_host = 1;
+        cfg.workload_cycle = vec![WorkloadKind::Idle];
+        let rec = Recorder::enabled();
+        let mut orch = Orchestrator::new(cfg.clone(), Policy::Fifo, rec).expect("valid config");
+        let report = orch.run(&Scenario::single_wave(&cfg, None));
+        assert_eq!(report.completed(), 6);
+        assert_eq!(report.max_concurrent, 1, "one stream per host pair");
+    }
+}

@@ -1,0 +1,241 @@
+//! Run accounting: per-migration records and the fleet report.
+//!
+//! All derived figures are computed from the same nanosecond timestamps
+//! the executor journals through `telemetry`, with the same arithmetic
+//! (`nanos as f64 / 1e9`), so a test can reconstruct every span from the
+//! JSONL journal and match the report exactly.
+
+use serde::Serialize;
+
+/// Everything the orchestrator learned about one admitted migration.
+#[derive(Debug, Clone, Serialize)]
+pub struct MigrationRecord {
+    /// Orchestrator-wide migration id (admission order).
+    pub migration: u64,
+    /// Index of the request in the scenario's submission order.
+    pub request: usize,
+    /// The VM moved.
+    pub vm: usize,
+    /// Source host.
+    pub src: usize,
+    /// Destination host.
+    pub dst: usize,
+    /// Workload name the VM was running.
+    pub workload: &'static str,
+    /// `true` when the destination held a usable stale replica (§V
+    /// incremental migration: the first pass shipped only the diff).
+    pub incremental: bool,
+    /// Blocks in the first pre-copy pass's worklist.
+    pub first_pass_blocks: u64,
+    /// Disk pre-copy passes run.
+    pub passes: u32,
+    /// Blocks shipped across all passes and post-copy.
+    pub blocks_sent: u64,
+    /// Post-copy synchronizations cancelled by destination writes (§III-A).
+    pub blocks_cancelled: u64,
+    /// Total wire bytes the stream moved, all attempts included.
+    pub bytes: u64,
+    /// Fault-triggered retries the stream survived.
+    pub retries: u32,
+    /// `false` when the retry budget ran out (the VM stayed on `src`) or
+    /// the run hit its horizon first.
+    pub completed: bool,
+    /// `true` when the destination image was verified block-consistent
+    /// with the frozen source image modulo destination guest writes.
+    pub consistent: bool,
+    /// Virtual time the migration was admitted, nanoseconds.
+    pub start_nanos: u64,
+    /// Virtual time the guest was suspended (0 if never frozen).
+    pub freeze_nanos: u64,
+    /// Virtual time the guest resumed on the destination (0 if never).
+    pub resume_nanos: u64,
+    /// Virtual time the migration finished (success or failure).
+    pub finish_nanos: u64,
+    /// Freeze-and-copy downtime, nanoseconds (0 if never frozen).
+    pub downtime_nanos: u64,
+}
+
+impl MigrationRecord {
+    /// Total migration time in seconds — exactly
+    /// `(finish_nanos - start_nanos) / 1e9`.
+    pub fn total_secs(&self) -> f64 {
+        self.finish_nanos.saturating_sub(self.start_nanos) as f64 / 1e9
+    }
+
+    /// Downtime in milliseconds — exactly `downtime_nanos / 1e6`.
+    pub fn downtime_ms(&self) -> f64 {
+        self.downtime_nanos as f64 / 1e6
+    }
+}
+
+/// The whole run's accounting.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterReport {
+    /// Scheduling policy that produced the run.
+    pub policy: String,
+    /// Hosts in the fleet.
+    pub hosts: usize,
+    /// VMs in the fleet.
+    pub vms: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-migration records, in admission order.
+    pub records: Vec<MigrationRecord>,
+    /// Requests never admitted (still queued when the run ended).
+    pub unserved: usize,
+    /// Peak number of concurrently active migration streams.
+    pub max_concurrent: usize,
+    /// Virtual time the last stream finished, nanoseconds.
+    pub makespan_nanos: u64,
+}
+
+impl ClusterReport {
+    /// Migrations that finished successfully.
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.completed).count()
+    }
+
+    /// Migrations that started incrementally (destination held a replica).
+    pub fn incremental(&self) -> usize {
+        self.records.iter().filter(|r| r.incremental).count()
+    }
+
+    /// Total wire bytes across all migrations.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Wire bytes across migrations whose scenario request index is at
+    /// least `from_request` — the bench uses this to isolate wave 2 of
+    /// [`crate::Scenario::two_wave`].
+    pub fn bytes_from_request(&self, from_request: usize) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.request >= from_request)
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    /// Sum of all downtimes, milliseconds.
+    pub fn aggregate_downtime_ms(&self) -> f64 {
+        self.records.iter().map(|r| r.downtime_ms()).sum()
+    }
+
+    /// `true` when every completed migration verified consistent.
+    pub fn all_consistent(&self) -> bool {
+        self.records
+            .iter()
+            .filter(|r| r.completed)
+            .all(|r| r.consistent)
+    }
+
+    /// Makespan in seconds.
+    pub fn makespan_secs(&self) -> f64 {
+        self.makespan_nanos as f64 / 1e9
+    }
+
+    /// Human-readable table, one row per migration.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "policy={} hosts={} vms={} seed={} completed={}/{} incremental={} \
+             peak-concurrency={} makespan={:.1}s total={} MiB\n",
+            self.policy,
+            self.hosts,
+            self.vms,
+            self.seed,
+            self.completed(),
+            self.records.len(),
+            self.incremental(),
+            self.max_concurrent,
+            self.makespan_secs(),
+            self.total_bytes() / (1024 * 1024),
+        ));
+        out.push_str(
+            "mig  vm   route    workload    mode  passes blocks  MiB     total(s)  down(ms)  ok\n",
+        );
+        for r in &self.records {
+            out.push_str(&format!(
+                "{:<4} {:<4} h{}->h{:<3} {:<11} {:<5} {:<6} {:<7} {:<7} {:<9.2} {:<9.3} {}\n",
+                r.migration,
+                r.vm,
+                r.src,
+                r.dst,
+                r.workload,
+                if r.incremental { "incr" } else { "full" },
+                r.passes,
+                r.blocks_sent,
+                r.bytes / (1024 * 1024),
+                r.total_secs(),
+                r.downtime_ms(),
+                match (r.completed, r.consistent) {
+                    (true, true) => "yes",
+                    (true, false) => "INCONSISTENT",
+                    (false, _) => "FAILED",
+                }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(migration: u64, request: usize, bytes: u64, completed: bool) -> MigrationRecord {
+        MigrationRecord {
+            migration,
+            request,
+            vm: 0,
+            src: 0,
+            dst: 1,
+            workload: "web",
+            incremental: request > 0,
+            first_pass_blocks: 10,
+            passes: 1,
+            blocks_sent: 10,
+            blocks_cancelled: 0,
+            bytes,
+            retries: 0,
+            completed,
+            consistent: completed,
+            start_nanos: 1_000_000_000,
+            freeze_nanos: 2_000_000_000,
+            resume_nanos: 2_100_000_000,
+            finish_nanos: 3_000_000_000,
+            downtime_nanos: 100_000_000,
+        }
+    }
+
+    #[test]
+    fn derived_figures_use_exact_nanos_arithmetic() {
+        let r = rec(0, 0, 1024, true);
+        assert_eq!(r.total_secs(), 2_000_000_000u64 as f64 / 1e9);
+        assert_eq!(r.downtime_ms(), 100_000_000u64 as f64 / 1e6);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = ClusterReport {
+            policy: "fifo".into(),
+            hosts: 2,
+            vms: 2,
+            seed: 7,
+            records: vec![rec(0, 0, 100, true), rec(1, 2, 40, false)],
+            unserved: 1,
+            max_concurrent: 2,
+            makespan_nanos: 3_000_000_000,
+        };
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.incremental(), 1);
+        assert_eq!(report.total_bytes(), 140);
+        assert_eq!(report.bytes_from_request(2), 40);
+        assert!(report.all_consistent());
+        let table = report.render();
+        assert!(table.contains("policy=fifo"));
+        assert!(table.contains("FAILED"));
+        let json = serde_json::to_string(&report).expect("serializes");
+        assert!(json.contains("\"policy\":\"fifo\""));
+    }
+}

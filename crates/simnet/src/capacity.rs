@@ -6,24 +6,38 @@
 //! (§VI-C-3) and that limiting the migration rate gives the workload back
 //! about half of its lost throughput. We model both the disk and the NIC
 //! as capacity pools shared max-min fairly among their demands.
+//!
+//! These functions sit on the orchestrator's per-tick hot loop, inside
+//! lintkit's no-panic zone: degenerate inputs are *clamped*, never
+//! asserted. A `NaN` or negative capacity allocates nothing (the pool is
+//! unusable), an infinite capacity satisfies every demand, and `NaN` or
+//! non-positive demands receive zero.
+
+/// Clamp a capacity to the usable domain: `NaN` and negative values read
+/// as an empty pool. `+inf` passes through (an uncontended pool).
+fn sane_capacity(capacity: f64) -> f64 {
+    if capacity.is_nan() || capacity < 0.0 {
+        0.0
+    } else {
+        capacity
+    }
+}
 
 /// Allocate `capacity` among `demands` using max-min fairness: every
 /// demand receives `min(demand, fair share)`, with leftover capacity from
 /// under-using demands redistributed among the rest.
 ///
-/// Returns one allocation per demand, in order. Zero and negative demands
-/// receive zero. The allocations never exceed the demands and never sum to
-/// more than `capacity`.
+/// Returns one allocation per demand, in order. Zero, negative and `NaN`
+/// demands receive zero. The allocations never exceed the demands and
+/// never sum to more than `capacity`.
 ///
-/// # Panics
-/// Panics when `capacity` is negative or not finite.
+/// Never panics: a `NaN` or negative capacity is clamped to an empty pool
+/// (all-zero allocations) and an infinite capacity serves every demand in
+/// full, so a degenerate demand set in the orchestrator's hot loop
+/// degrades instead of aborting.
 pub fn max_min_share(capacity: f64, demands: &[f64]) -> Vec<f64> {
-    assert!(
-        capacity >= 0.0 && capacity.is_finite(),
-        "capacity must be non-negative and finite"
-    );
     let mut alloc = vec![0.0; demands.len()];
-    let mut remaining = capacity;
+    let mut remaining = sane_capacity(capacity);
     let mut active: Vec<usize> = (0..demands.len()).filter(|&i| demands[i] > 0.0).collect();
 
     // Repeatedly give each active demand an equal share; demands smaller
@@ -75,19 +89,21 @@ pub fn share_two(capacity: f64, workload_demand: f64, migration_demand: f64) -> 
 ///
 /// Returns `(workload_share, migration_share)`.
 ///
-/// # Panics
-/// Panics when `c0` or `penalty` is negative or not finite.
+/// Never panics: like [`max_min_share`], a `NaN` or negative `c0` reads
+/// as an empty pool, and a `NaN`, negative or infinite `penalty` is
+/// clamped to zero (no interference model rather than an undefined one).
 pub fn seek_aware_share(
     c0: f64,
     penalty: f64,
     workload_demand: f64,
     migration_demand: f64,
 ) -> (f64, f64) {
-    assert!(c0 >= 0.0 && c0.is_finite(), "capacity must be finite");
-    assert!(
-        penalty >= 0.0 && penalty.is_finite(),
-        "seek penalty must be non-negative"
-    );
+    let c0 = sane_capacity(c0);
+    let penalty = if penalty.is_finite() && penalty > 0.0 {
+        penalty
+    } else {
+        0.0
+    };
     let mut m = migration_demand.min(c0 / (1.0 + penalty).max(1.0));
     let mut w = workload_demand;
     for _ in 0..64 {
@@ -160,6 +176,43 @@ mod tests {
     #[test]
     fn empty_demands_ok() {
         assert!(max_min_share(10.0, &[]).is_empty());
+    }
+
+    #[test]
+    fn degenerate_capacity_is_clamped_not_panicked() {
+        // NaN / negative capacity: an unusable pool allocates nothing.
+        for cap in [f64::NAN, -1.0, f64::NEG_INFINITY] {
+            let a = max_min_share(cap, &[10.0, 20.0]);
+            assert_eq!(a, vec![0.0, 0.0], "capacity {cap}");
+        }
+        // Infinite capacity: an uncontended pool serves every demand.
+        let a = max_min_share(f64::INFINITY, &[10.0, 20.0]);
+        assert!(close(a[0], 10.0) && close(a[1], 20.0));
+    }
+
+    #[test]
+    fn degenerate_demands_get_zero() {
+        let a = max_min_share(100.0, &[f64::NAN, -5.0, 30.0]);
+        assert_eq!(a[0], 0.0);
+        assert_eq!(a[1], 0.0);
+        assert!(close(a[2], 30.0));
+        // An infinite demand absorbs the slack but allocations stay
+        // within capacity.
+        let a = max_min_share(100.0, &[30.0, f64::INFINITY]);
+        assert!(close(a[0], 30.0));
+        assert!(a[1] <= 100.0 && a.iter().sum::<f64>() <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn seek_aware_degenerate_inputs_are_clamped() {
+        let (w, m) = seek_aware_share(f64::NAN, 1.0, 50.0, 50.0);
+        assert_eq!((w, m), (0.0, 0.0));
+        let (w, m) = seek_aware_share(-10.0, 1.0, 50.0, 50.0);
+        assert_eq!((w, m), (0.0, 0.0));
+        // A NaN penalty degrades to no-interference sharing.
+        let (w1, m1) = seek_aware_share(100.0, f64::NAN, 90.0, 110.0);
+        let (w2, m2) = share_two(100.0, 90.0, 110.0);
+        assert!((w1 - w2).abs() < 1e-3 && (m1 - m2).abs() < 1e-3);
     }
 
     #[test]

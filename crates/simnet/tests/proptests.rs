@@ -119,6 +119,87 @@ proptest! {
         }
     }
 
+    /// More capacity never hurts anyone: raising the pool capacity leaves
+    /// every individual allocation the same or larger (max-min fairness
+    /// is monotone in capacity).
+    #[test]
+    fn max_min_monotone_in_capacity(
+        capacity in 0.0f64..1_000.0,
+        extra in 0.0f64..1_000.0,
+        demands in prop::collection::vec(0.0f64..500.0, 0..8),
+    ) {
+        let lo = max_min_share(capacity, &demands);
+        let hi = max_min_share(capacity + extra, &demands);
+        for (i, (a, b)) in lo.iter().zip(&hi).enumerate() {
+            prop_assert!(
+                *b >= a - 1e-6,
+                "demand {i} shrank from {a} to {b} when capacity grew"
+            );
+        }
+    }
+
+    /// Fairness is order-independent: permuting the demand vector permutes
+    /// the allocations identically (no flow is favoured by its position).
+    /// Rotations and reversal generate the permutation group's evidence.
+    #[test]
+    fn max_min_order_independent(
+        capacity in 0.0f64..1_000.0,
+        demands in prop::collection::vec(0.0f64..500.0, 1..8),
+        rot in 0usize..8,
+        rev in any::<bool>(),
+    ) {
+        let base = max_min_share(capacity, &demands);
+        let rot = rot % demands.len();
+        let mut permuted = demands.clone();
+        permuted.rotate_left(rot);
+        if rev {
+            permuted.reverse();
+        }
+        let mut expected = base.clone();
+        expected.rotate_left(rot);
+        if rev {
+            expected.reverse();
+        }
+        let got = max_min_share(capacity, &permuted);
+        for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
+            prop_assert!(
+                (e - g).abs() < 1e-6,
+                "slot {i}: permuted allocation {g} != expected {e}"
+            );
+        }
+    }
+
+    /// Degenerate inputs never panic and never manufacture capacity: the
+    /// no-panic-zone contract of the orchestrator's hot loop.
+    #[test]
+    fn max_min_total_on_degenerate_inputs(
+        capacity in prop_oneof![
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            (-1_000.0f64..1_000.0),
+        ],
+        demands in prop::collection::vec(
+            prop_oneof![
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                (-500.0f64..500.0),
+            ],
+            0..6,
+        ),
+    ) {
+        let alloc = max_min_share(capacity, &demands);
+        prop_assert_eq!(alloc.len(), demands.len());
+        for (a, d) in alloc.iter().zip(&demands) {
+            prop_assert!(*a >= 0.0, "negative allocation {a}");
+            prop_assert!(!a.is_nan(), "NaN allocation for demand {d}");
+        }
+        if capacity.is_finite() {
+            let total: f64 = alloc.iter().sum();
+            prop_assert!(total <= capacity.max(0.0) + 1e-6);
+        }
+    }
+
     /// Seek-aware sharing degrades gracefully: allocations are bounded by
     /// demands and by the zero-interference capacity.
     #[test]

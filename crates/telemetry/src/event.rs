@@ -161,6 +161,56 @@ pub enum Event {
         /// Block index.
         block: u64,
     },
+    /// A cluster migration passed admission control and its stream was
+    /// created (orchestrator journal, virtual time).
+    MigrationAdmitted {
+        /// Orchestrator-wide migration id.
+        migration: u64,
+        /// VM being moved.
+        vm: u64,
+        /// Source host.
+        src: u64,
+        /// Destination host.
+        dst: u64,
+        /// `true` when the destination held a usable stale replica, so
+        /// the first pass ships only the bitmap diff (§V incremental).
+        incremental: bool,
+        /// Blocks in the first-pass worklist.
+        first_pass_blocks: u64,
+    },
+    /// A §IV phase began for one cluster migration.
+    MigrationPhaseStart {
+        /// Orchestrator-wide migration id.
+        migration: u64,
+        /// Which phase began.
+        phase: Phase,
+    },
+    /// A §IV phase ended for one cluster migration.
+    MigrationPhaseEnd {
+        /// Orchestrator-wide migration id.
+        migration: u64,
+        /// Which phase ended.
+        phase: Phase,
+    },
+    /// A cluster migration's stream was cut by an injected fault and the
+    /// orchestrator is retrying it, resuming from the block-bitmap.
+    MigrationRetry {
+        /// Orchestrator-wide migration id.
+        migration: u64,
+        /// One-based retry attempt number.
+        attempt: u64,
+    },
+    /// A cluster migration finished.
+    MigrationCompleted {
+        /// Orchestrator-wide migration id.
+        migration: u64,
+        /// Total wire bytes the stream moved (all attempts).
+        bytes: u64,
+        /// Fault-triggered retries the stream survived.
+        retries: u64,
+        /// `false` when the retry budget ran out and the VM stayed put.
+        completed: bool,
+    },
 }
 
 /// One journal entry: a sequence number (total order of recording), a

@@ -95,6 +95,66 @@ pub fn reconstruct_phases(records: &[Record]) -> PhaseDurations {
     }
 }
 
+/// Nanoseconds between the first `MigrationPhaseStart` and the last
+/// `MigrationPhaseEnd` recorded for cluster migration `migration` in
+/// `phase`, or `None` when the span is incomplete — the per-migration
+/// analogue of [`phase_span_nanos`] for orchestrator journals.
+pub fn migration_phase_span_nanos(records: &[Record], migration: u64, phase: Phase) -> Option<u64> {
+    let mut start = None;
+    let mut end = None;
+    for r in records {
+        match &r.event {
+            Event::MigrationPhaseStart {
+                migration: m,
+                phase: p,
+            } if *m == migration && *p == phase && start.is_none() => {
+                start = Some(r.t_nanos);
+            }
+            Event::MigrationPhaseEnd {
+                migration: m,
+                phase: p,
+            } if *m == migration && *p == phase => {
+                end = Some(r.t_nanos);
+            }
+            _ => {}
+        }
+    }
+    match (start, end) {
+        (Some(s), Some(e)) => Some(e.saturating_sub(s)),
+        _ => None,
+    }
+}
+
+/// Reconstruct one cluster migration's per-phase durations from its span
+/// events, using the same `(end - start) as f64 / 1e9` arithmetic as
+/// [`reconstruct_phases`] so the result equals the orchestrator's own
+/// report bit for bit.
+pub fn reconstruct_migration_phases(records: &[Record], migration: u64) -> PhaseDurations {
+    let secs =
+        |p: Phase| migration_phase_span_nanos(records, migration, p).unwrap_or(0) as f64 / 1e9;
+    PhaseDurations {
+        disk_precopy_secs: secs(Phase::DiskPrecopy),
+        mem_precopy_secs: secs(Phase::MemPrecopy),
+        freeze_secs: secs(Phase::Freeze),
+        postcopy_secs: secs(Phase::PostCopy),
+    }
+}
+
+/// Every cluster migration id admitted in the journal, ascending and
+/// deduplicated.
+pub fn migration_ids(records: &[Record]) -> Vec<u64> {
+    let mut ids: Vec<u64> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            Event::MigrationAdmitted { migration, .. } => Some(*migration),
+            _ => None,
+        })
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
 /// Render a human-readable summary of a journal: phase table, pre-copy
 /// iteration counts, post-copy block events, transport incidents.
 pub fn phase_summary(records: &[Record]) -> String {
@@ -248,6 +308,62 @@ mod tests {
         assert!(s.contains("0 src + 0 dst reconnects"), "{s}");
         assert!(s.contains("1 faults injected"), "{s}");
         assert!(s.contains("1 cancelled"), "{s}");
+    }
+
+    #[test]
+    fn migration_spans_are_scoped_per_migration() {
+        let rec = Recorder::new(64);
+        rec.record_at_nanos(0, || Event::MigrationAdmitted {
+            migration: 0,
+            vm: 3,
+            src: 0,
+            dst: 1,
+            incremental: false,
+            first_pass_blocks: 4096,
+        });
+        rec.record_at_nanos(0, || Event::MigrationPhaseStart {
+            migration: 0,
+            phase: Phase::DiskPrecopy,
+        });
+        rec.record_at_nanos(500, || Event::MigrationPhaseStart {
+            migration: 1,
+            phase: Phase::DiskPrecopy,
+        });
+        rec.record_at_nanos(1_000, || Event::MigrationPhaseEnd {
+            migration: 0,
+            phase: Phase::DiskPrecopy,
+        });
+        rec.record_at_nanos(2_000, || Event::MigrationPhaseEnd {
+            migration: 1,
+            phase: Phase::DiskPrecopy,
+        });
+        rec.record_at_nanos(9, || Event::MigrationAdmitted {
+            migration: 1,
+            vm: 4,
+            src: 1,
+            dst: 0,
+            incremental: true,
+            first_pass_blocks: 17,
+        });
+        let records = rec.records();
+        assert_eq!(
+            migration_phase_span_nanos(&records, 0, Phase::DiskPrecopy),
+            Some(1_000)
+        );
+        assert_eq!(
+            migration_phase_span_nanos(&records, 1, Phase::DiskPrecopy),
+            Some(1_500)
+        );
+        assert_eq!(migration_phase_span_nanos(&records, 1, Phase::Freeze), None);
+        assert_eq!(migration_ids(&records), vec![0, 1]);
+
+        let phases = reconstruct_migration_phases(&records, 1);
+        assert_eq!(phases.disk_precopy_secs, 1_500u64 as f64 / 1e9);
+        assert_eq!(phases.freeze_secs, 0.0);
+
+        // The cluster variants survive the JSONL round-trip like the rest.
+        let back = from_jsonl(&to_jsonl(&records)).expect("parse");
+        assert_eq!(back, records);
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //!   counters) for full-scale simulation where materializing 40 GB of
 //!   bytes is pointless but write-ordering consistency still needs
 //!   checking.
+//! * [`ReplicaTable`] — the §V/§VII stale-replica store: per (VM, site)
+//!   departure images with bitmap-diff staleness, backing incremental
+//!   migration in the multi-site extension and the cluster orchestrator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ mod cow;
 mod disk;
 mod meta;
 mod pending;
+mod replica;
 mod request;
 mod storage;
 mod tracked;
@@ -42,6 +46,7 @@ pub use cow::{BaseImage, CowStorage};
 pub use disk::VirtualDisk;
 pub use meta::MetaDisk;
 pub use pending::PendingQueue;
+pub use replica::{Replica, ReplicaTable};
 pub use request::{DomainId, IoOp, IoRequest};
 pub use storage::{DenseStorage, SparseStorage, Storage};
 pub use tracked::{TrackedDisk, TrackerHandle};

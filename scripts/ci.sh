@@ -7,10 +7,10 @@ echo "== rustfmt (check only) =="
 cargo fmt --all -- --check
 
 echo "== tier-1: release build =="
-cargo build --release
+cargo build --release --locked
 
 echo "== tier-1: workspace tests =="
-cargo test -q --workspace
+cargo test -q --workspace --locked
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings

@@ -28,6 +28,8 @@
 //! * [`workloads`] — the paper's workload generators and analysis.
 //! * [`migrate`] — the TPM/IM engines (simulated and live) and baselines.
 //! * [`telemetry`] — dual-clock tracing, metrics, and event journal.
+//! * [`orchestrator`] — fleet-scale scheduling: many concurrent
+//!   migrations across N hosts under pluggable (IM-aware) policies.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@
 pub use block_bitmap;
 pub use des;
 pub use migrate;
+pub use orchestrator;
 pub use simnet;
 pub use telemetry;
 pub use vdisk;
@@ -64,6 +67,9 @@ pub mod prelude {
     };
     pub use migrate::sim::{dwell, run_im, run_tpm, TpmEngine, TpmOutcome};
     pub use migrate::{BitmapKind, MigrationConfig, MigrationReport, RetryPolicy};
+    pub use orchestrator::{
+        Cluster, ClusterConfig, ClusterReport, Orchestrator, Policy, Scenario, Scheduler,
+    };
     pub use simnet::fault::FaultPlan;
     pub use simnet::Link;
     pub use telemetry::Recorder;

@@ -62,6 +62,34 @@ fn locality_ratios_track_paper_ordering() {
 }
 
 #[test]
+fn cluster_im_aware_wave2_beats_fifo() {
+    let res = experiments::run("cluster", Scale::Ci).expect("cluster exists");
+    let rows = res.json["rows"].as_array().expect("rows");
+    let by_policy = |name: &str| {
+        rows.iter()
+            .find(|r| r["policy"] == name)
+            .unwrap_or_else(|| panic!("no {name} row"))
+    };
+    for row in rows {
+        assert_eq!(row["all_consistent"], true, "{}", row["policy"]);
+        assert_eq!(row["completed"], row["migrations"], "{}", row["policy"]);
+    }
+    let fifo = by_policy("fifo");
+    let im = by_policy("im-aware");
+    assert!(im["incremental"].as_u64().expect("u64") > 0);
+    assert_eq!(fifo["incremental"].as_u64(), Some(0));
+    // The paper's §V win at fleet scale: the return wave ships only the
+    // bitmap diff when the scheduler lands VMs on their stale replicas.
+    let w2 = |r: &serde_json::Value| r["wave2_bytes"].as_u64().expect("u64");
+    assert!(
+        w2(im) < w2(fifo) / 2,
+        "im-aware wave 2 {} !< half of fifo wave 2 {}",
+        w2(im),
+        w2(fifo)
+    );
+}
+
+#[test]
 fn table3_holds_the_one_percent_claim() {
     let res = experiments::run("table3", Scale::Ci).expect("table3 exists");
     assert_eq!(res.json["holds_under_1pct"], true);

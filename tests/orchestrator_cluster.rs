@@ -1,0 +1,122 @@
+//! Orchestrator determinism and journal consistency tests.
+//!
+//! The cluster run is only trustworthy if (a) one seed pins *everything*
+//! — two identical runs must journal byte-identical JSONL — and (b) the
+//! journal agrees with the report's own accounting: per-migration phase
+//! spans reconstructed from the event stream must reproduce each
+//! record's total time and downtime exactly, in the same nanosecond
+//! arithmetic.
+
+use block_bitmap_migration::des::SimDuration;
+use block_bitmap_migration::prelude::*;
+use block_bitmap_migration::telemetry::{
+    migration_ids, migration_phase_span_nanos, reconstruct_migration_phases, to_jsonl, Phase,
+};
+
+/// The acceptance geometry: 4 hosts, 8 VMs, IM-aware policy, seed 2008.
+fn acceptance_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(4, 8);
+    cfg.seed = 2008;
+    cfg
+}
+
+fn traced_run(
+    cfg: ClusterConfig,
+) -> (
+    ClusterReport,
+    Vec<block_bitmap_migration::telemetry::Record>,
+) {
+    let scenario = Scenario::two_wave(&cfg, SimDuration::from_secs(30));
+    let rec = Recorder::enabled();
+    let mut orch =
+        Orchestrator::new(cfg, Policy::ImAware, rec.clone()).expect("acceptance config is valid");
+    let report = orch.run(&scenario);
+    (report, rec.records())
+}
+
+/// Tentpole acceptance: the 4-host / 8-VM / seed-2008 run completes at
+/// least 8 migrations (here: all 16 of the two-wave scenario), every
+/// image verifies consistent, and the return wave is incremental.
+#[test]
+fn acceptance_run_completes_and_verifies() {
+    let (report, records) = traced_run(acceptance_cfg());
+    assert_eq!(report.records.len(), 16, "two waves of 8 VMs");
+    assert_eq!(report.completed(), 16);
+    assert!(report.completed() >= 8, "acceptance floor");
+    assert_eq!(report.unserved, 0);
+    assert!(report.all_consistent());
+    assert_eq!(
+        report.incremental(),
+        8,
+        "every return migration must land on its stale replica"
+    );
+    // Every admitted migration is visible in the journal.
+    let ids = migration_ids(&records);
+    assert_eq!(ids.len(), 16);
+    assert_eq!(ids, (0..16).collect::<Vec<u64>>());
+}
+
+/// Satellite: seed determinism. Two runs with the same configuration
+/// produce byte-identical JSONL journals and identical reports.
+#[test]
+fn same_seed_runs_journal_byte_identically() {
+    let (report_a, records_a) = traced_run(acceptance_cfg());
+    let (report_b, records_b) = traced_run(acceptance_cfg());
+    assert_eq!(
+        to_jsonl(&records_a),
+        to_jsonl(&records_b),
+        "same seed must journal byte-identically"
+    );
+    let json_a = serde_json::to_string(&report_a).expect("report serializes");
+    let json_b = serde_json::to_string(&report_b).expect("report serializes");
+    assert_eq!(json_a, json_b, "same seed must report identically");
+
+    // A different seed must actually change the run (the determinism
+    // above is not vacuous).
+    let mut other = acceptance_cfg();
+    other.seed = 2009;
+    let (_, records_c) = traced_run(other);
+    assert_ne!(to_jsonl(&records_a), to_jsonl(&records_c));
+}
+
+/// Satellite: telemetry invariant. For every migration, the journal's
+/// phase spans reconstruct the record's total time and downtime
+/// *exactly* — both sides compute over the same journaled nanosecond
+/// instants.
+#[test]
+fn journal_spans_reconstruct_report_exactly() {
+    let (report, records) = traced_run(acceptance_cfg());
+    for r in &report.records {
+        assert!(r.completed, "migration {} failed", r.migration);
+
+        // Downtime is the Freeze span, to the nanosecond.
+        let freeze = migration_phase_span_nanos(&records, r.migration, Phase::Freeze)
+            .expect("freeze span journaled");
+        assert_eq!(freeze, r.downtime_nanos, "migration {}", r.migration);
+
+        // The four phases tile [start, finish] with no gaps: their spans
+        // sum to the record's total exactly.
+        let span = |p: Phase| {
+            migration_phase_span_nanos(&records, r.migration, p)
+                .unwrap_or_else(|| panic!("{p:?} span missing for migration {}", r.migration))
+        };
+        let total = span(Phase::DiskPrecopy)
+            + span(Phase::MemPrecopy)
+            + span(Phase::Freeze)
+            + span(Phase::PostCopy);
+        assert_eq!(
+            total,
+            r.finish_nanos - r.start_nanos,
+            "migration {}",
+            r.migration
+        );
+
+        // The derived-seconds view matches the record's own arithmetic.
+        let phases = reconstruct_migration_phases(&records, r.migration);
+        assert_eq!(phases.freeze_secs, r.downtime_nanos as f64 / 1e9);
+        assert_eq!(
+            phases.disk_precopy_secs,
+            span(Phase::DiskPrecopy) as f64 / 1e9
+        );
+    }
+}
