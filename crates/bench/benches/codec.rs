@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks for the migration wire codec: the bulk
+//! word paths and single-buffer framing of the zero-copy data plane.
+
+use block_bitmap::{ser, DirtyMap, FlatBitmap};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::SimRng;
+use simnet::codec;
+use simnet::proto::MigMessage;
+
+/// 40 GB disk at 4 KiB blocks.
+const NBITS: usize = 9_765_625;
+
+fn clustered_bitmap(dirty: usize, seed: u64) -> FlatBitmap {
+    let mut rng = SimRng::new(seed);
+    let mut bm = FlatBitmap::new(NBITS);
+    let clusters = (dirty / 512).max(1);
+    let per = dirty / clusters;
+    for _ in 0..clusters {
+        let start = rng.below((NBITS - per) as u64) as usize;
+        for i in start..start + per {
+            bm.set(i);
+        }
+    }
+    bm
+}
+
+fn bench_bitmap_frame(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec_bitmap_frame");
+    let bm = clustered_bitmap(360_000, 7);
+    g.bench_function("encode_framed_40g", |b| {
+        b.iter(|| {
+            let msg = MigMessage::Bitmap {
+                encoded: ser::encode_raw(black_box(&bm)).into(),
+            };
+            black_box(codec::encode_framed(&msg))
+        })
+    });
+    let msg = MigMessage::Bitmap {
+        encoded: ser::encode_raw(&bm).into(),
+    };
+    let framed = codec::encode_framed(&msg);
+    g.bench_function("decode_40g", |b| {
+        b.iter(|| black_box(codec::decode(&framed[4..]).expect("valid frame")))
+    });
+    g.finish();
+}
+
+fn bench_block_batches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec_diskblocks");
+    for &n in &[1_000usize, 100_000] {
+        let blocks: Vec<u64> = (0..n as u64).map(|i| i * 7).collect();
+        let msg = MigMessage::DiskBlocks {
+            payload_len: n as u64 * 4096,
+            blocks,
+            payload: None,
+        };
+        g.bench_with_input(BenchmarkId::new("encode_framed", n), &msg, |b, m| {
+            b.iter(|| black_box(codec::encode_framed(m)))
+        });
+        let framed = codec::encode_framed(&msg);
+        g.bench_with_input(BenchmarkId::new("decode", n), &framed, |b, f| {
+            b.iter(|| black_box(codec::decode(&f[4..]).expect("valid frame")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_frame_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec_stream");
+    let msgs: Vec<MigMessage> = (0..64u64)
+        .map(|i| MigMessage::DiskBlocks {
+            blocks: (i * 64..i * 64 + 64).collect(),
+            payload_len: 64 * 4096,
+            payload: None,
+        })
+        .collect();
+    g.bench_function("write_read_64_frames", |b| {
+        b.iter(|| {
+            let mut wire = Vec::new();
+            for m in &msgs {
+                codec::write_frame(&mut wire, m).expect("write");
+            }
+            let mut cursor = std::io::Cursor::new(&wire);
+            let mut n = 0usize;
+            while let Some(m) = codec::read_frame_or_eof(&mut cursor).expect("read") {
+                black_box(m);
+                n += 1;
+            }
+            assert_eq!(n, msgs.len());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bitmap_frame,
+    bench_block_batches,
+    bench_frame_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,329 @@
+//! Performance baseline harness: wall-clock p50/p99 per scenario,
+//! emitted as CI-comparable JSON (`BENCH_baseline.json`).
+//!
+//! Three scenario families cover the migration data plane end to end:
+//!
+//! * **bitmap** — word-batched `FlatBitmap` scans, unions and shard
+//!   extraction at the paper's 40 GB / 4 KiB scale (9,765,625 bits);
+//! * **codec** — wire encode/decode of bitmap and block-batch frames,
+//!   including a `*_naive` reference that re-creates the pre-overhaul
+//!   per-word copy path so the bulk-path speedup stays measurable;
+//! * **sim** — end-to-end three-phase migrations at paper scale, with
+//!   one and four transport streams.
+//!
+//! ```text
+//! perf_baseline [--out FILE] [--quick] [--verify-speedup]
+//! perf_baseline --compare BENCH_baseline.json [--threshold PCT] [--quick]
+//! ```
+//!
+//! `--compare` reruns every scenario and fails (exit 1) when a fresh p50
+//! regresses past `baseline_p50 * (1 + PCT/100)`. The default threshold
+//! is deliberately loose (75%): wall-clock on shared CI machines is
+//! noisy, and the gate is meant to catch algorithmic regressions (a
+//! copy-per-word slipping back in), not scheduler jitter.
+
+use std::hint::black_box;
+
+use block_bitmap::{ser, DirtyMap, FlatBitmap};
+use des::SimRng;
+use migrate::sim::run_tpm;
+use migrate::MigrationConfig;
+use serde::{Deserialize, Serialize};
+use simnet::codec;
+use simnet::proto::MigMessage;
+use workloads::WorkloadKind;
+
+/// 40 GB disk at 4 KiB blocks — the paper's testbed geometry.
+const NBITS: usize = 9_765_625;
+
+/// Minimum acceptable bulk-vs-naive speedup for the bitmap-frame encode
+/// path (`--verify-speedup`).
+const REQUIRED_SPEEDUP: f64 = 3.0;
+
+#[derive(Serialize, Deserialize)]
+struct ScenarioStat {
+    name: String,
+    iters: usize,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Baseline {
+    schema: String,
+    nbits: usize,
+    scenarios: Vec<ScenarioStat>,
+    /// p50(naive bitmap-frame encode) / p50(bulk bitmap-frame encode).
+    codec_bitmap_encode_speedup_vs_naive: f64,
+}
+
+/// Time `f` over `iters` iterations (after `warmup` untimed ones) and
+/// report order statistics of the per-iteration wall clock.
+fn measure<F: FnMut()>(name: &str, warmup: usize, iters: usize, mut f: F) -> ScenarioStat {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut ns: Vec<u64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = std::time::Instant::now();
+        f();
+        ns.push(t.elapsed().as_nanos() as u64);
+    }
+    ns.sort_unstable();
+    let p50 = ns[iters / 2];
+    let p99 = ns[((iters * 99) / 100).min(iters - 1)];
+    eprintln!("{name:<44} p50 {p50:>12} ns   p99 {p99:>12} ns   ({iters} iters)");
+    ScenarioStat {
+        name: name.to_string(),
+        iters,
+        p50_ns: p50,
+        p99_ns: p99,
+    }
+}
+
+/// Clustered dirty pattern at full map scale, like a real pre-copy
+/// iteration's write set (the paper's workloads dirty runs of blocks,
+/// not uniform noise).
+fn clustered_bitmap(dirty: usize, seed: u64) -> FlatBitmap {
+    let mut rng = SimRng::new(seed);
+    let mut bm = FlatBitmap::new(NBITS);
+    let clusters = (dirty / 512).max(1);
+    let per = dirty / clusters;
+    for _ in 0..clusters {
+        let start = rng.below((NBITS - per) as u64) as usize;
+        for i in start..start + per {
+            bm.set(i);
+        }
+    }
+    bm
+}
+
+/// The pre-overhaul bitmap-frame path, kept as a timing reference: one
+/// 8-byte extend per word into unreserved buffers, then body and frame
+/// assembled by separate concatenating copies.
+fn naive_bitmap_frame(bm: &FlatBitmap) -> Vec<u8> {
+    let mut encoded = Vec::new();
+    encoded.push(0u8);
+    encoded.extend_from_slice(&(bm.len() as u64).to_le_bytes());
+    for w in bm.words() {
+        encoded.extend_from_slice(&w.to_le_bytes());
+    }
+    let mut body = Vec::new();
+    body.push(4u8);
+    body.extend_from_slice(&(encoded.len() as u64).to_le_bytes());
+    body.extend_from_slice(&encoded);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+fn bulk_bitmap_frame(bm: &FlatBitmap) -> Vec<u8> {
+    let msg = MigMessage::Bitmap {
+        encoded: ser::encode_raw(bm).into(),
+    };
+    codec::encode_framed(&msg)
+}
+
+fn sim_scenario(streams: usize) -> MigrationConfig {
+    let mut cfg = MigrationConfig::paper_testbed();
+    cfg.streams = streams;
+    cfg.seed = 2008;
+    cfg
+}
+
+fn run_all(quick: bool) -> Baseline {
+    // `--quick` trades percentile stability for turnaround; the emitted
+    // JSON still has the same shape so compare mode works either way.
+    let scale = |iters: usize| if quick { (iters / 10).max(5) } else { iters };
+    let mut scenarios = Vec::new();
+
+    // --- bitmap family ------------------------------------------------
+    let a = clustered_bitmap(360_000, 11);
+    let b = clustered_bitmap(360_000, 13);
+    scenarios.push(measure("bitmap_count_ones_40g", 3, scale(2000), || {
+        black_box(a.count_ones());
+    }));
+    scenarios.push(measure("bitmap_next_set_scan_40g", 3, scale(400), || {
+        let mut n = 0usize;
+        let mut from = 0usize;
+        while let Some(i) = a.next_set_from(from) {
+            n += 1;
+            from = i + 1;
+        }
+        black_box(n);
+    }));
+    // Union into an already-unioned scratch: identical word traffic on
+    // every iteration without re-cloning the 1.2 MB map each time.
+    let mut scratch = a.clone();
+    scenarios.push(measure("bitmap_union_40g", 3, scale(1000), || {
+        scratch.union_with(&b);
+        black_box(scratch.count_ones());
+    }));
+    scenarios.push(measure(
+        "bitmap_shard_restrict_x4_40g",
+        3,
+        scale(400),
+        || {
+            for r in FlatBitmap::shard_bounds(NBITS, 4) {
+                black_box(a.restrict_to(r));
+            }
+        },
+    ));
+
+    // --- codec family -------------------------------------------------
+    let naive = measure("codec_bitmap_frame_encode_naive_40g", 3, scale(300), || {
+        black_box(naive_bitmap_frame(&a));
+    });
+    let bulk = measure("codec_bitmap_frame_encode_40g", 3, scale(300), || {
+        black_box(bulk_bitmap_frame(&a));
+    });
+    let speedup = naive.p50_ns as f64 / bulk.p50_ns.max(1) as f64;
+    eprintln!("codec bitmap-frame encode speedup vs naive: {speedup:.2}x");
+    let framed = bulk_bitmap_frame(&a);
+    scenarios.push(naive);
+    scenarios.push(bulk);
+    scenarios.push(measure(
+        "codec_bitmap_frame_decode_40g",
+        3,
+        scale(300),
+        || {
+            black_box(codec::decode(&framed[4..]).expect("valid frame"));
+        },
+    ));
+    let blocks: Vec<u64> = (0..100_000u64).map(|i| i * 7).collect();
+    let disk_msg = MigMessage::DiskBlocks {
+        payload_len: blocks.len() as u64 * 4096,
+        blocks,
+        payload: None,
+    };
+    let disk_framed = codec::encode_framed(&disk_msg);
+    scenarios.push(measure(
+        "codec_diskblocks_frame_encode_100k",
+        3,
+        scale(500),
+        || {
+            black_box(codec::encode_framed(&disk_msg));
+        },
+    ));
+    scenarios.push(measure(
+        "codec_diskblocks_frame_decode_100k",
+        3,
+        scale(500),
+        || {
+            black_box(codec::decode(&disk_framed[4..]).expect("valid frame"));
+        },
+    ));
+
+    // --- end-to-end sim family ----------------------------------------
+    let e2e = [
+        ("sim_tpm_web_streams1", WorkloadKind::Web, 1),
+        ("sim_tpm_web_streams4", WorkloadKind::Web, 4),
+        ("sim_tpm_idle_streams1", WorkloadKind::Idle, 1),
+        ("sim_tpm_diabolical_streams1", WorkloadKind::Diabolical, 1),
+    ];
+    for (name, kind, streams) in e2e {
+        let iters = if quick { 3 } else { 9 };
+        scenarios.push(measure(name, 1, iters, || {
+            let out = run_tpm(sim_scenario(streams), kind);
+            assert!(out.report.consistent, "{name}: migration inconsistent");
+            black_box(out.report.downtime_ms);
+        }));
+    }
+
+    Baseline {
+        schema: "bench-baseline-v1".to_string(),
+        nbits: NBITS,
+        scenarios,
+        codec_bitmap_encode_speedup_vs_naive: (speedup * 100.0).round() / 100.0,
+    }
+}
+
+fn compare(fresh: &Baseline, base: &Baseline, threshold_pct: f64) -> bool {
+    let mut ok = true;
+    for f in &fresh.scenarios {
+        let Some(b) = base.scenarios.iter().find(|b| b.name == f.name) else {
+            eprintln!("{:<44} NEW (not in baseline)", f.name);
+            continue;
+        };
+        let limit = b.p50_ns as f64 * (1.0 + threshold_pct / 100.0);
+        let delta = (f.p50_ns as f64 / b.p50_ns.max(1) as f64 - 1.0) * 100.0;
+        let verdict = if (f.p50_ns as f64) > limit {
+            ok = false;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "{:<44} p50 {:>12} ns vs baseline {:>12} ns  ({delta:+6.1}%)  {verdict}",
+            f.name, f.p50_ns, b.p50_ns
+        );
+    }
+    ok
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out: Option<String> = None;
+    let mut compare_path: Option<String> = None;
+    let mut threshold = 75.0f64;
+    let mut quick = false;
+    let mut verify_speedup = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = Some(args.next().expect("--out requires a file")),
+            "--compare" => compare_path = Some(args.next().expect("--compare requires a file")),
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold requires a percentage")
+            }
+            "--quick" => quick = true,
+            "--verify-speedup" => verify_speedup = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: perf_baseline [--out FILE] [--quick] [--verify-speedup]\n\
+                     \x20      perf_baseline --compare FILE [--threshold PCT] [--quick]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let fresh = run_all(quick);
+    if verify_speedup && fresh.codec_bitmap_encode_speedup_vs_naive < REQUIRED_SPEEDUP {
+        eprintln!(
+            "FAIL: bulk bitmap-frame encode is only {:.2}x the naive path (need >= {REQUIRED_SPEEDUP}x)",
+            fresh.codec_bitmap_encode_speedup_vs_naive
+        );
+        std::process::exit(1);
+    }
+
+    if let Some(path) = compare_path {
+        let data = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
+        let base: Baseline =
+            serde_json::from_str(&data).unwrap_or_else(|e| panic!("parsing {path}: {e}"));
+        eprintln!("--- comparing against {path} (threshold {threshold}%) ---");
+        if !compare(&fresh, &base, threshold) {
+            eprintln!("FAIL: at least one scenario regressed past the threshold");
+            std::process::exit(1);
+        }
+        eprintln!("all scenarios within threshold");
+        return;
+    }
+
+    let json = serde_json::to_string_pretty(&fresh).expect("baseline serializes");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("baseline written -> {path}");
+        }
+        None => println!("{json}"),
+    }
+}

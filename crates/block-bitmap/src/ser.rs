@@ -52,13 +52,22 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Words converted per batch in [`encode_raw`]: one stack buffer's worth
+/// of word→byte conversion per `extend_from_slice`, instead of a
+/// capacity check per word.
+const BULK_WORDS: usize = 32;
+
 /// Encode as raw little-endian words: `tag, nbits_le64, words…`.
 pub fn encode_raw(bm: &FlatBitmap) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER + bm.words().len() * 8);
     out.push(TAG_RAW);
     out.extend_from_slice(&(bm.len() as u64).to_le_bytes());
-    for w in bm.words() {
-        out.extend_from_slice(&w.to_le_bytes());
+    let mut chunk = [0u8; BULK_WORDS * 8];
+    for words in bm.words().chunks(BULK_WORDS) {
+        for (slot, w) in chunk.chunks_exact_mut(8).zip(words) {
+            slot.copy_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&chunk[..words.len() * 8]);
     }
     out
 }

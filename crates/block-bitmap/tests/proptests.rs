@@ -1,7 +1,7 @@
 //! Property-based tests: layered ≡ flat semantics, wire round-trips, and
 //! set-operation algebra.
 
-use block_bitmap::{ser, BlockMapper, DirtyMap, FlatBitmap, LayeredBitmap};
+use block_bitmap::{ser, AtomicBitmap, BlockMapper, DirtyMap, FlatBitmap, LayeredBitmap};
 use proptest::prelude::*;
 
 /// An arbitrary sequence of set/clear operations over a fixed bit space.
@@ -134,5 +134,62 @@ proptest! {
         for &i in &idxs { bm.set(i); }
         let expect = idxs.iter().copied().find(|&i| i >= from);
         prop_assert_eq!(bm.next_set_from(from), expect);
+    }
+
+    /// All three bitmap implementations agree on any op sequence. The bit
+    /// space (195 = 3×64+3) straddles word boundaries and leaves tail
+    /// bits in the final partial word, where masking bugs live.
+    #[test]
+    fn flat_layered_atomic_agree(ops in ops(195)) {
+        let mut flat = FlatBitmap::new(195);
+        let mut layered = LayeredBitmap::with_part_bits(195, 64);
+        let atomic = AtomicBitmap::new(195);
+        for op in &ops {
+            match *op {
+                Op::Set(i) => {
+                    let f = flat.set(i);
+                    prop_assert_eq!(f, layered.set(i));
+                    prop_assert_eq!(f, atomic.set(i));
+                }
+                Op::Clear(i) => {
+                    let f = flat.clear(i);
+                    prop_assert_eq!(f, layered.clear(i));
+                    prop_assert_eq!(f, atomic.clear(i));
+                }
+            }
+        }
+        prop_assert_eq!(flat.count_ones(), layered.count_ones());
+        prop_assert_eq!(flat.count_ones(), atomic.count_ones());
+        for i in 0..195 {
+            prop_assert_eq!(flat.get(i), layered.get(i));
+            prop_assert_eq!(flat.get(i), atomic.get(i));
+        }
+        // The atomic snapshot is the flat bitmap, exactly.
+        prop_assert_eq!(&atomic.snapshot(), &flat);
+        prop_assert_eq!(&layered.to_flat(), &flat);
+    }
+
+    /// Sharding partitions: restrict_to over shard_bounds yields disjoint
+    /// bitmaps whose union is the original, for any shard count.
+    #[test]
+    fn shards_partition_any_bitmap(
+        idxs in prop::collection::btree_set(0usize..1000, 0..120),
+        k in 1usize..9,
+    ) {
+        let mut bm = FlatBitmap::new(1000);
+        for &i in &idxs { bm.set(i); }
+        let shards: Vec<FlatBitmap> = FlatBitmap::shard_bounds(1000, k)
+            .into_iter()
+            .map(|r| bm.restrict_to(r))
+            .collect();
+        // Disjoint: per-shard counts sum to the total.
+        let total: usize = shards.iter().map(DirtyMap::count_ones).sum();
+        prop_assert_eq!(total, bm.count_ones());
+        // Union rebuilds the original.
+        let mut rebuilt = FlatBitmap::new(1000);
+        for s in &shards {
+            rebuilt.union_with(s);
+        }
+        prop_assert_eq!(rebuilt, bm);
     }
 }

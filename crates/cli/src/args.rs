@@ -7,11 +7,12 @@ use workloads::WorkloadKind;
 pub const USAGE: &str = "\
 usage:
   vmmigrate simulate   --workload KIND [--scale paper|ci] [--rate-limit MBPS]
-                       [--bitmap flat|layered] [--seed N] [--json]
+                       [--bitmap flat|layered] [--streams N] [--seed N] [--json]
                        [--trace-out FILE] [--metrics-out FILE]
   vmmigrate roundtrip  --workload KIND [--scale paper|ci] [--dwell SECS] [--json]
   vmmigrate live       [--blocks N] [--workload KIND] [--rate-limit MBPS]
-                       [--seed N] [--tcp] [--faults N] [--max-reconnects N]
+                       [--streams N] [--seed N] [--tcp] [--faults N]
+                       [--max-reconnects N]
                        [--trace-out FILE] [--metrics-out FILE]
   vmmigrate baselines  --workload KIND [--scale paper|ci] [--json]
   vmmigrate orchestrate [--hosts N] [--vms N] [--policy fifo|srdf|im-aware]
@@ -69,6 +70,8 @@ pub struct SimArgs {
     pub paper_scale: bool,
     pub rate_limit_mbps: Option<f64>,
     pub layered: bool,
+    /// Parallel disk data-plane streams (word-aligned bitmap shards).
+    pub streams: usize,
     pub seed: u64,
     pub dwell_secs: u64,
     pub json: bool,
@@ -85,6 +88,7 @@ impl Default for SimArgs {
             paper_scale: true,
             rate_limit_mbps: None,
             layered: false,
+            streams: 1,
             seed: 2008,
             dwell_secs: 1500,
             json: false,
@@ -100,6 +104,8 @@ pub struct LiveArgs {
     pub workload: WorkloadKind,
     pub blocks: usize,
     pub rate_limit_mbps: Option<f64>,
+    /// Parallel disk data-plane streams (word-aligned bitmap shards).
+    pub streams: usize,
     pub seed: u64,
     /// Run over real loopback TCP sockets instead of in-process channels.
     pub tcp: bool,
@@ -120,6 +126,7 @@ impl Default for LiveArgs {
             workload: WorkloadKind::Web,
             blocks: 65_536,
             rate_limit_mbps: None,
+            streams: 1,
             seed: 2008,
             tcp: false,
             faults: 0,
@@ -268,6 +275,14 @@ fn parse_sim(rest: &[String]) -> Result<SimArgs, String> {
                     other => return Err(format!("unknown bitmap kind '{other}'")),
                 }
             }
+            "--streams" => {
+                a.streams = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "streams must be an integer".to_string())?;
+                if a.streams == 0 {
+                    return Err("streams must be at least 1".into());
+                }
+            }
             "--seed" => {
                 a.seed = need(&mut it, flag)?
                     .parse()
@@ -306,6 +321,14 @@ fn parse_live(rest: &[String]) -> Result<LiveArgs, String> {
                     .parse()
                     .map_err(|_| "rate limit must be a number (MB/s)".to_string())?;
                 a.rate_limit_mbps = Some(v);
+            }
+            "--streams" => {
+                a.streams = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "streams must be an integer".to_string())?;
+                if a.streams == 0 {
+                    return Err("streams must be at least 1".into());
+                }
             }
             "--seed" => {
                 a.seed = need(&mut it, flag)?
@@ -427,6 +450,23 @@ mod tests {
     }
 
     #[test]
+    fn parses_streams_flag() {
+        let Cmd::Simulate(a) = parse(&v(&["simulate", "--streams", "4"])).expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert_eq!(a.streams, 4);
+        let Cmd::Live(a) = parse(&v(&["live", "--streams", "8"])).expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert_eq!(a.streams, 8);
+        // Default is the classic single stream.
+        let Cmd::Simulate(d) = parse(&v(&["simulate"])).expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert_eq!(d.streams, 1);
+    }
+
+    #[test]
     fn defaults_apply() {
         let Cmd::Roundtrip(a) = parse(&v(&["roundtrip"])).expect("valid") else {
             panic!("wrong cmd")
@@ -443,6 +483,8 @@ mod tests {
         assert!(parse(&v(&["simulate", "--workload", "nope"])).is_err());
         assert!(parse(&v(&["simulate", "--rate-limit", "-3"])).is_err());
         assert!(parse(&v(&["simulate", "--rate-limit"])).is_err());
+        assert!(parse(&v(&["simulate", "--streams", "0"])).is_err());
+        assert!(parse(&v(&["live", "--streams", "zero"])).is_err());
         assert!(parse(&v(&["live", "--blocks", "10"])).is_err());
         assert!(parse(&v(&["live", "--faults", "5", "--max-reconnects", "2"])).is_err());
         assert!(parse(&v(&["trace"])).is_err());

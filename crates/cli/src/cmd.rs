@@ -68,6 +68,7 @@ fn config_for(a: &SimArgs) -> MigrationConfig {
         BitmapKind::Flat
     };
     cfg.seed = a.seed;
+    cfg.streams = a.streams;
     cfg
 }
 
@@ -232,6 +233,7 @@ fn run_live(a: LiveArgs) -> Result<(), String> {
         num_blocks: a.blocks,
         workload: a.workload,
         rate_limit: a.rate_limit_mbps.map(|m| m * MB),
+        streams: a.streams,
         seed: a.seed,
         retry: RetryPolicy {
             max_reconnects: a.max_reconnects,

@@ -99,6 +99,7 @@ impl BaselineWorld {
             io_blocked_secs: 0.0,
             residual_blocks: 0,
             redundant_deltas: 0,
+            stream_blocks: Vec::new(),
             consistent: false,
         }
     }

@@ -105,6 +105,14 @@ pub struct MigrationConfig {
     pub postcopy_fixed_overhead: SimDuration,
     /// Which bitmap implementation the tracker uses.
     pub bitmap: BitmapKind,
+    /// Parallel transport streams for the disk data plane. The block
+    /// range is sharded into this many contiguous word-aligned
+    /// [`block_bitmap::FlatBitmap`] shards; each stream drains its own
+    /// shard, interleaved round-robin. Aggregate bandwidth, ledger
+    /// accounting, and downtime are identical to a single stream under
+    /// the same seed — sharding changes *which* block crosses next, never
+    /// how many cross per step.
+    pub streams: usize,
     /// RNG seed — every run with the same config and seed is
     /// bit-identical.
     pub seed: u64,
@@ -137,6 +145,7 @@ impl MigrationConfig {
             resume_overhead: SimDuration::from_millis(25),
             postcopy_fixed_overhead: SimDuration::from_millis(300),
             bitmap: BitmapKind::Flat,
+            streams: 1,
             seed: 2008,
             postcopy_horizon: SimDuration::from_secs(3600),
         }
@@ -193,6 +202,7 @@ impl MigrationConfig {
             self.max_disk_iterations >= 1,
             "need at least one disk pre-copy iteration"
         );
+        assert!(self.streams >= 1, "need at least one transport stream");
         if let Some(l) = self.rate_limit {
             assert!(l > 0.0, "rate limit must be positive");
         }
@@ -229,6 +239,16 @@ mod tests {
     fn zero_disk_rejected() {
         let c = MigrationConfig {
             disk_blocks: 0,
+            ..MigrationConfig::small()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transport stream")]
+    fn zero_streams_rejected() {
+        let c = MigrationConfig {
+            streams: 0,
             ..MigrationConfig::small()
         };
         c.validate();

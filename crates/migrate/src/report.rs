@@ -88,6 +88,10 @@ pub struct MigrationReport {
     /// already-forwarded block (delta-queue baseline only; structurally
     /// zero for TPM's bitmap).
     pub redundant_deltas: u64,
+    /// Disk pre-copy blocks carried by each parallel stream (one entry
+    /// per stream; a single entry for the classic one-stream data plane,
+    /// empty for baselines that never shard).
+    pub stream_blocks: Vec<u64>,
     /// Whether the destination state verified equal to the source state
     /// (modulo post-resume guest writes).
     pub consistent: bool,
@@ -285,6 +289,7 @@ mod tests {
             io_blocked_secs: 0.0,
             residual_blocks: 0,
             redundant_deltas: 0,
+            stream_blocks: vec![10_485_760 + 6_618 + 62],
             consistent: true,
         }
     }

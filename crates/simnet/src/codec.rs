@@ -22,6 +22,12 @@ pub enum CodecError {
     Malformed(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// The peer closed the stream on a frame boundary. Surfaced by
+    /// [`read_frame`] so callers that treat any EOF as an error still get
+    /// a typed value instead of a synthesized `UnexpectedEof`; callers
+    /// that want to treat a clean close as end-of-session should prefer
+    /// [`read_frame_or_eof`].
+    CleanEof,
 }
 
 impl std::fmt::Display for CodecError {
@@ -29,6 +35,7 @@ impl std::fmt::Display for CodecError {
         match self {
             Self::Malformed(m) => write!(f, "malformed frame: {m}"),
             Self::Io(e) => write!(f, "i/o: {e}"),
+            Self::CleanEof => write!(f, "stream closed on a frame boundary"),
         }
     }
 }
@@ -57,6 +64,11 @@ const T_COMPLETE_ACK: u8 = 13;
 const T_HELLO: u8 = 14;
 const T_RESUME_FROM: u8 = 15;
 
+/// Words converted per batch in the bulk [`Writer::u64s`] path: large
+/// enough for the inner loop to vectorize, small enough to live on the
+/// stack.
+const BULK_WORDS: usize = 32;
+
 struct Writer {
     buf: Vec<u8>,
 }
@@ -72,13 +84,22 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
     fn bytes(&mut self, b: &[u8]) {
+        self.buf.reserve(8 + b.len());
         self.u64(b.len() as u64);
         self.buf.extend_from_slice(b);
     }
     fn u64s(&mut self, v: &[u64]) {
+        // One reserve up front, then batched word→byte conversion: a
+        // per-element `extend_from_slice` re-checks capacity on every
+        // word, which dominates encode time for bitmap-scale runs.
+        self.buf.reserve(8 + v.len() * 8);
         self.u64(v.len() as u64);
-        for x in v {
-            self.u64(*x);
+        let mut chunk = [0u8; BULK_WORDS * 8];
+        for words in v.chunks(BULK_WORDS) {
+            for (slot, w) in chunk.chunks_exact_mut(8).zip(words) {
+                slot.copy_from_slice(&w.to_le_bytes());
+            }
+            self.buf.extend_from_slice(&chunk[..words.len() * 8]);
         }
     }
     fn opt_bytes(&mut self, b: &Option<Bytes>) {
@@ -137,7 +158,16 @@ impl<'a> Reader<'a> {
         if n > MAX_FRAME as usize / 8 {
             return Err(CodecError::Malformed(format!("u64 run of {n}")));
         }
-        (0..n).map(|_| self.u64()).collect()
+        // Bounds-check the whole run once, then convert in place: the
+        // per-element `u64()` path pays a length check per word.
+        let raw = self.take(n * 8)?;
+        let mut out = Vec::with_capacity(n);
+        for c in raw.chunks_exact(8) {
+            out.push(u64::from_le_bytes([
+                c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+            ]));
+        }
+        Ok(out)
     }
     fn opt_bytes(&mut self) -> Result<Option<Bytes>, CodecError> {
         match self.u8()? {
@@ -159,7 +189,64 @@ impl<'a> Reader<'a> {
 
 /// Encode a message to its wire bytes (without the outer length prefix).
 pub fn encode(msg: &MigMessage) -> Vec<u8> {
-    let mut w = Writer { buf: Vec::new() };
+    let mut w = Writer {
+        buf: Vec::with_capacity(body_size_hint(msg)),
+    };
+    encode_body(&mut w, msg);
+    w.buf
+}
+
+/// Encode a message as one contiguous length-prefixed frame: the 4-byte
+/// LE prefix and the body share a single allocation, so the transport
+/// can hand the whole frame to the OS in one write.
+///
+/// # Panics
+/// Panics when the encoded body exceeds [`MAX_FRAME`].
+pub fn encode_framed(msg: &MigMessage) -> Vec<u8> {
+    let mut w = Writer {
+        buf: Vec::with_capacity(4 + body_size_hint(msg)),
+    };
+    w.buf.extend_from_slice(&[0u8; 4]);
+    encode_body(&mut w, msg);
+    let body_len = w.buf.len() - 4;
+    assert!(body_len <= MAX_FRAME as usize, "frame too large");
+    w.buf[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    w.buf
+}
+
+/// Close-enough capacity estimate for a message's encoded body, so the
+/// encoder allocates once. Payload bytes dominate real frames; the fixed
+/// slack covers tags and lengths for every variant.
+fn body_size_hint(msg: &MigMessage) -> usize {
+    let variable = match msg {
+        MigMessage::DiskBlocks {
+            blocks, payload, ..
+        } => blocks.len() * 8 + payload.as_ref().map_or(0, Bytes::len),
+        MigMessage::MemPages { pages, payload, .. } => {
+            pages.len() * 8 + payload.as_ref().map_or(0, Bytes::len)
+        }
+        MigMessage::CpuState { payload, .. } => payload.as_ref().map_or(0, Bytes::len),
+        MigMessage::Bitmap { encoded } => encoded.len(),
+        MigMessage::PostCopyBlock { payload, .. } => payload.as_ref().map_or(0, Bytes::len),
+        MigMessage::ResumeFrom {
+            disk_bitmap,
+            mem_bitmap,
+            ..
+        } => disk_bitmap.len() + mem_bitmap.len(),
+        MigMessage::PrepareVbd { .. }
+        | MigMessage::PrepareAck
+        | MigMessage::Suspended
+        | MigMessage::Resumed
+        | MigMessage::PullRequest { .. }
+        | MigMessage::PushComplete
+        | MigMessage::MigrationComplete
+        | MigMessage::CompleteAck
+        | MigMessage::SessionHello { .. } => 0,
+    };
+    variable + 64
+}
+
+fn encode_body(w: &mut Writer, msg: &MigMessage) {
     match msg {
         MigMessage::PrepareVbd {
             block_size,
@@ -242,7 +329,6 @@ pub fn encode(msg: &MigMessage) -> Vec<u8> {
             w.bytes(mem_bitmap);
         }
     }
-    w.buf
 }
 
 /// Decode a message from its wire bytes.
@@ -308,24 +394,26 @@ pub fn decode(buf: &[u8]) -> Result<MigMessage, CodecError> {
     Ok(msg)
 }
 
-/// Write one length-prefixed frame to a stream.
+/// Write one length-prefixed frame to a stream as a single contiguous
+/// write — prefix and body never split across `write_all` calls, so an
+/// unbuffered TCP stream issues one syscall per frame.
+///
+/// # Panics
+/// Panics when the encoded body exceeds [`MAX_FRAME`].
 pub fn write_frame(w: &mut impl Write, msg: &MigMessage) -> Result<(), CodecError> {
-    let body = encode(msg);
-    assert!(body.len() <= MAX_FRAME as usize, "frame too large");
-    w.write_all(&(body.len() as u32).to_le_bytes())?;
-    w.write_all(&body)?;
+    let frame = encode_framed(msg);
+    w.write_all(&frame)?;
     w.flush()?;
     Ok(())
 }
 
-/// Read one length-prefixed frame from a stream.
+/// Read one length-prefixed frame from a stream. A peer that closes on a
+/// frame boundary surfaces as the typed [`CodecError::CleanEof`]; use
+/// [`read_frame_or_eof`] to treat that close as a normal end-of-session.
 pub fn read_frame(r: &mut impl Read) -> Result<MigMessage, CodecError> {
     match read_frame_or_eof(r)? {
         Some(msg) => Ok(msg),
-        None => Err(CodecError::Io(std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
-            "stream closed",
-        ))),
+        None => Err(CodecError::CleanEof),
     }
 }
 
@@ -492,9 +580,35 @@ mod tests {
             Err(CodecError::Malformed(_))
         ));
 
-        // The plain reader maps clean EOF to an UnexpectedEof I/O error.
+        // The plain reader maps clean EOF to the typed variant.
         let mut cursor = std::io::Cursor::new(Vec::new());
-        assert!(matches!(read_frame(&mut cursor), Err(CodecError::Io(_))));
+        assert!(matches!(read_frame(&mut cursor), Err(CodecError::CleanEof)));
+    }
+
+    #[test]
+    fn framed_encoding_is_prefix_plus_body() {
+        for msg in all_messages() {
+            let body = encode(&msg);
+            let framed = encode_framed(&msg);
+            assert_eq!(&framed[..4], (body.len() as u32).to_le_bytes());
+            assert_eq!(&framed[4..], &body[..]);
+        }
+    }
+
+    #[test]
+    fn bulk_u64_runs_roundtrip_across_chunk_boundaries() {
+        // Lengths straddling the bulk-conversion chunk size, including a
+        // bitmap-scale run, must decode to exactly what was encoded.
+        for n in [0usize, 1, 31, 32, 33, 63, 64, 65, 100_000] {
+            let blocks: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+            let msg = MigMessage::DiskBlocks {
+                blocks,
+                payload_len: 0,
+                payload: None,
+            };
+            let back = decode(&encode(&msg)).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            assert_eq!(back, msg, "n={n}");
+        }
     }
 
     #[test]

@@ -73,7 +73,11 @@ impl TcpTransport {
             drop(tx);
         });
         Ok(Self {
-            writer: Mutex::new(BufWriter::new(stream)),
+            // Sized to hold a full block batch (batch × 4 KiB) so small
+            // control frames coalesce with data frames; `write_frame`
+            // flushes per frame, and frames larger than the buffer
+            // bypass it entirely (one contiguous write either way).
+            writer: Mutex::new(BufWriter::with_capacity(256 * 1024, stream)),
             incoming: rx,
             reader_exit,
             sent: Arc::new(Mutex::new(TransferLedger::new())),

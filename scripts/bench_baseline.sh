@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Record the repo's performance baseline.
+#
+# Compiles the criterion suite, runs the perf_baseline harness over every
+# scenario family (bitmap scans, codec encode/decode, end-to-end sim
+# migrations), verifies the bulk codec path keeps its >= 3x lead over the
+# per-word reference, and writes p50/p99 per scenario to
+# BENCH_baseline.json at the repo root.
+#
+#   scripts/bench_baseline.sh [--quick]
+#
+# --quick cuts iteration counts ~10x for a fast smoke run; don't check in
+# a baseline produced with it. Compare later runs against the recorded
+# file with scripts/bench_compare.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_baseline.json}"
+QUICK=()
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=(--quick) ;;
+    *) echo "usage: $0 [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== criterion suite compiles =="
+cargo bench --no-run --locked
+
+echo "== perf baseline -> $OUT =="
+cargo run --release -q -p bench-suite --bin perf_baseline -- \
+  --verify-speedup "${QUICK[@]}" --out "$OUT"
+
+echo "baseline recorded in $OUT"

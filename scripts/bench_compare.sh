@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Compare a fresh perf run against the checked-in baseline.
+#
+#   scripts/bench_compare.sh [BASELINE] [--full]
+#
+# Reruns every perf_baseline scenario (quick iterations by default; pass
+# --full for baseline-grade counts) and fails when any scenario's p50
+# regresses more than BENCH_THRESHOLD percent past the recorded p50.
+#
+#   BENCH_THRESHOLD   allowed p50 regression in percent (default 75 —
+#                     loose on purpose: the gate is for algorithmic
+#                     regressions, not shared-runner jitter)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="BENCH_baseline.json"
+MODE=(--quick)
+for arg in "$@"; do
+  case "$arg" in
+    --full) MODE=() ;;
+    -*) echo "usage: $0 [BASELINE] [--full]" >&2; exit 2 ;;
+    *) BASELINE="$arg" ;;
+  esac
+done
+THRESHOLD="${BENCH_THRESHOLD:-75}"
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "no baseline at $BASELINE — record one with scripts/bench_baseline.sh" >&2
+  exit 2
+fi
+
+cargo run --release -q -p bench-suite --bin perf_baseline -- \
+  --compare "$BASELINE" --threshold "$THRESHOLD" "${MODE[@]}"

@@ -12,6 +12,11 @@ cargo build --release --locked
 echo "== tier-1: workspace tests =="
 cargo test -q --workspace --locked
 
+echo "== tier-1: benches compile =="
+# Bit-rot guard only: compiles every [[bench]] target (and bin deps)
+# without running them. Timing runs live in scripts/bench_baseline.sh.
+cargo bench --no-run --locked
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
 
