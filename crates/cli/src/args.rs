@@ -8,15 +8,17 @@ pub const USAGE: &str = "\
 usage:
   vmmigrate simulate   --workload KIND [--scale paper|ci] [--rate-limit MBPS]
                        [--bitmap flat|layered] [--streams N] [--seed N] [--json]
+                       [--no-dedup] [--no-compress]
                        [--trace-out FILE] [--metrics-out FILE]
   vmmigrate roundtrip  --workload KIND [--scale paper|ci] [--dwell SECS] [--json]
   vmmigrate live       [--blocks N] [--workload KIND] [--rate-limit MBPS]
                        [--streams N] [--seed N] [--tcp] [--faults N]
-                       [--max-reconnects N]
+                       [--max-reconnects N] [--no-dedup] [--no-compress]
                        [--trace-out FILE] [--metrics-out FILE]
   vmmigrate baselines  --workload KIND [--scale paper|ci] [--json]
   vmmigrate orchestrate [--hosts N] [--vms N] [--policy fifo|srdf|im-aware]
                        [--blocks N] [--seed N] [--faults N] [--dwell SECS]
+                       [--no-dedup]
                        [--json] [--trace-out FILE] [--metrics-out FILE]
   vmmigrate trace record  --workload KIND --secs N --out FILE
   vmmigrate trace analyze FILE
@@ -32,7 +34,13 @@ second wave ships only bitmap diffs).
 --trace-out writes the telemetry event journal (JSONL) and prints a phase
 summary; --metrics-out writes a JSON metrics snapshot. Either flag enables
 the recorder; without them telemetry stays disabled (a single relaxed
-atomic load per call site).";
+atomic load per call site).
+
+Content-aware transfer is on by default: blocks the destination provably
+already holds cross as 16-byte references (dedup), and residual full
+blocks are compressed on the wire. --no-dedup / --no-compress restore the
+classic data plane exactly (bit-identical reports); --dedup / --compress
+re-enable after a --no-* earlier on the command line.";
 
 /// Parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +80,10 @@ pub struct SimArgs {
     pub layered: bool,
     /// Parallel disk data-plane streams (word-aligned bitmap shards).
     pub streams: usize,
+    /// Content-addressed dedup (on by default; `--no-dedup` disables).
+    pub dedup: bool,
+    /// Wire compression for residual full blocks (`--no-compress` disables).
+    pub compress: bool,
     pub seed: u64,
     pub dwell_secs: u64,
     pub json: bool,
@@ -89,6 +101,8 @@ impl Default for SimArgs {
             rate_limit_mbps: None,
             layered: false,
             streams: 1,
+            dedup: true,
+            compress: true,
             seed: 2008,
             dwell_secs: 1500,
             json: false,
@@ -106,6 +120,10 @@ pub struct LiveArgs {
     pub rate_limit_mbps: Option<f64>,
     /// Parallel disk data-plane streams (word-aligned bitmap shards).
     pub streams: usize,
+    /// Content-addressed dedup (on by default; `--no-dedup` disables).
+    pub dedup: bool,
+    /// Wire compression for residual full blocks (`--no-compress` disables).
+    pub compress: bool,
     pub seed: u64,
     /// Run over real loopback TCP sockets instead of in-process channels.
     pub tcp: bool,
@@ -127,6 +145,8 @@ impl Default for LiveArgs {
             blocks: 65_536,
             rate_limit_mbps: None,
             streams: 1,
+            dedup: true,
+            compress: true,
             seed: 2008,
             tcp: false,
             faults: 0,
@@ -144,6 +164,9 @@ pub struct OrchArgs {
     pub vms: usize,
     pub policy: Policy,
     pub blocks: usize,
+    /// Content-addressed dedup in the cluster data plane (`--no-dedup`
+    /// disables; byte accounting only, pacing is unchanged).
+    pub dedup: bool,
     pub seed: u64,
     /// Seeded connection resets injected per migration stream.
     pub faults: u32,
@@ -163,6 +186,7 @@ impl Default for OrchArgs {
             vms: 8,
             policy: Policy::ImAware,
             blocks: 65_536,
+            dedup: true,
             seed: 2008,
             faults: 0,
             dwell_secs: 30,
@@ -222,6 +246,8 @@ fn parse_orch(rest: &[String]) -> Result<OrchArgs, String> {
                     .parse()
                     .map_err(|_| "dwell must be an integer (seconds)".to_string())?
             }
+            "--dedup" => a.dedup = true,
+            "--no-dedup" => a.dedup = false,
             "--json" => a.json = true,
             "--trace-out" => a.trace_out = Some(need(&mut it, flag)?.clone()),
             "--metrics-out" => a.metrics_out = Some(need(&mut it, flag)?.clone()),
@@ -293,6 +319,10 @@ fn parse_sim(rest: &[String]) -> Result<SimArgs, String> {
                     .parse()
                     .map_err(|_| "dwell must be an integer (seconds)".to_string())?
             }
+            "--dedup" => a.dedup = true,
+            "--no-dedup" => a.dedup = false,
+            "--compress" => a.compress = true,
+            "--no-compress" => a.compress = false,
             "--json" => a.json = true,
             "--trace-out" => a.trace_out = Some(need(&mut it, flag)?.clone()),
             "--metrics-out" => a.metrics_out = Some(need(&mut it, flag)?.clone()),
@@ -335,6 +365,10 @@ fn parse_live(rest: &[String]) -> Result<LiveArgs, String> {
                     .parse()
                     .map_err(|_| "seed must be an integer".to_string())?
             }
+            "--dedup" => a.dedup = true,
+            "--no-dedup" => a.dedup = false,
+            "--compress" => a.compress = true,
+            "--no-compress" => a.compress = false,
             "--tcp" => a.tcp = true,
             "--faults" => {
                 a.faults = need(&mut it, flag)?
@@ -509,6 +543,46 @@ mod tests {
         assert!(a.tcp);
         assert_eq!(a.trace_out, None);
         assert_eq!(a.metrics_out, None);
+    }
+
+    #[test]
+    fn parses_content_aware_flags() {
+        // Defaults: both on, everywhere.
+        let Cmd::Simulate(d) = parse(&v(&["simulate"])).expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert!(d.dedup && d.compress);
+        let Cmd::Live(d) = parse(&v(&["live"])).expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert!(d.dedup && d.compress);
+        let Cmd::Orchestrate(d) = parse(&v(&["orchestrate"])).expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert!(d.dedup);
+        // Escape hatches.
+        let Cmd::Simulate(a) =
+            parse(&v(&["simulate", "--no-dedup", "--no-compress"])).expect("valid")
+        else {
+            panic!("wrong cmd")
+        };
+        assert!(!a.dedup && !a.compress);
+        let Cmd::Live(a) = parse(&v(&["live", "--no-compress"])).expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert!(a.dedup && !a.compress);
+        let Cmd::Orchestrate(a) = parse(&v(&["orchestrate", "--no-dedup"])).expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert!(!a.dedup);
+        // Last flag wins, so scripts can append overrides.
+        let Cmd::Simulate(a) = parse(&v(&["simulate", "--no-dedup", "--dedup"])).expect("valid")
+        else {
+            panic!("wrong cmd")
+        };
+        assert!(a.dedup);
+        // orchestrate has no compression model.
+        assert!(parse(&v(&["orchestrate", "--no-compress"])).is_err());
     }
 
     #[test]

@@ -69,6 +69,8 @@ fn config_for(a: &SimArgs) -> MigrationConfig {
     };
     cfg.seed = a.seed;
     cfg.streams = a.streams;
+    cfg.dedup = a.dedup;
+    cfg.compress = a.compress;
     cfg
 }
 
@@ -180,6 +182,7 @@ fn run_orchestrate(a: OrchArgs) -> Result<(), String> {
     cfg.disk_blocks = a.blocks;
     cfg.seed = a.seed;
     cfg.fault_resets = a.faults;
+    cfg.dedup = a.dedup;
     let scenario = Scenario::two_wave(&cfg, SimDuration::from_secs(a.dwell_secs));
     let recorder = rec.clone().unwrap_or_else(Recorder::off);
     let mut orch = Orchestrator::new(cfg, a.policy, recorder).map_err(|e| e.to_string())?;
@@ -234,6 +237,8 @@ fn run_live(a: LiveArgs) -> Result<(), String> {
         workload: a.workload,
         rate_limit: a.rate_limit_mbps.map(|m| m * MB),
         streams: a.streams,
+        dedup: a.dedup,
+        compress: a.compress,
         seed: a.seed,
         retry: RetryPolicy {
             max_reconnects: a.max_reconnects,
@@ -279,6 +284,16 @@ fn run_live(a: LiveArgs) -> Result<(), String> {
         out.dropped,
         out.src_ledger.total() as f64 / MB
     );
+    if out.wire.blocks_deduped > 0 || out.wire.blocks_compressed > 0 {
+        println!(
+            "content-aware: {:.1} MB raw -> {:.1} MB sent ({:.1}% off the wire; {} deduped, {} compressed)",
+            out.wire.bytes_raw as f64 / MB,
+            out.wire.bytes_sent as f64 / MB,
+            out.wire.reduction_pct(),
+            out.wire.blocks_deduped,
+            out.wire.blocks_compressed,
+        );
+    }
     if let Some(r) = &rec {
         export_telemetry(r, &a.trace_out, &a.metrics_out)?;
     }

@@ -91,6 +91,7 @@ impl BaselineWorld {
             downtime_ms: 0.0,
             disruption_secs: 0.0,
             ledger: TransferLedger::new(),
+            wire: Default::default(),
             disk_iterations: Vec::new(),
             mem_iterations: Vec::new(),
             postcopy: PostCopyStats::default(),

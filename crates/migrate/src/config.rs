@@ -113,6 +113,17 @@ pub struct MigrationConfig {
     /// the same seed — sharding changes *which* block crosses next, never
     /// how many cross per step.
     pub streams: usize,
+    /// Content-addressed transfer: ship a 16-byte reference instead of a
+    /// full block whenever the destination provably already holds the
+    /// identical content (template clones, blocks re-sent unchanged).
+    /// With dedup off — or when no block qualifies — the data plane is
+    /// bit-identical to the classic one, floats and all.
+    pub dedup: bool,
+    /// Model wire compression of residual full-block payloads. The
+    /// simulation carries no real bytes, so this affects only the
+    /// `wire.*` accounting (a fixed 2:1 modeled ratio); ledger bytes and
+    /// timing are unchanged.
+    pub compress: bool,
     /// RNG seed — every run with the same config and seed is
     /// bit-identical.
     pub seed: u64,
@@ -146,6 +157,8 @@ impl MigrationConfig {
             postcopy_fixed_overhead: SimDuration::from_millis(300),
             bitmap: BitmapKind::Flat,
             streams: 1,
+            dedup: true,
+            compress: true,
             seed: 2008,
             postcopy_horizon: SimDuration::from_secs(3600),
         }

@@ -237,8 +237,27 @@ impl DriverHandle {
                             let b = block as usize;
                             let data = target.read(b);
                             res.reads += 1;
-                            let expect = model.get(&b).copied().unwrap_or(0);
-                            if data != stamp_bytes(b, expect, block_size) {
+                            let ok = match model.get(&b) {
+                                // Read-your-writes: the guest's own last
+                                // write must be exactly what comes back.
+                                Some(&expect) => data == stamp_bytes(b, expect, block_size),
+                                // Never written by this guest: the block
+                                // carries whatever image the run started
+                                // from (an incremental migration inherits
+                                // a prior run's stamps), which the driver
+                                // cannot know. It must still be a
+                                // well-formed stamp block for THIS index
+                                // — zeroed, torn, or misdirected content
+                                // all fail here.
+                                None if block_size >= 16 => {
+                                    let stamp = u64::from_le_bytes(
+                                        data[8..16].try_into().unwrap_or([0; 8]),
+                                    );
+                                    data == stamp_bytes(b, stamp, block_size)
+                                }
+                                None => data == stamp_bytes(b, 0, block_size),
+                            };
+                            if !ok {
                                 res.read_violations += 1;
                             }
                         }

@@ -24,11 +24,14 @@ use block_bitmap::{ser, AtomicBitmap, DirtyMap, FlatBitmap};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use des::SimDuration;
+use simnet::codec::{compress_blocks, decompress_blocks};
 use simnet::fault::FaultPlan;
-use simnet::proto::{MigMessage, ResumePhase, TransferLedger};
+use simnet::proto::{MigMessage, ResumePhase, TransferLedger, WireStats, BLOCK_REF_WIRE};
 use simnet::transport::{Transport, TransportError};
 use telemetry::{Event, Phase, Recorder, Resource, Side};
-use vdisk::{stamp_bytes, DomainId, TrackedDisk, TrackerHandle, VirtualDisk};
+use vdisk::{
+    hash_block, stamp_bytes, ContentIndex, DomainId, TrackedDisk, TrackerHandle, VirtualDisk,
+};
 use vmstate::LiveRam;
 use workloads::WorkloadKind;
 
@@ -89,6 +92,12 @@ pub struct LiveConfig {
     /// dirties blocks into the freeze bitmap (deterministic
     /// `frozen_dirty > 0` instead of racing the guest thread).
     pub min_guest_ticks: u64,
+    /// Offer content-addressed block dedup to the destination. A session
+    /// runs dedup only when both sides agree (the destination echoes its
+    /// acceptance in [`MigMessage::ResumeFrom`]).
+    pub dedup: bool,
+    /// Offer per-block compression for residual full-block sends.
+    pub compress: bool,
     /// Transport failure recovery policy.
     pub retry: RetryPolicy,
     /// Telemetry sink for the run. Defaults to a disabled recorder, whose
@@ -119,6 +128,8 @@ impl LiveConfig {
             streams: 1,
             seed: 2008,
             min_guest_ticks: 0,
+            dedup: true,
+            compress: true,
             retry: RetryPolicy::default(),
             telemetry: Recorder::off(),
         }
@@ -154,6 +165,9 @@ pub struct LiveOutcome {
     /// destination's still-needed bitmap during post-copy. Each entry far
     /// below `num_blocks` is the resume-efficiency win over restarting.
     pub resume_owed: Vec<u64>,
+    /// Source-side wire savings from dedup and compression: raw disk
+    /// bytes that would have crossed versus what actually did.
+    pub wire: WireStats,
     /// Bytes sent by the source, per category.
     pub src_ledger: TransferLedger,
     /// Bytes sent by the destination (pull requests, completion).
@@ -404,6 +418,7 @@ where
         stalled_reads: dst_res.stalled_reads,
         reconnects: src_res.reconnects,
         resume_owed: src_res.resume_owed,
+        wire: src_res.wire,
         src_ledger: src_res.ledger,
         dst_ledger: dst_res.ledger,
         dst_disk: dst,
@@ -426,6 +441,12 @@ where
             .set(u64::try_from(outcome.downtime.as_nanos()).unwrap_or(u64::MAX));
         m.gauge("live.src_bytes_total")
             .set(outcome.src_ledger.total());
+        m.counter("wire.bytes_raw").add(outcome.wire.bytes_raw);
+        m.counter("wire.bytes_sent").add(outcome.wire.bytes_sent);
+        m.counter("wire.blocks_deduped")
+            .add(outcome.wire.blocks_deduped);
+        m.counter("wire.blocks_compressed")
+            .add(outcome.wire.blocks_compressed);
         m.histogram("live.iteration_blocks")
             .observe_all(outcome.iterations.iter().copied());
     }
@@ -554,6 +575,111 @@ fn interleave_streams(
     out
 }
 
+/// Per-session wire-optimization state on the source side: the
+/// negotiated dedup/compress agreement, the source's view of which
+/// fingerprints the destination can resolve (seeded from
+/// [`MigMessage::ContentSummary`], grown by every full block this
+/// session ships — in-order transports guarantee the destination
+/// indexed those before any later reference arrives), blocks the
+/// destination bounced with [`MigMessage::BlockRefMiss`] (always re-sent
+/// in full, never re-referenced), and the run-wide savings ledger.
+struct DedupCtx {
+    dedup: bool,
+    compress: bool,
+    known_remote: HashSet<u64>,
+    force_full: HashSet<usize>,
+    wire: WireStats,
+}
+
+impl DedupCtx {
+    fn new() -> Self {
+        Self {
+            dedup: false,
+            compress: false,
+            known_remote: HashSet::new(),
+            force_full: HashSet::new(),
+            wire: WireStats::default(),
+        }
+    }
+
+    /// Re-arm for a fresh session: the negotiated flags are this
+    /// session's, and the previous session's view of remote content is
+    /// discarded — a resumed session re-validates against a fresh
+    /// [`MigMessage::ContentSummary`], it never trusts stale knowledge.
+    /// The savings ledger spans the whole run and survives.
+    fn reset(&mut self, dedup: bool, compress: bool) {
+        self.dedup = dedup;
+        self.compress = compress;
+        self.known_remote.clear();
+        self.force_full.clear();
+    }
+}
+
+/// Pull every queued [`MigMessage::BlockRefMiss`] off the transport.
+/// During pre-copy and freeze the destination sends nothing else, so
+/// any other message is a protocol violation.
+fn drain_ref_misses<T: Transport>(
+    ep: &T,
+    misses: &mut Vec<usize>,
+    phase: &'static str,
+) -> Result<(), SessionError> {
+    loop {
+        match ep.try_recv() {
+            Ok(MigMessage::BlockRefMiss { block }) => misses.push(block as usize),
+            Ok(other) => {
+                return Err(protocol_err(
+                    phase,
+                    format!("unexpected message at source: {other:?}"),
+                ))
+            }
+            Err(TransportError::Empty) => return Ok(()),
+            Err(e) => return Err(classify(phase, e)),
+        }
+    }
+}
+
+/// Ship a batch of full blocks, compressed when the session negotiated
+/// it and the codec actually wins; returns the payload bytes that
+/// crossed the wire and whether the compressed form was used.
+fn send_full_batch<T: Transport>(
+    ep: &T,
+    disk: &TrackedDisk,
+    chunk: &[usize],
+    compress: bool,
+    block_size: usize,
+    phase: &'static str,
+) -> Result<(u64, bool), SessionError> {
+    let payload = read_batch(disk, chunk, block_size);
+    let blocks: Vec<u64> = chunk.iter().map(|&b| b as u64).collect();
+    if compress {
+        let frames = compress_blocks(&payload, block_size);
+        if frames.len() < payload.len() {
+            let sent = frames.len() as u64;
+            send_or(
+                ep,
+                phase,
+                MigMessage::CompressedBlocks {
+                    blocks,
+                    raw_len: payload.len() as u64,
+                    payload: Bytes::from(frames),
+                },
+            )?;
+            return Ok((sent, true));
+        }
+    }
+    let sent = payload.len() as u64;
+    send_or(
+        ep,
+        phase,
+        MigMessage::DiskBlocks {
+            blocks,
+            payload_len: payload.len() as u64,
+            payload: Some(payload),
+        },
+    )?;
+    Ok((sent, false))
+}
+
 /// Drain a disk worklist into `DiskBlocks` batches, marking each block
 /// in the session-shipped set *before* its send is attempted (delivery
 /// of an errored send is unknown — assume sent, let the destination's
@@ -564,47 +690,114 @@ fn interleave_streams(
 /// consecutive batches rotate across the stream shards; because shipped
 /// accounting is per-block and global, ordering never affects
 /// correctness or resume.
+///
+/// On a dedup session each block is fingerprinted first: content the
+/// destination provably holds goes as a 16-byte [`MigMessage::BlockRef`]
+/// instead of `block_size` bytes, the full batch for everything else is
+/// flushed *before* the chunk's references so a reference can reach
+/// content shipped in its own chunk. `BlockRefMiss` bounces are drained
+/// between batches and re-queued as forced-full sends; a bounce still in
+/// flight when this returns is answered from post-copy instead.
 fn send_disk_worklist<T: Transport>(
     ep: &T,
     disk: &TrackedDisk,
     worklist: &mut Vec<usize>,
     shipped: &mut FlatBitmap,
+    ctx: &mut DedupCtx,
     cfg: &LiveConfig,
     phase: &'static str,
 ) -> Result<(), SessionError> {
     let block_size = cfg.block_size;
-    let batch = cfg.batch;
+    let batch = cfg.batch.max(1);
     if cfg.streams > 1 && worklist.len() > batch {
-        *worklist = interleave_streams(
-            worklist,
-            cfg.num_blocks,
-            cfg.streams,
-            batch.max(1),
-            &cfg.telemetry,
-        );
+        *worklist =
+            interleave_streams(worklist, cfg.num_blocks, cfg.streams, batch, &cfg.telemetry);
     }
-    let mut done = 0;
-    let res = loop {
-        if done >= worklist.len() {
-            break Ok(());
+    let mut misses = Vec::new();
+    loop {
+        let mut done = 0;
+        let res = loop {
+            if done >= worklist.len() {
+                break Ok(());
+            }
+            let end = (done + batch).min(worklist.len());
+            let chunk = &worklist[done..end];
+            for &b in chunk {
+                shipped.set(b);
+            }
+            ctx.wire.bytes_raw += (chunk.len() * block_size) as u64;
+            if ctx.dedup {
+                // Partition the chunk: blocks whose fingerprint the
+                // destination can already resolve become references;
+                // intra-chunk duplicates count too, because the full
+                // batch is flushed first.
+                let mut fulls: Vec<usize> = Vec::new();
+                let mut refs: Vec<(u64, u64)> = Vec::new();
+                for &b in chunk {
+                    let fp = hash_block(&disk.disk().read_block(b));
+                    if !ctx.force_full.contains(&b) && ctx.known_remote.contains(&fp) {
+                        refs.push((b as u64, fp));
+                    } else {
+                        ctx.known_remote.insert(fp);
+                        fulls.push(b);
+                    }
+                }
+                if !fulls.is_empty() {
+                    match send_full_batch(ep, disk, &fulls, ctx.compress, block_size, phase) {
+                        Ok((sent, compressed)) => {
+                            ctx.wire.bytes_sent += sent;
+                            if compressed {
+                                ctx.wire.blocks_compressed += fulls.len() as u64;
+                            }
+                        }
+                        Err(e) => break Err(e),
+                    }
+                }
+                let mut failed = None;
+                for &(block, fingerprint) in &refs {
+                    ctx.wire.bytes_sent += BLOCK_REF_WIRE;
+                    ctx.wire.blocks_deduped += 1;
+                    if let Err(e) = send_or(ep, phase, MigMessage::BlockRef { block, fingerprint })
+                    {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+                if let Some(e) = failed {
+                    break Err(e);
+                }
+                done = end;
+                if let Err(e) = drain_ref_misses(ep, &mut misses, phase) {
+                    break Err(e);
+                }
+            } else {
+                match send_full_batch(ep, disk, chunk, ctx.compress, block_size, phase) {
+                    Ok((sent, compressed)) => {
+                        ctx.wire.bytes_sent += sent;
+                        if compressed {
+                            ctx.wire.blocks_compressed += chunk.len() as u64;
+                        }
+                        done = end;
+                    }
+                    Err(e) => break Err(e),
+                }
+            }
+        };
+        worklist.drain(..done);
+        res?;
+        if ctx.dedup {
+            drain_ref_misses(ep, &mut misses, phase)?;
         }
-        let end = (done + batch.max(1)).min(worklist.len());
-        let chunk = &worklist[done..end];
-        for &b in chunk {
-            shipped.set(b);
+        if misses.is_empty() {
+            return Ok(());
         }
-        let payload = read_batch(disk, chunk, block_size);
-        match ep.send(MigMessage::DiskBlocks {
-            blocks: chunk.iter().map(|&b| b as u64).collect(),
-            payload_len: payload.len() as u64,
-            payload: Some(payload),
-        }) {
-            Ok(()) => done = end,
-            Err(e) => break Err(classify(phase, e)),
+        // Bounced references rejoin the worklist as forced-full sends —
+        // a re-sent block can never bounce again, so this converges.
+        for &b in &misses {
+            ctx.force_full.insert(b);
         }
-    };
-    worklist.drain(..done);
-    res
+        worklist.append(&mut misses);
+    }
 }
 
 /// `MemPages` analogue of [`send_disk_worklist`].
@@ -679,6 +872,8 @@ struct SourceState {
     src_bm: FlatBitmap,
     cursor: usize,
     push_complete_sent: bool,
+    // Wire optimizations (per-session agreement, run-wide savings).
+    ctx: DedupCtx,
     // Accounting.
     ledger: TransferLedger,
     reconnects: u32,
@@ -715,6 +910,7 @@ impl SourceState {
             src_bm: FlatBitmap::new(cfg.num_blocks),
             cursor: 0,
             push_complete_sent: false,
+            ctx: DedupCtx::new(),
             ledger: TransferLedger::new(),
             reconnects: 0,
             resume_owed: Vec::new(),
@@ -728,6 +924,7 @@ struct SourceResult {
     frozen_mem_dirty: u64,
     frozen_dirty: u64,
     suspended_at: Instant,
+    wire: WireStats,
     ledger: TransferLedger,
     reconnects: u32,
     resume_owed: Vec<u64>,
@@ -797,6 +994,7 @@ fn source_protocol<C: Connector>(
                     frozen_mem_dirty: st.frozen_mem_dirty,
                     frozen_dirty: st.frozen_dirty,
                     suspended_at,
+                    wire: st.ctx.wire,
                     ledger: std::mem::take(&mut st.ledger),
                     reconnects: st.reconnects,
                     resume_owed: std::mem::take(&mut st.resume_owed),
@@ -838,11 +1036,15 @@ fn run_source_session<T: Transport>(
         MigMessage::SessionHello {
             session_id: st.session_id,
             attempt,
+            dedup: cfg.dedup,
+            compress: cfg.compress,
         },
     )?;
     let resume = recv_or(ep, "handshake", cfg.retry.phase_timeout)?;
     let MigMessage::ResumeFrom {
         phase: dest_phase,
+        dedup: dest_dedup,
+        compress: dest_compress,
         disk_bitmap,
         mem_bitmap,
     } = resume
@@ -857,6 +1059,23 @@ fn run_source_session<T: Transport>(
             "handshake",
             format!("destination claims {dest_phase:?} on the initial connection"),
         ));
+    }
+    // The destination echoes the acceptance it will actually honour;
+    // AND-ing with our own offer guards against a peer accepting a
+    // feature that was never offered.
+    st.ctx
+        .reset(cfg.dedup && dest_dedup, cfg.compress && dest_compress);
+    if st.ctx.dedup {
+        // Dedup-negotiated sessions open with the resident-content
+        // summary; the previous session's view was discarded above.
+        let summary = recv_or(ep, "handshake", cfg.retry.phase_timeout)?;
+        let MigMessage::ContentSummary { fingerprints } = summary else {
+            return Err(protocol_err(
+                "handshake",
+                format!("expected ContentSummary, got {summary:?}"),
+            ));
+        };
+        st.ctx.known_remote = fingerprints.into_iter().collect();
     }
     reconcile_source(cfg, st, attempt, dest_phase, &disk_bitmap, &mem_bitmap)?;
 
@@ -994,6 +1213,7 @@ fn source_disk_precopy<T: Transport>(
             disk,
             &mut st.disk_worklist,
             &mut st.session_disk_shipped,
+            &mut st.ctx,
             cfg,
             "disk pre-copy",
         )?;
@@ -1046,6 +1266,7 @@ fn source_mem_precopy<T: Transport>(
         disk,
         &mut st.disk_resend,
         &mut st.session_disk_shipped,
+        &mut st.ctx,
         cfg,
         "memory pre-copy",
     )?;
@@ -1147,6 +1368,7 @@ fn source_freeze<T: Transport>(
         disk,
         &mut st.disk_resend,
         &mut st.session_disk_shipped,
+        &mut st.ctx,
         cfg,
         "freeze",
     )?;
@@ -1216,6 +1438,13 @@ fn source_post_copy<T: Transport>(
                     last_progress = Instant::now();
                     answer_pull(st, block)?;
                 }
+                // A reference bounce that was still in flight when
+                // pre-copy ended: the destination unioned the block into
+                // its still-needed set, so answer it like a pull.
+                Ok(MigMessage::BlockRefMiss { block }) => {
+                    last_progress = Instant::now();
+                    answer_pull(st, block)?;
+                }
                 Ok(MigMessage::MigrationComplete) => {
                     // Best-effort ack: the destination is provably synced;
                     // if the ack is lost it completes on its own evidence.
@@ -1261,6 +1490,10 @@ fn source_post_copy<T: Transport>(
                 // Nothing to push: wait for pulls or completion.
                 match ep.recv_timeout(Duration::from_millis(20)) {
                     Ok(MigMessage::PullRequest { block }) => {
+                        last_progress = Instant::now();
+                        answer_pull(st, block)?;
+                    }
+                    Ok(MigMessage::BlockRefMiss { block }) => {
                         last_progress = Instant::now();
                         answer_pull(st, block)?;
                     }
@@ -1329,6 +1562,17 @@ struct DestState {
     session_seen: Option<u64>,
     session_got_blocks: FlatBitmap,
     session_got_pages: FlatBitmap,
+    /// This session's negotiated flags (re-derived at every handshake).
+    dedup: bool,
+    compress: bool,
+    /// Fingerprint index over resident content, maintained exactly
+    /// across every applied block while dedup is active.
+    index: Option<ContentIndex>,
+    /// Blocks whose *latest* delivery attempt was a reference that could
+    /// not be resolved; folded into the still-needed bitmap at freeze so
+    /// post-copy recovers them even if the bounce answer raced the
+    /// phase change.
+    ref_missing: FlatBitmap,
     transferred: Option<Arc<AtomicBitmap>>,
     new_bm: Option<Arc<AtomicBitmap>>,
     dest_io: Option<Arc<DestIo>>,
@@ -1352,6 +1596,10 @@ impl DestState {
             session_seen: None,
             session_got_blocks: FlatBitmap::new(cfg.num_blocks),
             session_got_pages: FlatBitmap::new(cfg.mem_pages),
+            dedup: false,
+            compress: false,
+            index: None,
+            ref_missing: FlatBitmap::new(cfg.num_blocks),
             transferred: None,
             new_bm: None,
             dest_io: None,
@@ -1469,12 +1717,24 @@ fn run_dest_session<T: Transport>(
     st: &mut DestState,
 ) -> Result<(), SessionError> {
     let hello = recv_or(ep, "handshake", cfg.retry.phase_timeout)?;
-    let MigMessage::SessionHello { session_id, .. } = hello else {
+    let MigMessage::SessionHello {
+        session_id,
+        dedup: offer_dedup,
+        compress: offer_compress,
+        ..
+    } = hello
+    else {
         return Err(protocol_err(
             "handshake",
             format!("expected SessionHello, got {hello:?}"),
         ));
     };
+    // References are only valid before the guest resumes here (local
+    // writes would invalidate the content index), so a post-copy resume
+    // declines dedup outright. Compression needs no index and stays
+    // available (post-copy pushes are uncompressed anyway).
+    st.dedup = cfg.dedup && offer_dedup && st.phase != ResumePhase::PostCopy;
+    st.compress = cfg.compress && offer_compress;
     match st.session_seen {
         None => st.session_seen = Some(session_id),
         Some(seen) if seen == session_id => {}
@@ -1512,12 +1772,35 @@ fn run_dest_session<T: Transport>(
         "handshake",
         MigMessage::ResumeFrom {
             phase: st.phase,
+            dedup: st.dedup,
+            compress: st.compress,
             disk_bitmap: disk_bm,
             mem_bitmap: mem_bm,
         },
     )?;
     st.session_got_blocks.clear_all();
     st.session_got_pages.clear_all();
+    if st.dedup {
+        // Open the dedup session with a fresh summary of resident
+        // content: the index is rebuilt from the disk as it stands, so
+        // a resumed source re-validates every assumption instead of
+        // trusting the previous session's view.
+        let mut fps = Vec::with_capacity(cfg.num_blocks);
+        for b in 0..cfg.num_blocks {
+            fps.push(hash_block(&disk.disk().read_block(b)));
+        }
+        let index = ContentIndex::from_fps(fps);
+        send_or(
+            ep,
+            "handshake",
+            MigMessage::ContentSummary {
+                fingerprints: index.fingerprints(),
+            },
+        )?;
+        st.index = Some(index);
+    } else {
+        st.index = None;
+    }
 
     if st.phase == ResumePhase::AwaitPrepare {
         // Provision the VBD.
@@ -1553,6 +1836,90 @@ fn run_dest_session<T: Transport>(
     dest_post_copy(cfg, disk, ram, ep, ctl, st)
 }
 
+/// Apply a batch of full blocks at the destination: write the bytes,
+/// mark the per-session receipt bitmap, and — on a dedup session — keep
+/// the content index exact by recording each block's new fingerprint.
+fn dest_apply_full(
+    st: &mut DestState,
+    disk: &TrackedDisk,
+    blocks: &[u64],
+    payload: &Bytes,
+    block_size: usize,
+) -> Result<(), SessionError> {
+    apply_blocks(disk, blocks, payload, block_size)?;
+    for (i, &b) in blocks.iter().enumerate() {
+        let b = b as usize;
+        st.session_got_blocks.set(b);
+        st.ref_missing.clear(b);
+        if let Some(ix) = st.index.as_mut() {
+            ix.record(
+                b,
+                hash_block(&payload[i * block_size..(i + 1) * block_size]),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Materialize a content reference from a resident block. The resolved
+/// candidate is re-hashed before use, so an index gone stale under any
+/// hash behaviour degrades to a [`MigMessage::BlockRefMiss`] bounce and
+/// an eventual full resend — never to a wrong image.
+fn dest_apply_ref<T: Transport>(
+    st: &mut DestState,
+    disk: &TrackedDisk,
+    ep: &T,
+    block: u64,
+    fingerprint: u64,
+    phase: &'static str,
+) -> Result<(), SessionError> {
+    let b = block as usize;
+    let data = st
+        .index
+        .as_ref()
+        .and_then(|ix| ix.resolve(fingerprint))
+        .map(|holder| disk.disk().read_block(holder))
+        .filter(|data| hash_block(data) == fingerprint);
+    match data {
+        Some(data) => {
+            disk.disk().write_block(b, &data);
+            st.session_got_blocks.set(b);
+            st.ref_missing.clear(b);
+            if let Some(ix) = st.index.as_mut() {
+                ix.record(b, fingerprint);
+            }
+        }
+        None => {
+            st.ref_missing.set(b);
+            send_or(ep, phase, MigMessage::BlockRefMiss { block })?;
+        }
+    }
+    Ok(())
+}
+
+/// Decode a compressed batch back to raw block bytes, validating the
+/// advertised raw length.
+fn decode_compressed(
+    blocks: &[u64],
+    raw_len: u64,
+    payload: &Bytes,
+    block_size: usize,
+    phase: &'static str,
+) -> Result<Bytes, SessionError> {
+    let raw = decompress_blocks(payload, blocks.len(), block_size)
+        .map_err(|e| protocol_err(phase, format!("undecodable compressed batch: {e:?}")))?;
+    if raw.len() as u64 != raw_len {
+        return Err(protocol_err(
+            phase,
+            format!(
+                "compressed batch declared {raw_len} raw bytes, decoded {}",
+                raw.len()
+            ),
+        ));
+    }
+    Ok(Bytes::from(raw))
+}
+
 fn dest_precopy<T: Transport>(
     cfg: &LiveConfig,
     disk: &Arc<TrackedDisk>,
@@ -1568,10 +1935,19 @@ fn dest_precopy<T: Transport>(
                 payload: Some(payload),
                 ..
             } => {
-                apply_blocks(disk, &blocks, &payload, cfg.block_size)?;
-                for &b in &blocks {
-                    st.session_got_blocks.set(b as usize);
-                }
+                dest_apply_full(st, disk, &blocks, &payload, cfg.block_size)?;
+            }
+            MigMessage::CompressedBlocks {
+                blocks,
+                raw_len,
+                payload,
+            } => {
+                let raw =
+                    decode_compressed(&blocks, raw_len, &payload, cfg.block_size, "pre-copy")?;
+                dest_apply_full(st, disk, &blocks, &raw, cfg.block_size)?;
+            }
+            MigMessage::BlockRef { block, fingerprint } => {
+                dest_apply_ref(st, disk, ep, block, fingerprint, "pre-copy")?;
             }
             MigMessage::MemPages {
                 pages,
@@ -1627,13 +2003,28 @@ fn dest_freeze<T: Transport>(
                 payload: Some(payload),
                 ..
             } => {
-                apply_blocks(disk, &blocks, &payload, cfg.block_size)?;
-                for &b in &blocks {
-                    st.session_got_blocks.set(b as usize);
-                }
+                dest_apply_full(st, disk, &blocks, &payload, cfg.block_size)?;
+            }
+            MigMessage::CompressedBlocks {
+                blocks,
+                raw_len,
+                payload,
+            } => {
+                let raw = decode_compressed(&blocks, raw_len, &payload, cfg.block_size, "freeze")?;
+                dest_apply_full(st, disk, &blocks, &raw, cfg.block_size)?;
+            }
+            MigMessage::BlockRef { block, fingerprint } => {
+                dest_apply_ref(st, disk, ep, block, fingerprint, "freeze")?;
             }
             MigMessage::CpuState { .. } | MigMessage::Suspended => {}
-            MigMessage::Bitmap { encoded } => break decode_bitmap("freeze", &encoded)?,
+            MigMessage::Bitmap { encoded } => {
+                let mut still_needed = decode_bitmap("freeze", &encoded)?;
+                // References bounced but not yet re-answered join the
+                // still-needed set: their `BlockRefMiss` is answered
+                // from post-copy as a pulled block.
+                still_needed.union_with(&st.ref_missing);
+                break still_needed;
+            }
             other => {
                 return Err(protocol_err(
                     "freeze",

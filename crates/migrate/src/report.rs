@@ -3,7 +3,7 @@
 use serde::Serialize;
 
 use des::SimDuration;
-use simnet::proto::TransferLedger;
+use simnet::proto::{TransferLedger, WireStats};
 use workloads::probe::Sample;
 
 /// Statistics of one pre-copy iteration (disk or memory).
@@ -68,6 +68,11 @@ pub struct MigrationReport {
     pub disruption_secs: f64,
     /// Exact per-category byte counts.
     pub ledger: TransferLedger,
+    /// Dedup/compression accounting for the disk pre-copy data plane:
+    /// raw block bytes versus bytes that actually crossed, plus how many
+    /// blocks went as references or compressed frames. All zeros for
+    /// baselines and feature-off runs.
+    pub wire: WireStats,
     /// Disk pre-copy iterations.
     pub disk_iterations: Vec<IterationStats>,
     /// Memory pre-copy iterations.
@@ -199,6 +204,17 @@ impl MigrationReport {
             self.ledger.get(C::Bitmap),
             mb(C::Cpu),
         );
+        if self.wire.blocks_deduped > 0 || self.wire.blocks_compressed > 0 {
+            let _ = writeln!(
+                out,
+                "content-aware: {:.1} MB raw -> {:.1} MB sent ({:.1}% off the wire; {} deduped, {} compressed)",
+                self.wire.bytes_raw as f64 / 1048576.0,
+                self.wire.bytes_sent as f64 / 1048576.0,
+                self.wire.reduction_pct(),
+                self.wire.blocks_deduped,
+                self.wire.blocks_compressed,
+            );
+        }
         if self.io_blocked_secs > 0.0 {
             let _ = writeln!(out, "destination I/O blocked: {:.2}s", self.io_blocked_secs);
         }
@@ -247,6 +263,7 @@ mod tests {
             downtime_ms: 60.0,
             disruption_secs: 3.0,
             ledger,
+            wire: WireStats::default(),
             disk_iterations: vec![
                 IterationStats {
                     index: 1,

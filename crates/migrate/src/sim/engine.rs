@@ -5,7 +5,7 @@ use std::sync::Arc;
 use block_bitmap::{ser, DirtyMap, FlatBitmap};
 use des::{SimDuration, SimRng, SimTime};
 use simnet::capacity::seek_aware_share;
-use simnet::proto::{Category, TransferLedger, FRAME_OVERHEAD};
+use simnet::proto::{Category, TransferLedger, WireStats, BLOCK_REF_WIRE, FRAME_OVERHEAD};
 use telemetry::Recorder;
 use vdisk::MetaDisk;
 use vmstate::{CpuState, Domain, DomainId, GuestMemory, WssModel};
@@ -63,6 +63,8 @@ pub struct TpmEngine {
     pub(crate) tracking: bool,
     pub(crate) probe: ThroughputProbe,
     pub(crate) ledger: TransferLedger,
+    /// Dedup/compression accounting for the disk pre-copy data plane.
+    pub(crate) wire: WireStats,
     /// `Some` = incremental migration: only these blocks need the first
     /// pass.
     pub(crate) initial_to_send: Option<FlatBitmap>,
@@ -125,6 +127,7 @@ impl TpmEngine {
             tracking: false,
             probe: ThroughputProbe::new(),
             ledger: TransferLedger::new(),
+            wire: WireStats::default(),
             initial_to_send: None,
             scheme: "tpm",
             block_carry: 0.0,
@@ -198,9 +201,50 @@ impl TpmEngine {
     }
 
     /// Transfer every block marked in `set` to the destination while the
-    /// guest keeps running, contending for the disk. Returns
+    /// guest keeps running, contending for the disk. With `cfg.dedup` the
+    /// set is first split against a snapshot of what the destination
+    /// already holds verbatim (same generation at the same index — the
+    /// MetaDisk notion of identical content): those blocks cross as
+    /// 16-byte references, the rest as full payloads. Returns
     /// (blocks_sent, bytes, duration).
     fn transfer_disk_set(&mut self, set: &FlatBitmap, cat: Category) -> (u64, u64, SimDuration) {
+        if !self.cfg.dedup {
+            return self.transfer_disk_blocks::<false>(set, cat);
+        }
+        let mut refs = FlatBitmap::new(set.len());
+        for b in set.iter_set() {
+            if self.dst_disk.generation(b) == self.src_disk.generation(b) {
+                refs.set(b);
+            }
+        }
+        if refs.count_ones() == 0 {
+            // Nothing to reference: take the classic path, bit-identical
+            // to a dedup-off run (same floats, same ledger, same clock).
+            return self.transfer_disk_blocks::<false>(set, cat);
+        }
+        // Full payloads first, then the cheap references — two
+        // uniform-cost sub-phases, so K-stream sharding still cannot
+        // change how many blocks cross per step (the invariant behind
+        // `four_streams_match_single_stream_exactly`).
+        let mut fulls = set.clone();
+        fulls.subtract(&refs);
+        let (fs, fb, fd) = self.transfer_disk_blocks::<false>(&fulls, cat);
+        let (rs, rb, rd) = self.transfer_disk_blocks::<true>(&refs, cat);
+        (fs + rs, fb + rb, fd + rd)
+    }
+
+    /// Uniform-cost transfer loop: every block in `set` crosses either as
+    /// a full payload (`AS_REFS == false`) or as a 16-byte content
+    /// reference. A referenced block is *not* copied — the destination
+    /// already holds identical content by the snapshot; if the guest
+    /// overwrites it mid-flight the dirty tracker re-enters it as a full
+    /// send, exactly like the live engine's fingerprint-mismatch
+    /// fallback.
+    fn transfer_disk_blocks<const AS_REFS: bool>(
+        &mut self,
+        set: &FlatBitmap,
+        cat: Category,
+    ) -> (u64, u64, SimDuration) {
         let phase_start = self.now;
         let total = set.count_ones() as u64;
         if total == 0 {
@@ -209,6 +253,14 @@ impl TpmEngine {
         let mut bytes = 0u64;
         let mut sent = 0u64;
         let bs = self.cfg.block_size;
+        // Budget the step in whatever unit actually crosses the wire.
+        // With `AS_REFS == false` this is exactly `bs as f64`, so the
+        // float sequence of a feature-off run is unchanged bit for bit.
+        let unit_bytes = if AS_REFS {
+            BLOCK_REF_WIRE as f64
+        } else {
+            bs as f64
+        };
         // One cursor per stream, each walking its own word-aligned shard
         // of the set (a lone stream walks the set directly, no copy).
         // Blocks drain round-robin across streams, so sharding decides
@@ -239,15 +291,15 @@ impl TpmEngine {
             // Blocks transferable in a full step; shrink the step when the
             // set is nearly done so phase timing stays exact.
             let remaining = total - sent;
-            let full_step_blocks = m_share * self.cfg.step.as_secs_f64() / bs as f64;
+            let full_step_blocks = m_share * self.cfg.step.as_secs_f64() / unit_bytes;
             let dt = if full_step_blocks + self.block_carry >= remaining as f64 {
                 SimDuration::from_secs_f64(
-                    ((remaining as f64 - self.block_carry).max(0.0) * bs as f64) / m_share,
+                    ((remaining as f64 - self.block_carry).max(0.0) * unit_bytes) / m_share,
                 )
             } else {
                 self.cfg.step
             };
-            let raw = self.block_carry + m_share * dt.as_secs_f64() / bs as f64;
+            let raw = self.block_carry + m_share * dt.as_secs_f64() / unit_bytes;
             let mut n = (raw.floor() as u64).min(remaining);
             self.block_carry = raw - n as f64;
             if dt == SimDuration::ZERO || (n == 0 && dt < self.cfg.step) {
@@ -273,14 +325,32 @@ impl TpmEngine {
                     cursors[s] = set.len();
                 };
                 cursors[s] = b + 1;
-                self.dst_disk.copy_block_from(&self.src_disk, b);
+                if !AS_REFS {
+                    self.dst_disk.copy_block_from(&self.src_disk, b);
+                }
                 self.stream_blocks[s] += 1;
             }
             if n > 0 {
-                self.ledger.add(cat, n * (bs + 8) + FRAME_OVERHEAD);
+                if AS_REFS {
+                    self.ledger.add(cat, n * BLOCK_REF_WIRE + FRAME_OVERHEAD);
+                    self.wire.bytes_sent += n * BLOCK_REF_WIRE;
+                    self.wire.blocks_deduped += n;
+                } else {
+                    self.ledger.add(cat, n * (bs + 8) + FRAME_OVERHEAD);
+                    if self.cfg.compress {
+                        // Modeled 2:1 on residual full payloads — the sim
+                        // has no real bytes, so this touches the wire
+                        // accounting only, never the ledger or the clock.
+                        self.wire.bytes_sent += n * bs / 2;
+                        self.wire.blocks_compressed += n;
+                    } else {
+                        self.wire.bytes_sent += n * bs;
+                    }
+                }
+                self.wire.bytes_raw += n * bs;
             }
             sent += n;
-            bytes += n * bs;
+            bytes += n * if AS_REFS { BLOCK_REF_WIRE } else { bs };
             self.guest_step(dt, w_share);
         }
         (sent, bytes, self.now.since(phase_start))
@@ -568,6 +638,7 @@ impl TpmEngine {
             downtime_ms,
             disruption_secs: disruption.as_secs_f64(),
             ledger: self.ledger.clone(),
+            wire: self.wire,
             disk_iterations,
             mem_iterations,
             phases: PhaseTimings {
@@ -598,6 +669,12 @@ impl TpmEngine {
             m.gauge("sim.freeze.remaining_at_resume")
                 .set(report.postcopy.remaining_at_resume);
             m.gauge("sim.bytes_total").set(report.ledger.total());
+            m.counter("wire.bytes_raw").add(report.wire.bytes_raw);
+            m.counter("wire.bytes_sent").add(report.wire.bytes_sent);
+            m.counter("wire.blocks_deduped")
+                .add(report.wire.blocks_deduped);
+            m.counter("wire.blocks_compressed")
+                .add(report.wire.blocks_compressed);
             for (i, &blocks) in report.stream_blocks.iter().enumerate() {
                 m.counter(&format!("sim.stream.{i}.blocks_sent"))
                     .add(blocks);
@@ -812,6 +889,36 @@ mod tests {
             WorkloadKind::Web,
         );
         assert_ne!(a.report.ledger, c.report.ledger);
+    }
+
+    #[test]
+    fn dedup_is_a_noop_when_nothing_matches() {
+        // A fresh TPM ships into a blank destination: no block can be
+        // referenced, so a dedup-on run must be bit-identical in ledger
+        // and clock to a dedup-off run — the feature-off parity claim.
+        let on = run_tpm(small_cfg(), WorkloadKind::Idle);
+        let off = run_tpm(
+            MigrationConfig {
+                dedup: false,
+                compress: false,
+                ..small_cfg()
+            },
+            WorkloadKind::Idle,
+        );
+        assert_eq!(on.report.wire.blocks_deduped, 0);
+        assert_eq!(on.report.ledger, off.report.ledger);
+        assert_eq!(
+            on.report.total_time_secs.to_bits(),
+            off.report.total_time_secs.to_bits()
+        );
+        assert_eq!(
+            on.report.downtime_ms.to_bits(),
+            off.report.downtime_ms.to_bits()
+        );
+        // Wire accounting still reflects the modeled compression of the
+        // full payloads; off means off.
+        assert_eq!(off.report.wire.bytes_sent, off.report.wire.bytes_raw);
+        assert!(on.report.wire.bytes_sent < on.report.wire.bytes_raw);
     }
 
     #[test]

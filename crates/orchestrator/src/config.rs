@@ -72,6 +72,12 @@ pub struct ClusterConfig {
     pub resume_overhead: SimDuration,
     /// Which bitmap structure tracks dirty blocks.
     pub bitmap: BitmapKind,
+    /// Content-addressed transfer: a block the destination replica
+    /// already holds at the identical generation crosses as a 16-byte
+    /// reference instead of a full payload (wire accounting only — the
+    /// stream's pacing is unchanged, a deliberately conservative model).
+    /// Off reproduces the classic byte math exactly.
+    pub dedup: bool,
     /// Master seed: forks every per-VM workload stream and the fault
     /// schedule deterministically.
     pub seed: u64,
@@ -113,6 +119,7 @@ impl ClusterConfig {
             suspend_overhead: SimDuration::from_millis(15),
             resume_overhead: SimDuration::from_millis(25),
             bitmap: BitmapKind::Flat,
+            dedup: true,
             seed: 2008,
             fault_resets: 0,
             max_retries: 3,

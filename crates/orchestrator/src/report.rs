@@ -33,6 +33,10 @@ pub struct MigrationRecord {
     pub blocks_sent: u64,
     /// Post-copy synchronizations cancelled by destination writes (§III-A).
     pub blocks_cancelled: u64,
+    /// Blocks that crossed as 16-byte content references instead of full
+    /// payloads (the destination replica already held the identical
+    /// generation; zero with dedup disabled).
+    pub blocks_deduped: u64,
     /// Total wire bytes the stream moved, all attempts included.
     pub bytes: u64,
     /// Fault-triggered retries the stream survived.
@@ -103,6 +107,11 @@ impl ClusterReport {
     /// Total wire bytes across all migrations.
     pub fn total_bytes(&self) -> u64 {
         self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Blocks that crossed as content references across all migrations.
+    pub fn total_deduped(&self) -> u64 {
+        self.records.iter().map(|r| r.blocks_deduped).sum()
     }
 
     /// Wire bytes across migrations whose scenario request index is at
@@ -196,6 +205,7 @@ mod tests {
             passes: 1,
             blocks_sent: 10,
             blocks_cancelled: 0,
+            blocks_deduped: 0,
             bytes,
             retries: 0,
             completed,

@@ -11,6 +11,8 @@ use bytes::Bytes;
 
 use crate::proto::MigMessage;
 
+pub mod lz;
+
 /// Maximum accepted frame size (guards against corrupt length prefixes):
 /// generous enough for a 4096-block batch of 4 KiB blocks.
 pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
@@ -63,6 +65,10 @@ const T_COMPLETE: u8 = 12;
 const T_COMPLETE_ACK: u8 = 13;
 const T_HELLO: u8 = 14;
 const T_RESUME_FROM: u8 = 15;
+const T_BLOCK_REF: u8 = 16;
+const T_BLOCK_REF_MISS: u8 = 17;
+const T_CONTENT_SUMMARY: u8 = 18;
+const T_COMPRESSED_BLOCKS: u8 = 19;
 
 /// Words converted per batch in the bulk [`Writer::u64s`] path: large
 /// enough for the inner loop to vectorize, small enough to live on the
@@ -110,6 +116,12 @@ impl Writer {
             }
             None => self.u8(0),
         }
+    }
+    /// Append one raw block as a self-describing compressed frame
+    /// (smallest of raw/RLE/LZ — see [`lz::compress_block`]).
+    fn compressed_block(&mut self, raw: &[u8]) {
+        let frame = lz::compress_block(raw);
+        self.buf.extend_from_slice(&frame);
     }
 }
 
@@ -169,12 +181,29 @@ impl<'a> Reader<'a> {
         }
         Ok(out)
     }
+    fn flag(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::Malformed(format!("bool tag {other}"))),
+        }
+    }
     fn opt_bytes(&mut self) -> Result<Option<Bytes>, CodecError> {
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.bytes()?)),
             other => Err(CodecError::Malformed(format!("option tag {other}"))),
         }
+    }
+    /// Decode one self-describing compressed block frame in place.
+    /// `max_out` bounds the decompressed size (the negotiated block
+    /// size); a corrupt frame is a typed [`CodecError::Malformed`].
+    fn compressed_block(&mut self, max_out: usize) -> Result<Vec<u8>, CodecError> {
+        let rest = self.buf.get(self.pos..).unwrap_or(&[]);
+        let (out, used) = lz::decompress_block(rest, max_out)
+            .map_err(|e| CodecError::Malformed(e.to_string()))?;
+        self.pos += used;
+        Ok(out)
     }
     fn finish(self) -> Result<(), CodecError> {
         if self.pos != self.buf.len() {
@@ -185,6 +214,42 @@ impl<'a> Reader<'a> {
         }
         Ok(())
     }
+}
+
+/// Compress a concatenation of equal-sized raw blocks into the payload
+/// of a [`MigMessage::CompressedBlocks`]: one self-describing frame per
+/// block, never more than `raw.len() + blocks * lz::HEADER` bytes.
+pub fn compress_blocks(raw: &[u8], block_size: usize) -> Vec<u8> {
+    if block_size == 0 {
+        return Vec::new();
+    }
+    let mut w = Writer {
+        buf: Vec::with_capacity(raw.len() / 2 + lz::HEADER),
+    };
+    for b in raw.chunks(block_size) {
+        w.compressed_block(b);
+    }
+    w.buf
+}
+
+/// Decode a [`MigMessage::CompressedBlocks`] payload of `count` frames
+/// back into concatenated raw blocks. Rejects trailing bytes and any
+/// frame decompressing past `block_size`.
+pub fn decompress_blocks(
+    payload: &[u8],
+    count: usize,
+    block_size: usize,
+) -> Result<Vec<u8>, CodecError> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let mut out = Vec::with_capacity(count * block_size);
+    for _ in 0..count {
+        out.extend_from_slice(&r.compressed_block(block_size)?);
+    }
+    r.finish()?;
+    Ok(out)
 }
 
 /// Encode a message to its wire bytes (without the outer length prefix).
@@ -233,6 +298,10 @@ fn body_size_hint(msg: &MigMessage) -> usize {
             mem_bitmap,
             ..
         } => disk_bitmap.len() + mem_bitmap.len(),
+        MigMessage::ContentSummary { fingerprints } => fingerprints.len() * 8,
+        MigMessage::CompressedBlocks {
+            blocks, payload, ..
+        } => blocks.len() * 8 + payload.len(),
         MigMessage::PrepareVbd { .. }
         | MigMessage::PrepareAck
         | MigMessage::Suspended
@@ -241,7 +310,9 @@ fn body_size_hint(msg: &MigMessage) -> usize {
         | MigMessage::PushComplete
         | MigMessage::MigrationComplete
         | MigMessage::CompleteAck
-        | MigMessage::SessionHello { .. } => 0,
+        | MigMessage::SessionHello { .. }
+        | MigMessage::BlockRef { .. }
+        | MigMessage::BlockRefMiss { .. } => 0,
     };
     variable + 64
 }
@@ -313,20 +384,51 @@ fn encode_body(w: &mut Writer, msg: &MigMessage) {
         MigMessage::SessionHello {
             session_id,
             attempt,
+            dedup,
+            compress,
         } => {
             w.u8(T_HELLO);
             w.u64(*session_id);
             w.u32(*attempt);
+            w.u8(u8::from(*dedup));
+            w.u8(u8::from(*compress));
         }
         MigMessage::ResumeFrom {
             phase,
+            dedup,
+            compress,
             disk_bitmap,
             mem_bitmap,
         } => {
             w.u8(T_RESUME_FROM);
             w.u8(phase.to_u8());
+            w.u8(u8::from(*dedup));
+            w.u8(u8::from(*compress));
             w.bytes(disk_bitmap);
             w.bytes(mem_bitmap);
+        }
+        MigMessage::BlockRef { block, fingerprint } => {
+            w.u8(T_BLOCK_REF);
+            w.u64(*block);
+            w.u64(*fingerprint);
+        }
+        MigMessage::BlockRefMiss { block } => {
+            w.u8(T_BLOCK_REF_MISS);
+            w.u64(*block);
+        }
+        MigMessage::ContentSummary { fingerprints } => {
+            w.u8(T_CONTENT_SUMMARY);
+            w.u64s(fingerprints);
+        }
+        MigMessage::CompressedBlocks {
+            blocks,
+            raw_len,
+            payload,
+        } => {
+            w.u8(T_COMPRESSED_BLOCKS);
+            w.u64s(blocks);
+            w.u64(*raw_len);
+            w.bytes(payload);
         }
     }
 }
@@ -378,6 +480,8 @@ pub fn decode(buf: &[u8]) -> Result<MigMessage, CodecError> {
         T_HELLO => MigMessage::SessionHello {
             session_id: r.u64()?,
             attempt: r.u32()?,
+            dedup: r.flag()?,
+            compress: r.flag()?,
         },
         T_RESUME_FROM => MigMessage::ResumeFrom {
             phase: {
@@ -385,8 +489,23 @@ pub fn decode(buf: &[u8]) -> Result<MigMessage, CodecError> {
                 crate::proto::ResumePhase::from_u8(raw)
                     .ok_or_else(|| CodecError::Malformed(format!("resume phase {raw}")))?
             },
+            dedup: r.flag()?,
+            compress: r.flag()?,
             disk_bitmap: r.bytes()?,
             mem_bitmap: r.bytes()?,
+        },
+        T_BLOCK_REF => MigMessage::BlockRef {
+            block: r.u64()?,
+            fingerprint: r.u64()?,
+        },
+        T_BLOCK_REF_MISS => MigMessage::BlockRefMiss { block: r.u64()? },
+        T_CONTENT_SUMMARY => MigMessage::ContentSummary {
+            fingerprints: r.u64s()?,
+        },
+        T_COMPRESSED_BLOCKS => MigMessage::CompressedBlocks {
+            blocks: r.u64s()?,
+            raw_len: r.u64()?,
+            payload: r.bytes()?,
         },
         other => return Err(CodecError::Malformed(format!("unknown tag {other}"))),
     };
@@ -502,11 +621,28 @@ mod tests {
             MigMessage::SessionHello {
                 session_id: 0xDEAD_BEEF_CAFE,
                 attempt: 3,
+                dedup: true,
+                compress: false,
             },
             MigMessage::ResumeFrom {
                 phase: crate::proto::ResumePhase::PostCopy,
+                dedup: false,
+                compress: true,
                 disk_bitmap: Bytes::from(vec![5u8; 33]),
                 mem_bitmap: Bytes::from(vec![]),
+            },
+            MigMessage::BlockRef {
+                block: 4242,
+                fingerprint: 0x0123_4567_89AB_CDEF,
+            },
+            MigMessage::BlockRefMiss { block: 4242 },
+            MigMessage::ContentSummary {
+                fingerprints: (0..1000u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect(),
+            },
+            MigMessage::CompressedBlocks {
+                blocks: vec![3, 8, 11],
+                raw_len: 3 * 4096,
+                payload: Bytes::from(compress_blocks(&vec![9u8; 3 * 4096], 4096)),
             },
         ]
     }
@@ -609,6 +745,34 @@ mod tests {
             let back = decode(&encode(&msg)).unwrap_or_else(|e| panic!("n={n}: {e}"));
             assert_eq!(back, msg, "n={n}");
         }
+    }
+
+    #[test]
+    fn compressed_batch_roundtrips_per_block() {
+        let bs = 512usize;
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&vec![0u8; bs]); // pristine block
+        raw.extend_from_slice(&vec![0xAAu8; bs]); // run block
+        let mut noise = Vec::with_capacity(bs);
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..bs {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            noise.push(x as u8);
+        }
+        raw.extend_from_slice(&noise); // incompressible block
+        let payload = compress_blocks(&raw, bs);
+        assert!(payload.len() <= raw.len() + 3 * lz::HEADER);
+        assert!(payload.len() < raw.len(), "two of three blocks compress");
+        let back = decompress_blocks(&payload, 3, bs).expect("payload decodes");
+        assert_eq!(back, raw);
+        // Corrupting the payload surfaces as a typed error.
+        let mut bad = payload.clone();
+        bad[0] = 9;
+        assert!(decompress_blocks(&bad, 3, bs).is_err());
+        // Wrong frame count is a typed error, not a panic.
+        assert!(decompress_blocks(&payload, 2, bs).is_err());
     }
 
     #[test]

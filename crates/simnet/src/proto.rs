@@ -13,6 +13,10 @@ use serde::{Deserialize, Serialize};
 /// a deliberate, simple stand-in for the prototype's TCP record framing.
 pub const FRAME_OVERHEAD: u64 = 16;
 
+/// Wire payload of a [`MigMessage::BlockRef`]: block index plus
+/// fingerprint, the 16 bytes a dedup hit costs instead of a full block.
+pub const BLOCK_REF_WIRE: u64 = 16;
+
 /// Traffic categories for byte accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Category {
@@ -69,6 +73,49 @@ pub enum MigMessage {
         payload_len: u64,
         /// Live-mode contents, concatenated in index order.
         payload: Option<Bytes>,
+    },
+    /// A dedup reference instead of a full block: "you already hold
+    /// content with this fingerprint — copy it to `block`". Sent only
+    /// on a session that negotiated dedup, for content the destination
+    /// acknowledged (its [`MigMessage::ContentSummary`]) or that this
+    /// session already shipped. The destination verifies the resident
+    /// content by re-hash before reuse and answers
+    /// [`MigMessage::BlockRefMiss`] when it cannot prove a match, so a
+    /// reference never weakens bit-identity.
+    BlockRef {
+        /// Destination block to materialize.
+        block: u64,
+        /// Content fingerprint (`vdisk::content::hash_block`).
+        fingerprint: u64,
+    },
+    /// Destination → source: a [`MigMessage::BlockRef`] could not be
+    /// resolved against resident content (evicted, never applied, or a
+    /// fingerprint mismatch on verification). The source falls back to
+    /// a full `DiskBlocks` send for this block.
+    BlockRefMiss {
+        /// The unresolved block.
+        block: u64,
+    },
+    /// Destination → source after a dedup-negotiated handshake: the
+    /// distinct fingerprints of the resident image, seeding the
+    /// source's view of what a reference can reach. Re-sent on every
+    /// reconnect — a resumed session must re-validate, never trust,
+    /// its previous view (DESIGN.md §15).
+    ContentSummary {
+        /// Distinct resident fingerprints, ascending.
+        fingerprints: Vec<u64>,
+    },
+    /// A batch of disk blocks whose payload is per-block compressed
+    /// frames (`simnet::codec::lz`), used for residual full-block sends
+    /// on a session that negotiated compression. `raw_len` is the
+    /// uncompressed total, kept for `wire.bytes_raw` accounting.
+    CompressedBlocks {
+        /// Block indices, ascending.
+        blocks: Vec<u64>,
+        /// Uncompressed payload bytes across the batch.
+        raw_len: u64,
+        /// Concatenated self-describing compressed frames, block order.
+        payload: Bytes,
     },
     /// A batch of memory pages.
     MemPages {
@@ -128,6 +175,10 @@ pub enum MigMessage {
         session_id: u64,
         /// 0 for the initial connection, incremented per reconnect.
         attempt: u32,
+        /// Source offers content-addressed dedup for this session.
+        dedup: bool,
+        /// Source offers compressed residual block sends.
+        compress: bool,
     },
     /// Destination's reply to a [`MigMessage::SessionHello`]: where it
     /// stands, so the source retransmits *only* what was lost — the
@@ -135,6 +186,11 @@ pub enum MigMessage {
     ResumeFrom {
         /// Destination protocol phase (see [`ResumePhase`]).
         phase: ResumePhase,
+        /// Destination accepts dedup (both sides must agree; a session
+        /// is dedup-enabled only when offer and accept are both true).
+        dedup: bool,
+        /// Destination accepts compressed block sends.
+        compress: bool,
         /// Encoded block-bitmap. During pre-copy and freeze: blocks the
         /// destination has RECEIVED. During post-copy: blocks it still
         /// NEEDS (its transferred-block bitmap).
@@ -195,6 +251,12 @@ impl MigMessage {
                     payload_len,
                     ..
                 } => 8 * blocks.len() as u64 + payload_len,
+                Self::BlockRef { .. } => BLOCK_REF_WIRE,
+                Self::BlockRefMiss { .. } => 8,
+                Self::ContentSummary { fingerprints } => 8 * fingerprints.len() as u64,
+                Self::CompressedBlocks {
+                    blocks, payload, ..
+                } => 8 * blocks.len() as u64 + payload.len() as u64,
                 Self::MemPages {
                     pages, payload_len, ..
                 } => 8 * pages.len() as u64 + payload_len,
@@ -203,12 +265,12 @@ impl MigMessage {
                 Self::PullRequest { .. } => 8,
                 Self::PostCopyBlock { payload_len, .. } => 8 + 1 + payload_len,
                 Self::CompleteAck => 0,
-                Self::SessionHello { .. } => 12,
+                Self::SessionHello { .. } => 14,
                 Self::ResumeFrom {
                     disk_bitmap,
                     mem_bitmap,
                     ..
-                } => 1 + disk_bitmap.len() as u64 + mem_bitmap.len() as u64,
+                } => 3 + disk_bitmap.len() as u64 + mem_bitmap.len() as u64,
             }
     }
 
@@ -223,8 +285,12 @@ impl MigMessage {
             | Self::MigrationComplete
             | Self::CompleteAck
             | Self::SessionHello { .. } => Category::Control,
+            // A miss is a control NAK; the resend it provokes carries
+            // the data bytes. The summary is handshake traffic.
+            Self::BlockRefMiss { .. } | Self::ContentSummary { .. } => Category::Control,
             Self::ResumeFrom { .. } => Category::Bitmap,
             Self::DiskBlocks { .. } => Category::DiskPrecopy,
+            Self::BlockRef { .. } | Self::CompressedBlocks { .. } => Category::DiskPrecopy,
             Self::MemPages { .. } => Category::Memory,
             Self::CpuState { .. } => Category::Cpu,
             Self::Bitmap { .. } => Category::Bitmap,
@@ -237,6 +303,47 @@ impl MigMessage {
                 }
             }
         }
+    }
+}
+
+/// Dedup/compression wire accounting for one migration: what the data
+/// plane *would* have sent block-for-block (`bytes_raw`) against what
+/// actually crossed the link (`bytes_sent`), journaled in telemetry as
+/// `wire.bytes_raw` / `wire.bytes_sent` / `wire.blocks_deduped` /
+/// `wire.blocks_compressed`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireStats {
+    /// Block payload bytes before dedup/compression (full framing).
+    pub bytes_raw: u64,
+    /// Block payload bytes actually sent (refs + compressed frames).
+    pub bytes_sent: u64,
+    /// Blocks shipped as a 16-byte [`MigMessage::BlockRef`].
+    pub blocks_deduped: u64,
+    /// Blocks whose payload went out smaller than raw.
+    pub blocks_compressed: u64,
+}
+
+impl WireStats {
+    /// Bytes the content-aware path kept off the wire.
+    pub fn saved(&self) -> u64 {
+        self.bytes_raw.saturating_sub(self.bytes_sent)
+    }
+
+    /// Percentage reduction of bytes-on-wire (0 when nothing was sent).
+    pub fn reduction_pct(&self) -> f64 {
+        if self.bytes_raw == 0 {
+            0.0
+        } else {
+            100.0 * self.saved() as f64 / self.bytes_raw as f64
+        }
+    }
+
+    /// Fold another migration's accounting into this one.
+    pub fn merge(&mut self, other: &WireStats) {
+        self.bytes_raw += other.bytes_raw;
+        self.bytes_sent += other.bytes_sent;
+        self.blocks_deduped += other.blocks_deduped;
+        self.blocks_compressed += other.blocks_compressed;
     }
 }
 

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod content;
 mod cow;
 mod disk;
 mod meta;
@@ -42,6 +43,7 @@ mod request;
 mod storage;
 mod tracked;
 
+pub use content::{hash_block, hash_u64, ContentIndex};
 pub use cow::{BaseImage, CowStorage};
 pub use disk::VirtualDisk;
 pub use meta::MetaDisk;

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Record this PR's perf run alongside the baseline.
+#
+# Runs the perf_baseline harness with both --verify-speedup gates (bulk
+# codec >= 3x naive, LZ >= 2x compression within its memcpy budget) and
+# writes p50/p99 per scenario to BENCH_pr7.json at the repo root, next to
+# BENCH_baseline.json. Checking the file in keeps the per-PR perf
+# trajectory non-empty: any later PR can diff its own run against every
+# recorded predecessor, not just the original baseline.
+#
+#   scripts/bench_record.sh [--quick] [OUT]
+#
+# --quick cuts iteration counts ~10x for a fast smoke run; don't check in
+# a record produced with it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_pr7.json"
+QUICK=()
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=(--quick) ;;
+    -*) echo "usage: $0 [--quick] [OUT]" >&2; exit 2 ;;
+    *) OUT="$arg" ;;
+  esac
+done
+
+echo "== perf record -> $OUT =="
+cargo run --release -q -p bench-suite --bin perf_baseline -- \
+  --verify-speedup "${QUICK[@]}" --out "$OUT"
+
+echo "perf run recorded in $OUT"

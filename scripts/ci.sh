@@ -17,6 +17,12 @@ echo "== tier-1: benches compile =="
 # without running them. Timing runs live in scripts/bench_baseline.sh.
 cargo bench --no-run --locked
 
+echo "== perf gate: compare against BENCH_baseline.json =="
+# Quick-iteration rerun of every perf scenario; fails when a p50 regresses
+# past BENCH_THRESHOLD percent (default 75 — loose on purpose, the gate is
+# for algorithmic regressions, not shared-runner jitter).
+scripts/bench_compare.sh
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
 

@@ -82,6 +82,37 @@ fn resets_during_precopy_and_postcopy_recover() {
 }
 
 #[test]
+fn reset_mid_dedup_stream_converges_with_wire_savings() {
+    // A reset lands in the middle of a dedup-enabled pre-copy stream
+    // (test_default runs with dedup and compression on). The resumed
+    // session must not trust the dead session's reference state: the
+    // destination reseeds the source with a ContentSummary of what it
+    // verifiably holds, and the re-owed blocks that did arrive before
+    // the cut then cross as 16-byte references instead of full payloads.
+    // The end state must be exactly as consistent as a fault-free run,
+    // and the wire accounting must still show content-aware savings.
+    let cfg = fault_cfg();
+    assert!(
+        cfg.dedup && cfg.compress,
+        "scenario exercises the dedup stream"
+    );
+    let plan = FaultPlan::none().reset_after_category(0, Category::DiskPrecopy, 20);
+    let out = run_live_migration_faulty(&cfg, plan).expect("faulted dedup migration recovers");
+    assert_consistent(&out);
+    assert_eq!(out.reconnects, 1);
+    assert!(
+        out.wire.blocks_deduped > 0,
+        "the re-owed batch must dedup against the reseeded content index"
+    );
+    assert!(
+        out.wire.bytes_sent < out.wire.bytes_raw,
+        "content-aware path must save wire bytes across the fault: sent {} raw {}",
+        out.wire.bytes_sent,
+        out.wire.bytes_raw
+    );
+}
+
+#[test]
 fn truncated_frame_mid_precopy_is_retransmitted() {
     // A truncate fault makes one send *appear* to succeed while the frame
     // vanishes (the TCP-RST-after-buffered-write case). The per-session
