@@ -6,9 +6,12 @@
 //! inconsistent lock order deadlocks the pre-copy loop, a `_ =>` arm
 //! swallows a protocol message added two PRs later. `cargo check` sees
 //! none of them. lintkit lexes the workspace with a hand-rolled Rust
-//! lexer (no external parser — the toolchain here is offline) and runs
-//! four rules over the token streams; see [`rules`] for each invariant
-//! and `DESIGN.md` §"Static analysis" for scope and known limits.
+//! lexer (no external parser — the toolchain here is offline), layers a
+//! per-file import table on top ([`resolve`]) so rules can match
+//! fully-qualified names, and runs seven rules over the token streams;
+//! see [`rules`] for each invariant and `DESIGN.md` §"Static analysis" /
+//! §16 for scope and known limits. Zone membership comes from
+//! `lintkit.toml` at the workspace root ([`config`]).
 //!
 //! Scope: `crates/*/src/**` (and a root `src/**` if one exists). Vendored
 //! code under `vendor/`, integration `tests/`, and `benches/` are not
@@ -22,21 +25,27 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod config;
 pub mod lexer;
 pub mod report;
+pub mod resolve;
 pub mod rules;
 pub mod source;
 
+pub use config::Config;
 pub use report::Violation;
 pub use source::SourceFile;
 
 /// Name of the unsafe allowlist file at the workspace root.
 pub const ALLOWLIST: &str = "lintkit.allow";
 
-/// Everything the rules see: the lexed files plus the unsafe allowlist.
+/// Everything the rules see: the lexed files, the zone config, and the
+/// unsafe allowlist.
 pub struct Workspace {
     /// Lexed sources, sorted by path for deterministic reports.
     pub files: Vec<SourceFile>,
+    /// Zone map + per-site allow entries (`lintkit.toml`).
+    pub config: Config,
     /// Repo-relative paths permitted to contain `unsafe`.
     pub unsafe_allow: Vec<String>,
 }
@@ -52,6 +61,7 @@ impl Workspace {
         files.sort_by(|a, b| a.rel.cmp(&b.rel));
         Self {
             files,
+            config: Config::builtin(),
             unsafe_allow: Vec::new(),
         }
     }
@@ -89,16 +99,19 @@ impl Workspace {
         }
         Ok(Self {
             files,
+            config: Config::load(root)?,
             unsafe_allow: read_allowlist(&root.join(ALLOWLIST))?,
         })
     }
 
     /// Run every rule; violations come back grouped by rule, in run
-    /// order, each rule's findings in file/line order.
+    /// order, each rule's findings in file/line order. Sites waived by a
+    /// `lintkit.toml` `[allow]` entry are filtered here, centrally.
     pub fn run(&self) -> Vec<Violation> {
         let mut out = Vec::new();
         for rule in rules::all_rules() {
             let mut found = rule.check(self);
+            found.retain(|v| !self.config.is_allowed(v.rule, &v.path, v.line));
             found.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
             out.extend(found);
         }

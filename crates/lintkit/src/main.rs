@@ -10,7 +10,8 @@ use std::process::ExitCode;
 use lintkit::{rules, Workspace};
 
 const USAGE: &str = "\
-usage: lintkit [--workspace | PATH] [--allowlist FILE] [--list-rules]
+usage: lintkit [--workspace | PATH] [--allowlist FILE] [--format FMT]
+               [--list-rules]
 
   --workspace       lint the enclosing cargo workspace (found by walking
                     up from the current directory to a Cargo.toml that
@@ -18,7 +19,13 @@ usage: lintkit [--workspace | PATH] [--allowlist FILE] [--list-rules]
   PATH              lint the workspace rooted at PATH instead
   --allowlist FILE  read the unsafe allowlist from FILE instead of
                     <root>/lintkit.allow
+  --format FMT      output format: text (default) or json — json emits
+                    one machine-readable document on stdout (the CI
+                    artifact); exit codes are identical in both modes
   --list-rules      print each rule id and the invariant it protects
+
+Zone membership comes from <root>/lintkit.toml (see DESIGN.md §16);
+a missing file means the compiled-in default zones.
 ";
 
 fn main() -> ExitCode {
@@ -26,6 +33,7 @@ fn main() -> ExitCode {
     let mut allowlist: Option<PathBuf> = None;
     let mut list_rules = false;
     let mut use_workspace = false;
+    let mut json = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -35,6 +43,14 @@ fn main() -> ExitCode {
             "--allowlist" => match args.next() {
                 Some(f) => allowlist = Some(PathBuf::from(f)),
                 None => return usage_error("--allowlist needs a file argument"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                Some(other) => {
+                    return usage_error(&format!("unknown format `{other}` (text|json)"))
+                }
+                None => return usage_error("--format needs an argument (text|json)"),
             },
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -86,18 +102,32 @@ fn main() -> ExitCode {
     }
 
     let violations = ws.run();
-    for v in &violations {
-        println!("{v}");
+    if json {
+        let rule_meta: Vec<(&str, &str)> = rules::all_rules()
+            .iter()
+            .map(|r| (r.id(), r.summary()))
+            .collect();
+        print!(
+            "{}",
+            lintkit::report::to_json(&violations, ws.files.len(), &rule_meta)
+        );
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        if violations.is_empty() {
+            println!(
+                "lintkit: {} files clean across {} rules",
+                ws.files.len(),
+                rules::all_rules().len()
+            );
+        } else {
+            println!("lintkit: {} violation(s)", violations.len());
+        }
     }
     if violations.is_empty() {
-        println!(
-            "lintkit: {} files clean across {} rules",
-            ws.files.len(),
-            rules::all_rules().len()
-        );
         ExitCode::SUCCESS
     } else {
-        println!("lintkit: {} violation(s)", violations.len());
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,292 @@
+//! Symbol resolution: per-file `use`-import tables and path expansion,
+//! so rules can match fully-qualified names (`std::collections::HashMap`,
+//! `std::time::Instant::now`) instead of bare identifiers.
+//!
+//! The model is deliberately small — exactly what zone rules need:
+//!
+//! * every `use` statement (including `pub use`, groups
+//!   `use a::{b, c::d}`, renames `as x`, and globs `a::*`) contributes
+//!   alias → full-path entries to the file's [`Imports`] table;
+//! * at a use site, a path expression `head::seg::…` resolves by
+//!   looking the head up in the table (or taking it verbatim when it is
+//!   already absolute: `std`/`core`/`alloc`/`crate`); glob imports
+//!   contribute one candidate per glob prefix, conservatively.
+//!
+//! Known limits, on purpose: no scoped (function-local) `use` tracking —
+//! imports apply file-wide; no trait-method resolution (`map.insert(…)`
+//! is a method call, not a path, and never resolves); `self`/`super`
+//! heads stay unresolved. Every limit errs toward *fewer* resolutions,
+//! so zone rules miss exotic spellings rather than misfire.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{TokKind, Token};
+use crate::source::SourceFile;
+
+/// Path heads that are already fully qualified.
+const ABSOLUTE_HEADS: &[&str] = &["std", "core", "alloc", "crate"];
+
+/// One file's import table.
+#[derive(Debug, Default)]
+pub struct Imports {
+    /// Last-visible-segment (or `as` rename) → full path.
+    map: BTreeMap<String, String>,
+    /// Prefixes imported wholesale via `use prefix::*;`.
+    globs: Vec<String>,
+}
+
+impl Imports {
+    /// Build the table from every `use` statement in `file` (test code
+    /// included — a test-only import still shapes what names mean, and
+    /// test *use sites* are masked separately by the rules).
+    pub fn of(file: &SourceFile) -> Self {
+        let toks = &file.tokens;
+        let mut imports = Imports::default();
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].is_ident("use") {
+                let end = statement_end(toks, i);
+                parse_use_tree(&toks[i + 1..end], "", &mut imports);
+                i = end + 1;
+            } else {
+                i += 1;
+            }
+        }
+        imports
+    }
+
+    /// The full paths the imported name `alias` may refer to: a direct
+    /// mapping if one exists, plus one candidate per glob import.
+    fn candidates(&self, alias: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(full) = self.map.get(alias) {
+            out.push(full.clone());
+        }
+        for g in &self.globs {
+            out.push(format!("{g}::{alias}"));
+        }
+        out
+    }
+
+    /// Resolve the path expression starting at token `i` (which must be
+    /// its head — callers check `is_path_head`). Returns the candidate
+    /// fully-qualified spellings plus the token length of the
+    /// `head(::seg)*` chain consumed.
+    pub fn resolve(&self, toks: &[Token], i: usize) -> (Vec<String>, usize) {
+        let mut segs: Vec<&str> = vec![toks[i].text.as_str()];
+        let mut j = i + 1;
+        while j + 1 < toks.len() && toks[j].is_punct("::") && toks[j + 1].kind == TokKind::Ident {
+            segs.push(toks[j + 1].text.as_str());
+            j += 2;
+        }
+        let consumed = j - i;
+        let rest = segs[1..].join("::");
+        let mut out = Vec::new();
+        if ABSOLUTE_HEADS.contains(&segs[0]) {
+            out.push(segs.join("::"));
+        } else {
+            for base in self.candidates(segs[0]) {
+                if rest.is_empty() {
+                    out.push(base);
+                } else {
+                    out.push(format!("{base}::{rest}"));
+                }
+            }
+        }
+        (out, consumed)
+    }
+}
+
+/// Is token `i` the head of a path expression? True for an identifier
+/// not preceded by `::` (mid-path), `.` (a method/field name), or
+/// `fn`/`mod`/`struct`-style declaration keywords (a definition, not a
+/// use). `use` statements are excluded — they are parsed separately.
+pub fn is_path_head(toks: &[Token], i: usize) -> bool {
+    if toks[i].kind != TokKind::Ident {
+        return false;
+    }
+    let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) else {
+        return true;
+    };
+    if prev.is_punct("::") || prev.is_punct(".") {
+        return false;
+    }
+    const DECLS: &[&str] = &[
+        "fn", "mod", "struct", "enum", "trait", "let", "mut", "use", "as",
+    ];
+    !DECLS.iter().any(|d| prev.is_ident(d))
+}
+
+/// Index of the `;` ending the statement that starts at `s` (or EOF).
+fn statement_end(toks: &[Token], s: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(s) {
+        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(";") {
+            return k;
+        }
+    }
+    toks.len()
+}
+
+/// Recursively parse a `use` tree: `prefix` is the path accumulated so
+/// far (`""` at the root), `toks` the tokens of one tree level.
+fn parse_use_tree(toks: &[Token], prefix: &str, imports: &mut Imports) {
+    // Split this level on top-level commas (only groups `{…}` nest).
+    let mut start = 0;
+    let mut depth = 0i32;
+    for k in 0..=toks.len() {
+        let at_comma = k < toks.len() && depth == 0 && toks[k].is_punct(",");
+        if k < toks.len() {
+            if toks[k].is_punct("{") {
+                depth += 1;
+            } else if toks[k].is_punct("}") {
+                depth -= 1;
+            }
+        }
+        if at_comma || k == toks.len() {
+            parse_use_item(&toks[start..k], prefix, imports);
+            start = k + 1;
+        }
+    }
+}
+
+/// One comma-separated item: `a::b`, `a::b as c`, `a::{…}`, `a::*`.
+fn parse_use_item(toks: &[Token], prefix: &str, imports: &mut Imports) {
+    let mut path = prefix.to_string();
+    let mut last_seg = String::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && !t.is_ident("as") {
+            last_seg = t.text.clone();
+            if !path.is_empty() {
+                path.push_str("::");
+            }
+            path.push_str(&t.text);
+            i += 1;
+        } else if t.is_punct("::") {
+            i += 1;
+        } else if t.is_punct("*") {
+            if !path.is_empty() {
+                imports.globs.push(path.clone());
+            }
+            return;
+        } else if t.is_punct("{") {
+            // Group: recurse with the accumulated path as the prefix.
+            let close = toks
+                .iter()
+                .enumerate()
+                .skip(i)
+                .scan(0i32, |d, (k, t)| {
+                    if t.is_punct("{") {
+                        *d += 1;
+                    } else if t.is_punct("}") {
+                        *d -= 1;
+                        if *d == 0 {
+                            return Some(Some(k));
+                        }
+                    }
+                    Some(None)
+                })
+                .flatten()
+                .next()
+                .unwrap_or(toks.len());
+            parse_use_tree(&toks[i + 1..close.min(toks.len())], &path, imports);
+            return;
+        } else if t.is_ident("as") {
+            if let Some(rename) = toks.get(i + 1) {
+                if rename.kind == TokKind::Ident {
+                    imports.map.insert(rename.text.clone(), path);
+                }
+            }
+            return;
+        } else {
+            // `pub`, visibility parens, stray tokens: skip.
+            i += 1;
+        }
+    }
+    if !last_seg.is_empty() {
+        // `use a::b::c;` binds `c`. `use a::b::self;` binds `b` — the
+        // lexer keeps `self` as an ident, which naturally does the
+        // right thing here (path ends `…::self`, alias is `self`) only
+        // if we strip it:
+        if last_seg == "self" {
+            if let Some(stripped) = path.strip_suffix("::self") {
+                let alias = stripped.rsplit("::").next().unwrap_or(stripped);
+                imports.map.insert(alias.to_string(), stripped.to_string());
+            }
+            return;
+        }
+        imports.map.insert(last_seg, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(src: &str) -> Imports {
+        Imports::of(&SourceFile::new("a.rs", src))
+    }
+
+    fn resolve_ident(src: &str, ident: &str) -> Vec<String> {
+        let file = SourceFile::new("a.rs", src);
+        let imports = Imports::of(&file);
+        let i = file
+            .tokens
+            .iter()
+            .rposition(|t| t.is_ident(ident))
+            .expect("ident present");
+        imports.resolve(&file.tokens, i).0
+    }
+
+    #[test]
+    fn plain_group_rename_and_glob_imports() {
+        let t = table(
+            "use std::collections::HashMap;\n\
+             use std::collections::{BTreeMap, hash_map::Entry};\n\
+             use std::collections::HashSet as Seen;\n\
+             use std::time::*;\n",
+        );
+        assert_eq!(t.map["HashMap"], "std::collections::HashMap");
+        assert_eq!(t.map["BTreeMap"], "std::collections::BTreeMap");
+        assert_eq!(t.map["Entry"], "std::collections::hash_map::Entry");
+        assert_eq!(t.map["Seen"], "std::collections::HashSet");
+        assert_eq!(t.globs, ["std::time"]);
+    }
+
+    #[test]
+    fn use_sites_resolve_through_the_table() {
+        let src = "use std::collections::HashMap;\nfn f() { let m = HashMap::new(); }";
+        assert_eq!(
+            resolve_ident(src, "HashMap"),
+            ["std::collections::HashMap::new"]
+        );
+        // Absolute paths need no import.
+        let src2 = "fn f() { let m = std::collections::HashMap::new(); }";
+        let file = SourceFile::new("a.rs", src2);
+        let i = file.tokens.iter().position(|t| t.is_ident("std")).unwrap();
+        let (paths, consumed) = Imports::of(&file).resolve(&file.tokens, i);
+        assert_eq!(paths, ["std::collections::HashMap::new"]);
+        assert_eq!(consumed, 7, "std :: collections :: HashMap :: new");
+    }
+
+    #[test]
+    fn globs_resolve_conservatively() {
+        let src = "use std::time::*;\nfn f() { let t = Instant::now(); }";
+        assert_eq!(resolve_ident(src, "Instant"), ["std::time::Instant::now"]);
+    }
+
+    #[test]
+    fn method_names_and_unimported_idents_do_not_resolve() {
+        let src = "use std::time::Instant;\nfn f(m: &M) { m.now(); }";
+        let file = SourceFile::new("a.rs", src);
+        let i = file.tokens.iter().rposition(|t| t.is_ident("now")).unwrap();
+        assert!(!is_path_head(&file.tokens, i), "`.now(` is a method");
+        assert!(resolve_ident("fn f() { Mystery::now(); }", "Mystery").is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Rule `determinism`: deterministic zones use neither hash-ordered
+//! containers nor the wall clock.
+//!
+//! The repo's strongest correctness claim is same-seed replay: two runs
+//! with the same seed produce byte-identical telemetry journals and wire
+//! stats (DESIGN.md §12, `tests/telemetry_journal.rs`). `HashMap`/
+//! `HashSet` iteration order is randomized per process, and
+//! `Instant::now()`/`SystemTime::now()` reads differ per run — either
+//! one in a journaled path silently breaks the claim in a way no test
+//! catches until the order happens to flip. This rule machine-checks it,
+//! via the symbol-resolution layer ([`crate::resolve`]) so
+//! fully-qualified spellings, renames (`use … HashSet as Seen`), and
+//! glob imports all resolve to the same banned names.
+//!
+//! Two zones, one distinction: `deterministic` bans containers *and*
+//! wall-clock reads; `deterministic-order` bans only the containers —
+//! the telemetry recorder owns the wall half of the dual-clock model and
+//! the live driver measures real downtime, but both feed ordered
+//! journals, so their iteration order must still be deterministic.
+
+use super::{matchers, Rule};
+use crate::report::Violation;
+use crate::resolve::{is_path_head, Imports};
+use crate::Workspace;
+
+/// Banned as a prefix: the types and their module escape hatches
+/// (`hash_map::Entry` is still hash iteration order).
+const BANNED_CONTAINERS: &[&str] = &[
+    "std::collections::HashMap",
+    "std::collections::HashSet",
+    "std::collections::hash_map",
+    "std::collections::hash_set",
+];
+
+/// Banned exactly (as a prefix too — `Instant::now` has no children,
+/// so prefix matching is exact matching here).
+const BANNED_WALLCLOCK: &[&str] = &["std::time::Instant::now", "std::time::SystemTime::now"];
+
+/// See module docs.
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn id(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn summary(&self) -> &'static str {
+        "deterministic zones use ordered containers and the sim clock, never hash order or wall time"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            let full = ws.config.in_zone("deterministic", &file.rel);
+            let order_only = ws.config.in_zone("deterministic-order", &file.rel);
+            if !full && !order_only {
+                continue;
+            }
+            let imports = Imports::of(file);
+            let toks = &file.tokens;
+            let mut last_line = 0usize;
+            let mut i = 0;
+            while i < toks.len() {
+                if file.in_test[i] || !is_path_head(toks, i) || matchers::is_macro_call(toks, i) {
+                    i += 1;
+                    continue;
+                }
+                let (candidates, consumed) = imports.resolve(toks, i);
+                let container = candidates
+                    .iter()
+                    .find_map(|c| banned_prefix(c, BANNED_CONTAINERS));
+                let wallclock = if full {
+                    candidates
+                        .iter()
+                        .find_map(|c| banned_prefix(c, BANNED_WALLCLOCK))
+                } else {
+                    None
+                };
+                let line = file.line_of_token(i);
+                // One diagnostic per line: `let m: HashMap<…> = HashMap::new()`
+                // is one finding, not two.
+                if line != last_line {
+                    if let Some(name) = container {
+                        last_line = line;
+                        out.push(Violation {
+                            rule: self.id(),
+                            path: file.rel.clone(),
+                            line,
+                            message: format!(
+                                "`{name}` in a deterministic zone — hash iteration \
+                                 order breaks same-seed replay; use BTreeMap/BTreeSet \
+                                 (or sorted iteration)"
+                            ),
+                        });
+                    } else if let Some(name) = wallclock {
+                        last_line = line;
+                        out.push(Violation {
+                            rule: self.id(),
+                            path: file.rel.clone(),
+                            line,
+                            message: format!(
+                                "`{name}` in a deterministic zone — wall-clock reads \
+                                 differ per run; take time from the sim clock"
+                            ),
+                        });
+                    }
+                }
+                i += consumed.max(1);
+            }
+        }
+        out
+    }
+}
+
+/// The banned name `path` matches, if any: equal, or extends it by a
+/// `::` segment (`std::collections::HashMap::new`).
+fn banned_prefix<'a>(path: &str, banned: &'a [&'a str]) -> Option<&'a str> {
+    banned
+        .iter()
+        .find(|b| path == **b || path.strip_prefix(**b).is_some_and(|r| r.starts_with("::")))
+        .copied()
+}

@@ -3,7 +3,7 @@
 //!
 //! Every `Mutex`/`RwLock` acquisition site (`.lock()`, `.read()`,
 //! `.write()` with no arguments) is extracted per function. While a
-//! guard is live, two things are recorded:
+//! guard is live, three things are recorded:
 //!
 //! * an **ordering edge** to any lock acquired under it — the global
 //!   graph over lock names must stay acyclic, or two threads taking the
@@ -11,18 +11,29 @@
 //! * any **blocking call** (`send`/`recv`/`recv_timeout`/`wait*`/`join`/
 //!   `sleep`/`accept`/`connect`/`park`) made under it — a guard held
 //!   across a block is how the destination ends up waiting forever on a
-//!   pulled block (the paper's §IV-A-3 liveness argument).
+//!   pulled block (the paper's §IV-A-3 liveness argument);
+//! * any call to a **same-crate helper that itself acquires locks** —
+//!   the interprocedural (single-hop) extension. A per-crate summary
+//!   maps each `fn` to the locks its body acquires directly; a call to
+//!   `helper(…)`, `self.helper(…)`, or `Self::helper(…)` under a guard
+//!   contributes the summary's acquisitions as ordering edges (labelled
+//!   `via`), closing the "wrap the lock in a function" blind spot.
 //!
-//! Deliberate limits, documented in DESIGN.md: the analysis is
-//! intra-procedural (direct acquisitions only), identifies locks by
-//! their field/binding name (distinct locks sharing a name merge into
-//! one conservative node), treats edges where **both** ends are shared
-//! (`.read()`) acquisitions as non-conflicting, and exempts `wait*`
-//! calls that take a live guard as an argument — the condvar pattern
-//! releases the lock while parked.
+//! Deliberate limits, documented in DESIGN.md §16: propagation is one
+//! hop (helper-of-helper chains are not chased), call targets resolve by
+//! bare name within the crate (same-named functions merge into one
+//! conservative summary; method calls on receivers other than `self`
+//! are skipped — without types, `guard.flush()` vs `disk.flush()` is
+//! guesswork), locks are identified by field/binding name (distinct
+//! locks sharing a name merge into one conservative node), edges where
+//! **both** ends are shared (`.read()`) acquisitions are
+//! non-conflicting, and `wait*` calls that take a live guard as an
+//! argument are exempt — the condvar pattern releases the lock while
+//! parked.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use super::matchers::{self, match_paren};
 use super::Rule;
 use crate::lexer::{TokKind, Token};
 use crate::report::Violation;
@@ -76,7 +87,14 @@ struct Edge {
     to_mode: Mode,
     path: String,
     line: usize,
+    /// Helper function the `to` acquisition happens inside, when the
+    /// edge came from the interprocedural extension.
+    via: Option<String>,
 }
+
+/// Per-crate, per-function summary: locks a function's body acquires
+/// directly, as `(node, mode)` pairs.
+type CrateSummaries = BTreeMap<String, BTreeMap<String, Vec<(String, Mode)>>>;
 
 /// See module docs.
 pub struct LockOrder;
@@ -91,19 +109,60 @@ impl Rule for LockOrder {
     }
 
     fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let summaries = build_summaries(ws);
         let mut out = Vec::new();
         let mut edges: Vec<Edge> = Vec::new();
         for file in &ws.files {
-            scan_file(self.id(), file, &mut edges, &mut out);
+            let crate_fns = summaries.get(matchers::crate_of(&file.rel));
+            scan_file(self.id(), file, crate_fns, &mut edges, &mut out);
         }
-        cycle_violations(self.id(), &edges, &mut out);
+        violations_from_edges(self.id(), &edges, &mut out);
         out
     }
 }
 
+/// Pre-pass: which locks does each function acquire directly?
+fn build_summaries(ws: &Workspace) -> CrateSummaries {
+    let mut out: CrateSummaries = BTreeMap::new();
+    for file in &ws.files {
+        let per_crate = out
+            .entry(matchers::crate_of(&file.rel).to_string())
+            .or_default();
+        let toks = &file.tokens;
+        for def in matchers::functions_in(file) {
+            let acquisitions = per_crate.entry(def.name).or_default();
+            let (open, close) = def.body;
+            for i in open..close {
+                let Some(mode) = acquisition_mode(&toks[i]) else {
+                    continue;
+                };
+                if i > 0 && toks[i - 1].is_punct(".") && is_zero_arg_call(toks, i) {
+                    if let Some(node) = receiver_name(toks, i - 1) {
+                        if !acquisitions.iter().any(|(n, m)| *n == node && *m == mode) {
+                            acquisitions.push((node, mode));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn acquisition_mode(t: &Token) -> Option<Mode> {
+    match t.text.as_str() {
+        "lock" | "write" => Some(Mode::Exclusive),
+        "read" => Some(Mode::Shared),
+        _ => None,
+    }
+}
+
+/// One guard-tracking walk over a file: collects ordering edges (direct
+/// and via same-crate helpers) and reports blocking calls under guards.
 fn scan_file(
     rule: &'static str,
     file: &SourceFile,
+    crate_fns: Option<&BTreeMap<String, Vec<(String, Mode)>>>,
     edges: &mut Vec<Edge>,
     out: &mut Vec<Violation>,
 ) {
@@ -137,12 +196,7 @@ fn scan_file(
         }
 
         // Lock acquisition: `recv . lock ( )` with zero args.
-        let mode = match t.text.as_str() {
-            "lock" | "write" => Some(Mode::Exclusive),
-            "read" => Some(Mode::Shared),
-            _ => None,
-        };
-        if let Some(mode) = mode {
+        if let Some(mode) = acquisition_mode(t) {
             if i > 0 && toks[i - 1].is_punct(".") && is_zero_arg_call(toks, i) {
                 let recv_name = receiver_name(toks, i - 1);
                 let (binding, end) = guard_extent(file, toks, i, &braces, recv_name.clone());
@@ -156,6 +210,7 @@ fn scan_file(
                             to_mode: mode,
                             path: file.rel.clone(),
                             line: file.line_of_token(i),
+                            via: None,
                         });
                     }
                 }
@@ -166,6 +221,32 @@ fn scan_file(
                     end,
                 });
                 continue;
+            }
+        }
+
+        // Interprocedural hop: a same-crate helper called under a live
+        // guard contributes the locks its body acquires.
+        if !guards.is_empty() && matches!(toks.get(i + 1), Some(n) if n.is_punct("(")) {
+            if let Some(fns) = crate_fns {
+                if is_propagatable_call(toks, i) {
+                    if let Some(acquired) = fns.get(t.text.as_str()) {
+                        for (node, mode) in acquired {
+                            for g in &guards {
+                                if !(g.mode == Mode::Shared && *mode == Mode::Shared) {
+                                    edges.push(Edge {
+                                        from: g.node.clone(),
+                                        from_mode: g.mode,
+                                        to: node.clone(),
+                                        to_mode: *mode,
+                                        path: file.rel.clone(),
+                                        line: file.line_of_token(i),
+                                        via: Some(t.text.clone()),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
 
@@ -202,6 +283,26 @@ fn scan_file(
             }
         }
     }
+}
+
+/// Call shapes the single-hop extension resolves: a bare `helper(…)`,
+/// `self.helper(…)`, or `Self::helper(…)`. Method calls on any other
+/// receiver are skipped — without type information the callee is
+/// guesswork (`guard.write_block(…)` must not hit `Disk::write_block`'s
+/// summary).
+fn is_propagatable_call(toks: &[Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) else {
+        return true;
+    };
+    if prev.is_punct(".") {
+        return i >= 2 && toks[i - 2].is_ident("self");
+    }
+    if prev.is_punct("::") {
+        return i >= 2 && toks[i - 2].is_ident("Self");
+    }
+    // `fn helper(` is a definition; `match x` etc. never precede `(`
+    // with an ident in call position we care about.
+    !prev.is_ident("fn")
 }
 
 /// The receiver identifier of a method call whose `.` sits at `dot`:
@@ -287,24 +388,8 @@ fn guard_extent(
     (name, toks.len())
 }
 
-/// Index of the `)` matching the `(` at `open`.
-fn match_paren(toks: &[Token], open: usize) -> Option<usize> {
-    let mut depth = 0i32;
-    for (i, t) in toks.iter().enumerate().skip(open) {
-        if t.is_punct("(") {
-            depth += 1;
-        } else if t.is_punct(")") {
-            depth -= 1;
-            if depth == 0 {
-                return Some(i);
-            }
-        }
-    }
-    None
-}
-
 /// Report self-edges and directed cycles in the ordering graph.
-fn cycle_violations(rule: &'static str, edges: &[Edge], out: &mut Vec<Violation>) {
+fn violations_from_edges(rule: &'static str, edges: &[Edge], out: &mut Vec<Violation>) {
     let mut adj: BTreeMap<&str, BTreeMap<&str, &Edge>> = BTreeMap::new();
     for e in edges {
         if e.from == e.to {
@@ -312,12 +397,17 @@ fn cycle_violations(rule: &'static str, edges: &[Edge], out: &mut Vec<Violation>
             // were never recorded; anything here can deadlock (or is two
             // same-named locks, which the naming scheme conservatively
             // refuses to tell apart).
+            let via = e
+                .via
+                .as_ref()
+                .map(|f| format!(" via call to `{f}()`"))
+                .unwrap_or_default();
             out.push(Violation {
                 rule,
                 path: e.path.clone(),
                 line: e.line,
                 message: format!(
-                    "lock `{}` acquired again while already held ({:?} under {:?})",
+                    "lock `{}` acquired again while already held{via} ({:?} under {:?})",
                     e.to, e.to_mode, e.from_mode
                 ),
             });
@@ -330,18 +420,22 @@ fn cycle_violations(rule: &'static str, edges: &[Edge], out: &mut Vec<Violation>
     let nodes: Vec<&str> = adj.keys().copied().collect();
     for &start in &nodes {
         let mut stack = vec![start];
-        let mut path_set: BTreeSet<&str> = [start].into();
-        dfs(start, &adj, &mut stack, &mut path_set, &mut |cycle| {
+        dfs(start, &adj, &mut stack, &mut |cycle| {
             let mut key: Vec<String> = cycle.iter().map(|s| s.to_string()).collect();
             key.sort();
             if reported.insert(key) {
                 let edge = adj[cycle[cycle.len() - 1]][cycle[0]];
+                let via = edge
+                    .via
+                    .as_ref()
+                    .map(|f| format!(" (closing edge via call to `{f}()`)"))
+                    .unwrap_or_default();
                 out.push(Violation {
                     rule,
                     path: edge.path.clone(),
                     line: edge.line,
                     message: format!(
-                        "lock-order cycle: {} — acquisition order must be \
+                        "lock-order cycle: {}{via} — acquisition order must be \
                          globally consistent",
                         cycle.join(" -> "),
                     ),
@@ -355,20 +449,16 @@ fn dfs<'a>(
     node: &'a str,
     adj: &BTreeMap<&'a str, BTreeMap<&'a str, &'a Edge>>,
     stack: &mut Vec<&'a str>,
-    path_set: &mut BTreeSet<&'a str>,
     report: &mut impl FnMut(&[&'a str]),
 ) {
     let Some(next) = adj.get(node) else { return };
     for &n in next.keys() {
         if let Some(pos) = stack.iter().position(|&s| s == n) {
-            let _ = path_set;
             report(&stack[pos..]);
             continue;
         }
         stack.push(n);
-        path_set.insert(n);
-        dfs(n, adj, stack, path_set, report);
+        dfs(n, adj, stack, report);
         stack.pop();
-        path_set.remove(n);
     }
 }

@@ -15,6 +15,7 @@
 //! `from_u8`-style matches over integers returning protocol values are
 //! likewise untouched.
 
+use super::matchers::next_depth0_brace;
 use super::Rule;
 use crate::lexer::{TokKind, Token};
 use crate::report::Violation;
@@ -82,23 +83,14 @@ fn protocol_impl_ranges(toks: &[Token], brace_match: &[Option<usize>]) -> Vec<(u
     let mut i = 0;
     while i < toks.len() {
         if toks[i].is_ident("impl") {
-            let mut names_protocol = false;
-            let mut j = i + 1;
-            let mut depth = 0i32;
-            while j < toks.len() {
-                let t = &toks[j];
-                if t.is_punct("(") || t.is_punct("[") {
-                    depth += 1;
-                } else if t.is_punct(")") || t.is_punct("]") {
-                    depth -= 1;
-                } else if depth == 0 && t.is_punct("{") {
-                    break;
-                } else if PROTOCOL_TYPES.iter().any(|p| t.is_ident(p)) {
-                    names_protocol = true;
-                }
-                j += 1;
-            }
-            if names_protocol && j < toks.len() {
+            let Some(j) = next_depth0_brace(toks, i + 1) else {
+                i += 1;
+                continue;
+            };
+            let names_protocol = toks[i + 1..j]
+                .iter()
+                .any(|t| PROTOCOL_TYPES.iter().any(|p| t.is_ident(p)));
+            if names_protocol {
                 if let Some(close) = brace_match[j] {
                     out.push((j, close));
                 }
@@ -115,17 +107,8 @@ fn protocol_impl_ranges(toks: &[Token], brace_match: &[Option<usize>]) -> Vec<(u
 /// The scrutinee cannot contain a top-level `{` (struct literals need
 /// parens there), so the first depth-0 `{` is the body.
 fn match_body(toks: &[Token], brace_match: &[Option<usize>], m: usize) -> Option<(usize, usize)> {
-    let mut depth = 0i32;
-    for (j, t) in toks.iter().enumerate().skip(m + 1) {
-        if t.is_punct("(") || t.is_punct("[") {
-            depth += 1;
-        } else if t.is_punct(")") || t.is_punct("]") {
-            depth -= 1;
-        } else if depth == 0 && t.is_punct("{") {
-            return brace_match[j].map(|c| (j, c));
-        }
-    }
-    None
+    let open = next_depth0_brace(toks, m + 1)?;
+    brace_match[open].map(|c| (open, c))
 }
 
 /// Split a match body (token range, exclusive) into arm pattern ranges

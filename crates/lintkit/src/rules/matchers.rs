@@ -1,0 +1,161 @@
+//! Token-scanning helpers shared by the rules.
+//!
+//! Before this module each rule carried its own copy of paren matching
+//! and depth-0 scanning; the semantic rules (determinism, result-dropped,
+//! interprocedural lock-order) add a per-file function table on top, so
+//! the helpers live here once.
+
+use crate::lexer::{TokKind, Token};
+use crate::source::SourceFile;
+
+/// Index of the `)` matching the `(` at `open`.
+pub fn match_paren(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `(` matching the `)` at `close`, scanning backwards.
+pub fn match_paren_back(toks: &[Token], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for i in (0..=close).rev() {
+        let t = &toks[i];
+        if t.is_punct(")") {
+            depth += 1;
+        } else if t.is_punct("(") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// First `{` at parenthesis/bracket depth 0 from `start` — the body
+/// opener of a `match`/`impl`/`fn` header (struct literals cannot appear
+/// unparenthesized in those positions).
+pub fn next_depth0_brace(toks: &[Token], start: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct("{") {
+            return Some(j);
+        } else if depth == 0 && t.is_punct(";") {
+            // A `;` first means the header had no body (trait method,
+            // item declaration).
+            return None;
+        }
+    }
+    None
+}
+
+/// Is the ident at `i` a macro invocation name (`name!(…)`, `name![…]`,
+/// `name!{…}`)?
+pub fn is_macro_call(toks: &[Token], i: usize) -> bool {
+    toks[i].kind == TokKind::Ident && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"))
+}
+
+/// The workspace crate a path belongs to: `crates/<name>/…` → `<name>`,
+/// the root package's `src/…` → `<root>`.
+pub fn crate_of(rel: &str) -> &str {
+    match rel.strip_prefix("crates/") {
+        Some(rest) => rest.split('/').next().unwrap_or(rest),
+        None => "<root>",
+    }
+}
+
+/// One `fn` definition: its name, body token range, and whether the
+/// declared return type mentions `Result`.
+pub struct FnDef {
+    pub name: String,
+    /// Token index of the name (for line reporting).
+    pub name_idx: usize,
+    /// `(open_brace, close_brace)` token indices of the body.
+    pub body: (usize, usize),
+    /// The `-> … Result …` check is by token, so `io::Result<()>` and
+    /// `Result<T, E>` both count.
+    pub ret_result: bool,
+}
+
+/// Every non-test `fn` with a body in `file` (free functions and
+/// methods alike — an `fn` inside an `impl` block is still `fn`).
+pub fn functions_in(file: &SourceFile) -> Vec<FnDef> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") || file.in_test[i] {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue; // `Fn(…)` trait sugar never lexes as `fn` + ident
+        }
+        let Some(open) = next_depth0_brace(toks, i + 2) else {
+            continue;
+        };
+        let Some(close) = file.brace_match[open] else {
+            continue;
+        };
+        let header = &toks[i + 2..open];
+        let ret_result =
+            header.iter().any(|t| t.is_punct("->")) && header.iter().any(|t| t.is_ident("Result"));
+        out.push(FnDef {
+            name: name_tok.text.clone(),
+            name_idx: i + 1,
+            body: (open, close),
+            ret_result,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_table_sees_methods_and_return_types() {
+        let src =
+            "impl Disk {\n  fn write_block(&self, b: usize) -> io::Result<()> { self.go(b) }\n}\n\
+                   fn helper(x: u32) -> u32 { x }\n\
+                   trait T { fn decl(&self) -> Result<(), E>; }\n\
+                   #[cfg(test)]\nmod t { fn masked() {} }";
+        let f = SourceFile::new("crates/vdisk/src/disk.rs", src);
+        let fns = functions_in(&f);
+        let names: Vec<(&str, bool)> = fns
+            .iter()
+            .map(|d| (d.name.as_str(), d.ret_result))
+            .collect();
+        assert_eq!(
+            names,
+            [("write_block", true), ("helper", false)],
+            "bodied non-test fns only"
+        );
+        assert_eq!(crate_of(&f.rel), "vdisk");
+        assert_eq!(crate_of("src/lib.rs"), "<root>");
+    }
+
+    #[test]
+    fn paren_matching_is_symmetric() {
+        let f = SourceFile::new("a.rs", "f(g(1), h(2));");
+        let toks = &f.tokens;
+        let open = toks.iter().position(|t| t.is_punct("(")).unwrap();
+        let close = match_paren(toks, open).unwrap();
+        assert_eq!(match_paren_back(toks, close), Some(open));
+    }
+}

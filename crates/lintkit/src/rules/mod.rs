@@ -1,18 +1,26 @@
 //! The rule framework: each rule checks one invariant the compiler
 //! cannot see, over the whole lexed workspace at once (some rules are
-//! cross-file, e.g. the lock-ordering graph).
+//! cross-file, e.g. the lock-ordering graph and the per-crate function
+//! summaries).
 
 use crate::report::Violation;
 use crate::Workspace;
 
+mod determinism;
 mod lock_order;
 mod match_exhaustive;
+pub mod matchers;
+mod no_blocking;
 mod no_panic;
+mod result_dropped;
 mod unsafe_audit;
 
+pub use determinism::Determinism;
 pub use lock_order::LockOrder;
 pub use match_exhaustive::MatchExhaustive;
+pub use no_blocking::NoBlocking;
 pub use no_panic::NoPanicTransport;
+pub use result_dropped::ResultDropped;
 pub use unsafe_audit::UnsafeAudit;
 
 /// One static-analysis rule.
@@ -34,5 +42,8 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(LockOrder),
         Box::new(MatchExhaustive),
         Box::new(UnsafeAudit),
+        Box::new(Determinism),
+        Box::new(NoBlocking),
+        Box::new(ResultDropped),
     ]
 }

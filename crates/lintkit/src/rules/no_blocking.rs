@@ -1,0 +1,113 @@
+//! Rule `no-blocking`: zones marked `reactor-ready` never block a
+//! thread.
+//!
+//! The ROADMAP's async-live-engine refactor will multiplex many
+//! migrations onto a small executor; any code that is supposed to move
+//! onto that reactor must not park its thread today, or the refactor
+//! inherits hidden stalls. The simulation crates are also *logically*
+//! non-blocking — the DES loop advances virtual time, so a real
+//! `thread::sleep` in there is a bug twice over. Flagged, outside test
+//! code:
+//!
+//! * `thread::sleep` / `thread::park` / `thread::park_timeout`, resolved
+//!   through the import table (so `std::thread::sleep(…)`, a bare
+//!   `sleep(…)` after `use std::thread::sleep`, and renames all match);
+//! * blocking channel receives: `.recv()`, `.recv_timeout(…)`,
+//!   `.recv_deadline(…)` method calls;
+//! * `.join()` with no arguments (thread joins; `v.join(", ")` on a
+//!   slice has an argument and is fine);
+//! * `.accept()` with no arguments (listener accepts).
+
+use super::{matchers, Rule};
+use crate::lexer::TokKind;
+use crate::report::Violation;
+use crate::resolve::{is_path_head, Imports};
+use crate::source::is_zero_arg_call;
+use crate::Workspace;
+
+/// Fully-qualified thread-parking functions.
+const BANNED_PATHS: &[&str] = &[
+    "std::thread::sleep",
+    "std::thread::park",
+    "std::thread::park_timeout",
+];
+
+/// Method names that block regardless of arguments.
+const BLOCKING_ANY_ARGS: &[&str] = &["recv", "recv_timeout", "recv_deadline"];
+
+/// Method names that block only in their zero-argument spelling.
+const BLOCKING_ZERO_ARGS: &[&str] = &["join", "accept"];
+
+/// See module docs.
+pub struct NoBlocking;
+
+impl Rule for NoBlocking {
+    fn id(&self) -> &'static str {
+        "no-blocking"
+    }
+
+    fn summary(&self) -> &'static str {
+        "reactor-ready zones never park a thread: no sleep, blocking recv, join, or accept"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !ws.config.in_zone("reactor-ready", &file.rel) {
+                continue;
+            }
+            let imports = Imports::of(file);
+            let toks = &file.tokens;
+            let mut i = 0;
+            while i < toks.len() {
+                if file.in_test[i] || toks[i].kind != TokKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                // Method-call spellings: `.recv(…)`, `.join()`, `.accept()`.
+                let is_method = i > 0 && toks[i - 1].is_punct(".");
+                let name = toks[i].text.as_str();
+                let blocking_method = is_method
+                    && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+                    && (BLOCKING_ANY_ARGS.contains(&name)
+                        || (BLOCKING_ZERO_ARGS.contains(&name) && is_zero_arg_call(toks, i)));
+                if blocking_method {
+                    out.push(Violation {
+                        rule: self.id(),
+                        path: file.rel.clone(),
+                        line: file.line_of_token(i),
+                        message: format!(
+                            "blocking `.{name}(…)` in a reactor-ready zone — use a \
+                             non-blocking form (try_recv, polling the event queue) \
+                             or move the call out of the zone"
+                        ),
+                    });
+                    i += 1;
+                    continue;
+                }
+                // Path spellings: `thread::sleep(…)` and friends.
+                if is_path_head(toks, i) && !matchers::is_macro_call(toks, i) {
+                    let (candidates, consumed) = imports.resolve(toks, i);
+                    if let Some(banned) = candidates
+                        .iter()
+                        .find(|c| BANNED_PATHS.contains(&c.as_str()))
+                    {
+                        out.push(Violation {
+                            rule: self.id(),
+                            path: file.rel.clone(),
+                            line: file.line_of_token(i),
+                            message: format!(
+                                "`{banned}` in a reactor-ready zone — parking the \
+                                 thread stalls every migration sharing the executor"
+                            ),
+                        });
+                    }
+                    i += consumed.max(1);
+                    continue;
+                }
+                i += 1;
+            }
+        }
+        out
+    }
+}

@@ -9,25 +9,15 @@
 //! the old `awk | grep` CI gate (which only caught `.recv().unwrap()` on
 //! two path globs) to *all* `unwrap`/`expect` calls and panic-family
 //! macros in the transport zones, outside `#[cfg(test)]` code.
+//!
+//! The zone list lives in `lintkit.toml` under `transport` (DESIGN.md
+//! §16) — it includes the wire/engine/recording paths and lintkit
+//! itself: the lint gate must not be the one binary allowed to crash CI
+//! with a panic.
 
-use super::Rule;
+use super::{matchers, Rule};
 use crate::report::Violation;
 use crate::Workspace;
-
-/// Path prefixes (workspace-relative) where panicking is forbidden.
-/// `crates/telemetry/src/` is in the zone because recording runs inline
-/// on those same transport/protocol paths: a panicking recorder would be
-/// indistinguishable from a panicking transport.
-pub const ZONES: &[&str] = &[
-    "crates/migrate/src/live/",
-    "crates/simnet/src/",
-    "crates/telemetry/src/",
-    "crates/orchestrator/src/",
-    // Fingerprinting runs on the destination's receive path: a panic in
-    // the content index would kill the protocol thread mid-session just
-    // like a transport unwrap (simnet/src/ already covers the codec).
-    "crates/vdisk/src/content.rs",
-];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
@@ -46,7 +36,7 @@ impl Rule for NoPanicTransport {
     fn check(&self, ws: &Workspace) -> Vec<Violation> {
         let mut out = Vec::new();
         for file in &ws.files {
-            if !ZONES.iter().any(|z| file.rel.starts_with(z)) {
+            if !ws.config.in_zone("transport", &file.rel) {
                 continue;
             }
             let toks = &file.tokens;
@@ -56,9 +46,7 @@ impl Rule for NoPanicTransport {
                 }
                 let t = &toks[i];
                 // panic!/unreachable!/todo!/unimplemented!
-                if PANIC_MACROS.iter().any(|m| t.is_ident(m))
-                    && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"))
-                {
+                if PANIC_MACROS.iter().any(|m| t.is_ident(m)) && matchers::is_macro_call(toks, i) {
                     out.push(Violation {
                         rule: self.id(),
                         path: file.rel.clone(),

@@ -1,0 +1,225 @@
+//! Rule `result-dropped`: transport and engine zones never discard a
+//! `Result`.
+//!
+//! `#[must_use]` already makes a *silently ignored* Result a compiler
+//! warning — so the discards that survive in real code are the explicit
+//! ones: `let _ = ep.send(…);` and bare-semicolon statements. Those are
+//! exactly how a lost `CompleteAck` or a failed socket shutdown vanishes
+//! without a counter incrementing (DESIGN.md §9's reconnect story needs
+//! every transport failure *observed*). In the `result-dropped` zones
+//! this rule turns both spellings into findings; the fix is a typed
+//! decision — match on the error, count it, or propagate it.
+//!
+//! Detection, outside test code:
+//!
+//! * `let _ = <expr>;` where the expression contains a call — flagged
+//!   outright (discarding a unit call through `let _ =` is noise even
+//!   when it isn't a Result). Macro invocations (`let _ = write!(…)`)
+//!   are exempt: `fmt::Result` on an in-memory writer is infallible by
+//!   construction and the idiom is pervasive.
+//! * A bare statement `f(…);` / `self.f(…);` whose callee is a
+//!   same-crate `fn` declared `-> … Result …`. The per-crate function
+//!   table resolves by bare name, so same-named functions merge; a
+//!   merged name counts as Result-returning only when *every*
+//!   definition is (the codec's `Writer::u64(v)` / `Reader::u64()
+//!   -> Result` pair must not flag the writer side).
+//! * A bare statement `recv.m(…);` where `m` is a known Result-returning
+//!   std method on these paths: `send`/`shutdown`/`write_all` (with
+//!   arguments), `flush`/`recv`/`join` (without). Method resolution
+//!   without types is heuristic, so the list is short and the names
+//!   specific; `stream.read(buf)` et al. stay out of scope.
+
+use std::collections::BTreeMap;
+
+use super::{matchers, Rule};
+use crate::lexer::TokKind;
+use crate::report::Violation;
+use crate::Workspace;
+
+/// Std methods returning Result, flagged when called with ≥1 argument.
+const RESULT_METHODS_WITH_ARGS: &[&str] = &["send", "shutdown", "write_all"];
+
+/// Std methods returning Result, flagged in zero-argument form only
+/// (`v.join(", ")` is a slice join, `h.join()` a thread Result).
+const RESULT_METHODS_ZERO_ARGS: &[&str] = &["flush", "recv", "join"];
+
+/// Statement-leading keywords that mean the call's value is used.
+const VALUE_USED_HEADS: &[&str] = &[
+    "return", "break", "continue", "let", "if", "while", "match", "for", "else",
+];
+
+/// See module docs.
+pub struct ResultDropped;
+
+impl Rule for ResultDropped {
+    fn id(&self) -> &'static str {
+        "result-dropped"
+    }
+
+    fn summary(&self) -> &'static str {
+        "transport/engine zones never discard a Result — no `let _ =`, no bare-semicolon calls"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        // Per-crate: fn name → do ALL same-named definitions return
+        // Result? (AND-merge: a name shared with a unit-returning fn
+        // must not flag — false positives would train people to
+        // allowlist.)
+        let mut fn_returns: BTreeMap<&str, BTreeMap<String, bool>> = BTreeMap::new();
+        for file in &ws.files {
+            let per_crate = fn_returns.entry(matchers::crate_of(&file.rel)).or_default();
+            for def in matchers::functions_in(file) {
+                per_crate
+                    .entry(def.name)
+                    .and_modify(|all| *all = *all && def.ret_result)
+                    .or_insert(def.ret_result);
+            }
+        }
+
+        let mut out = Vec::new();
+        for file in &ws.files {
+            if !ws.config.in_zone("result-dropped", &file.rel) {
+                continue;
+            }
+            let crate_fns = &fn_returns[matchers::crate_of(&file.rel)];
+            let toks = &file.tokens;
+            for i in 0..toks.len() {
+                if file.in_test[i] {
+                    continue;
+                }
+                // `let _ = <expr-with-a-call>;`
+                if toks[i].is_ident("let")
+                    && matches!(toks.get(i + 1), Some(t) if t.is_ident("_"))
+                    && matches!(toks.get(i + 2), Some(t) if t.is_punct("="))
+                {
+                    let end = statement_semicolon(toks, i + 3);
+                    let expr = &toks[i + 3..end];
+                    let has_call = expr.iter().any(|t| t.is_punct("("));
+                    let is_macro = (0..expr.len()).any(|k| matchers::is_macro_call(expr, k));
+                    if has_call && !is_macro {
+                        out.push(Violation {
+                            rule: self.id(),
+                            path: file.rel.clone(),
+                            line: file.line_of_token(i),
+                            message: "`let _ =` discards the call's Result — match on \
+                                      it, count the failure, or propagate it"
+                                .to_string(),
+                        });
+                    }
+                    continue;
+                }
+                // Bare-semicolon call statement: `… name(…) ;`
+                if !toks[i].is_punct(";") || i == 0 || !toks[i - 1].is_punct(")") {
+                    continue;
+                }
+                let Some(open) = matchers::match_paren_back(toks, i - 1) else {
+                    continue;
+                };
+                let Some(callee_idx) = open.checked_sub(1) else {
+                    continue;
+                };
+                let callee = &toks[callee_idx];
+                if callee.kind != TokKind::Ident {
+                    continue; // closure call, macro (`name!(…)`), tuple expr
+                }
+                let is_method = callee_idx > 0 && toks[callee_idx - 1].is_punct(".");
+                let qualified = callee_idx > 0 && toks[callee_idx - 1].is_punct("::");
+                if qualified {
+                    continue; // `mem::swap(…);` etc. — out of scope
+                }
+                if !statement_is_bare_call(toks, callee_idx, i, is_method) {
+                    continue;
+                }
+                let argc = call_has_args(toks, open);
+                let name = callee.text.as_str();
+                let dropped = if is_method {
+                    let on_self = callee_idx >= 2 && toks[callee_idx - 2].is_ident("self");
+                    (on_self && *crate_fns.get(name).unwrap_or(&false))
+                        || (RESULT_METHODS_WITH_ARGS.contains(&name) && argc)
+                        || (RESULT_METHODS_ZERO_ARGS.contains(&name) && !argc)
+                } else {
+                    *crate_fns.get(name).unwrap_or(&false)
+                };
+                if dropped {
+                    out.push(Violation {
+                        rule: self.id(),
+                        path: file.rel.clone(),
+                        line: file.line_of_token(callee_idx),
+                        message: format!(
+                            "Result of `{name}(…)` dropped at the `;` — handle or \
+                             propagate it (`?`, match, or an error counter)"
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The `;` ending the statement whose expression starts at `s`.
+fn statement_semicolon(toks: &[crate::lexer::Token], s: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(s) {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(";") {
+            return k;
+        }
+    }
+    toks.len()
+}
+
+/// Is the call ending this statement a *bare expression statement* —
+/// i.e. nothing consumes its value? Walks from the callee back to the
+/// statement start and rejects assignment (`x = f(y);`), `?`, keyword
+/// heads (`return f(y);`), and match-arm arrows.
+fn statement_is_bare_call(
+    toks: &[crate::lexer::Token],
+    callee_idx: usize,
+    semi: usize,
+    is_method: bool,
+) -> bool {
+    // Start of the receiver chain / expression.
+    let mut s = callee_idx;
+    if is_method {
+        // Walk back over `recv .` / `recv . field .` chains, including
+        // a chain hanging off a closed call `f(…).m(…)`.
+        while s >= 2 && toks[s - 1].is_punct(".") {
+            let prev = &toks[s - 2];
+            if prev.kind == TokKind::Ident || prev.kind == TokKind::Literal {
+                s -= 2;
+            } else if prev.is_punct(")") {
+                match matchers::match_paren_back(toks, s - 2) {
+                    Some(open) if open >= 1 && toks[open - 1].kind == TokKind::Ident => {
+                        s = open - 1;
+                    }
+                    _ => return false, // `(expr).m(…);` — too opaque, skip
+                }
+            } else {
+                return false;
+            }
+        }
+    }
+    // The expression must begin the statement…
+    if s > 0 {
+        let prev = &toks[s - 1];
+        if !(prev.is_punct(";") || prev.is_punct("{") || prev.is_punct("}")) {
+            return false;
+        }
+    }
+    // …and nothing between it and the `;` may consume the value.
+    !toks[s..semi].iter().any(|t| {
+        t.is_punct("=")
+            || t.is_punct("?")
+            || t.is_punct("=>")
+            || VALUE_USED_HEADS.iter().any(|k| t.is_ident(k))
+    })
+}
+
+/// Does the call whose `(` is at `open` have any arguments?
+fn call_has_args(toks: &[crate::lexer::Token], open: usize) -> bool {
+    !matches!(toks.get(open + 1), Some(t) if t.is_punct(")"))
+}

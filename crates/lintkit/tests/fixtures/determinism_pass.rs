@@ -1,0 +1,37 @@
+//! Fixture: the compliant spellings of what `determinism_trip.rs` does
+//! wrong — ordered containers, the sim clock. NOT compiled.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Plan {
+    by_host: BTreeMap<String, u32>,
+}
+
+pub fn build(hosts: &[String]) -> Plan {
+    let mut by_host = BTreeMap::new();
+    let mut seen = BTreeSet::new();
+    for h in hosts {
+        if seen.insert(h.clone()) {
+            by_host.insert(h.clone(), 0);
+        }
+    }
+    Plan { by_host }
+}
+
+pub fn stamp(clock: &SimClock) -> u64 {
+    clock.now_nanos() // virtual time, not the wall
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_may_hash_and_time() {
+        let started = Instant::now();
+        let mut m = HashMap::new();
+        m.insert("k", started.elapsed());
+        assert_eq!(m.len(), 1);
+    }
+}

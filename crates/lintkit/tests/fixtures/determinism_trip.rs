@@ -1,0 +1,46 @@
+//! Fixture: hash-ordered containers and wall-clock reads in a
+//! deterministic zone — every spelling the resolver must catch. NOT
+//! compiled.
+
+use std::collections::HashMap;
+use std::collections::HashSet as Seen;
+use std::time::Instant;
+
+pub struct Plan {
+    by_host: HashMap<String, u32>, // type position, via plain import
+}
+
+pub fn build(hosts: &[String]) -> Plan {
+    let mut by_host = HashMap::new(); // constructor, via plain import
+    let mut seen = Seen::new(); // rename resolves to HashSet
+    for h in hosts {
+        if seen.insert(h.clone()) {
+            by_host.insert(h.clone(), 0);
+        }
+    }
+    Plan { by_host }
+}
+
+pub fn hash_module_escape_hatch(n: u64) -> u64 {
+    let h = std::collections::hash_map::DefaultHasher::new(); // fully qualified
+    hash_one(h, n)
+}
+
+pub fn stamp(clock: &SimClock) -> u64 {
+    let t = Instant::now(); // wall clock, via plain import
+    let s = std::time::SystemTime::now(); // wall clock, fully qualified
+    record(t, s);
+    clock.now_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_order_is_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: helper calls the interprocedural extension must leave
+//! alone — shared pairs, released guards, non-self receivers. NOT
+//! compiled.
+
+fn read_ledger(s: &Shared) -> u64 {
+    let l = s.ledger.read();
+    l.total()
+}
+
+pub fn shared_under_shared(s: &Shared) -> u64 {
+    let p = s.pending.read();
+    read_ledger(s) + p.len() // shared + shared cannot deadlock
+}
+
+fn grab_pending(s: &Shared) {
+    let p = s.pending.lock();
+    p.touch();
+}
+
+pub fn helper_after_release(s: &Shared) {
+    let g = s.ledger.lock();
+    drop(g);
+    grab_pending(s); // nothing held at the call site
+}
+
+pub fn other_receivers_do_not_resolve(s: &Shared, disk: &Disk) {
+    let g = s.ledger.lock();
+    disk.grab_pending(0); // receiver is not `self`: summary not applied
+    g.done();
+}
+
+pub fn pending_then_ledger(s: &Shared) {
+    // The inverse direct order exists; only a wrong propagation of the
+    // `disk.grab_pending` call above would close a cycle with it.
+    let p = s.pending.lock();
+    let l = s.ledger.lock();
+    l.merge(&p);
+}

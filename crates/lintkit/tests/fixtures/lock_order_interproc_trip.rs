@@ -1,0 +1,26 @@
+//! Fixture: lock acquisitions hidden inside a same-crate helper — the
+//! single-hop interprocedural extension must see through the call. NOT
+//! compiled.
+
+fn grab_ledger(s: &Shared) {
+    let l = s.ledger.lock();
+    l.touch();
+}
+
+pub fn reacquires_via_helper(s: &Shared) {
+    let g = s.ledger.lock();
+    grab_ledger(s); // ledger already held: self-deadlock via the call
+    g.done();
+}
+
+pub fn pending_then_helper(s: &Shared) {
+    let p = s.pending.lock();
+    grab_ledger(s); // pending -> ledger edge, via the call
+    p.done();
+}
+
+pub fn ledger_then_pending(s: &Shared) {
+    let l = s.ledger.lock();
+    let p = s.pending.lock(); // ledger -> pending: closes the cycle
+    l.merge(&p);
+}

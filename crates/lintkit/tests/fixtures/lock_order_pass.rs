@@ -18,7 +18,9 @@ pub fn released_before_send(s: &Shared, tx: &Sender<MigMessage>) {
     let guard = s.ledger.lock();
     let msg = guard.next_message();
     drop(guard);
-    tx.send(msg); // guard explicitly dropped first
+    if tx.send(msg).is_err() {
+        reconnect(); // guard explicitly dropped first; Result consumed
+    }
 }
 
 pub fn scoped_before_send(s: &Shared, tx: &Sender<MigMessage>) {
@@ -26,7 +28,9 @@ pub fn scoped_before_send(s: &Shared, tx: &Sender<MigMessage>) {
         let guard = s.ledger.lock();
         guard.next_message()
     };
-    tx.send(msg); // guard died with its block
+    if tx.send(msg).is_err() {
+        reconnect(); // guard died with its block; Result consumed
+    }
 }
 
 pub fn condvar_wait(s: &Shared) {

@@ -1,0 +1,24 @@
+//! Fixture: the non-blocking forms of what `no_blocking_trip.rs` does
+//! wrong, plus the spellings that merely look blocking. NOT compiled.
+
+pub fn drain(rx: &Receiver<Event>) -> Vec<Event> {
+    let mut out = Vec::new();
+    while let Ok(ev) = rx.try_recv() {
+        out.push(ev); // polling, never parked
+    }
+    out
+}
+
+pub fn join_paths(parts: &[String]) -> String {
+    parts.join("/") // slice join takes an argument: not a thread join
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_block() {
+        let (tx, rx) = channel();
+        tx.send(1).ok();
+        assert_eq!(rx.recv().ok(), Some(1));
+    }
+}

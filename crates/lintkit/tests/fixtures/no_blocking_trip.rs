@@ -1,0 +1,23 @@
+//! Fixture: thread-parking calls in a reactor-ready zone — channel
+//! receives, joins, accepts, and the `thread::` family. NOT compiled.
+
+use std::thread;
+
+pub fn drain(rx: &Receiver<Event>) -> Vec<Event> {
+    let mut out = Vec::new();
+    out.extend(rx.recv()); // blocking receive
+    while let Ok(ev) = rx.recv_timeout(TICK) {
+        out.push(ev);
+    }
+    out
+}
+
+pub fn wait_for_worker(h: JoinHandle<()>, backoff: Duration) {
+    thread::sleep(backoff); // resolved through the import table
+    drop(h.join()); // zero-arg join: a thread join
+}
+
+pub fn serve(listener: &TcpListener) {
+    std::thread::park(); // fully qualified
+    drop(listener.accept()); // zero-arg accept
+}

@@ -1,0 +1,48 @@
+//! Fixture: every Result observed — propagated, matched, or counted —
+//! plus the shapes the rule must deliberately not flag. NOT compiled.
+
+use std::fmt::Write;
+
+pub struct Peer {
+    frames: Vec<u8>,
+    lost: u64,
+}
+
+impl Peer {
+    fn push_frame(&mut self, b: u8) -> Result<(), WireError> {
+        self.frames.push(b); // Vec::push returns unit: nothing dropped
+        Ok(())
+    }
+
+    // `checksum` has a split personality: this writer half returns
+    // unit, the free reader below returns a Result. The per-crate
+    // table AND-merges same-named functions, so a bare
+    // `self.checksum();` must not flag.
+    fn checksum(&mut self) {
+        self.frames.push(0);
+    }
+
+    pub fn relay(&mut self, ep: &Sender<u8>, b: u8) -> Result<(), WireError> {
+        self.push_frame(b)?; // propagated
+        self.checksum(); // unit-returning sibling wins the merge
+        if ep.send(b).is_err() {
+            self.lost += 1; // counted, not discarded
+        }
+        Ok(())
+    }
+}
+
+pub fn render(out: &mut String, n: u64) {
+    let _ = write!(out, "{n}"); // macro: fmt to a String is infallible
+}
+
+pub fn teardown(sock: &TcpStream) {
+    match sock.shutdown(Shutdown::Both) {
+        Ok(()) => {}
+        Err(_already_closed) => {} // named, deliberate
+    }
+}
+
+fn checksum(frames: &[u8]) -> Result<u8, WireError> {
+    frames.last().copied().ok_or(WireError::Empty)
+}

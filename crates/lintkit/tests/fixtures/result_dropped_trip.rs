@@ -1,0 +1,37 @@
+//! Fixture: discarded Results in a transport zone — `let _ =`, bare
+//! curated std methods, and bare same-crate Result functions. NOT
+//! compiled.
+
+pub struct Peer {
+    frames: Vec<u8>,
+}
+
+impl Peer {
+    fn push_frame(&mut self, b: u8) -> Result<(), WireError> {
+        self.frames.push(b);
+        Ok(())
+    }
+
+    pub fn relay(&mut self, ep: &Sender<u8>, b: u8) {
+        self.push_frame(b); // same-crate fn table says -> Result
+        ep.send(b); // curated method: send with arguments
+    }
+}
+
+pub fn teardown(w: &mut BufWriter<TcpStream>, sock: &TcpStream) {
+    w.flush(); // curated method: zero-argument flush
+    let _ = sock.shutdown(Shutdown::Both); // `let _ =` around a call
+}
+
+pub fn forward(b: u8) -> Result<u8, WireError> {
+    deliver(b); // bare free function returning Result
+    Ok(b)
+}
+
+fn deliver(b: u8) -> Result<(), WireError> {
+    if b == 0 {
+        Err(WireError::ZeroFrame)
+    } else {
+        Ok(())
+    }
+}

@@ -14,6 +14,14 @@ const MATCH_TRIP: &str = include_str!("fixtures/match_trip.rs");
 const MATCH_PASS: &str = include_str!("fixtures/match_pass.rs");
 const UNSAFE_TRIP: &str = include_str!("fixtures/unsafe_trip.rs");
 const UNSAFE_PASS: &str = include_str!("fixtures/unsafe_pass.rs");
+const DETERMINISM_TRIP: &str = include_str!("fixtures/determinism_trip.rs");
+const DETERMINISM_PASS: &str = include_str!("fixtures/determinism_pass.rs");
+const NO_BLOCKING_TRIP: &str = include_str!("fixtures/no_blocking_trip.rs");
+const NO_BLOCKING_PASS: &str = include_str!("fixtures/no_blocking_pass.rs");
+const RESULT_DROPPED_TRIP: &str = include_str!("fixtures/result_dropped_trip.rs");
+const RESULT_DROPPED_PASS: &str = include_str!("fixtures/result_dropped_pass.rs");
+const INTERPROC_TRIP: &str = include_str!("fixtures/lock_order_interproc_trip.rs");
+const INTERPROC_PASS: &str = include_str!("fixtures/lock_order_interproc_pass.rs");
 
 fn run(sources: &[(&str, &str)]) -> Vec<Violation> {
     Workspace::from_sources(sources).run()
@@ -158,6 +166,152 @@ fn pragma_satisfies_the_crate_root_check() {
     // Non-root files don't need the pragma at all.
     let vs = run(&[("crates/good/src/inner/util.rs", "pub fn f() {}")]);
     assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn determinism_trips_on_every_spelling() {
+    // `deterministic` zone: containers and wall-clock reads both banned.
+    let vs = run(&[("crates/orchestrator/src/fixture.rs", DETERMINISM_TRIP)]);
+    let hits = lines_of(&vs, "determinism");
+    let lines: Vec<usize> = hits.iter().map(|&(_, l)| l).collect();
+    assert_eq!(
+        lines,
+        [10, 14, 15, 25, 30, 31],
+        "type pos, ctor, rename, hash_map module, Instant, SystemTime: {vs:#?}"
+    );
+}
+
+#[test]
+fn determinism_order_zone_bans_containers_but_not_the_clock() {
+    // The telemetry recorder owns the wall half of the dual-clock model:
+    // `deterministic-order` keeps hash containers out, lets `now()` in.
+    let vs = run(&[("crates/telemetry/src/fixture.rs", DETERMINISM_TRIP)]);
+    let lines: Vec<usize> = lines_of(&vs, "determinism")
+        .iter()
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(
+        lines,
+        [10, 14, 15, 25],
+        "wall-clock lines must drop: {vs:#?}"
+    );
+}
+
+#[test]
+fn determinism_ignores_test_code_and_compliant_files() {
+    let vs = run(&[("crates/orchestrator/src/fixture.rs", DETERMINISM_PASS)]);
+    assert!(vs.is_empty(), "compliant zone file must be clean: {vs:#?}");
+    // Outside every deterministic zone the same code is legal.
+    let vs = run(&[("crates/workloads/src/fixture.rs", DETERMINISM_TRIP)]);
+    assert!(
+        lines_of(&vs, "determinism").is_empty(),
+        "zone rule fired outside its zones: {vs:#?}"
+    );
+}
+
+#[test]
+fn no_blocking_trips_on_parks_receives_joins_and_accepts() {
+    let vs = run(&[("crates/des/src/fixture.rs", NO_BLOCKING_TRIP)]);
+    let hits = lines_of(&vs, "no-blocking");
+    let lines: Vec<usize> = hits.iter().map(|&(_, l)| l).collect();
+    assert_eq!(
+        lines,
+        [8, 9, 16, 17, 21, 22],
+        "recv, recv_timeout, thread::sleep, join, park, accept: {vs:#?}"
+    );
+}
+
+#[test]
+fn no_blocking_allows_polling_slice_joins_and_test_code() {
+    let vs = run(&[("crates/des/src/fixture.rs", NO_BLOCKING_PASS)]);
+    assert!(vs.is_empty(), "compliant zone file must be clean: {vs:#?}");
+    // Outside the reactor-ready zones blocking is legal.
+    let vs = run(&[("crates/simnet/src/fixture.rs", NO_BLOCKING_TRIP)]);
+    assert!(
+        lines_of(&vs, "no-blocking").is_empty(),
+        "zone rule fired outside its zones: {vs:#?}"
+    );
+}
+
+#[test]
+fn result_dropped_trips_on_discards() {
+    let vs = run(&[("crates/simnet/src/fixture.rs", RESULT_DROPPED_TRIP)]);
+    let hits = lines_of(&vs, "result-dropped");
+    let lines: Vec<usize> = hits.iter().map(|&(_, l)| l).collect();
+    assert_eq!(
+        lines,
+        [16, 17, 22, 23, 27],
+        "self fn, send, flush, let _, free fn: {vs:#?}"
+    );
+}
+
+#[test]
+fn result_dropped_accepts_handled_results_and_merged_names() {
+    let vs = run(&[("crates/simnet/src/fixture.rs", RESULT_DROPPED_PASS)]);
+    assert!(vs.is_empty(), "compliant zone file must be clean: {vs:#?}");
+    // Outside the result-dropped zones discards are legal.
+    let vs = run(&[("crates/des/src/fixture.rs", RESULT_DROPPED_TRIP)]);
+    assert!(
+        lines_of(&vs, "result-dropped").is_empty(),
+        "zone rule fired outside its zones: {vs:#?}"
+    );
+}
+
+#[test]
+fn lock_order_sees_through_single_hop_helpers() {
+    let vs = run(&[("crates/migrate/src/live/fixture.rs", INTERPROC_TRIP)]);
+    let hits = lines_of(&vs, "lock-order");
+    assert_eq!(
+        hits,
+        [
+            ("crates/migrate/src/live/fixture.rs", 12),
+            ("crates/migrate/src/live/fixture.rs", 18),
+        ],
+        "re-acquisition via helper + cycle closed via helper: {vs:#?}"
+    );
+    let msgs: Vec<&str> = vs.iter().map(|v| v.message.as_str()).collect();
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("already held via call to `grab_ledger()`")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("closing edge via call to `grab_ledger()`")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn lock_order_interproc_skips_shared_released_and_foreign_receivers() {
+    let vs = run(&[("crates/migrate/src/live/fixture.rs", INTERPROC_PASS)]);
+    assert!(vs.is_empty(), "compliant helper calls flagged: {vs:#?}");
+}
+
+#[test]
+fn allow_entries_suppress_named_findings() {
+    // An `[allow]` entry scoped to `path:line` silences exactly that
+    // finding; a bare path entry silences the file.
+    let mut ws = Workspace::from_sources(&[("crates/des/src/fixture.rs", NO_BLOCKING_TRIP)]);
+    ws.config
+        .allow
+        .entry("no-blocking".to_string())
+        .or_default()
+        .push("crates/des/src/fixture.rs:16".to_string());
+    let vs = ws.run();
+    let lines: Vec<usize> = lines_of(&vs, "no-blocking")
+        .iter()
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(lines, [8, 9, 17, 21, 22], "line 16 allowed: {vs:#?}");
+
+    let mut ws = Workspace::from_sources(&[("crates/des/src/fixture.rs", NO_BLOCKING_TRIP)]);
+    ws.config
+        .allow
+        .entry("no-blocking".to_string())
+        .or_default()
+        .push("crates/des/src/fixture.rs".to_string());
+    assert!(ws.run().is_empty(), "whole-file allow ignored");
 }
 
 #[test]

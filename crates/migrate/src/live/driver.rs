@@ -1,7 +1,7 @@
 //! The guest driver thread: plays a workload against the current disk,
 //! with suspend/resume orchestration and end-to-end stamp verification.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -129,9 +129,9 @@ impl DriverCtl {
 #[derive(Debug)]
 pub struct DriverResult {
     /// Last stamp written per block (ground truth for consistency).
-    pub model: HashMap<usize, u64>,
+    pub model: BTreeMap<usize, u64>,
     /// Last stamp written per memory page.
-    pub mem_model: HashMap<usize, u64>,
+    pub mem_model: BTreeMap<usize, u64>,
     /// Total writes issued.
     pub writes: u64,
     /// Total reads issued.
@@ -183,12 +183,12 @@ impl DriverHandle {
         let thread_ctl = ctl.clone();
         let join = std::thread::spawn(move || {
             let mut rng = SimRng::new(seed);
-            let mut model: HashMap<usize, u64> = HashMap::new();
+            let mut model: BTreeMap<usize, u64> = BTreeMap::new();
             let mut stamp = 1u64;
-            let mut mem_model: HashMap<usize, u64> = HashMap::new();
+            let mut mem_model: BTreeMap<usize, u64> = BTreeMap::new();
             let mut res = DriverResult {
-                model: HashMap::new(),
-                mem_model: HashMap::new(),
+                model: BTreeMap::new(),
+                mem_model: BTreeMap::new(),
                 writes: 0,
                 reads: 0,
                 mem_writes: 0,

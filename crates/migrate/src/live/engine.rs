@@ -16,7 +16,7 @@
 //! authoritative instead. Re-sent blocks are re-read from the current
 //! disk, so a resend can never apply stale data.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -179,11 +179,11 @@ pub struct LiveOutcome {
     /// The destination RAM the guest now runs on.
     pub dst_ram: Arc<LiveRam>,
     /// The guest's last stamp written per memory page.
-    pub mem_model: HashMap<usize, u64>,
+    pub mem_model: BTreeMap<usize, u64>,
     /// Destination-side new-write bitmap (feeds a live IM).
     pub new_bitmap: FlatBitmap,
     /// The guest's ground truth: last stamp written per block.
-    pub model: HashMap<usize, u64>,
+    pub model: BTreeMap<usize, u64>,
     /// Guest reads that saw wrong data (must be 0).
     pub read_violations: u64,
 }
@@ -1407,6 +1407,19 @@ fn source_freeze<T: Transport>(
     Ok(())
 }
 
+/// Best-effort ack: the destination is provably synced; if the ack is
+/// lost it completes on its own evidence. The loss is still *observed* —
+/// it increments `live.ack_lost` instead of vanishing in a `let _ =`.
+fn send_complete_ack<T: Transport>(cfg: &LiveConfig, ep: &T) {
+    match ep.send(MigMessage::CompleteAck) {
+        Ok(()) => {}
+        Err(_) if cfg.telemetry.is_enabled() => {
+            cfg.telemetry.metrics().counter("live.ack_lost").add(1);
+        }
+        Err(_) => {}
+    }
+}
+
 fn source_post_copy<T: Transport>(
     cfg: &LiveConfig,
     disk: &Arc<TrackedDisk>,
@@ -1446,9 +1459,7 @@ fn source_post_copy<T: Transport>(
                     answer_pull(st, block)?;
                 }
                 Ok(MigMessage::MigrationComplete) => {
-                    // Best-effort ack: the destination is provably synced;
-                    // if the ack is lost it completes on its own evidence.
-                    let _ = ep.send(MigMessage::CompleteAck);
+                    send_complete_ack(cfg, ep);
                     return Ok(());
                 }
                 Ok(MigMessage::Resumed) => {} // downtime over; informational
@@ -1498,7 +1509,7 @@ fn source_post_copy<T: Transport>(
                         answer_pull(st, block)?;
                     }
                     Ok(MigMessage::MigrationComplete) => {
-                        let _ = ep.send(MigMessage::CompleteAck);
+                        send_complete_ack(cfg, ep);
                         return Ok(());
                     }
                     Ok(MigMessage::Resumed) => {}

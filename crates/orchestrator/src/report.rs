@@ -221,8 +221,8 @@ mod tests {
     #[test]
     fn derived_figures_use_exact_nanos_arithmetic() {
         let r = rec(0, 0, 1024, true);
-        assert_eq!(r.total_secs(), 2_000_000_000u64 as f64 / 1e9);
-        assert_eq!(r.downtime_ms(), 100_000_000u64 as f64 / 1e6);
+        assert_eq!(r.total_secs(), 2_000_000_000_f64 / 1e9);
+        assert_eq!(r.downtime_ms(), 100_000_000_f64 / 1e6);
     }
 
     #[test]

@@ -358,7 +358,7 @@ mod tests {
                         let run = 1 + (next() % 300) as usize;
                         let byte = next() as u8;
                         let n = run.min(len - data.len());
-                        data.extend(std::iter::repeat(byte).take(n));
+                        data.extend(std::iter::repeat_n(byte, n));
                     }
                 }
                 // A short motif repeated — LZ back-reference shape.

@@ -164,7 +164,7 @@ impl Transport for TcpTransport {
 
     fn shutdown(&self) {
         let w = self.writer.lock();
-        let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
+        sever(w.get_ref());
     }
 
     fn set_telemetry(&self, recorder: &Arc<Recorder>, side: Side) {
@@ -178,7 +178,17 @@ impl Drop for TcpTransport {
         // explicit shutdown the connection would stay half-open and the
         // peer would never observe EOF.
         let w = self.writer.lock();
-        let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
+        sever(w.get_ref());
+    }
+}
+
+/// Close both halves of the socket. `Err` here means the peer (or a
+/// prior `shutdown()` call) already closed it — the state we wanted —
+/// so it is handled by naming it, not silently discarded.
+fn sever(stream: &std::net::TcpStream) {
+    match stream.shutdown(std::net::Shutdown::Both) {
+        Ok(()) => {}
+        Err(_already_closed) => {}
     }
 }
 

@@ -177,13 +177,13 @@ proptest! {
             Just(f64::NAN),
             Just(f64::INFINITY),
             Just(f64::NEG_INFINITY),
-            (-1_000.0f64..1_000.0),
+            -1_000.0f64..1_000.0,
         ],
         demands in prop::collection::vec(
             prop_oneof![
                 Just(f64::NAN),
                 Just(f64::INFINITY),
-                (-500.0f64..500.0),
+                -500.0f64..500.0,
             ],
             0..6,
         ),

@@ -295,8 +295,8 @@ mod tests {
         let records = sample_journal();
         let phases = reconstruct_phases(&records);
         // Exactly (end - start) as f64 / 1e9 — SimDuration::as_secs_f64.
-        assert_eq!(phases.disk_precopy_secs, 2_000_000_000u64 as f64 / 1e9);
-        assert_eq!(phases.freeze_secs, 54_000_000u64 as f64 / 1e9);
+        assert_eq!(phases.disk_precopy_secs, 2_000_000_000_f64 / 1e9);
+        assert_eq!(phases.freeze_secs, 54_000_000_f64 / 1e9);
         assert_eq!(phases.mem_precopy_secs, 0.0);
         assert_eq!(phase_span_nanos(&records, Phase::PostCopy), None);
     }
@@ -358,7 +358,7 @@ mod tests {
         assert_eq!(migration_ids(&records), vec![0, 1]);
 
         let phases = reconstruct_migration_phases(&records, 1);
-        assert_eq!(phases.disk_precopy_secs, 1_500u64 as f64 / 1e9);
+        assert_eq!(phases.disk_precopy_secs, 1_500_f64 / 1e9);
         assert_eq!(phases.freeze_secs, 0.0);
 
         // The cluster variants survive the JSONL round-trip like the rest.

@@ -24,7 +24,7 @@
 //! This file is in the lintkit `no-panic-transport` zone: it runs
 //! inline on receive paths and must never panic.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 // xxh64 prime constants — the multipliers are odd and high-entropy,
 // which is all the mixing below needs.
@@ -179,7 +179,7 @@ enum Holders {
 /// `BlockRef` can always be resolved against *current* content.
 #[derive(Debug, Clone, Default)]
 pub struct ContentIndex {
-    by_fp: HashMap<u64, Holders>,
+    by_fp: BTreeMap<u64, Holders>,
     /// Current fingerprint of each resident block.
     fp_of: Vec<u64>,
 }
@@ -188,7 +188,7 @@ impl ContentIndex {
     /// Index a disk from its per-block fingerprints (index order =
     /// block order).
     pub fn from_fps(fps: Vec<u64>) -> Self {
-        let mut by_fp: HashMap<u64, Holders> = HashMap::new();
+        let mut by_fp: BTreeMap<u64, Holders> = BTreeMap::new();
         for (block, &fp) in fps.iter().enumerate() {
             Self::insert(&mut by_fp, fp, block);
         }
@@ -220,11 +220,10 @@ impl ContentIndex {
     }
 
     /// The distinct fingerprints resident, in ascending order (this is
-    /// the `ContentSummary` the destination acknowledges at handshake).
+    /// the `ContentSummary` the destination acknowledges at handshake;
+    /// BTreeMap keys iterate sorted — no explicit sort needed).
     pub fn fingerprints(&self) -> Vec<u64> {
-        let mut out: Vec<u64> = self.by_fp.keys().copied().collect();
-        out.sort_unstable();
-        out
+        self.by_fp.keys().copied().collect()
     }
 
     /// Block `block`'s content changed to `fp`: keep the index exact.
@@ -243,12 +242,12 @@ impl ContentIndex {
         Self::insert(&mut self.by_fp, fp, block);
     }
 
-    fn insert(by_fp: &mut HashMap<u64, Holders>, fp: u64, block: usize) {
+    fn insert(by_fp: &mut BTreeMap<u64, Holders>, fp: u64, block: usize) {
         match by_fp.entry(fp) {
-            std::collections::hash_map::Entry::Vacant(e) => {
+            std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert(Holders::One(block));
             }
-            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
+            std::collections::btree_map::Entry::Occupied(mut e) => match e.get_mut() {
                 Holders::One(b) => {
                     let prev = *b;
                     if prev != block {
@@ -265,8 +264,8 @@ impl ContentIndex {
         }
     }
 
-    fn remove(by_fp: &mut HashMap<u64, Holders>, fp: u64, block: usize) {
-        let std::collections::hash_map::Entry::Occupied(mut e) = by_fp.entry(fp) else {
+    fn remove(by_fp: &mut BTreeMap<u64, Holders>, fp: u64, block: usize) {
+        let std::collections::btree_map::Entry::Occupied(mut e) = by_fp.entry(fp) else {
             return;
         };
         match e.get_mut() {

@@ -9,7 +9,7 @@
 //! the `migrate::baselines::run_collective` scheme and for seeding
 //! template migrations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use block_bitmap::{DirtyMap, FlatBitmap};
@@ -22,7 +22,7 @@ pub type BaseImage = Arc<dyn Storage>;
 /// Copy-on-write store: an immutable base plus a private write overlay.
 pub struct CowStorage {
     base: BaseImage,
-    overlay: HashMap<usize, Box<[u8]>>,
+    overlay: BTreeMap<usize, Box<[u8]>>,
 }
 
 impl CowStorage {
@@ -31,7 +31,7 @@ impl CowStorage {
     pub fn new(base: BaseImage) -> Self {
         Self {
             base,
-            overlay: HashMap::new(),
+            overlay: BTreeMap::new(),
         }
     }
 

@@ -6,14 +6,14 @@
 //! the block arrives from the source, at which point every queued request
 //! for that block is released.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::IoRequest;
 
 /// FIFO-per-block pending request queue.
 #[derive(Debug, Default)]
 pub struct PendingQueue {
-    by_block: HashMap<usize, Vec<IoRequest>>,
+    by_block: BTreeMap<usize, Vec<IoRequest>>,
     len: usize,
     /// Largest simultaneous queue population observed (reported as an I/O
     /// blocking metric).
@@ -50,11 +50,10 @@ impl PendingQueue {
         self.by_block.contains_key(&block)
     }
 
-    /// Distinct blocks with waiting requests.
+    /// Distinct blocks with waiting requests, ascending (BTreeMap keys
+    /// iterate sorted — no explicit sort needed).
     pub fn blocked_blocks(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.by_block.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.by_block.keys().copied().collect()
     }
 
     /// Total queued requests.

@@ -1,6 +1,6 @@
 //! Byte-level backing stores for virtual disks.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A block-addressed backing store.
 ///
@@ -86,7 +86,7 @@ impl Storage for DenseStorage {
 pub struct SparseStorage {
     block_size: usize,
     num_blocks: usize,
-    blocks: HashMap<usize, Box<[u8]>>,
+    blocks: BTreeMap<usize, Box<[u8]>>,
 }
 
 impl SparseStorage {
@@ -99,7 +99,7 @@ impl SparseStorage {
         Self {
             block_size,
             num_blocks,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
         }
     }
 

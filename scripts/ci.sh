@@ -28,9 +28,15 @@ cargo clippy --workspace -- -D warnings
 
 echo "== lintkit: protocol & concurrency invariants =="
 # Panic-free transport zones, acyclic lock order (no guard held across a
-# blocking call), exhaustive protocol matches, and the unsafe allowlist.
-# This subsumes the old awk/grep gate that only caught .recv().unwrap()
-# patterns on two path globs. Rules: cargo run -p lintkit -- --list-rules
-cargo run -q -p lintkit --release -- --workspace
+# blocking call, single-hop helper propagation), exhaustive protocol
+# matches, the unsafe allowlist, deterministic-zone container/clock
+# hygiene, reactor-ready blocking calls, and dropped Results. Zones come
+# from lintkit.toml. Rules: cargo run -p lintkit -- --list-rules
+# The JSON report is written as a CI artifact and the gate asserts a
+# clean exit on the same invocation that produced it.
+mkdir -p target
+cargo run -q -p lintkit --release -- --workspace --format json \
+  | tee target/lintkit-report.json
+echo "lintkit report: target/lintkit-report.json"
 
 echo "CI OK"

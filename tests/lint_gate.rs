@@ -22,3 +22,42 @@ fn workspace_passes_lintkit() {
             .join("\n")
     );
 }
+
+#[test]
+fn all_seven_rules_are_registered() {
+    // The clean run above is only meaningful if every analysis actually
+    // ran — a rule dropped from the registry would pass silently.
+    let ids: Vec<&str> = lintkit::rules::all_rules().iter().map(|r| r.id()).collect();
+    assert_eq!(
+        ids,
+        [
+            "no-panic-transport",
+            "lock-order",
+            "protocol-exhaustive",
+            "unsafe-audit",
+            "determinism",
+            "no-blocking",
+            "result-dropped",
+        ],
+        "rule registry drifted"
+    );
+}
+
+#[test]
+fn determinism_zones_carry_no_allow_entries() {
+    // The determinism invariant (same seed ⇒ byte-identical journals,
+    // tests/telemetry_journal.rs) is machine-checked only as long as
+    // nobody waives it: violations get fixed, not excused.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg = lintkit::Config::load(root).expect("lintkit.toml loads");
+    assert_eq!(
+        cfg.allow.get("determinism").map(Vec::as_slice),
+        Some(&[][..]),
+        "determinism allow list must stay empty"
+    );
+    assert_eq!(
+        cfg.allow.get("no-blocking").map(Vec::as_slice),
+        Some(&[][..]),
+        "no-blocking allow list must stay empty"
+    );
+}
