@@ -26,7 +26,7 @@ use std::hint::black_box;
 
 use block_bitmap::{ser, DirtyMap, FlatBitmap};
 use des::SimRng;
-use migrate::sim::{run_template_clone_tpm, run_tpm};
+use migrate::sim::{run_template_clone_fanin, run_template_clone_tpm, run_tpm};
 use migrate::MigrationConfig;
 use serde::{Deserialize, Serialize};
 use simnet::codec;
@@ -58,6 +58,11 @@ const LZ_MEMCPY_BUDGET: f64 = 400.0;
 /// against the identical dedup-off run (ISSUE acceptance: >= 60 %).
 const REQUIRED_DEDUP_REDUCTION_PCT: f64 = 60.0;
 
+/// Minimum fraction of owed full blocks `multisource_template_fanin`
+/// must serve from non-source peers (E14 acceptance: >= 70 %; the model
+/// predicts ~92 % at 8 % divergence with four golden-image holders).
+const REQUIRED_PEER_FRACTION: f64 = 0.70;
+
 #[derive(Serialize, Deserialize)]
 struct ScenarioStat {
     name: String,
@@ -82,6 +87,10 @@ struct Baseline {
     /// the identical dedup-off run, percent. `Option` because pre-PR-7
     /// baselines lack the key.
     template_dedup_wire_reduction_pct: Option<f64>,
+    /// Fraction of owed full blocks the fan-in scenario served from
+    /// non-source peers, percent. `Option` because pre-PR-9 baselines
+    /// lack the key.
+    multisource_peer_fraction_pct: Option<f64>,
 }
 
 /// Time `f` over `iters` iterations (after `warmup` untimed ones) and
@@ -156,11 +165,13 @@ fn sim_scenario(streams: usize) -> MigrationConfig {
     let mut cfg = MigrationConfig::paper_testbed();
     cfg.streams = streams;
     cfg.seed = 2008;
-    // The legacy scenarios pin the content-aware path off: the feature-off
-    // plane is bit-identical to the classic one, so their numbers stay
-    // comparable against baselines recorded before dedup existed.
+    // The legacy scenarios pin the content-aware and multi-source paths
+    // off: the feature-off plane is bit-identical to the classic one, so
+    // their numbers stay comparable against baselines recorded before
+    // either feature existed.
     cfg.dedup = false;
     cfg.compress = false;
+    cfg.multisource = false;
     cfg
 }
 
@@ -177,6 +188,20 @@ fn template_dedup_outcome(dedup: bool) -> migrate::sim::TpmOutcome {
         diverged.set(b);
     }
     run_template_clone_tpm(cfg, WorkloadKind::Idle, diverged)
+}
+
+/// The paper-scale E14 fan-in scenario: an 8 %-diverged template clone
+/// boot-storms onto a blank destination while four fleet peers still
+/// hold the golden image; the fetch planner routes every still-golden
+/// full block to a peer under equal NIC budgets.
+fn template_fanin_outcome() -> migrate::sim::TpmOutcome {
+    let mut cfg = MigrationConfig::paper_testbed();
+    cfg.seed = 2008;
+    let mut diverged = FlatBitmap::new(cfg.disk_blocks);
+    for b in (0..cfg.disk_blocks).step_by(12) {
+        diverged.set(b);
+    }
+    run_template_clone_fanin(cfg, WorkloadKind::Idle, diverged, 4)
 }
 
 /// Run-heavy compressible payload: runs of 16–200 repeats of one byte,
@@ -358,6 +383,38 @@ fn run_all(quick: bool) -> Baseline {
          (acceptance floor {REQUIRED_DEDUP_REDUCTION_PCT}%)"
     );
 
+    // Multi-source fan-in at paper scale (E14): the derived figure is the
+    // fraction of owed full blocks the plan served from non-source peers.
+    let mut fanin = None;
+    scenarios.push(measure(
+        "multisource_template_fanin",
+        1,
+        clone_iters,
+        || {
+            let out = template_fanin_outcome();
+            assert!(out.report.consistent, "template fan-in inconsistent");
+            fanin = Some(out.report.multisource.clone());
+            black_box(out.report.downtime_ms);
+        },
+    ));
+    let fanin = fanin.expect("fan-in run measured");
+    let peer_fraction = fanin.peer_fraction();
+    eprintln!(
+        "template fan-in: {} fulls from {} peers, {} from source \
+         ({:.1}% off-source)",
+        fanin.planned_peer,
+        fanin.peer_bytes.len(),
+        fanin.planned_source,
+        peer_fraction * 100.0
+    );
+    assert!(
+        peer_fraction >= REQUIRED_PEER_FRACTION,
+        "fan-in served only {:.1}% of owed fulls from peers \
+         (acceptance floor {:.0}%)",
+        peer_fraction * 100.0,
+        REQUIRED_PEER_FRACTION * 100.0
+    );
+
     // --- end-to-end sim family ----------------------------------------
     let e2e = [
         ("sim_tpm_web_streams1", WorkloadKind::Web, 1),
@@ -382,6 +439,7 @@ fn run_all(quick: bool) -> Baseline {
         lz_roundtrip_vs_memcpy: Some((lz_ratio * 100.0).round() / 100.0),
         lz_compression_ratio: Some((lz_compression * 100.0).round() / 100.0),
         template_dedup_wire_reduction_pct: Some((dedup_reduction * 10.0).round() / 10.0),
+        multisource_peer_fraction_pct: Some((peer_fraction * 1000.0).round() / 10.0),
     }
 }
 

@@ -1,0 +1,319 @@
+//! Cluster-wide block directory: which hosts hold which blocks of
+//! which VM image, and at what generation.
+//!
+//! The directory is the journal-consumer side of the replica story.
+//! `vdisk::ReplicaTable` records what a *site* kept behind after a
+//! migration; the directory folds those generation vectors (plus any
+//! live publishes) into one queryable map. Freshness is always judged
+//! against a caller-supplied live [`MetaDisk`]: a holder entry is never
+//! "stale" in the abstract, only relative to the generation the live
+//! image has reached.
+
+use std::collections::BTreeMap;
+
+use block_bitmap::{DirtyMap, FlatBitmap};
+use vdisk::{hash_u64, MetaDisk, ReplicaTable};
+
+/// One holder's view of a VM image: the per-block generation vector it
+/// was holding when it last published.
+#[derive(Debug, Clone)]
+struct HolderView {
+    generations: Vec<u32>,
+}
+
+/// A maximal run of blocks over which the fresh-holder set is constant.
+///
+/// This is the `(vm, block-range, generation) → holder set` shape from
+/// the design: consumers that journal or size plans want ranges, not a
+/// per-block map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageRange {
+    /// First block of the run (inclusive).
+    pub start: usize,
+    /// One past the last block of the run (exclusive).
+    pub end: usize,
+    /// Hosts holding every block in the run at the live generation,
+    /// ascending host id. Empty means only the source can serve it.
+    pub holders: Vec<u64>,
+}
+
+/// Content-addressed, generation-aware map from `(vm, host)` to the
+/// holder's block generations.
+///
+/// Keyed on `BTreeMap` so every iteration order — holder lists,
+/// coverage runs, plan assignment — is deterministic across runs.
+#[derive(Debug, Clone, Default)]
+pub struct BlockDirectory {
+    holders: BTreeMap<(u64, u64), HolderView>,
+}
+
+impl BlockDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Journal-style update: `host` now holds `vm`'s image at the
+    /// generations recorded in `disk`. Replaces any previous view for
+    /// the same `(vm, host)` pair.
+    pub fn publish(&mut self, vm: u64, host: u64, disk: &MetaDisk) {
+        let generations = (0..disk.num_blocks()).map(|b| disk.generation(b)).collect();
+        self.holders.insert((vm, host), HolderView { generations });
+    }
+
+    /// Fold every replica the table knows about for `vm` into the
+    /// directory. Sites already present are refreshed in place.
+    pub fn merge_replicas(&mut self, vm: u64, table: &ReplicaTable) {
+        for site in table.sites_with_replica(vm) {
+            if let Some(replica) = table.get(vm, site) {
+                self.publish(vm, site, &replica.disk);
+            }
+        }
+    }
+
+    /// Journal-style update: `host` no longer holds `vm`'s image
+    /// (evicted, repurposed, or its copy was consumed by a migration).
+    pub fn retire(&mut self, vm: u64, host: u64) {
+        self.holders.remove(&(vm, host));
+    }
+
+    /// Drop every view published by `host` — the host died or left the
+    /// cluster. This is what source-death failover calls before
+    /// re-planning.
+    pub fn retire_host(&mut self, host: u64) {
+        self.holders.retain(|&(_, h), _| h != host);
+    }
+
+    /// Hosts with any view of `vm`, ascending.
+    pub fn holders(&self, vm: u64) -> Vec<u64> {
+        self.holders
+            .range((vm, 0)..=(vm, u64::MAX))
+            .map(|(&(_, host), _)| host)
+            .collect()
+    }
+
+    /// Number of `(vm, host)` views in the directory.
+    pub fn len(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// True when no holder views are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.holders.is_empty()
+    }
+
+    /// The sim-wide content fingerprint of a block at `generation`.
+    ///
+    /// The simulation convention (established by the PR-7 dedup path)
+    /// is that equal generation values imply equal content globally, so
+    /// a block's fingerprint is a pure function of its generation.
+    pub fn fingerprint(generation: u32) -> u64 {
+        hash_u64(generation as u64)
+    }
+
+    /// Bitmap of blocks `host` holds at exactly the live generation.
+    ///
+    /// Returns `None` when the host has no view of `vm` or its view's
+    /// geometry disagrees with `live` (a mismatched holder can never be
+    /// trusted to serve, so it contributes no fresh blocks).
+    pub fn fresh_bitmap(&self, vm: u64, host: u64, live: &MetaDisk) -> Option<FlatBitmap> {
+        let view = self.holders.get(&(vm, host))?;
+        if view.generations.len() != live.num_blocks() {
+            return None;
+        }
+        let mut fresh = FlatBitmap::new(live.num_blocks());
+        for (block, &gen) in view.generations.iter().enumerate() {
+            if gen == live.generation(block) {
+                fresh.set(block);
+            }
+        }
+        Some(fresh)
+    }
+
+    /// Hosts that hold `block` of `vm` at the live generation,
+    /// ascending. Geometry-mismatched views never match.
+    pub fn holders_of_block(&self, vm: u64, block: usize, live: &MetaDisk) -> Vec<u64> {
+        if block >= live.num_blocks() {
+            return Vec::new();
+        }
+        let want = live.generation(block);
+        self.holders
+            .range((vm, 0)..=(vm, u64::MAX))
+            .filter(|(_, view)| {
+                view.generations.len() == live.num_blocks()
+                    && view.generations.get(block).copied() == Some(want)
+            })
+            .map(|(&(_, host), _)| host)
+            .collect()
+    }
+
+    /// Run-length coverage of `vm`'s image: maximal block ranges over
+    /// which the fresh-holder set is constant. The concatenation of the
+    /// returned ranges is exactly `0..live.num_blocks()`.
+    pub fn coverage(&self, vm: u64, live: &MetaDisk) -> Vec<CoverageRange> {
+        let n = live.num_blocks();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut runs: Vec<CoverageRange> = Vec::new();
+        for block in 0..n {
+            let holders = self.holders_of_block(vm, block, live);
+            match runs.last_mut() {
+                Some(run) if run.holders == holders && run.end == block => run.end = block + 1,
+                _ => runs.push(CoverageRange {
+                    start: block,
+                    end: block + 1,
+                    holders,
+                }),
+            }
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk_with_writes(n: usize, writes: &[usize]) -> MetaDisk {
+        let mut d = MetaDisk::new(n);
+        for &b in writes {
+            d.write(b);
+        }
+        d
+    }
+
+    #[test]
+    fn publish_then_fresh_bitmap_tracks_generation_match() {
+        let mut live = MetaDisk::new(8);
+        live.write(2);
+        live.write(5);
+
+        let mut dir = BlockDirectory::new();
+        // Peer snapshotted the image *before* the writes to 2 and 5.
+        dir.publish(7, 100, &MetaDisk::new(8));
+
+        let fresh = dir.fresh_bitmap(7, 100, &live).expect("view exists");
+        assert_eq!(fresh.count_ones(), 6);
+        assert!(!fresh.get(2));
+        assert!(!fresh.get(5));
+        assert!(fresh.get(0));
+    }
+
+    #[test]
+    fn exact_copy_is_fully_fresh() {
+        let live = disk_with_writes(16, &[1, 3, 9]);
+        let mut dir = BlockDirectory::new();
+        dir.publish(1, 42, &live.clone());
+        let fresh = dir.fresh_bitmap(1, 42, &live).expect("view exists");
+        assert_eq!(fresh.count_ones(), 16);
+    }
+
+    #[test]
+    fn geometry_mismatch_yields_none() {
+        let live = MetaDisk::new(8);
+        let mut dir = BlockDirectory::new();
+        dir.publish(1, 5, &MetaDisk::new(9));
+        assert!(dir.fresh_bitmap(1, 5, &live).is_none());
+        assert!(dir.holders_of_block(1, 0, &live).is_empty());
+    }
+
+    #[test]
+    fn merge_replicas_imports_all_sites() {
+        let live = disk_with_writes(4, &[0]);
+        let mut table = ReplicaTable::new();
+        table.record(9, 3, live.clone());
+        table.record(9, 1, MetaDisk::new(4));
+        table.record(8, 2, MetaDisk::new(4)); // other vm: untouched
+
+        let mut dir = BlockDirectory::new();
+        dir.merge_replicas(9, &table);
+        assert_eq!(dir.holders(9), vec![1, 3]);
+        assert!(dir.holders(8).is_empty());
+
+        // Site 3 kept an exact copy; site 1 predates the write to 0.
+        assert_eq!(
+            dir.fresh_bitmap(9, 3, &live).expect("site 3").count_ones(),
+            4
+        );
+        assert_eq!(
+            dir.fresh_bitmap(9, 1, &live).expect("site 1").count_ones(),
+            3
+        );
+    }
+
+    #[test]
+    fn retire_and_retire_host() {
+        let disk = MetaDisk::new(2);
+        let mut dir = BlockDirectory::new();
+        dir.publish(1, 10, &disk);
+        dir.publish(1, 11, &disk);
+        dir.publish(2, 10, &disk);
+        assert_eq!(dir.len(), 3);
+
+        dir.retire(1, 10);
+        assert_eq!(dir.holders(1), vec![11]);
+
+        dir.retire_host(10);
+        assert_eq!(dir.holders(2), Vec::<u64>::new());
+        assert_eq!(dir.len(), 1);
+    }
+
+    #[test]
+    fn holders_of_block_is_ascending_and_generation_exact() {
+        let live = disk_with_writes(4, &[2]);
+        let mut dir = BlockDirectory::new();
+        dir.publish(5, 30, &live.clone());
+        dir.publish(5, 20, &live.clone());
+        dir.publish(5, 25, &MetaDisk::new(4)); // stale at block 2
+
+        assert_eq!(dir.holders_of_block(5, 2, &live), vec![20, 30]);
+        assert_eq!(dir.holders_of_block(5, 0, &live), vec![20, 25, 30]);
+        assert!(dir.holders_of_block(5, 99, &live).is_empty());
+    }
+
+    #[test]
+    fn coverage_runs_partition_the_image() {
+        let live = disk_with_writes(6, &[2, 3]);
+        let mut dir = BlockDirectory::new();
+        dir.publish(1, 50, &MetaDisk::new(6)); // fresh except 2,3
+
+        let runs = dir.coverage(1, &live);
+        assert_eq!(
+            runs,
+            vec![
+                CoverageRange {
+                    start: 0,
+                    end: 2,
+                    holders: vec![50]
+                },
+                CoverageRange {
+                    start: 2,
+                    end: 4,
+                    holders: vec![]
+                },
+                CoverageRange {
+                    start: 4,
+                    end: 6,
+                    holders: vec![50]
+                },
+            ]
+        );
+        // Ranges tile the whole image.
+        assert_eq!(runs.first().map(|r| r.start), Some(0));
+        assert_eq!(runs.last().map(|r| r.end), Some(6));
+    }
+
+    #[test]
+    fn fingerprint_is_generation_pure() {
+        assert_eq!(
+            BlockDirectory::fingerprint(3),
+            BlockDirectory::fingerprint(3)
+        );
+        assert_ne!(
+            BlockDirectory::fingerprint(3),
+            BlockDirectory::fingerprint(4)
+        );
+        assert_eq!(BlockDirectory::fingerprint(3), hash_u64(3));
+    }
+}

@@ -1,0 +1,442 @@
+//! Per-peer fetch sessions on the simnet transport.
+//!
+//! A session pairs one destination with one holder: the destination
+//! pipelines `BlockRequest` frames (windowed, so a slow peer never
+//! holds unbounded state), the holder answers each with `BlockData` or
+//! `BlockMiss`, and the destination re-verifies every payload against
+//! the requested fingerprint before applying it. Session teardown uses
+//! the same `MigrationComplete` / `CompleteAck` handshake as the main
+//! migration channel.
+//!
+//! Like the live engine's resume path, both ends reconcile shipped/got
+//! explicitly: [`fetch_blocks`] returns exactly which wants were
+//! served, which the peer declined, and whether the link died, so the
+//! caller can re-plan the remainder (`wants − got`) against another
+//! holder instead of failing the migration.
+
+use std::collections::BTreeMap;
+
+use block_bitmap::{DirtyMap, FlatBitmap};
+use bytes::Bytes;
+use simnet::proto::MigMessage;
+use simnet::transport::{Transport, TransportError};
+use vdisk::{hash_block, hash_u64};
+
+/// Requests kept in flight per session. Bounds peer-side queueing and
+/// the reconciliation window lost when a link dies mid-fetch.
+pub const FETCH_WINDOW: usize = 32;
+
+/// One owed block the destination wants from this peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockWant {
+    /// Block index in the destination image.
+    pub block: u64,
+    /// Expected content fingerprint; payloads failing re-verification
+    /// are counted as misses, never applied.
+    pub fingerprint: u64,
+    /// Generation the fingerprint was recorded at.
+    pub generation: u64,
+}
+
+/// What a holder serves from. Implementations prove freshness before
+/// shipping: serve only when the held content still matches the
+/// requested fingerprint/generation, otherwise answer `None` and the
+/// session turns it into a [`MigMessage::BlockMiss`].
+pub trait BlockSource {
+    /// Return the block's payload if it can be served fresh.
+    fn fetch(&self, block: u64, fingerprint: u64, generation: u64) -> Option<Bytes>;
+}
+
+/// Shipped/got reconciliation state returned by [`fetch_blocks`].
+#[derive(Debug, Clone)]
+pub struct FetchOutcome {
+    /// Blocks verified and applied.
+    pub got: FlatBitmap,
+    /// Blocks the peer answered with [`MigMessage::BlockMiss`] or a
+    /// payload that failed fingerprint re-verification.
+    pub missed: FlatBitmap,
+    /// Payload bytes applied (post-verification).
+    pub bytes: u64,
+    /// True when the link died before every want was answered. Wants
+    /// neither in `got` nor `missed` were in flight or unsent; re-plan
+    /// them against another holder.
+    pub failed: bool,
+}
+
+impl FetchOutcome {
+    /// Wants the session did not resolve: the re-plan remainder.
+    pub fn unresolved(&self, wants: &[BlockWant], nbits: usize) -> FlatBitmap {
+        let mut rest = FlatBitmap::new(nbits);
+        for w in wants {
+            let b = w.block as usize;
+            if b < nbits && !self.got.get(b) && !self.missed.get(b) {
+                rest.set(b);
+            }
+        }
+        rest
+    }
+}
+
+/// Holder-side serve loop: answer fetch requests until the destination
+/// closes the session with `MigrationComplete` (acked) or the link
+/// dies. Returns the payload bytes served.
+pub fn serve_blocks<T: Transport>(t: &T, src: &dyn BlockSource) -> Result<u64, TransportError> {
+    let mut served = 0u64;
+    loop {
+        match t.recv() {
+            Ok(MigMessage::BlockRequest {
+                block,
+                fingerprint,
+                generation,
+            }) => match src.fetch(block, fingerprint, generation) {
+                Some(payload) => {
+                    served += payload.len() as u64;
+                    t.send(MigMessage::BlockData {
+                        block,
+                        generation,
+                        payload_len: payload.len() as u64,
+                        payload: Some(payload),
+                    })?;
+                }
+                None => t.send(MigMessage::BlockMiss { block })?,
+            },
+            Ok(MigMessage::MigrationComplete) => {
+                // Best-effort ack: the destination may already be gone,
+                // and a dead link at goodbye is not a serve failure.
+                if t.send(MigMessage::CompleteAck).is_err() {
+                    return Ok(served);
+                }
+                return Ok(served);
+            }
+            // Unrelated traffic on a shared link: not ours to handle.
+            Ok(_) => {}
+            Err(e) if e.is_fatal() => return Err(e),
+            // Timeout/Empty from a pollable transport: keep serving.
+            Err(_) => {}
+        }
+    }
+}
+
+/// Destination-side fetch loop: pipeline `wants` through the session
+/// with at most [`FETCH_WINDOW`] requests outstanding, verify each
+/// payload, and hand verified content to `apply`.
+///
+/// `nbits` sizes the outcome bitmaps (the destination image's block
+/// count); wants outside it are ignored. `apply` receives
+/// `(block, payload)` where `payload` is `None` for metadata-only
+/// transfers (sim mode) — those are verified against the generation
+/// fingerprint convention (`hash_u64(generation)`) instead of the
+/// payload hash.
+pub fn fetch_blocks<T: Transport>(
+    t: &T,
+    wants: &[BlockWant],
+    nbits: usize,
+    apply: &mut dyn FnMut(u64, Option<&Bytes>),
+) -> FetchOutcome {
+    let mut out = FetchOutcome {
+        got: FlatBitmap::new(nbits),
+        missed: FlatBitmap::new(nbits),
+        bytes: 0,
+        failed: false,
+    };
+    let mut inflight: BTreeMap<u64, BlockWant> = BTreeMap::new();
+    let mut next = 0usize;
+
+    'session: while next < wants.len() || !inflight.is_empty() {
+        // Refill the window.
+        while next < wants.len() && inflight.len() < FETCH_WINDOW {
+            let w = wants[next];
+            next += 1;
+            if (w.block as usize) >= nbits {
+                continue;
+            }
+            if t.send(MigMessage::BlockRequest {
+                block: w.block,
+                fingerprint: w.fingerprint,
+                generation: w.generation,
+            })
+            .is_err()
+            {
+                out.failed = true;
+                break 'session;
+            }
+            inflight.insert(w.block, w);
+        }
+        if inflight.is_empty() {
+            continue;
+        }
+        match t.recv() {
+            Ok(MigMessage::BlockData {
+                block,
+                generation,
+                payload_len,
+                payload,
+            }) => {
+                let Some(want) = inflight.remove(&block) else {
+                    continue; // unsolicited; drop
+                };
+                let verified = match &payload {
+                    Some(data) => hash_block(data) == want.fingerprint,
+                    // Metadata-only: the sim convention fingerprints a
+                    // block purely by its generation.
+                    None => {
+                        generation == want.generation && hash_u64(generation) == want.fingerprint
+                    }
+                };
+                if verified {
+                    out.bytes += match &payload {
+                        Some(data) => data.len() as u64,
+                        None => payload_len,
+                    };
+                    apply(block, payload.as_ref());
+                    out.got.set(block as usize);
+                } else {
+                    out.missed.set(block as usize);
+                }
+            }
+            Ok(MigMessage::BlockMiss { block }) => {
+                if inflight.remove(&block).is_some() {
+                    out.missed.set(block as usize);
+                }
+            }
+            Ok(_) => {}
+            Err(e) if e.is_fatal() => {
+                out.failed = true;
+                break 'session;
+            }
+            Err(_) => {}
+        }
+    }
+
+    if !out.failed {
+        // Graceful goodbye; a peer that dies during the handshake has
+        // still served everything we asked for.
+        if t.send(MigMessage::MigrationComplete).is_ok() {
+            loop {
+                match t.recv() {
+                    Ok(MigMessage::CompleteAck) => break,
+                    Ok(_) => {}
+                    Err(e) if e.is_fatal() => break,
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::fault::{faulty_named_pair, FaultPlan};
+    use simnet::transport::duplex;
+    use std::thread;
+
+    /// A peer holding every block at `gen`, payload = block index bytes.
+    struct TestHolder {
+        gen: u64,
+        payload_len: usize,
+        refuse: Vec<u64>,
+    }
+
+    impl TestHolder {
+        fn payload(&self, block: u64) -> Bytes {
+            let mut v = vec![0u8; self.payload_len];
+            v[..8].copy_from_slice(&block.to_le_bytes());
+            Bytes::copy_from_slice(&v)
+        }
+    }
+
+    impl BlockSource for TestHolder {
+        fn fetch(&self, block: u64, fingerprint: u64, generation: u64) -> Option<Bytes> {
+            if generation != self.gen || self.refuse.contains(&block) {
+                return None;
+            }
+            let payload = self.payload(block);
+            // Serve only on proof: the held content must still match
+            // what the destination expects.
+            (hash_block(&payload) == fingerprint).then_some(payload)
+        }
+    }
+
+    fn wants_for(holder: &TestHolder, blocks: &[u64]) -> Vec<BlockWant> {
+        blocks
+            .iter()
+            .map(|&b| BlockWant {
+                block: b,
+                fingerprint: hash_block(&holder.payload(b)),
+                generation: holder.gen,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_serves_and_verifies() {
+        let (a, b) = duplex();
+        let holder = TestHolder {
+            gen: 3,
+            payload_len: 64,
+            refuse: vec![5],
+        };
+        let wants = wants_for(&holder, &[0, 1, 5, 7, 40]);
+
+        let server = thread::spawn(move || {
+            let holder = TestHolder {
+                gen: 3,
+                payload_len: 64,
+                refuse: vec![5],
+            };
+            serve_blocks(&b, &holder)
+        });
+
+        let mut applied = Vec::new();
+        let out = fetch_blocks(&a, &wants, 64, &mut |blk, payload| {
+            applied.push((blk, payload.map(|p| p.len())));
+        });
+        let served = server.join().expect("server thread").expect("serve ok");
+
+        assert!(!out.failed);
+        assert_eq!(out.got.count_ones(), 4);
+        assert_eq!(out.missed.count_ones(), 1);
+        assert!(out.missed.get(5));
+        assert_eq!(out.bytes, 4 * 64);
+        assert_eq!(served, 4 * 64);
+        assert_eq!(applied.len(), 4);
+        assert!(applied.iter().all(|&(_, len)| len == Some(64)));
+        assert!(out.unresolved(&wants, 64).none_set());
+    }
+
+    #[test]
+    fn stale_generation_is_missed_not_applied() {
+        let (a, b) = duplex();
+        let holder = TestHolder {
+            gen: 2,
+            payload_len: 32,
+            refuse: vec![],
+        };
+        // Destination wants generation 9 — the holder moved on.
+        let mut wants = wants_for(&holder, &[1, 2]);
+        for w in &mut wants {
+            w.generation = 9;
+        }
+
+        let server = thread::spawn(move || {
+            let holder = TestHolder {
+                gen: 2,
+                payload_len: 32,
+                refuse: vec![],
+            };
+            serve_blocks(&b, &holder)
+        });
+
+        let out = fetch_blocks(&a, &wants, 8, &mut |_, _| panic!("must not apply"));
+        server.join().expect("server thread").expect("serve ok");
+        assert_eq!(out.got.count_ones(), 0);
+        assert_eq!(out.missed.count_ones(), 2);
+        assert!(!out.failed);
+    }
+
+    #[test]
+    fn corrupt_payload_fails_verification() {
+        // A holder that serves bytes not matching the fingerprint.
+        struct LyingHolder;
+        impl BlockSource for LyingHolder {
+            fn fetch(&self, _b: u64, _fp: u64, _g: u64) -> Option<Bytes> {
+                Some(Bytes::copy_from_slice(b"not what you asked for!!"))
+            }
+        }
+        let (a, b) = duplex();
+        let server = thread::spawn(move || serve_blocks(&b, &LyingHolder));
+        let wants = vec![BlockWant {
+            block: 3,
+            fingerprint: 0xDEAD_BEEF,
+            generation: 1,
+        }];
+        let out = fetch_blocks(&a, &wants, 8, &mut |_, _| panic!("must not apply"));
+        server.join().expect("server thread").expect("serve ok");
+        assert!(out.missed.get(3));
+        assert!(!out.got.get(3));
+    }
+
+    #[test]
+    fn metadata_only_blockdata_verifies_by_generation() {
+        // Sim-mode peer: answers with payload=None and the generation.
+        let (a, b) = duplex();
+        let server = thread::spawn(move || loop {
+            match b.recv() {
+                Ok(MigMessage::BlockRequest {
+                    block, generation, ..
+                }) => {
+                    b.send(MigMessage::BlockData {
+                        block,
+                        generation,
+                        payload_len: 4096,
+                        payload: None,
+                    })
+                    .expect("send");
+                }
+                Ok(MigMessage::MigrationComplete) => {
+                    b.send(MigMessage::CompleteAck).expect("ack");
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) if e.is_fatal() => break,
+                Err(_) => {}
+            }
+        });
+        let wants = vec![BlockWant {
+            block: 2,
+            fingerprint: hash_u64(7),
+            generation: 7,
+        }];
+        let mut applied = 0;
+        let out = fetch_blocks(&a, &wants, 8, &mut |_, payload| {
+            assert!(payload.is_none());
+            applied += 1;
+        });
+        server.join().expect("server thread");
+        assert_eq!(applied, 1);
+        assert!(out.got.get(2));
+        assert_eq!(out.bytes, 4096);
+    }
+
+    #[test]
+    fn killed_session_leaves_replannable_remainder() {
+        // Named-session permanent kill after 40 destination sends: the
+        // fetch fails partway and the outcome reconciles exactly.
+        let (a, b) = duplex();
+        let plan = FaultPlan::none().kill_session("peer-7", 40);
+        let (a, b) = faulty_named_pair(a, b, &plan, "peer-7", 0);
+
+        let holder = TestHolder {
+            gen: 1,
+            payload_len: 16,
+            refuse: vec![],
+        };
+        let blocks: Vec<u64> = (0..200).collect();
+        let wants = wants_for(&holder, &blocks);
+
+        let server = thread::spawn(move || {
+            let holder = TestHolder {
+                gen: 1,
+                payload_len: 16,
+                refuse: vec![],
+            };
+            let _ = serve_blocks(&b, &holder);
+        });
+
+        let out = fetch_blocks(&a, &wants, 256, &mut |_, _| {});
+        server.join().expect("server thread");
+
+        assert!(out.failed, "link was killed mid-session");
+        let got = out.got.count_ones();
+        assert!(got < 200, "not everything can have landed");
+        let rest = out.unresolved(&wants, 256);
+        assert_eq!(got + out.missed.count_ones() + rest.count_ones(), 200);
+        assert!(rest.count_ones() > 0);
+        // No overlap between resolved and remainder.
+        let mut overlap = rest.clone();
+        overlap.intersect_with(&out.got);
+        assert!(overlap.none_set());
+    }
+}

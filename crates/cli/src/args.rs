@@ -8,17 +8,18 @@ pub const USAGE: &str = "\
 usage:
   vmmigrate simulate   --workload KIND [--scale paper|ci] [--rate-limit MBPS]
                        [--bitmap flat|layered] [--streams N] [--seed N] [--json]
-                       [--no-dedup] [--no-compress]
-                       [--trace-out FILE] [--metrics-out FILE]
+                       [--no-dedup] [--no-compress] [--sources N]
+                       [--no-multisource] [--trace-out FILE] [--metrics-out FILE]
   vmmigrate roundtrip  --workload KIND [--scale paper|ci] [--dwell SECS] [--json]
   vmmigrate live       [--blocks N] [--workload KIND] [--rate-limit MBPS]
                        [--streams N] [--seed N] [--tcp] [--faults N]
                        [--max-reconnects N] [--no-dedup] [--no-compress]
+                       [--sources N] [--no-multisource]
                        [--trace-out FILE] [--metrics-out FILE]
   vmmigrate baselines  --workload KIND [--scale paper|ci] [--json]
   vmmigrate orchestrate [--hosts N] [--vms N] [--policy fifo|srdf|im-aware]
                        [--blocks N] [--seed N] [--faults N] [--dwell SECS]
-                       [--no-dedup]
+                       [--no-dedup] [--no-multisource]
                        [--json] [--trace-out FILE] [--metrics-out FILE]
   vmmigrate trace record  --workload KIND --secs N --out FILE
   vmmigrate trace analyze FILE
@@ -40,7 +41,16 @@ Content-aware transfer is on by default: blocks the destination provably
 already holds cross as 16-byte references (dedup), and residual full
 blocks are compressed on the wire. --no-dedup / --no-compress restore the
 classic data plane exactly (bit-identical reports); --dedup / --compress
-re-enable after a --no-* earlier on the command line.";
+re-enable after a --no-* earlier on the command line.
+
+Multi-source transfer is on by default. simulate --sources N runs the
+template-clone fan-in scenario: N peer hosts hold the golden image the
+migrating VM was cloned from, and the block directory plans owed full
+blocks across them under per-host NIC budgets. live --sources N registers
+N shared-storage replica holders as failover peers: if the source dies
+with its reconnect budget exhausted, the destination completes the image
+from the survivors. --no-multisource (all subcommands) restores the
+single-source engine exactly (bit-identical reports).";
 
 /// Parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +94,11 @@ pub struct SimArgs {
     pub dedup: bool,
     /// Wire compression for residual full blocks (`--no-compress` disables).
     pub compress: bool,
+    /// Multi-source block fetch (`--no-multisource` disables).
+    pub multisource: bool,
+    /// Template-clone fan-in: this many peer hosts hold the golden image
+    /// (0 = classic two-host migration).
+    pub sources: usize,
     pub seed: u64,
     pub dwell_secs: u64,
     pub json: bool,
@@ -103,6 +118,8 @@ impl Default for SimArgs {
             streams: 1,
             dedup: true,
             compress: true,
+            multisource: true,
+            sources: 0,
             seed: 2008,
             dwell_secs: 1500,
             json: false,
@@ -124,6 +141,11 @@ pub struct LiveArgs {
     pub dedup: bool,
     /// Wire compression for residual full blocks (`--no-compress` disables).
     pub compress: bool,
+    /// Multi-source failover (`--no-multisource` disables).
+    pub multisource: bool,
+    /// Register this many shared-storage replica holders as failover
+    /// peers (0 = classic two-host migration).
+    pub sources: usize,
     pub seed: u64,
     /// Run over real loopback TCP sockets instead of in-process channels.
     pub tcp: bool,
@@ -147,6 +169,8 @@ impl Default for LiveArgs {
             streams: 1,
             dedup: true,
             compress: true,
+            multisource: true,
+            sources: 0,
             seed: 2008,
             tcp: false,
             faults: 0,
@@ -167,6 +191,9 @@ pub struct OrchArgs {
     /// Content-addressed dedup in the cluster data plane (`--no-dedup`
     /// disables; byte accounting only, pacing is unchanged).
     pub dedup: bool,
+    /// Multi-source peer-served accounting (`--no-multisource` disables;
+    /// byte- and clock-identical either way).
+    pub multisource: bool,
     pub seed: u64,
     /// Seeded connection resets injected per migration stream.
     pub faults: u32,
@@ -187,6 +214,7 @@ impl Default for OrchArgs {
             policy: Policy::ImAware,
             blocks: 65_536,
             dedup: true,
+            multisource: true,
             seed: 2008,
             faults: 0,
             dwell_secs: 30,
@@ -248,6 +276,8 @@ fn parse_orch(rest: &[String]) -> Result<OrchArgs, String> {
             }
             "--dedup" => a.dedup = true,
             "--no-dedup" => a.dedup = false,
+            "--multisource" => a.multisource = true,
+            "--no-multisource" => a.multisource = false,
             "--json" => a.json = true,
             "--trace-out" => a.trace_out = Some(need(&mut it, flag)?.clone()),
             "--metrics-out" => a.metrics_out = Some(need(&mut it, flag)?.clone()),
@@ -323,6 +353,13 @@ fn parse_sim(rest: &[String]) -> Result<SimArgs, String> {
             "--no-dedup" => a.dedup = false,
             "--compress" => a.compress = true,
             "--no-compress" => a.compress = false,
+            "--multisource" => a.multisource = true,
+            "--no-multisource" => a.multisource = false,
+            "--sources" => {
+                a.sources = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "sources must be an integer".to_string())?
+            }
             "--json" => a.json = true,
             "--trace-out" => a.trace_out = Some(need(&mut it, flag)?.clone()),
             "--metrics-out" => a.metrics_out = Some(need(&mut it, flag)?.clone()),
@@ -369,6 +406,13 @@ fn parse_live(rest: &[String]) -> Result<LiveArgs, String> {
             "--no-dedup" => a.dedup = false,
             "--compress" => a.compress = true,
             "--no-compress" => a.compress = false,
+            "--multisource" => a.multisource = true,
+            "--no-multisource" => a.multisource = false,
+            "--sources" => {
+                a.sources = need(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| "sources must be an integer".to_string())?
+            }
             "--tcp" => a.tcp = true,
             "--faults" => {
                 a.faults = need(&mut it, flag)?
@@ -390,6 +434,11 @@ fn parse_live(rest: &[String]) -> Result<LiveArgs, String> {
             "{} faults cannot be survived with only {} reconnects",
             a.faults, a.max_reconnects
         ));
+    }
+    if a.tcp && a.sources > 0 {
+        return Err(
+            "--sources registers in-process replica holders; not available with --tcp".into(),
+        );
     }
     Ok(a)
 }
@@ -583,6 +632,55 @@ mod tests {
         assert!(a.dedup);
         // orchestrate has no compression model.
         assert!(parse(&v(&["orchestrate", "--no-compress"])).is_err());
+    }
+
+    #[test]
+    fn parses_multisource_flags() {
+        // Defaults: multisource on, no peer sources.
+        let Cmd::Simulate(d) = parse(&v(&["simulate"])).expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert!(d.multisource);
+        assert_eq!(d.sources, 0);
+        let Cmd::Live(d) = parse(&v(&["live"])).expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert!(d.multisource);
+        assert_eq!(d.sources, 0);
+        let Cmd::Orchestrate(d) = parse(&v(&["orchestrate"])).expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert!(d.multisource);
+        // Fan-in scenario plus escape hatch.
+        let Cmd::Simulate(a) = parse(&v(&["simulate", "--sources", "4"])).expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert_eq!(a.sources, 4);
+        assert!(a.multisource);
+        let Cmd::Live(a) =
+            parse(&v(&["live", "--sources", "2", "--no-multisource"])).expect("valid")
+        else {
+            panic!("wrong cmd")
+        };
+        assert_eq!(a.sources, 2);
+        assert!(!a.multisource);
+        let Cmd::Orchestrate(a) = parse(&v(&["orchestrate", "--no-multisource"])).expect("valid")
+        else {
+            panic!("wrong cmd")
+        };
+        assert!(!a.multisource);
+        // Last flag wins.
+        let Cmd::Simulate(a) =
+            parse(&v(&["simulate", "--no-multisource", "--multisource"])).expect("valid")
+        else {
+            panic!("wrong cmd")
+        };
+        assert!(a.multisource);
+        // orchestrate models fan-in through the replica table, not a flag.
+        assert!(parse(&v(&["orchestrate", "--sources", "2"])).is_err());
+        // TCP live runs have no in-process replica holders.
+        assert!(parse(&v(&["live", "--tcp", "--sources", "2"])).is_err());
+        assert!(parse(&v(&["simulate", "--sources", "many"])).is_err());
     }
 
     #[test]

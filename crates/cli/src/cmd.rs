@@ -2,10 +2,17 @@
 
 use std::sync::Arc;
 
+use block_bitmap::{DirtyMap, FlatBitmap};
 use des::{SimDuration, SimRng};
 use migrate::baselines::{run_delta_queue, run_freeze_and_copy, run_on_demand};
-use migrate::live::{run_live_migration_faulty, run_live_migration_tcp_faulty, LiveConfig};
-use migrate::sim::{dwell, run_im, run_tpm, run_tpm_traced};
+use migrate::live::{
+    run_live_migration_faulty, run_live_migration_replicated, run_live_migration_tcp_faulty,
+    LiveConfig,
+};
+use migrate::sim::{
+    dwell, run_im, run_template_clone_fanin, run_template_clone_fanin_traced, run_tpm,
+    run_tpm_traced,
+};
 use migrate::{BitmapKind, MigrationConfig, MigrationReport, RetryPolicy};
 use simnet::fault::FaultPlan;
 use telemetry::Recorder;
@@ -71,7 +78,18 @@ fn config_for(a: &SimArgs) -> MigrationConfig {
     cfg.streams = a.streams;
     cfg.dedup = a.dedup;
     cfg.compress = a.compress;
+    cfg.multisource = a.multisource;
     cfg
+}
+
+/// The E14 divergence pattern: ~8% of the image written since the clone
+/// booted from the golden template (every 12th block).
+fn fanin_divergence(disk_blocks: usize) -> FlatBitmap {
+    let mut diverged = FlatBitmap::new(disk_blocks);
+    for b in (0..disk_blocks).step_by(12) {
+        diverged.set(b);
+    }
+    diverged
 }
 
 fn emit(report: &MigrationReport, json: bool) {
@@ -92,9 +110,26 @@ pub fn run(cmd: Cmd) -> Result<(), String> {
     match cmd {
         Cmd::Simulate(a) => {
             let rec = recorder_for(&a.trace_out, &a.metrics_out);
-            let out = match &rec {
-                Some(r) => run_tpm_traced(config_for(&a), a.workload, Arc::clone(r)),
-                None => run_tpm(config_for(&a), a.workload),
+            let cfg = config_for(&a);
+            let out = if a.sources > 0 {
+                // Template-clone boot storm (E14): peers hold the golden
+                // image, the fetch plan draws still-golden blocks from them.
+                let diverged = fanin_divergence(cfg.disk_blocks);
+                match &rec {
+                    Some(r) => run_template_clone_fanin_traced(
+                        cfg,
+                        a.workload,
+                        diverged,
+                        a.sources,
+                        Arc::clone(r),
+                    ),
+                    None => run_template_clone_fanin(cfg, a.workload, diverged, a.sources),
+                }
+            } else {
+                match &rec {
+                    Some(r) => run_tpm_traced(cfg, a.workload, Arc::clone(r)),
+                    None => run_tpm(cfg, a.workload),
+                }
             };
             emit(&out.report, a.json);
             if let Some(r) = &rec {
@@ -183,6 +218,7 @@ fn run_orchestrate(a: OrchArgs) -> Result<(), String> {
     cfg.seed = a.seed;
     cfg.fault_resets = a.faults;
     cfg.dedup = a.dedup;
+    cfg.multisource = a.multisource;
     let scenario = Scenario::two_wave(&cfg, SimDuration::from_secs(a.dwell_secs));
     let recorder = rec.clone().unwrap_or_else(Recorder::off);
     let mut orch = Orchestrator::new(cfg, a.policy, recorder).map_err(|e| e.to_string())?;
@@ -239,6 +275,7 @@ fn run_live(a: LiveArgs) -> Result<(), String> {
         streams: a.streams,
         dedup: a.dedup,
         compress: a.compress,
+        multisource: a.multisource,
         seed: a.seed,
         retry: RetryPolicy {
             max_reconnects: a.max_reconnects,
@@ -257,6 +294,8 @@ fn run_live(a: LiveArgs) -> Result<(), String> {
     };
     let out = if a.tcp {
         run_live_migration_tcp_faulty(&cfg, plan)
+    } else if a.sources > 0 {
+        run_live_migration_replicated(&cfg, plan, a.sources)
     } else {
         run_live_migration_faulty(&cfg, plan)
     }
@@ -275,6 +314,14 @@ fn run_live(a: LiveArgs) -> Result<(), String> {
         println!(
             "fault recovery: {} reconnects, resumed with {:?} owed blocks per retry",
             out.reconnects, out.resume_owed
+        );
+    }
+    if out.failovers > 0 {
+        let fetched: u64 = out.peer_bytes.iter().map(|p| p.blocks).sum();
+        println!(
+            "source failover: image completed from {} peer holder(s), {} blocks fetched",
+            out.peer_bytes.len(),
+            fetched
         );
     }
     println!(

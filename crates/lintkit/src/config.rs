@@ -73,6 +73,7 @@ impl Config {
                 "crates/orchestrator/src/",
                 "crates/vdisk/src/content.rs",
                 "crates/lintkit/src/",
+                "crates/blockstore/src/",
             ]),
         );
         // Replay territory: same seed ⇒ byte-identical journals. No
@@ -83,6 +84,7 @@ impl Config {
                 "crates/migrate/src/sim/",
                 "crates/orchestrator/src/",
                 "crates/vdisk/src/",
+                "crates/blockstore/src/",
             ]),
         );
         // Ordering-only determinism: these paths feed journaled output
@@ -116,6 +118,7 @@ impl Config {
                 "crates/simnet/src/",
                 "crates/migrate/src/live/",
                 "crates/lintkit/src/",
+                "crates/blockstore/src/",
             ]),
         );
         let allow = ALLOW_KEYS

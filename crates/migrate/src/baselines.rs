@@ -101,6 +101,7 @@ impl BaselineWorld {
             residual_blocks: 0,
             redundant_deltas: 0,
             stream_blocks: Vec::new(),
+            multisource: Default::default(),
             consistent: false,
         }
     }

@@ -124,6 +124,17 @@ pub struct MigrationConfig {
     /// `wire.*` accounting (a fixed 2:1 modeled ratio); ledger bytes and
     /// timing are unchanged.
     pub compress: bool,
+    /// Multi-source block fetching: owed full blocks that a fresh
+    /// replica holder can serve are pulled from peer hosts instead of
+    /// the source. With multisource off — or when no peers are attached
+    /// or no owed block is fresh anywhere else — the data plane is
+    /// bit-identical to the single-source engine, floats and all.
+    pub multisource: bool,
+    /// NIC bandwidth each peer holder offers a multi-source migration,
+    /// bytes/second. The destination's ingest (its migration net rate)
+    /// and this per-holder budget feed `max_min_share`, so K-peer
+    /// fan-in never starves the holders' resident workloads.
+    pub peer_budget: f64,
     /// RNG seed — every run with the same config and seed is
     /// bit-identical.
     pub seed: u64,
@@ -159,6 +170,8 @@ impl MigrationConfig {
             streams: 1,
             dedup: true,
             compress: true,
+            multisource: true,
+            peer_budget: 50.0 * 1024.0 * 1024.0,
             seed: 2008,
             postcopy_horizon: SimDuration::from_secs(3600),
         }
@@ -216,6 +229,10 @@ impl MigrationConfig {
             "need at least one disk pre-copy iteration"
         );
         assert!(self.streams >= 1, "need at least one transport stream");
+        assert!(
+            self.peer_budget >= 0.0 && self.peer_budget.is_finite(),
+            "peer budget must be finite and non-negative"
+        );
         if let Some(l) = self.rate_limit {
             assert!(l > 0.0, "rate limit must be positive");
         }

@@ -48,4 +48,6 @@ mod report;
 pub mod sim;
 
 pub use config::{BitmapKind, MigrationConfig, RetryPolicy};
-pub use report::{IterationStats, MigrationReport, PhaseTimings, PostCopyStats};
+pub use report::{
+    IterationStats, MigrationReport, MultiSourceReport, PeerBytes, PhaseTimings, PostCopyStats,
+};

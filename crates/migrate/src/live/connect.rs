@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use simnet::fault::{faulty_pair, FaultPlan, FaultyTransport};
+use simnet::fault::{faulty_named_pair, FaultPlan, FaultyTransport};
 use simnet::tcp::TcpTransport;
 use simnet::transport::{duplex, Endpoint, Transport};
 
@@ -142,7 +142,11 @@ impl Connector for DuplexConnector {
         if let Some(limit) = self.rate_limit {
             src_ep.set_rate_limit(limit);
         }
-        let (src, dst) = faulty_pair(src_ep, dst_ep, &self.plan, attempt);
+        // The migration link belongs to the named session "source": a
+        // `FaultPlan::kill_session("source", n)` re-arms on every
+        // attempt, modeling a dead source host rather than a flapping
+        // link. Plans without kills behave exactly as before.
+        let (src, dst) = faulty_named_pair(src_ep, dst_ep, &self.plan, "source", attempt);
         let (mine, theirs) = match self.side {
             Side::Source => (src, dst),
             Side::Dest => (dst, src),

@@ -27,8 +27,12 @@ use des::SimDuration;
 use simnet::codec::{compress_blocks, decompress_blocks};
 use simnet::fault::FaultPlan;
 use simnet::proto::{MigMessage, ResumePhase, TransferLedger, WireStats, BLOCK_REF_WIRE};
-use simnet::transport::{Transport, TransportError};
+use simnet::transport::{duplex, Transport, TransportError};
 use telemetry::{Event, Phase, Recorder, Resource, Side};
+
+use blockstore::{fetch_blocks, serve_blocks, BlockSource, BlockWant};
+
+use crate::report::PeerBytes;
 use vdisk::{
     hash_block, stamp_bytes, ContentIndex, DomainId, TrackedDisk, TrackerHandle, VirtualDisk,
 };
@@ -45,6 +49,47 @@ use crate::live::io::{DestIo, SourceIo};
 
 /// The migrated guest's domain id in live mode.
 const GUEST: DomainId = DomainId(1);
+
+/// A surviving holder of the migrating image's content — a replica host
+/// or shared-storage attachment the destination may fetch blocks from
+/// when the source dies with its reconnect budget exhausted. The
+/// destination verifies every fetched payload against the freeze-time
+/// [`MigMessage::BlockManifest`] fingerprints, so a stale holder
+/// degrades to a miss, never to a wrong image.
+#[derive(Clone)]
+pub struct LivePeer {
+    /// Host id the holder is known by (telemetry, per-peer accounting).
+    pub host: u64,
+    /// The holder's copy of the image.
+    pub disk: Arc<TrackedDisk>,
+}
+
+impl std::fmt::Debug for LivePeer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LivePeer")
+            .field("host", &self.host)
+            .field("blocks", &self.disk.disk().num_blocks())
+            .finish()
+    }
+}
+
+/// Serves a [`LivePeer`]'s disk over a blockstore session: a block is
+/// shipped only when its current content hashes to the requested
+/// fingerprint, anything else answers a miss.
+struct PeerDiskSource {
+    disk: Arc<TrackedDisk>,
+}
+
+impl BlockSource for PeerDiskSource {
+    fn fetch(&self, block: u64, fingerprint: u64, _generation: u64) -> Option<Bytes> {
+        let b = block as usize;
+        if b >= self.disk.disk().num_blocks() {
+            return None;
+        }
+        let data = self.disk.disk().read_block(b);
+        (hash_block(&data) == fingerprint).then(|| Bytes::from(data))
+    }
+}
 
 /// Configuration of a live (threaded) migration.
 #[derive(Debug, Clone)]
@@ -98,6 +143,14 @@ pub struct LiveConfig {
     pub dedup: bool,
     /// Offer per-block compression for residual full-block sends.
     pub compress: bool,
+    /// Multi-source mode: the source ships a freeze-time fingerprint
+    /// manifest ([`MigMessage::BlockManifest`]) so the destination can
+    /// complete post-copy from `peers` if the source dies for good.
+    pub multisource: bool,
+    /// Surviving holders the destination may fail over to. Only
+    /// consulted after the source's reconnect budget is exhausted while
+    /// the guest is already running on the destination (post-copy).
+    pub peers: Vec<LivePeer>,
     /// Transport failure recovery policy.
     pub retry: RetryPolicy,
     /// Telemetry sink for the run. Defaults to a disabled recorder, whose
@@ -130,6 +183,8 @@ impl LiveConfig {
             min_guest_ticks: 0,
             dedup: true,
             compress: true,
+            multisource: false,
+            peers: Vec::new(),
             retry: RetryPolicy::default(),
             telemetry: Recorder::off(),
         }
@@ -160,6 +215,12 @@ pub struct LiveOutcome {
     pub stalled_reads: u64,
     /// Reconnections performed after mid-stream transport failures.
     pub reconnects: u32,
+    /// Source-death failovers performed (0 or 1): the source's
+    /// reconnect budget ran out during post-copy and the destination
+    /// completed the image from surviving peer holders instead.
+    pub failovers: u32,
+    /// Blocks and bytes fetched from each peer holder during failover.
+    pub peer_bytes: Vec<PeerBytes>,
     /// Disk blocks scheduled for retransmission at each reconnect: the
     /// failed session's sent-but-unacknowledged set during pre-copy, the
     /// destination's still-needed bitmap during post-copy. Each entry far
@@ -247,6 +308,29 @@ pub fn run_live_migration_faulty(
 ) -> Result<LiveOutcome, MigrationError> {
     let (src, dst) = fresh_disks(cfg);
     run_live_migration_with_faults(cfg, src, dst, None, plan)
+}
+
+/// Run a primary live migration with `holders` shared-storage replica
+/// holders registered as failover peers (hosts `1..=holders`, each
+/// attached to the source image) and multi-source fetch enabled. This is
+/// the CLI's `--sources N` entry: with a benign fault plan it behaves
+/// exactly like [`run_live_migration_faulty`]; under a source-killing
+/// plan the destination completes the image from the peers.
+pub fn run_live_migration_replicated(
+    cfg: &LiveConfig,
+    plan: FaultPlan,
+    holders: usize,
+) -> Result<LiveOutcome, MigrationError> {
+    let (src, dst) = fresh_disks(cfg);
+    let mut cfg = cfg.clone();
+    cfg.multisource = true;
+    cfg.peers = (1..=holders as u64)
+        .map(|host| LivePeer {
+            host,
+            disk: Arc::clone(&src),
+        })
+        .collect();
+    run_live_migration_with_faults(&cfg, src, dst, None, plan)
 }
 
 /// Run a live migration between existing disks. `initial_bitmap` enables
@@ -382,10 +466,13 @@ where
     };
 
     let src_res = src_thread.join().unwrap_or_else(|_| {
-        Err(MigrationError::Protocol {
-            phase: "source",
-            detail: "source protocol thread panicked".into(),
-        })
+        Err((
+            MigrationError::Protocol {
+                phase: "source",
+                detail: "source protocol thread panicked".into(),
+            },
+            None,
+        ))
     });
     let dst_res = dst_thread.join().unwrap_or_else(|_| {
         Err(MigrationError::Protocol {
@@ -402,7 +489,11 @@ where
     } = driver.finish()?;
     let (src_res, dst_res) = match (src_res, dst_res) {
         (Ok(s), Ok(d)) => (s, d),
-        (Err(e), _) | (_, Err(e)) => return Err(e),
+        // The source died for good but the destination completed the
+        // image from peer holders: the migration as a whole succeeded.
+        (Err((_, Some(s))), Ok(d)) if d.failovers > 0 => (*s, d),
+        (Err((e, _)), _) => return Err(e),
+        (_, Err(e)) => return Err(e),
     };
 
     let outcome = LiveOutcome {
@@ -417,6 +508,8 @@ where
         dropped: dst_res.dropped,
         stalled_reads: dst_res.stalled_reads,
         reconnects: src_res.reconnects,
+        failovers: dst_res.failovers,
+        peer_bytes: dst_res.failover_peers,
         resume_owed: src_res.resume_owed,
         wire: src_res.wire,
         src_ledger: src_res.ledger,
@@ -449,6 +542,16 @@ where
             .add(outcome.wire.blocks_compressed);
         m.histogram("live.iteration_blocks")
             .observe_all(outcome.iterations.iter().copied());
+        if outcome.failovers > 0 {
+            m.counter("blockstore.failovers")
+                .add(u64::from(outcome.failovers));
+            for p in &outcome.peer_bytes {
+                m.counter(&format!("blockstore.peer.{}.blocks", p.host))
+                    .add(p.blocks);
+                m.counter(&format!("blockstore.peer.{}.bytes", p.host))
+                    .add(p.bytes);
+            }
+        }
     }
     Ok(outcome)
 }
@@ -930,6 +1033,10 @@ struct SourceResult {
     resume_owed: Vec<u64>,
 }
 
+/// Drive the source protocol to completion. On failure the error is
+/// paired with the partial accounting gathered so far (`Some` once the
+/// guest was suspended) — a destination that fails over to peer holders
+/// still needs the source's phase statistics for the outcome report.
 fn source_protocol<C: Connector>(
     cfg: &LiveConfig,
     disk: &Arc<TrackedDisk>,
@@ -937,7 +1044,7 @@ fn source_protocol<C: Connector>(
     mut connector: C,
     ctl: &DriverCtl,
     initial_bitmap: Option<FlatBitmap>,
-) -> Result<SourceResult, MigrationError> {
+) -> Result<SourceResult, (MigrationError, Option<Box<SourceResult>>)> {
     let mut st = SourceState::new(cfg, initial_bitmap.as_ref());
     let rec = Arc::clone(&cfg.telemetry);
     rec.record(|| Event::PhaseStart {
@@ -1008,15 +1115,33 @@ fn source_protocol<C: Connector>(
         }
     };
     connector.abort();
-    if result.is_err() {
-        // A failed migration leaves the guest on the source: stop paying
-        // the write-interception cost.
-        if let Some(h) = st.tracker.take() {
-            disk.detach_tracker(h);
+    match result {
+        Ok(r) => Ok(r),
+        Err(e) => {
+            // A failed migration leaves the guest on the source: stop
+            // paying the write-interception cost.
+            if let Some(h) = st.tracker.take() {
+                disk.detach_tracker(h);
+            }
+            disk.disable_tracking();
+            // A source that died after suspending still hands its phase
+            // accounting to a failover outcome.
+            let partial = st.suspended_at.map(|suspended_at| {
+                Box::new(SourceResult {
+                    iterations: std::mem::take(&mut st.iterations),
+                    mem_iterations: std::mem::take(&mut st.mem_iterations),
+                    frozen_mem_dirty: st.frozen_mem_dirty,
+                    frozen_dirty: st.frozen_dirty,
+                    suspended_at,
+                    wire: st.ctx.wire,
+                    ledger: std::mem::take(&mut st.ledger),
+                    reconnects: st.reconnects,
+                    resume_owed: std::mem::take(&mut st.resume_owed),
+                })
+            });
+            Err((e, partial))
         }
-        disk.disable_tracking();
     }
-    result
 }
 
 /// Handshake + reconcile + drive the protocol to completion (or the next
@@ -1394,6 +1519,26 @@ fn source_freeze<T: Transport>(
             payload: None,
         },
     )?;
+    if cfg.multisource {
+        // The guest is suspended: the frozen blocks' content is final,
+        // so these fingerprints anchor peer-holder verification for the
+        // whole post-copy phase (source-death failover). Re-sent on
+        // freeze re-entry like every other freeze payload — idempotent.
+        let blocks: Vec<u64> = st.frozen_bitmap.iter_set().map(|b| b as u64).collect();
+        let fingerprints: Vec<u64> = st
+            .frozen_bitmap
+            .iter_set()
+            .map(|b| hash_block(&disk.disk().read_block(b)))
+            .collect();
+        send_or(
+            ep,
+            "freeze",
+            MigMessage::BlockManifest {
+                blocks,
+                fingerprints,
+            },
+        )?;
+    }
     let encoded = Bytes::from(ser::encode(&st.frozen_bitmap));
     cfg.telemetry.record(|| Event::BitmapEncoded {
         set_bits: st.frozen_bitmap.count_ones() as u64,
@@ -1542,6 +1687,8 @@ struct DestResult {
     resumed_at: Instant,
     new_bitmap: FlatBitmap,
     ledger: TransferLedger,
+    failovers: u32,
+    failover_peers: Vec<PeerBytes>,
 }
 
 fn apply_blocks(
@@ -1584,6 +1731,14 @@ struct DestState {
     /// post-copy recovers them even if the bounce answer raced the
     /// phase change.
     ref_missing: FlatBitmap,
+    /// Freeze-time fingerprint manifest (block → `hash_block`), the
+    /// verification anchors for a peer-holder failover. Populated by
+    /// [`MigMessage::BlockManifest`] on multi-source runs.
+    manifest: BTreeMap<usize, u64>,
+    /// Source-death failovers performed (0 or 1).
+    failovers: u32,
+    /// Per-peer blocks and bytes applied during failover.
+    failover_peers: Vec<PeerBytes>,
     transferred: Option<Arc<AtomicBitmap>>,
     new_bm: Option<Arc<AtomicBitmap>>,
     dest_io: Option<Arc<DestIo>>,
@@ -1611,6 +1766,9 @@ impl DestState {
             compress: false,
             index: None,
             ref_missing: FlatBitmap::new(cfg.num_blocks),
+            manifest: BTreeMap::new(),
+            failovers: 0,
+            failover_peers: Vec::new(),
             transferred: None,
             new_bm: None,
             dest_io: None,
@@ -1628,6 +1786,121 @@ impl DestState {
     }
 }
 
+/// Source-death failover: complete post-copy from surviving peer
+/// holders. Eligible only when the run is multi-source, peers exist,
+/// and the guest already runs here (post-copy) — otherwise, or if some
+/// owed block survives nowhere, the original `dead` error is returned.
+///
+/// Every still-owed block is fetched over a per-peer blockstore
+/// session and verified against the freeze-time manifest fingerprint
+/// before it is applied; blocks superseded by local guest writes in
+/// the meantime are dropped exactly like late source pushes. Holders
+/// are tried in declaration order, each seeing only what its
+/// predecessors missed.
+fn dest_failover(
+    cfg: &LiveConfig,
+    disk: &Arc<TrackedDisk>,
+    st: &mut DestState,
+    dead: MigrationError,
+) -> Result<(), MigrationError> {
+    let eligible = cfg.multisource
+        && !cfg.peers.is_empty()
+        && st.phase == ResumePhase::PostCopy
+        && st.resumed_at.is_some();
+    let Some(transferred) = st.transferred.as_ref().filter(|_| eligible) else {
+        return Err(dead);
+    };
+    let transferred = Arc::clone(transferred);
+    let owed = transferred.snapshot();
+    cfg.telemetry.record(|| Event::SourceFailover {
+        side: Side::Destination,
+        owed_blocks: owed.count_ones() as u64,
+        peers: cfg.peers.len() as u64,
+    });
+    st.failovers += 1;
+    // Owed blocks absent from the manifest have no verification anchor
+    // and cannot be fetched (only unresolved dedup bounces can end up
+    // here); they stay owed and fail the run below.
+    let mut wants: Vec<BlockWant> = owed
+        .iter_set()
+        .filter_map(|b| {
+            st.manifest.get(&b).map(|&fp| BlockWant {
+                block: b as u64,
+                fingerprint: fp,
+                generation: 0,
+            })
+        })
+        .collect();
+    let dest_io = st.dest_io.clone();
+    let mut dropped = 0u64;
+    for peer in &cfg.peers {
+        if wants.is_empty() {
+            break;
+        }
+        let (mine, theirs) = duplex();
+        let serve_disk = Arc::clone(&peer.disk);
+        let server = std::thread::spawn(move || {
+            let holder = PeerDiskSource { disk: serve_disk };
+            serve_blocks(&theirs, &holder)
+        });
+        let mut applied = 0u64;
+        let outcome = fetch_blocks(&mine, &wants, cfg.num_blocks, &mut |b, payload| {
+            let b = b as usize;
+            match payload {
+                // Verified content for a block still owed: apply it and
+                // wake any guest read parked on it.
+                Some(data) if transferred.get(b) => {
+                    disk.disk().write_block(b, data);
+                    transferred.clear(b);
+                    applied += 1;
+                    if let Some(io) = &dest_io {
+                        io.notify_block();
+                    }
+                }
+                // Superseded by a local write while the fetch was in
+                // flight: drop, like a late source push.
+                Some(_) => dropped += 1,
+                None => {}
+            }
+        });
+        st.ledger.merge(&mine.sent_ledger());
+        drop(mine);
+        // The serve side's byte count is advisory (it includes payloads
+        // a local write later superseded), and a peer link that died
+        // mid-session — or a panicked serve thread — leaves whatever it
+        // failed to serve set in `transferred`, rolling to the next
+        // holder. Either way the join result carries nothing actionable.
+        let _joined: Result<_, _> = server.join();
+        if applied > 0 {
+            cfg.telemetry.record(|| Event::PeerFetch {
+                side: Side::Destination,
+                peer: peer.host,
+                blocks: applied,
+                bytes: applied * cfg.block_size as u64,
+            });
+            st.failover_peers.push(PeerBytes {
+                host: peer.host,
+                blocks: applied,
+                bytes: applied * cfg.block_size as u64,
+            });
+        }
+        // Blocks this holder missed (or that died with a failed link)
+        // are still set in `transferred` and stay in the next holder's
+        // want list.
+        debug_assert!(outcome.got.count_ones() as u64 >= applied);
+        wants.retain(|w| transferred.get(w.block as usize));
+    }
+    st.dropped += dropped;
+    if transferred.count_ones() == 0 {
+        // The image is complete on local evidence; there is no source
+        // left to exchange MigrationComplete/CompleteAck with.
+        st.complete_sent = true;
+        Ok(())
+    } else {
+        Err(dead)
+    }
+}
+
 fn dest_protocol<C: Connector>(
     cfg: &LiveConfig,
     disk: &Arc<TrackedDisk>,
@@ -1641,10 +1914,13 @@ fn dest_protocol<C: Connector>(
     let mut last_failure = String::new();
     let result = loop {
         if attempt > cfg.retry.max_reconnects {
-            break Err(MigrationError::RetriesExhausted {
+            let exhausted = MigrationError::RetriesExhausted {
                 attempts: attempt,
                 last: last_failure,
-            });
+            };
+            // The source is dead for good. If the guest already runs
+            // here, the still-owed blocks may survive on peer holders.
+            break dest_failover(cfg, disk, &mut st, exhausted);
         }
         if attempt > 0 {
             std::thread::sleep(cfg.retry.backoff);
@@ -1659,7 +1935,9 @@ fn dest_protocol<C: Connector>(
             // full sync, the lost message was only the ack: the data here
             // is complete and the migration succeeded.
             Err(_) if st.complete_sent => break Ok(()),
-            Err(e) => break Err(e),
+            // It may have aborted before our own budget ran out (its
+            // budget exhausted first): same situation, same failover.
+            Err(e) => break dest_failover(cfg, disk, &mut st, e),
         };
         ep.set_telemetry(&rec, Side::Destination);
         let session = run_dest_session(cfg, disk, ram, &ep, ctl, &mut st);
@@ -1700,6 +1978,8 @@ fn dest_protocol<C: Connector>(
                         resumed_at,
                         new_bitmap: new_bm.snapshot(),
                         ledger: std::mem::take(&mut st.ledger),
+                        failovers: st.failovers,
+                        failover_peers: std::mem::take(&mut st.failover_peers),
                     })
                 }
                 _ => Err(MigrationError::Protocol {
@@ -2028,6 +2308,14 @@ fn dest_freeze<T: Transport>(
                 dest_apply_ref(st, disk, ep, block, fingerprint, "freeze")?;
             }
             MigMessage::CpuState { .. } | MigMessage::Suspended => {}
+            MigMessage::BlockManifest {
+                blocks,
+                fingerprints,
+            } => {
+                for (&b, &fp) in blocks.iter().zip(fingerprints.iter()) {
+                    st.manifest.insert(b as usize, fp);
+                }
+            }
             MigMessage::Bitmap { encoded } => {
                 let mut still_needed = decode_bitmap("freeze", &encoded)?;
                 // References bounced but not yet re-answered join the
@@ -2357,5 +2645,97 @@ mod tests {
             .diff_blocks(out.dst_disk.disk())
             .into_iter()
             .all(|b| out.new_bitmap.get(b)));
+    }
+
+    #[test]
+    fn source_death_fails_over_to_peer_holders() {
+        use simnet::proto::Category;
+
+        let mut cfg = LiveConfig {
+            num_blocks: 16_384,
+            // Guarantee the guest dirties blocks between pre-copy
+            // convergence and suspend: post-copy must have real traffic
+            // left when the source dies.
+            min_guest_ticks: 25,
+            // The freeze-time manifest covers the frozen bitmap only;
+            // unresolved dedup reference bounces would have no
+            // verification anchor, so this scenario runs without dedup.
+            dedup: false,
+            multisource: true,
+            telemetry: Recorder::enabled(),
+            retry: RetryPolicy {
+                max_reconnects: 2,
+                backoff: Duration::from_millis(10),
+                phase_timeout: Duration::from_secs(5),
+            },
+            ..LiveConfig::test_default()
+        };
+        let (src, dst) = fresh_disks(&cfg);
+        // A stale holder: the start-of-migration image. Every frozen
+        // block was dirtied after start (stamp ≥ 1 vs stamp 0), so each
+        // fingerprint probe must miss and roll to the next holder.
+        let stale = Arc::new(TrackedDisk::new(Arc::new(VirtualDisk::dense(
+            cfg.block_size,
+            cfg.num_blocks,
+        ))));
+        for b in 0..cfg.num_blocks {
+            stale
+                .disk()
+                .write_block(b, &stamp_bytes(b, 0, cfg.block_size));
+        }
+        // A synchronous replica (shared-storage model): the same backing
+        // disk the suspended source holds, so it serves every frozen
+        // block with a matching fingerprint.
+        cfg.peers = vec![
+            LivePeer {
+                host: 7,
+                disk: stale,
+            },
+            LivePeer {
+                host: 8,
+                disk: Arc::clone(&src),
+            },
+        ];
+        // Kill every attempt on its second post-copy push: the reconnect
+        // budget exhausts with blocks still owed while the guest already
+        // runs on the destination — the failover precondition.
+        let mut plan = FaultPlan::none();
+        for attempt in 0..=cfg.retry.max_reconnects + 1 {
+            plan = plan.reset_after_category(attempt, Category::DiskPush, 2);
+        }
+        let out = run_live_migration_with_faults(&cfg, src, dst, None, plan)
+            .expect("failover must complete the migration without a source");
+        assert_eq!(out.failovers, 1, "exactly one source-death failover");
+        assert_eq!(out.read_violations, 0, "guest observed stale data");
+        assert!(
+            out.inconsistent_blocks().is_empty(),
+            "destination image must be block-exact after failover"
+        );
+        assert!(out.inconsistent_pages().is_empty());
+        // Every failover block came from the replica; the stale holder
+        // missed every probe (its content predates the freeze).
+        assert!(!out.peer_bytes.is_empty(), "failover must fetch blocks");
+        for pb in &out.peer_bytes {
+            assert_eq!(pb.host, 8, "stale holder cannot serve frozen content");
+            assert_eq!(pb.bytes, pb.blocks * cfg.block_size as u64);
+        }
+        // The journal records the failover decision and the peer fetch.
+        let records = cfg.telemetry.records();
+        let failovers = records
+            .iter()
+            .filter(|r| matches!(r.event, Event::SourceFailover { .. }))
+            .count();
+        assert_eq!(failovers, 1, "one SourceFailover event");
+        assert!(
+            records.iter().any(|r| matches!(
+                r.event,
+                Event::PeerFetch {
+                    side: Side::Destination,
+                    peer: 8,
+                    ..
+                }
+            )),
+            "the replica's contribution must be journaled"
+        );
     }
 }

@@ -52,6 +52,52 @@ pub struct PostCopyStats {
     pub pending_high_water: u64,
 }
 
+/// Bytes one peer holder contributed to a multi-source migration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PeerBytes {
+    /// Peer host id.
+    pub host: u64,
+    /// Full blocks fetched from this peer.
+    pub blocks: u64,
+    /// Wire bytes those blocks cost.
+    pub bytes: u64,
+}
+
+/// Multi-source block store accounting: where the owed full blocks
+/// actually came from. All zeros/empty for single-source runs and
+/// feature-off runs.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MultiSourceReport {
+    /// Fetch plans computed (one per worklist that had a fresh peer).
+    pub plans: u64,
+    /// Owed full blocks routed to the migration source.
+    pub planned_source: u64,
+    /// Owed full blocks routed to peer holders.
+    pub planned_peer: u64,
+    /// Per-peer contribution, ascending host id.
+    pub peer_bytes: Vec<PeerBytes>,
+    /// Source-death failovers completed from surviving holders.
+    pub failovers: u64,
+}
+
+impl MultiSourceReport {
+    /// Fraction of owed full blocks that arrived from non-source peers
+    /// (the E14 headline number).
+    pub fn peer_fraction(&self) -> f64 {
+        let fulls = self.planned_source + self.planned_peer;
+        if fulls == 0 {
+            0.0
+        } else {
+            self.planned_peer as f64 / fulls as f64
+        }
+    }
+
+    /// Total full blocks fetched from peers.
+    pub fn peer_blocks(&self) -> u64 {
+        self.peer_bytes.iter().map(|p| p.blocks).sum()
+    }
+}
+
 /// Complete report of one migration run.
 #[derive(Debug, Clone, Serialize)]
 pub struct MigrationReport {
@@ -97,6 +143,9 @@ pub struct MigrationReport {
     /// per stream; a single entry for the classic one-stream data plane,
     /// empty for baselines that never shard).
     pub stream_blocks: Vec<u64>,
+    /// Multi-source block store accounting (bytes-from-source vs
+    /// bytes-from-peers); defaulted for single-source runs.
+    pub multisource: MultiSourceReport,
     /// Whether the destination state verified equal to the source state
     /// (modulo post-resume guest writes).
     pub consistent: bool,
@@ -215,6 +264,26 @@ impl MigrationReport {
                 self.wire.blocks_compressed,
             );
         }
+        if self.multisource.planned_peer > 0 || self.multisource.failovers > 0 {
+            let _ = writeln!(
+                out,
+                "multi-source: {} fulls from {} peer(s), {} from source ({:.1}% off-source); {} failover(s)",
+                self.multisource.planned_peer,
+                self.multisource.peer_bytes.len(),
+                self.multisource.planned_source,
+                self.multisource.peer_fraction() * 100.0,
+                self.multisource.failovers,
+            );
+            for p in &self.multisource.peer_bytes {
+                let _ = writeln!(
+                    out,
+                    "  peer {:<4} {:>10} blocks {:>9.1} MB",
+                    p.host,
+                    p.blocks,
+                    p.bytes as f64 / 1048576.0
+                );
+            }
+        }
         if self.io_blocked_secs > 0.0 {
             let _ = writeln!(out, "destination I/O blocked: {:.2}s", self.io_blocked_secs);
         }
@@ -307,6 +376,7 @@ mod tests {
             residual_blocks: 0,
             redundant_deltas: 0,
             stream_blocks: vec![10_485_760 + 6_618 + 62],
+            multisource: MultiSourceReport::default(),
             consistent: true,
         }
     }

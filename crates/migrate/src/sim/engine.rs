@@ -1,8 +1,10 @@
 //! The simulated TPM/IM engine.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use block_bitmap::{ser, DirtyMap, FlatBitmap};
+use blockstore::{BlockDirectory, FetchPlan, FetchPlanner};
 use des::{SimDuration, SimRng, SimTime};
 use simnet::capacity::seek_aware_share;
 use simnet::proto::{Category, TransferLedger, WireStats, BLOCK_REF_WIRE, FRAME_OVERHEAD};
@@ -12,10 +14,15 @@ use vmstate::{CpuState, Domain, DomainId, GuestMemory, WssModel};
 use workloads::probe::ThroughputProbe;
 use workloads::{OpKind, Workload, WorkloadKind};
 
-use crate::report::{IterationStats, MigrationReport, PhaseTimings};
+use crate::report::{IterationStats, MigrationReport, MultiSourceReport, PeerBytes, PhaseTimings};
 use crate::sim::postcopy::{run_postcopy, PostCopyConfig};
 use crate::sim::tracker::DirtyTracker;
 use crate::MigrationConfig;
+
+/// The single migrating VM's id inside the engine's private
+/// [`BlockDirectory`] (the orchestrator uses real VM ids; a lone engine
+/// has only one image to name).
+const MS_VM: u64 = 0;
 
 /// Everything a completed migration leaves behind: the report, the
 /// destination-side state the VM now runs on, and the IM tracker that a
@@ -81,6 +88,13 @@ pub struct TpmEngine {
     /// Telemetry sink; disabled by default (a single atomic check per
     /// potential record). Events are stamped with virtual time.
     pub(crate) recorder: Arc<Recorder>,
+    /// Peer holders for multi-source fetching: host id → the image that
+    /// host holds. Empty (the default) means classic single-source.
+    pub(crate) peers: BTreeMap<u64, MetaDisk>,
+    /// Multi-source plan accounting for the report.
+    pub(crate) ms: MultiSourceReport,
+    /// Per-peer (blocks, bytes) fetched so far.
+    pub(crate) peer_fetched: BTreeMap<u64, (u64, u64)>,
 }
 
 impl TpmEngine {
@@ -135,6 +149,9 @@ impl TpmEngine {
             stream_blocks: vec![0; cfg.streams],
             cfg,
             recorder: Recorder::off(),
+            peers: BTreeMap::new(),
+            ms: MultiSourceReport::default(),
+            peer_fetched: BTreeMap::new(),
         }
     }
 
@@ -158,6 +175,26 @@ impl TpmEngine {
             "free bitmap must cover the whole disk"
         );
         self.free_blocks = Some(free);
+    }
+
+    /// Attach peer holders for multi-source fetching: each entry maps a
+    /// host id to the disk image that host holds (a template clone, a
+    /// `ReplicaTable` departure image…). Owed full blocks a peer holds
+    /// at the live generation are fetched from the peers instead of the
+    /// source, paced by `max_min_share` over `cfg.peer_budget` and the
+    /// destination's ingest rate.
+    ///
+    /// # Panics
+    /// Panics when a peer image's geometry does not match the disk.
+    pub fn set_peers(&mut self, peers: BTreeMap<u64, MetaDisk>) {
+        for disk in peers.values() {
+            assert_eq!(
+                disk.num_blocks(),
+                self.cfg.disk_blocks,
+                "peer image must match the disk geometry"
+            );
+        }
+        self.peers = peers;
     }
 
     /// Current virtual time.
@@ -209,7 +246,7 @@ impl TpmEngine {
     /// (blocks_sent, bytes, duration).
     fn transfer_disk_set(&mut self, set: &FlatBitmap, cat: Category) -> (u64, u64, SimDuration) {
         if !self.cfg.dedup {
-            return self.transfer_disk_blocks::<false>(set, cat);
+            return self.transfer_disk_fulls(set, cat);
         }
         let mut refs = FlatBitmap::new(set.len());
         for b in set.iter_set() {
@@ -220,7 +257,7 @@ impl TpmEngine {
         if refs.count_ones() == 0 {
             // Nothing to reference: take the classic path, bit-identical
             // to a dedup-off run (same floats, same ledger, same clock).
-            return self.transfer_disk_blocks::<false>(set, cat);
+            return self.transfer_disk_fulls(set, cat);
         }
         // Full payloads first, then the cheap references — two
         // uniform-cost sub-phases, so K-stream sharding still cannot
@@ -228,9 +265,160 @@ impl TpmEngine {
         // `four_streams_match_single_stream_exactly`).
         let mut fulls = set.clone();
         fulls.subtract(&refs);
-        let (fs, fb, fd) = self.transfer_disk_blocks::<false>(&fulls, cat);
+        let (fs, fb, fd) = self.transfer_disk_fulls(&fulls, cat);
         let (rs, rb, rd) = self.transfer_disk_blocks::<true>(&refs, cat);
         (fs + rs, fb + rb, fd + rd)
+    }
+
+    /// Route full payloads: classic source-streamed transfer, or — with
+    /// multi-source on and at least one fresh holder — a planned split
+    /// between the source stream and peer-fetch sessions. With
+    /// multisource off, no peers attached, or no owed block fresh on
+    /// any peer, the call reduces to the classic transfer loop with
+    /// zero extra float math: bit-identical ledger and clock.
+    fn transfer_disk_fulls(
+        &mut self,
+        fulls: &FlatBitmap,
+        cat: Category,
+    ) -> (u64, u64, SimDuration) {
+        if !self.cfg.multisource || self.peers.is_empty() || fulls.count_ones() == 0 {
+            return self.transfer_disk_blocks::<false>(fulls, cat);
+        }
+        let mut dir = BlockDirectory::new();
+        for (&host, disk) in &self.peers {
+            dir.publish(MS_VM, host, disk);
+        }
+        let budgets: BTreeMap<u64, f64> = self
+            .peers
+            .keys()
+            .map(|&h| (h, self.cfg.peer_budget))
+            .collect();
+        let plan = FetchPlanner::plan(
+            &dir,
+            MS_VM,
+            &self.src_disk,
+            fulls,
+            None, // dedup already classified resident content as refs
+            &budgets,
+            self.cfg.migration_net_rate(),
+        );
+        if plan.any_peer.count_ones() == 0 {
+            return self.transfer_disk_blocks::<false>(fulls, cat);
+        }
+        self.ms.plans += 1;
+        self.ms.planned_source += plan.source_only.count_ones() as u64;
+        self.ms.planned_peer += plan.any_peer.count_ones() as u64;
+        let rec = Arc::clone(&self.recorder);
+        rec.record_at_nanos(self.now.as_nanos(), || telemetry::Event::FetchPlanned {
+            side: telemetry::Side::Destination,
+            source_blocks: plan.source_only.count_ones() as u64,
+            peer_blocks: plan.any_peer.count_ones() as u64,
+            ref_blocks: 0,
+            peers: plan.per_peer.len() as u64,
+        });
+        let (ss, sb, sd) = self.transfer_disk_blocks::<false>(&plan.source_only, cat);
+        let (ps, pb, pd) = self.transfer_peer_blocks(&plan);
+        (ss + ps, sb + pb, sd + pd)
+    }
+
+    /// Drain the plan's per-peer assignments: blocks stream from their
+    /// holders round-robin (ascending host id) at the aggregate max-min
+    /// fan-in rate, while the guest keeps its full disk share — peer
+    /// fetches never touch the source's disk, which is the whole point.
+    /// Ledger entries go to [`Category::DiskPull`]: peer traffic
+    /// accounts like post-copy pulls, per the wire protocol's category
+    /// mapping for `BlockData`.
+    fn transfer_peer_blocks(&mut self, plan: &FetchPlan) -> (u64, u64, SimDuration) {
+        let phase_start = self.now;
+        let total = plan.any_peer.count_ones() as u64;
+        if total == 0 {
+            return (0, 0, SimDuration::ZERO);
+        }
+        // Aggregate fan-in: the per-peer max-min shares already respect
+        // both the holders' budgets and the destination's ingest cap.
+        let rate: f64 = plan
+            .per_peer
+            .keys()
+            .filter_map(|h| plan.shares.get(h))
+            .sum::<f64>()
+            .max(1.0);
+        let bs = self.cfg.block_size;
+        let hosts: Vec<u64> = plan.per_peer.keys().copied().collect();
+        let mut cursors: BTreeMap<u64, usize> = hosts.iter().map(|&h| (h, 0usize)).collect();
+        let parked = plan.any_peer.len();
+        let mut session: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        let mut sent = 0u64;
+        let mut bytes = 0u64;
+        let mut carry = 0.0f64;
+        let mut rr = 0usize;
+        while sent < total {
+            let remaining = total - sent;
+            let full_step_blocks = rate * self.cfg.step.as_secs_f64() / bs as f64;
+            let dt = if full_step_blocks + carry >= remaining as f64 {
+                SimDuration::from_secs_f64(((remaining as f64 - carry).max(0.0) * bs as f64) / rate)
+            } else {
+                self.cfg.step
+            };
+            let raw = carry + rate * dt.as_secs_f64() / bs as f64;
+            let mut n = (raw.floor() as u64).min(remaining);
+            carry = raw - n as f64;
+            if dt == SimDuration::ZERO || (n == 0 && dt < self.cfg.step) {
+                n = remaining;
+                carry = 0.0;
+            }
+            for _ in 0..n {
+                let (host, b) = loop {
+                    let h = hosts[rr % hosts.len()];
+                    rr += 1;
+                    let cur = cursors.get(&h).copied().unwrap_or(parked);
+                    if cur >= parked {
+                        continue;
+                    }
+                    if let Some(b) = plan.per_peer.get(&h).and_then(|bm| bm.next_set_from(cur)) {
+                        break (h, b);
+                    }
+                    // This peer's assignment is drained; `sent < total`
+                    // guarantees another peer still holds blocks.
+                    cursors.insert(h, parked);
+                };
+                cursors.insert(host, b + 1);
+                if let Some(peer_disk) = self.peers.get(&host) {
+                    self.dst_disk.copy_block_from(peer_disk, b);
+                }
+                let e = session.entry(host).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += bs;
+            }
+            if n > 0 {
+                // BlockData frames: 16-byte header per block, one frame
+                // envelope per step batch.
+                self.ledger
+                    .add(Category::DiskPull, n * (bs + 16) + FRAME_OVERHEAD);
+                if self.cfg.compress {
+                    self.wire.bytes_sent += n * bs / 2;
+                    self.wire.blocks_compressed += n;
+                } else {
+                    self.wire.bytes_sent += n * bs;
+                }
+                self.wire.bytes_raw += n * bs;
+            }
+            sent += n;
+            bytes += n * bs;
+            self.guest_step(dt, self.workload_solo_share());
+        }
+        let rec = Arc::clone(&self.recorder);
+        for (host, (blocks, b)) in session {
+            rec.record_at_nanos(self.now.as_nanos(), || telemetry::Event::PeerFetch {
+                side: telemetry::Side::Destination,
+                peer: host,
+                blocks,
+                bytes: b,
+            });
+            let e = self.peer_fetched.entry(host).or_insert((0, 0));
+            e.0 += blocks;
+            e.1 += b;
+        }
+        (sent, bytes, self.now.since(phase_start))
     }
 
     /// Uniform-cost transfer loop: every block in `set` crosses either as
@@ -653,6 +841,19 @@ impl TpmEngine {
             residual_blocks: outcome.residual_blocks,
             redundant_deltas: 0,
             stream_blocks: self.stream_blocks.clone(),
+            multisource: {
+                let mut ms = self.ms.clone();
+                ms.peer_bytes = self
+                    .peer_fetched
+                    .iter()
+                    .map(|(&host, &(blocks, bytes))| PeerBytes {
+                        host,
+                        blocks,
+                        bytes,
+                    })
+                    .collect();
+                ms
+            },
             consistent: disk_consistent && mem_consistent && cpu_consistent,
         };
 
@@ -678,6 +879,19 @@ impl TpmEngine {
             for (i, &blocks) in report.stream_blocks.iter().enumerate() {
                 m.counter(&format!("sim.stream.{i}.blocks_sent"))
                     .add(blocks);
+            }
+            if report.multisource.plans > 0 {
+                m.counter("blockstore.plans").add(report.multisource.plans);
+                m.counter("blockstore.planned_source")
+                    .add(report.multisource.planned_source);
+                m.counter("blockstore.planned_peer")
+                    .add(report.multisource.planned_peer);
+                for p in &report.multisource.peer_bytes {
+                    m.counter(&format!("blockstore.peer.{}.blocks", p.host))
+                        .add(p.blocks);
+                    m.counter(&format!("blockstore.peer.{}.bytes", p.host))
+                        .add(p.bytes);
+                }
             }
         }
 

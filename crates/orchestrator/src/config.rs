@@ -78,6 +78,13 @@ pub struct ClusterConfig {
     /// stream's pacing is unchanged, a deliberately conservative model).
     /// Off reproduces the classic byte math exactly.
     pub dedup: bool,
+    /// Multi-source accounting: a full block some *other* host also
+    /// holds at the live generation is counted as served by that peer
+    /// (the block-directory fan-in the two-host engine performs for
+    /// real). Wire bytes and pacing are unchanged — the payload crosses
+    /// either way — so runs are byte- and clock-identical with this off;
+    /// only the per-migration peer-served counter moves.
+    pub multisource: bool,
     /// Master seed: forks every per-VM workload stream and the fault
     /// schedule deterministically.
     pub seed: u64,
@@ -120,6 +127,7 @@ impl ClusterConfig {
             resume_overhead: SimDuration::from_millis(25),
             bitmap: BitmapKind::Flat,
             dedup: true,
+            multisource: true,
             seed: 2008,
             fault_resets: 0,
             max_retries: 3,

@@ -35,7 +35,7 @@ use vdisk::MetaDisk;
 use crate::cluster::{Cluster, HostId, VmId};
 use crate::config::{ClusterConfig, ConfigError, Scenario};
 use crate::report::{ClusterReport, MigrationRecord};
-use crate::scheduler::{ClusterView, MigrationRequest, Policy};
+use crate::scheduler::{directory_of, ClusterView, MigrationRequest, Policy};
 
 /// Message-count window for seeded per-migration fault schedules: a
 /// reset armed by `fault_resets` fires after between `FAULT_LO` and
@@ -83,6 +83,9 @@ struct Task {
     /// Blocks that crossed as 16-byte content references because the
     /// destination replica already held the identical generation.
     blocks_deduped: u64,
+    /// Full blocks some other host also held at the live generation —
+    /// the multi-source fan-in share (accounting only).
+    blocks_peer: u64,
     bytes: u64,
     retries: u32,
     failed: bool,
@@ -245,10 +248,13 @@ impl Orchestrator {
             let streams = self.streams_per_host(tasks);
             let busy: BTreeSet<usize> = tasks.iter().map(|t| t.vm.0).collect();
             let reqs: Vec<MigrationRequest> = pending.iter().map(|(_, r)| *r).collect();
+            // Rebuilt per decision: `open_task` consumes the admitted
+            // destination's replica, which must not be offered again.
+            let directory = directory_of(&self.cluster.replicas, self.cluster.vms.len());
             let view = ClusterView {
                 hosts: self.cfg.hosts,
                 vms: &self.cluster.vms,
-                replicas: &self.cluster.replicas,
+                directory: &directory,
                 streams: &streams,
                 max_streams_per_host: self.cfg.max_streams_per_host,
                 disk_blocks: self.cfg.disk_blocks,
@@ -358,6 +364,7 @@ impl Orchestrator {
             blocks_sent: 0,
             blocks_cancelled: 0,
             blocks_deduped: 0,
+            blocks_peer: 0,
             bytes: 0,
             retries: 0,
             failed: false,
@@ -537,8 +544,11 @@ impl Orchestrator {
     /// replica-table version maintenance that seeded the first-pass diff)
     /// is charged a 16-byte reference instead of a full payload; pacing
     /// is deliberately left uniform, so dedup-off runs are byte- and
-    /// clock-identical to the classic math. Returns the last block
-    /// shipped.
+    /// clock-identical to the classic math. With `cfg.multisource`, a
+    /// full block some *other* host also holds at the live generation is
+    /// additionally counted as peer-servable — the directory fan-in the
+    /// two-host engine performs for real — without changing the byte or
+    /// clock math at all. Returns the last block shipped.
     fn pump_blocks(&self, t: &mut Task, rate: f64, dt: SimDuration) -> Option<usize> {
         let bs = self.cfg.block_size as f64;
         let raw = t.carry + rate * dt.as_secs_f64() / bs;
@@ -550,7 +560,20 @@ impl Orchestrator {
         }
         let mut last = None;
         let mut refs = 0u64;
+        let mut peer = 0u64;
         let src_disk = &self.cluster.vms[t.vm.0].disk;
+        // Replica sites other than the endpoints: the holders a
+        // multi-source fetch could draw a fresh block from.
+        let peer_sites: Vec<u64> = if self.cfg.multisource {
+            self.cluster
+                .replicas
+                .sites_with_replica(t.vm.0 as u64)
+                .into_iter()
+                .filter(|&s| s != t.src.0 as u64 && s != t.dst.0 as u64)
+                .collect()
+        } else {
+            Vec::new()
+        };
         for _ in 0..n {
             let b = match t.to_send.next_set_from(t.cursor) {
                 Some(b) => b,
@@ -565,6 +588,17 @@ impl Orchestrator {
                 refs += 1;
             } else {
                 t.dst_disk.copy_block_from(src_disk, b);
+                if peer_sites.iter().any(|&s| {
+                    self.cluster
+                        .replicas
+                        .get(t.vm.0 as u64, s)
+                        .is_some_and(|r| {
+                            r.disk.num_blocks() == src_disk.num_blocks()
+                                && r.disk.generation(b) == src_disk.generation(b)
+                        })
+                }) {
+                    peer += 1;
+                }
             }
             t.to_send.clear(b);
             t.cursor = b + 1;
@@ -575,6 +609,7 @@ impl Orchestrator {
         t.bytes += wire;
         t.attempt_bytes += wire;
         t.blocks_deduped += refs;
+        t.blocks_peer += peer;
         t.msgs += 1;
         last
     }
@@ -812,6 +847,7 @@ impl Orchestrator {
             blocks_sent: t.blocks_sent,
             blocks_cancelled: t.blocks_cancelled,
             blocks_deduped: t.blocks_deduped,
+            blocks_peer: t.blocks_peer,
             bytes: t.bytes,
             retries: t.retries,
             completed,
@@ -847,6 +883,8 @@ impl Orchestrator {
             .add(records.iter().map(|r| r.blocks_cancelled).sum());
         m.counter("cluster.blocks.deduped")
             .add(records.iter().map(|r| r.blocks_deduped).sum());
+        m.counter("cluster.blocks.peer_served")
+            .add(records.iter().map(|r| r.blocks_peer).sum());
         m.gauge("cluster.hosts").set(self.cfg.hosts as u64);
         m.gauge("cluster.vms").set(self.cfg.vms as u64);
         m.gauge("cluster.max_concurrent").set(max_concurrent as u64);
@@ -946,6 +984,47 @@ mod tests {
         assert_eq!(
             ra.total_bytes() + ra.total_deduped() * (bs + 8 - BLOCK_REF_WIRE),
             rb.total_bytes()
+        );
+    }
+
+    #[test]
+    fn multisource_off_is_byte_and_clock_identical() {
+        // A pinned three-hop tour: h0 -> h1 leaves a replica on h0, then
+        // h1 -> h2 runs with h0 as a bystander replica holder — the
+        // fan-in case the peer-served counter must see.
+        let scenario = Scenario {
+            requests: vec![
+                MigrationRequest {
+                    vm: VmId(0),
+                    dest: Some(HostId(1)),
+                    at: SimTime::ZERO,
+                },
+                MigrationRequest {
+                    vm: VmId(0),
+                    dest: Some(HostId(2)),
+                    at: SimTime::ZERO + SimDuration::from_secs(5),
+                },
+            ],
+        };
+        let cfg_on = small_cfg(3, 1);
+        let mut cfg_off = small_cfg(3, 1);
+        cfg_off.multisource = false;
+        let mut on =
+            Orchestrator::new(cfg_on, Policy::Fifo, Recorder::off()).expect("valid config");
+        let mut off =
+            Orchestrator::new(cfg_off, Policy::Fifo, Recorder::off()).expect("valid config");
+        let ra = on.run(&scenario);
+        let rb = off.run(&scenario);
+        // Multisource is accounting only: bytes, clock and outcomes are
+        // identical with it off — only the peer-served counter moves.
+        assert_eq!(ra.makespan_nanos, rb.makespan_nanos);
+        assert_eq!(ra.total_bytes(), rb.total_bytes());
+        assert_eq!(ra.completed(), rb.completed());
+        assert!(ra.all_consistent() && rb.all_consistent());
+        assert_eq!(rb.total_peer_served(), 0);
+        assert!(
+            ra.total_peer_served() > 0,
+            "the second hop must see h0's bystander replica as a peer holder"
         );
     }
 

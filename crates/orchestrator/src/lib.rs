@@ -48,5 +48,5 @@ pub use config::{ClusterConfig, ConfigError, Scenario};
 pub use executor::Orchestrator;
 pub use report::{ClusterReport, MigrationRecord};
 pub use scheduler::{
-    ClusterView, Decision, Fifo, ImAware, MigrationRequest, Policy, Scheduler, Srdf,
+    directory_of, ClusterView, Decision, Fifo, ImAware, MigrationRequest, Policy, Scheduler, Srdf,
 };

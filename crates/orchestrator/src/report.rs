@@ -37,6 +37,11 @@ pub struct MigrationRecord {
     /// payloads (the destination replica already held the identical
     /// generation; zero with dedup disabled).
     pub blocks_deduped: u64,
+    /// Full blocks another host also held at the live generation — the
+    /// fan-in a multi-source fetch would draw from peers instead of the
+    /// source (zero with multisource disabled; byte accounting is
+    /// unchanged either way).
+    pub blocks_peer: u64,
     /// Total wire bytes the stream moved, all attempts included.
     pub bytes: u64,
     /// Fault-triggered retries the stream survived.
@@ -112,6 +117,11 @@ impl ClusterReport {
     /// Blocks that crossed as content references across all migrations.
     pub fn total_deduped(&self) -> u64 {
         self.records.iter().map(|r| r.blocks_deduped).sum()
+    }
+
+    /// Full blocks a peer holder could have served across all migrations.
+    pub fn total_peer_served(&self) -> u64 {
+        self.records.iter().map(|r| r.blocks_peer).sum()
     }
 
     /// Wire bytes across migrations whose scenario request index is at
@@ -206,6 +216,7 @@ mod tests {
             blocks_sent: 10,
             blocks_cancelled: 0,
             blocks_deduped: 0,
+            blocks_peer: 0,
             bytes,
             retries: 0,
             completed,

@@ -9,10 +9,26 @@
 
 use std::collections::BTreeSet;
 
+use block_bitmap::DirtyMap;
+use blockstore::BlockDirectory;
 use des::SimTime;
 use vdisk::ReplicaTable;
 
 use crate::cluster::{HostId, VmHandle, VmId};
+
+/// Fold every VM's replicas into one cluster-wide [`BlockDirectory`].
+///
+/// The directory is the single holder map every replica-aware decision
+/// reads — IM-aware placement here, fetch planning and source-death
+/// failover in `blockstore` — so the scheduler ranks destinations by
+/// exactly the per-block freshness a multi-source fetch would see.
+pub fn directory_of(replicas: &ReplicaTable, vms: usize) -> BlockDirectory {
+    let mut dir = BlockDirectory::new();
+    for vm in 0..vms {
+        dir.merge_replicas(vm as u64, replicas);
+    }
+    dir
+}
 
 /// One request: move `vm` (optionally to a pinned destination) at or
 /// after virtual time `at`.
@@ -42,8 +58,9 @@ pub struct ClusterView<'a> {
     pub hosts: usize,
     /// VM handles, by index.
     pub vms: &'a [VmHandle],
-    /// The fleet replica table (staleness ranked against live images).
-    pub replicas: &'a ReplicaTable,
+    /// The cluster block directory (replica generation vectors folded
+    /// into a holder map; staleness ranked against live images).
+    pub directory: &'a BlockDirectory,
     /// Active migration streams touching each host (source or dest).
     pub streams: &'a [usize],
     /// Admission cap per host.
@@ -80,21 +97,23 @@ impl ClusterView<'_> {
     }
 
     /// Hosts (other than the current one) holding a usable stale replica
-    /// of `vm`, with their stale-block counts, ascending by host.
+    /// of `vm`, with their stale-block counts, ascending by host. A
+    /// holder's staleness is the complement of its directory fresh
+    /// bitmap; geometry-mismatched holders contribute nothing.
     pub fn replica_dests(&self, vm: VmId) -> Vec<(HostId, usize)> {
         let here = self.vm_host(vm);
         let live = &self.vms[vm.0].disk;
-        self.replicas
-            .sites_with_replica(vm.0 as u64)
+        self.directory
+            .holders(vm.0 as u64)
             .into_iter()
             .filter_map(|site| {
                 let host = HostId(site as usize);
                 if host == here || host.0 >= self.hosts {
                     return None;
                 }
-                self.replicas
-                    .stale_count(vm.0 as u64, site, live)
-                    .map(|stale| (host, stale))
+                self.directory
+                    .fresh_bitmap(vm.0 as u64, site, live)
+                    .map(|fresh| (host, live.num_blocks() - fresh.count_ones()))
             })
             .collect()
     }
@@ -112,8 +131,10 @@ impl ClusterView<'_> {
     /// replica diff when `dst` holds one, else the whole disk (§V's
     /// all-set bitmap).
     pub fn first_pass_blocks(&self, vm: VmId, dst: HostId) -> usize {
-        self.replicas
-            .stale_count(vm.0 as u64, dst.0 as u64, &self.vms[vm.0].disk)
+        let live = &self.vms[vm.0].disk;
+        self.directory
+            .fresh_bitmap(vm.0 as u64, dst.0 as u64, live)
+            .map(|fresh| live.num_blocks() - fresh.count_ones())
             .unwrap_or(self.disk_blocks)
     }
 }
@@ -291,13 +312,14 @@ mod tests {
     fn view<'a>(
         cluster: &'a Cluster,
         cfg: &ClusterConfig,
+        directory: &'a BlockDirectory,
         streams: &'a [usize],
         busy: &'a BTreeSet<usize>,
     ) -> ClusterView<'a> {
         ClusterView {
             hosts: cfg.hosts,
             vms: &cluster.vms,
-            replicas: &cluster.replicas,
+            directory,
             streams,
             max_streams_per_host: cfg.max_streams_per_host,
             disk_blocks: cfg.disk_blocks,
@@ -319,7 +341,8 @@ mod tests {
         let cluster = Cluster::new(&cfg).expect("valid");
         let streams = vec![0usize; 3];
         let busy = BTreeSet::new();
-        let v = view(&cluster, &cfg, &streams, &busy);
+        let dir = directory_of(&cluster.replicas, cluster.vms.len());
+        let v = view(&cluster, &cfg, &dir, &streams, &busy);
         let d = Fifo.next(&[req(2), req(0)], &v).expect("admits");
         assert_eq!(d.index, 0);
         // vm2 lives on host 2; ring placement sends it to host 0.
@@ -333,7 +356,8 @@ mod tests {
         let busy: BTreeSet<usize> = [0usize].into_iter().collect();
         // Host 1 (vm0's ring dest) saturated; vm1's dest host 2 is free.
         let streams = vec![0usize, cfg.max_streams_per_host, 0];
-        let v = view(&cluster, &cfg, &streams, &busy);
+        let dir = directory_of(&cluster.replicas, cluster.vms.len());
+        let v = view(&cluster, &cfg, &dir, &streams, &busy);
         // vm0 is busy; vm1 lives on host 1 (saturated as *source*?) — no:
         // source host 1 is saturated, so vm1 cannot start either.
         let d = Fifo.next(&[req(0), req(1), req(2)], &v);
@@ -353,7 +377,8 @@ mod tests {
         cluster.vms[1].disk.write(7);
         let streams = vec![0usize; 3];
         let busy = BTreeSet::new();
-        let v = view(&cluster, &cfg, &streams, &busy);
+        let dir = directory_of(&cluster.replicas, cluster.vms.len());
+        let v = view(&cluster, &cfg, &dir, &streams, &busy);
         let d = Srdf.next(&[req(0), req(1)], &v).expect("admits");
         assert_eq!(d.index, 1, "the 1-block incremental hop goes first");
         assert_eq!(d.dest, HostId(2));
@@ -369,7 +394,8 @@ mod tests {
         cluster.vms[0].disk.write(1);
         let streams = vec![0usize; 4];
         let busy = BTreeSet::new();
-        let v = view(&cluster, &cfg, &streams, &busy);
+        let dir = directory_of(&cluster.replicas, cluster.vms.len());
+        let v = view(&cluster, &cfg, &dir, &streams, &busy);
         let d = ImAware.next(&[req(0)], &v).expect("admits");
         assert_eq!(d.dest, HostId(2), "replica host beats ring placement");
         assert_eq!(v.first_pass_blocks(VmId(0), HostId(2)), 1);
@@ -385,7 +411,8 @@ mod tests {
         let mut streams = vec![0usize; 3];
         streams[2] = cfg.max_streams_per_host;
         let busy = BTreeSet::new();
-        let v = view(&cluster, &cfg, &streams, &busy);
+        let dir = directory_of(&cluster.replicas, cluster.vms.len());
+        let v = view(&cluster, &cfg, &dir, &streams, &busy);
         assert!(
             ImAware.next(&[req(0)], &v).is_none(),
             "waits for the replica host instead of burning a full copy"

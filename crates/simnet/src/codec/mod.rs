@@ -69,6 +69,10 @@ const T_BLOCK_REF: u8 = 16;
 const T_BLOCK_REF_MISS: u8 = 17;
 const T_CONTENT_SUMMARY: u8 = 18;
 const T_COMPRESSED_BLOCKS: u8 = 19;
+const T_BLOCK_REQUEST: u8 = 20;
+const T_BLOCK_DATA: u8 = 21;
+const T_BLOCK_MISS: u8 = 22;
+const T_BLOCK_MANIFEST: u8 = 23;
 
 /// Words converted per batch in the bulk [`Writer::u64s`] path: large
 /// enough for the inner loop to vectorize, small enough to live on the
@@ -293,12 +297,17 @@ fn body_size_hint(msg: &MigMessage) -> usize {
         MigMessage::CpuState { payload, .. } => payload.as_ref().map_or(0, Bytes::len),
         MigMessage::Bitmap { encoded } => encoded.len(),
         MigMessage::PostCopyBlock { payload, .. } => payload.as_ref().map_or(0, Bytes::len),
+        MigMessage::BlockData { payload, .. } => payload.as_ref().map_or(0, Bytes::len),
         MigMessage::ResumeFrom {
             disk_bitmap,
             mem_bitmap,
             ..
         } => disk_bitmap.len() + mem_bitmap.len(),
         MigMessage::ContentSummary { fingerprints } => fingerprints.len() * 8,
+        MigMessage::BlockManifest {
+            blocks,
+            fingerprints,
+        } => (blocks.len() + fingerprints.len()) * 8,
         MigMessage::CompressedBlocks {
             blocks, payload, ..
         } => blocks.len() * 8 + payload.len(),
@@ -312,7 +321,9 @@ fn body_size_hint(msg: &MigMessage) -> usize {
         | MigMessage::CompleteAck
         | MigMessage::SessionHello { .. }
         | MigMessage::BlockRef { .. }
-        | MigMessage::BlockRefMiss { .. } => 0,
+        | MigMessage::BlockRefMiss { .. }
+        | MigMessage::BlockRequest { .. }
+        | MigMessage::BlockMiss { .. } => 0,
     };
     variable + 64
 }
@@ -430,6 +441,40 @@ fn encode_body(w: &mut Writer, msg: &MigMessage) {
             w.u64(*raw_len);
             w.bytes(payload);
         }
+        MigMessage::BlockRequest {
+            block,
+            fingerprint,
+            generation,
+        } => {
+            w.u8(T_BLOCK_REQUEST);
+            w.u64(*block);
+            w.u64(*fingerprint);
+            w.u64(*generation);
+        }
+        MigMessage::BlockData {
+            block,
+            generation,
+            payload_len,
+            payload,
+        } => {
+            w.u8(T_BLOCK_DATA);
+            w.u64(*block);
+            w.u64(*generation);
+            w.u64(*payload_len);
+            w.opt_bytes(payload);
+        }
+        MigMessage::BlockMiss { block } => {
+            w.u8(T_BLOCK_MISS);
+            w.u64(*block);
+        }
+        MigMessage::BlockManifest {
+            blocks,
+            fingerprints,
+        } => {
+            w.u8(T_BLOCK_MANIFEST);
+            w.u64s(blocks);
+            w.u64s(fingerprints);
+        }
     }
 }
 
@@ -506,6 +551,22 @@ pub fn decode(buf: &[u8]) -> Result<MigMessage, CodecError> {
             blocks: r.u64s()?,
             raw_len: r.u64()?,
             payload: r.bytes()?,
+        },
+        T_BLOCK_REQUEST => MigMessage::BlockRequest {
+            block: r.u64()?,
+            fingerprint: r.u64()?,
+            generation: r.u64()?,
+        },
+        T_BLOCK_DATA => MigMessage::BlockData {
+            block: r.u64()?,
+            generation: r.u64()?,
+            payload_len: r.u64()?,
+            payload: r.opt_bytes()?,
+        },
+        T_BLOCK_MISS => MigMessage::BlockMiss { block: r.u64()? },
+        T_BLOCK_MANIFEST => MigMessage::BlockManifest {
+            blocks: r.u64s()?,
+            fingerprints: r.u64s()?,
         },
         other => return Err(CodecError::Malformed(format!("unknown tag {other}"))),
     };
@@ -643,6 +704,28 @@ mod tests {
                 blocks: vec![3, 8, 11],
                 raw_len: 3 * 4096,
                 payload: Bytes::from(compress_blocks(&vec![9u8; 3 * 4096], 4096)),
+            },
+            MigMessage::BlockRequest {
+                block: 991,
+                fingerprint: 0xFEED_FACE_0123,
+                generation: 7,
+            },
+            MigMessage::BlockData {
+                block: 991,
+                generation: 7,
+                payload_len: 4096,
+                payload: Some(Bytes::from(vec![11u8; 4096])),
+            },
+            MigMessage::BlockData {
+                block: 992,
+                generation: 0,
+                payload_len: 4096,
+                payload: None,
+            },
+            MigMessage::BlockMiss { block: 991 },
+            MigMessage::BlockManifest {
+                blocks: vec![5, 17, 4095],
+                fingerprints: vec![0xAAAA, 0xBBBB, 0xCCCC],
             },
         ]
     }

@@ -63,11 +63,28 @@ pub struct Fault {
     pub kind: FaultKind,
 }
 
+/// A permanent kill of one named peer session: every connection attempt
+/// of that session is reset after `after_messages` sends — modeling a
+/// host that died, not a link that flapped. A killed session can never
+/// ride out its reconnect budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionKill {
+    /// Session name (matched exactly against the name a transport was
+    /// wrapped with, e.g. `"source"` or `"peer-2"`).
+    pub session: String,
+    /// Messages the session may send on each attempt before it dies
+    /// (0 = the first send already fails).
+    pub after_messages: u64,
+}
+
 /// A deterministic schedule of transport faults.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     /// The scheduled faults, in no particular order.
     pub faults: Vec<Fault>,
+    /// Named sessions that are dead for good: armed on *every* attempt,
+    /// unlike `faults`, which arm once per attempt number.
+    pub kills: Vec<SessionKill>,
 }
 
 impl FaultPlan {
@@ -143,6 +160,23 @@ impl FaultPlan {
         plan
     }
 
+    /// Kill the named session permanently: every connection attempt it
+    /// makes is reset after `after_messages` sends. Unlike the
+    /// per-attempt resets, a kill never disarms — the session's
+    /// reconnect budget is guaranteed to exhaust.
+    pub fn kill_session(mut self, session: &str, after_messages: u64) -> Self {
+        self.kills.push(SessionKill {
+            session: session.to_string(),
+            after_messages,
+        });
+        self
+    }
+
+    /// Is the named session scheduled for a permanent kill?
+    pub fn kills_session(&self, session: &str) -> bool {
+        self.kills.iter().any(|k| k.session == session)
+    }
+
     /// The faults armed for one connection attempt.
     pub fn for_attempt(&self, attempt: u32) -> Vec<Fault> {
         self.faults
@@ -150,6 +184,26 @@ impl FaultPlan {
             .filter(|f| f.attempt == attempt)
             .cloned()
             .collect()
+    }
+
+    /// The faults armed for one attempt of a *named* session: the
+    /// per-attempt faults plus a reset for every kill targeting the
+    /// session, re-armed on every attempt.
+    pub fn for_session(&self, session: &str, attempt: u32) -> Vec<Fault> {
+        let mut faults = self.for_attempt(attempt);
+        faults.extend(
+            self.kills
+                .iter()
+                .filter(|k| k.session == session)
+                .map(|k| Fault {
+                    attempt,
+                    // `Messages(n)` fires ON the n-th send, so `after`
+                    // clean sends means the cut lands on send after+1.
+                    trigger: FaultTrigger::Messages(k.after_messages + 1),
+                    kind: FaultKind::Reset,
+                }),
+        );
+        faults
     }
 }
 
@@ -404,6 +458,24 @@ pub fn faulty_pair<A: Transport, B: Transport>(
     )
 }
 
+/// Wrap a connected transport pair belonging to a *named* session: the
+/// per-attempt faults arm as in [`faulty_pair`], and any
+/// [`FaultPlan::kill_session`] targeting `session` re-arms on every
+/// attempt, so a killed session dies no matter how often it reconnects.
+pub fn faulty_named_pair<A: Transport, B: Transport>(
+    a: A,
+    b: B,
+    plan: &FaultPlan,
+    session: &str,
+    attempt: u32,
+) -> (FaultyTransport<A>, FaultyTransport<B>) {
+    let shared = Arc::new(CutState::default());
+    (
+        FaultyTransport::new(a, Arc::clone(&shared), plan.for_session(session, attempt)),
+        FaultyTransport::new(b, Arc::clone(&shared), Vec::new()),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,6 +614,31 @@ mod tests {
             assert!((10..1000).contains(&n));
         }
         assert_ne!(p1, FaultPlan::seeded_resets(43, 3, 10, 1000));
+    }
+
+    #[test]
+    fn killed_session_dies_on_every_attempt() {
+        // A reset disarms after firing once; a kill re-arms forever —
+        // the difference between a flapping link and a dead host.
+        let plan = FaultPlan::none().kill_session("peer-1", 2);
+        assert!(plan.kills_session("peer-1"));
+        assert!(!plan.kills_session("peer-0"));
+        for attempt in 0..5 {
+            let (a, b) = duplex();
+            let (a, _b) = faulty_named_pair(a, b, &plan, "peer-1", attempt);
+            a.send(pull(1)).expect("1st send survives");
+            a.send(pull(2)).expect("2nd send survives");
+            assert!(
+                matches!(a.send(pull(3)), Err(TransportError::Reset(_))),
+                "attempt {attempt} must die on the 3rd send"
+            );
+        }
+        // Other sessions are untouched by the kill.
+        let (a, b) = duplex();
+        let (a, _b) = faulty_named_pair(a, b, &plan, "peer-0", 0);
+        for i in 0..10 {
+            a.send(pull(i)).expect("unkilled session is clean");
+        }
     }
 
     #[test]

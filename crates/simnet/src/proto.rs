@@ -180,6 +180,52 @@ pub enum MigMessage {
         /// Source offers compressed residual block sends.
         compress: bool,
     },
+    /// Destination → peer holder: ask for one block by content identity
+    /// (multi-source fetch). The peer serves the block only when it can
+    /// prove it still holds content matching `fingerprint` at
+    /// `generation`; anything else answers [`MigMessage::BlockMiss`], so
+    /// a stale directory entry degrades to a miss, never to wrong bytes.
+    BlockRequest {
+        /// Destination block to fetch.
+        block: u64,
+        /// Expected content fingerprint (`vdisk::content::hash_block`).
+        fingerprint: u64,
+        /// Replica-table generation the fingerprint was recorded at.
+        generation: u64,
+    },
+    /// Peer holder → destination: the content answering a
+    /// [`MigMessage::BlockRequest`]. The destination re-verifies the
+    /// payload hash against the requested fingerprint before applying.
+    BlockData {
+        /// Block index this content materializes.
+        block: u64,
+        /// Generation the peer holds the block at.
+        generation: u64,
+        /// Payload size in bytes.
+        payload_len: u64,
+        /// Live-mode contents.
+        payload: Option<Bytes>,
+    },
+    /// Peer holder → destination: a [`MigMessage::BlockRequest`] could
+    /// not be served (generation moved on, content evicted, or a
+    /// fingerprint mismatch). The planner re-routes the block to the
+    /// source or another holder.
+    BlockMiss {
+        /// The unserved block.
+        block: u64,
+    },
+    /// Source → destination at freeze time: the content fingerprints of
+    /// the frozen bitmap's blocks. The guest is suspended when this is
+    /// built, so the fingerprints stay valid for the whole post-copy
+    /// phase — they are the verification anchors a destination needs to
+    /// fetch still-owed blocks from *peer holders* should the source die
+    /// with its reconnect budget exhausted (multi-source failover).
+    BlockManifest {
+        /// Block indices, ascending (the frozen bitmap's set bits).
+        blocks: Vec<u64>,
+        /// `vdisk::content::hash_block` of each block, same order.
+        fingerprints: Vec<u64>,
+    },
     /// Destination's reply to a [`MigMessage::SessionHello`]: where it
     /// stands, so the source retransmits *only* what was lost — the
     /// paper's incremental-migration bitmap reused as crash recovery.
@@ -263,6 +309,13 @@ impl MigMessage {
                 Self::CpuState { payload_len, .. } => *payload_len,
                 Self::Bitmap { encoded } => encoded.len() as u64,
                 Self::PullRequest { .. } => 8,
+                Self::BlockRequest { .. } => 24,
+                Self::BlockData { payload_len, .. } => 16 + payload_len,
+                Self::BlockMiss { .. } => 8,
+                Self::BlockManifest {
+                    blocks,
+                    fingerprints,
+                } => 8 * (blocks.len() + fingerprints.len()) as u64,
                 Self::PostCopyBlock { payload_len, .. } => 8 + 1 + payload_len,
                 Self::CompleteAck => 0,
                 Self::SessionHello { .. } => 14,
@@ -288,6 +341,14 @@ impl MigMessage {
             // A miss is a control NAK; the resend it provokes carries
             // the data bytes. The summary is handshake traffic.
             Self::BlockRefMiss { .. } | Self::ContentSummary { .. } => Category::Control,
+            // Peer fetches are on-demand traffic: the request and the
+            // data it provokes account like a post-copy pull, a miss is
+            // a control NAK.
+            Self::BlockRequest { .. } | Self::BlockData { .. } => Category::DiskPull,
+            Self::BlockMiss { .. } => Category::Control,
+            // The manifest is freeze-phase metadata about blocks, like
+            // the bitmap it rides alongside.
+            Self::BlockManifest { .. } => Category::Bitmap,
             Self::ResumeFrom { .. } => Category::Bitmap,
             Self::DiskBlocks { .. } => Category::DiskPrecopy,
             Self::BlockRef { .. } | Self::CompressedBlocks { .. } => Category::DiskPrecopy,

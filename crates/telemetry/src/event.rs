@@ -200,6 +200,43 @@ pub enum Event {
         /// One-based retry attempt number.
         attempt: u64,
     },
+    /// A multi-source fetch plan was computed over an owed worklist
+    /// (blockstore data plane).
+    FetchPlanned {
+        /// Recording side.
+        side: Side,
+        /// Owed full blocks routed to the migration source.
+        source_blocks: u64,
+        /// Owed full blocks routed to peer holders.
+        peer_blocks: u64,
+        /// Owed blocks satisfied by content already resident at the
+        /// destination (no bytes move).
+        ref_blocks: u64,
+        /// Peer holders with at least one assigned block.
+        peers: u64,
+    },
+    /// One peer-fetch session finished (blockstore data plane).
+    PeerFetch {
+        /// Recording side.
+        side: Side,
+        /// Peer host the session pulled from.
+        peer: u64,
+        /// Blocks verified and applied from this peer.
+        blocks: u64,
+        /// Payload bytes applied from this peer.
+        bytes: u64,
+    },
+    /// The source died with its reconnect budget exhausted and the
+    /// destination re-planned against the block directory to complete
+    /// the migration from surviving holders.
+    SourceFailover {
+        /// Recording side.
+        side: Side,
+        /// Blocks still owed when the source was declared dead.
+        owed_blocks: u64,
+        /// Surviving holders the re-plan drew from.
+        peers: u64,
+    },
     /// A cluster migration finished.
     MigrationCompleted {
         /// Orchestrator-wide migration id.

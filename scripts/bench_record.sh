@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Record this PR's perf run alongside the baseline.
 #
-# Runs the perf_baseline harness with both --verify-speedup gates (bulk
-# codec >= 3x naive, LZ >= 2x compression within its memcpy budget) and
-# writes p50/p99 per scenario to BENCH_pr7.json at the repo root, next to
-# BENCH_baseline.json. Checking the file in keeps the per-PR perf
-# trajectory non-empty: any later PR can diff its own run against every
-# recorded predecessor, not just the original baseline.
+# Runs the perf_baseline harness with every --verify-speedup gate (bulk
+# codec >= 3x naive, LZ >= 2x compression within its memcpy budget,
+# fan-in >= 70% of owed fulls off-source) and writes p50/p99 per
+# scenario to BENCH_pr9.json at the repo root, next to
+# BENCH_baseline.json and BENCH_pr7.json. Checking the file in keeps the
+# per-PR perf trajectory non-empty: any later PR can diff its own run
+# against every recorded predecessor, not just the original baseline.
 #
 #   scripts/bench_record.sh [--quick] [OUT]
 #
@@ -15,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="BENCH_pr7.json"
+OUT="BENCH_pr9.json"
 QUICK=()
 for arg in "$@"; do
   case "$arg" in
