@@ -9,7 +9,10 @@
 //!   including a `*_naive` reference that re-creates the pre-overhaul
 //!   per-word copy path so the bulk-path speedup stays measurable;
 //! * **sim** — end-to-end three-phase migrations at paper scale, with
-//!   one and four transport streams.
+//!   one and four transport streams;
+//! * **scenario** — the WAN-profile cluster run (two islands over a
+//!   capped, lossy uplink with a mid-run degrade), timing the scenario
+//!   engine's interpretation overhead end to end.
 //!
 //! ```text
 //! perf_baseline [--out FILE] [--quick] [--verify-speedup]
@@ -25,13 +28,16 @@
 use std::hint::black_box;
 
 use block_bitmap::{ser, DirtyMap, FlatBitmap};
-use des::SimRng;
+use des::{SimDuration, SimRng, SimTime};
 use migrate::sim::{run_template_clone_fanin, run_template_clone_tpm, run_tpm};
 use migrate::MigrationConfig;
+use orchestrator::{MigrationRequest, Policy, VmId};
+use scenario::{ChaosEvent, HostCaps, Island, LinkSpec, ScenarioSpec, TimedEvent};
 use serde::{Deserialize, Serialize};
 use simnet::codec;
 use simnet::codec::lz;
 use simnet::proto::MigMessage;
+use telemetry::Recorder;
 use vdisk::content::hash_block;
 use workloads::WorkloadKind;
 
@@ -91,6 +97,13 @@ struct Baseline {
     /// non-source peers, percent. `Option` because pre-PR-9 baselines
     /// lack the key.
     multisource_peer_fraction_pct: Option<f64>,
+    /// Virtual-time makespan of the WAN-profile scenario run, seconds.
+    /// Deterministic (same seed => same figure), so recorded exactly.
+    /// `Option` because pre-PR-10 baselines lack the key.
+    wan_scenario_makespan_secs: Option<f64>,
+    /// Total bytes the WAN-profile scenario shipped across all its
+    /// migrations. `Option` because pre-PR-10 baselines lack the key.
+    wan_scenario_total_bytes: Option<u64>,
 }
 
 /// Time `f` over `iters` iterations (after `warmup` untimed ones) and
@@ -202,6 +215,62 @@ fn template_fanin_outcome() -> migrate::sim::TpmOutcome {
         diverged.set(b);
     }
     run_template_clone_fanin(cfg, WorkloadKind::Idle, diverged, 4)
+}
+
+/// The PR-10 WAN-profile scenario: two LAN islands joined by a 20 MiB/s,
+/// 40 ms, 5‰-drop uplink, one heterogeneous slow host, a full wave of
+/// migrations at t=0, and a mid-run degrade/restore on one WAN pair.
+/// Mirrors `scenarios/wan.scn` so the checked-in file and the recorded
+/// perf figure describe the same run.
+fn wan_scenario_spec() -> ScenarioSpec {
+    let mib = 1024.0 * 1024.0;
+    let mut s = ScenarioSpec::new(4, 8);
+    s.disk_blocks = Some(8_192);
+    s.seed = Some(2008);
+    s.islands.push(Island {
+        name: "CORE".to_string(),
+        hosts: vec![0, 1],
+    });
+    s.islands.push(Island {
+        name: "EDGE".to_string(),
+        hosts: vec![2, 3],
+    });
+    s.links.push(LinkSpec {
+        from: vec![0, 1],
+        to: vec![2, 3],
+        symmetric: true,
+        bandwidth: Some(20.0 * mib),
+        latency: Some(SimDuration::from_millis(40)),
+        drop_permille: Some(5),
+    });
+    s.caps.push((
+        3,
+        HostCaps {
+            nic: Some(60.0 * mib),
+            disk: Some(90.0 * mib),
+        },
+    ));
+    for vm in 0..s.vms {
+        s.requests.push(MigrationRequest {
+            vm: VmId(vm),
+            dest: None,
+            at: SimTime::ZERO,
+        });
+    }
+    s.events.push(TimedEvent {
+        at: SimTime::ZERO + SimDuration::from_secs(20),
+        event: ChaosEvent::LinkDegrade {
+            a: 0,
+            b: 2,
+            bandwidth: 5.0 * mib,
+            drop_permille: Some(50),
+        },
+    });
+    s.events.push(TimedEvent {
+        at: SimTime::ZERO + SimDuration::from_secs(60),
+        event: ChaosEvent::LinkRestore { a: 0, b: 2 },
+    });
+    s
 }
 
 /// Run-heavy compressible payload: runs of 16–200 repeats of one byte,
@@ -415,6 +484,38 @@ fn run_all(quick: bool) -> Baseline {
         REQUIRED_PEER_FRACTION * 100.0
     );
 
+    // --- scenario family ----------------------------------------------
+    // The WAN-profile cluster run (PR-10): the wall-clock stat gates
+    // the scenario engine's own overhead (topology compile + per-step
+    // dynamics interpretation), while the recorded makespan and bytes
+    // are virtual-time figures that must be identical run to run.
+    let wan_iters = if quick { 3 } else { 9 };
+    let mut wan_report = None;
+    scenarios.push(measure("scenario_wan_profile", 1, wan_iters, || {
+        let s = wan_scenario_spec();
+        let run = scenario::run_with_policy(&s, Policy::ImAware, Recorder::off())
+            .expect("valid WAN bench spec");
+        assert!(
+            run.report.all_consistent(),
+            "WAN scenario migration inconsistent"
+        );
+        wan_report = Some(run.report);
+    }));
+    let wan_report = wan_report.expect("WAN scenario measured");
+    let wan_makespan = wan_report.makespan_secs();
+    let wan_bytes = wan_report.total_bytes();
+    eprintln!(
+        "WAN scenario: {}/{} migrations, {wan_makespan:.1} s virtual makespan, {} MiB on the wire",
+        wan_report.completed(),
+        wan_report.records.len(),
+        wan_bytes / 1_048_576
+    );
+    assert_eq!(
+        wan_report.completed(),
+        wan_report.records.len(),
+        "WAN scenario left migrations incomplete"
+    );
+
     // --- end-to-end sim family ----------------------------------------
     let e2e = [
         ("sim_tpm_web_streams1", WorkloadKind::Web, 1),
@@ -440,6 +541,8 @@ fn run_all(quick: bool) -> Baseline {
         lz_compression_ratio: Some((lz_compression * 100.0).round() / 100.0),
         template_dedup_wire_reduction_pct: Some((dedup_reduction * 10.0).round() / 10.0),
         multisource_peer_fraction_pct: Some((peer_fraction * 1000.0).round() / 10.0),
+        wan_scenario_makespan_secs: Some((wan_makespan * 10.0).round() / 10.0),
+        wan_scenario_total_bytes: Some(wan_bytes),
     }
 }
 

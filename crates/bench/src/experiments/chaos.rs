@@ -1,0 +1,130 @@
+//! E15 — rolling maintenance under workload cycles: cycle-aware vs.
+//! cycle-blind scheduling.
+//!
+//! Eight hosts are serviced one at a time (cordon → evacuate → dwell →
+//! rejoin) while all 32 VMs run Baruchi-style activity cycles: 20 s of
+//! full-rate activity, then 40 s thinned to an eighth. A cycle-blind
+//! scheduler (IM-aware, the PR-9 best) evacuates the moment a host
+//! cordons, so most migrations run against high-phase dirty rates and
+//! repeat pre-copy passes; the cycle-aware policy defers each VM into
+//! its low-activity window (bounded by the starvation patience), so
+//! the same evacuations ship fewer re-dirtied blocks. The gap in total
+//! MiB is the experiment's headline; the makespan column shows what
+//! the deferral costs in wall-clock terms.
+
+use des::{SimDuration, SimTime};
+use orchestrator::Policy;
+use scenario::{ChaosEvent, CycleSpec, ScenarioSpec, TimedEvent};
+use serde_json::json;
+use telemetry::Recorder;
+
+use crate::render::Table;
+use crate::{ExpResult, Scale};
+
+/// Fleet geometry per scale: (hosts, vms, disk blocks per VM).
+pub fn geometry(scale: Scale) -> (usize, usize, usize) {
+    match scale {
+        Scale::Paper => (8, 32, 16_384), // 64 MiB per VM disk
+        Scale::Ci => (8, 32, 8_192),     // 32 MiB per VM disk
+    }
+}
+
+/// The E15 rolling-maintenance spec: every VM cycles 20 s high / 40 s
+/// low (low phase thinned to 1/8 of its ops at 1/8 demand), and a
+/// maintenance wave walks all hosts with a 15 s dwell each.
+pub fn spec(scale: Scale, seed: u64) -> ScenarioSpec {
+    let (hosts, vms, blocks) = geometry(scale);
+    let mut s = ScenarioSpec::new(hosts, vms);
+    s.disk_blocks = Some(blocks);
+    s.seed = Some(seed);
+    // A modest maintenance network: 25 MiB/s per-host migration NICs
+    // keep each evacuation in flight long enough that the dirty rate
+    // while it runs — high phase vs low phase — shows in the bytes.
+    for h in 0..hosts {
+        s.caps.push((
+            h,
+            scenario::HostCaps {
+                nic: Some(25.0 * 1024.0 * 1024.0),
+                disk: None,
+            },
+        ));
+    }
+    for vm in 0..vms {
+        s.cycles.push((
+            vm,
+            CycleSpec {
+                high: SimDuration::from_secs(20),
+                low: SimDuration::from_secs(40),
+                scale: 0.125,
+                keep: (1, 8),
+            },
+        ));
+    }
+    s.events.push(TimedEvent {
+        at: SimTime::ZERO,
+        event: ChaosEvent::Maintenance {
+            hosts: (0..hosts).collect(),
+            dwell: SimDuration::from_secs(15),
+        },
+    });
+    s
+}
+
+/// Run the E15 comparison.
+pub fn run(scale: Scale) -> ExpResult {
+    let (hosts, vms, blocks) = geometry(scale);
+    let mut t = Table::new(&[
+        "policy",
+        "completed",
+        "incremental",
+        "total (MiB)",
+        "makespan (s)",
+        "sum downtime (ms)",
+    ]);
+    let mut rows = Vec::new();
+    for policy in [Policy::ImAware, Policy::CycleAware] {
+        let s = spec(scale, 2008);
+        let run =
+            scenario::run_with_policy(&s, policy, Recorder::off()).expect("valid chaos bench spec");
+        let report = run.report;
+        let label = match policy {
+            Policy::CycleAware => "cycle-aware",
+            _ => "cycle-blind (im-aware)",
+        };
+        t.row(&[
+            label.into(),
+            format!("{}/{}", report.completed(), report.records.len()),
+            format!("{}", report.incremental()),
+            format!("{:.0}", report.total_bytes() as f64 / 1048576.0),
+            format!("{:.1}", report.makespan_secs()),
+            format!("{:.1}", report.aggregate_downtime_ms()),
+        ]);
+        rows.push(json!({
+            "policy": label,
+            "completed": report.completed(),
+            "migrations": report.records.len(),
+            "incremental": report.incremental(),
+            "total_bytes": report.total_bytes(),
+            "makespan_secs": report.makespan_secs(),
+            "aggregate_downtime_ms": report.aggregate_downtime_ms(),
+            "all_consistent": report.all_consistent(),
+        }));
+    }
+
+    let human = format!(
+        "Rolling maintenance under workload cycles — {hosts} hosts, {vms} VMs x {} MiB \
+         disk, one host serviced at a time (15 s dwell)\nEvery VM cycles 20 s \
+         high-activity / 40 s low (low phase thinned to 1/8). Cycle-aware \
+         scheduling defers each evacuation into its VM's low window, shipping \
+         fewer re-dirtied blocks than the cycle-blind IM-aware baseline.\n\n{}",
+        blocks * 4096 / 1048576,
+        t.render()
+    );
+    let json = json!({ "scale": scale.label(), "hosts": hosts, "vms": vms, "rows": rows });
+    ExpResult {
+        id: "chaos",
+        title: "E15: Rolling maintenance — cycle-aware vs cycle-blind scheduling",
+        human,
+        json,
+    }
+}

@@ -5,6 +5,7 @@
 
 pub mod baselines;
 pub mod bitmap;
+pub mod chaos;
 pub mod cluster;
 pub mod detail;
 pub mod fig5;
@@ -20,7 +21,7 @@ pub mod table3;
 use crate::{ExpResult, Scale};
 
 /// All experiment ids, in presentation order.
-pub const ALL: [&str; 13] = [
+pub const ALL: [&str; 14] = [
     "table1",
     "table2",
     "table3",
@@ -34,6 +35,7 @@ pub const ALL: [&str; 13] = [
     "ordering",
     "futurework",
     "cluster",
+    "chaos",
 ];
 
 /// Run one experiment by id.
@@ -52,6 +54,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExpResult> {
         "ordering" => ordering::run(scale),
         "futurework" => futurework::run(scale),
         "cluster" => cluster::run(scale),
+        "chaos" => chaos::run(scale),
         _ => return None,
     })
 }

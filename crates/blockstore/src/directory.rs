@@ -147,6 +147,42 @@ impl BlockDirectory {
             .collect()
     }
 
+    /// Partition-driven failover planning: among `allowed` sites (the
+    /// holders still reachable from the destination after a partition or
+    /// host loss), pick the one that can serve the most blocks of `owed`
+    /// at the live generation. Returns the chosen site and the bitmap of
+    /// owed blocks it can serve; `None` when no allowed site serves any
+    /// owed block. Ties break to the lowest site id, so the plan is a
+    /// pure function of the directory state.
+    pub fn best_holder(
+        &self,
+        vm: u64,
+        live: &MetaDisk,
+        owed: &FlatBitmap,
+        allowed: &[u64],
+    ) -> Option<(u64, FlatBitmap)> {
+        let mut best: Option<(u64, FlatBitmap, usize)> = None;
+        for &site in allowed {
+            let Some(fresh) = self.fresh_bitmap(vm, site, live) else {
+                continue;
+            };
+            let mut servable = fresh;
+            servable.intersect_with(owed);
+            let count = servable.count_ones();
+            if count == 0 {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((s, _, c)) => count > *c || (count == *c && site < *s),
+            };
+            if better {
+                best = Some((site, servable, count));
+            }
+        }
+        best.map(|(site, servable, _)| (site, servable))
+    }
+
     /// Run-length coverage of `vm`'s image: maximal block ranges over
     /// which the fresh-holder set is constant. The concatenation of the
     /// returned ranges is exactly `0..live.num_blocks()`.
@@ -302,6 +338,54 @@ mod tests {
         // Ranges tile the whole image.
         assert_eq!(runs.first().map(|r| r.start), Some(0));
         assert_eq!(runs.last().map(|r| r.end), Some(6));
+    }
+
+    #[test]
+    fn best_holder_prefers_widest_owed_coverage() {
+        let live = disk_with_writes(8, &[6]);
+        let mut dir = BlockDirectory::new();
+        // Site 10: fresh everywhere except block 6. Site 20: an exact
+        // copy. Site 30: geometry mismatch, never trusted.
+        dir.publish(1, 10, &MetaDisk::new(8));
+        dir.publish(1, 20, &live.clone());
+        dir.publish(1, 30, &MetaDisk::new(9));
+
+        let mut owed = FlatBitmap::new(8);
+        owed.set(5);
+        owed.set(6);
+
+        // All sites reachable: site 20 serves both owed blocks.
+        let (site, servable) = dir
+            .best_holder(1, &live, &owed, &[10, 20, 30])
+            .expect("a holder serves");
+        assert_eq!(site, 20);
+        assert_eq!(servable.count_ones(), 2);
+
+        // Partition cuts site 20 off: site 10 still serves block 5.
+        let (site, servable) = dir
+            .best_holder(1, &live, &owed, &[10, 30])
+            .expect("fallback holder");
+        assert_eq!(site, 10);
+        assert_eq!(servable.count_ones(), 1);
+        assert!(servable.get(5) && !servable.get(6));
+
+        // Nobody reachable serves anything owed.
+        assert!(dir.best_holder(1, &live, &owed, &[30]).is_none());
+        assert!(dir.best_holder(1, &live, &owed, &[]).is_none());
+    }
+
+    #[test]
+    fn best_holder_ties_break_to_lowest_site() {
+        let live = disk_with_writes(4, &[]);
+        let mut dir = BlockDirectory::new();
+        dir.publish(2, 7, &live.clone());
+        dir.publish(2, 3, &live.clone());
+        let owed = FlatBitmap::all_set(4);
+        let (site, servable) = dir
+            .best_holder(2, &live, &owed, &[7, 3])
+            .expect("both serve");
+        assert_eq!(site, 3, "equal coverage resolves to the lowest site");
+        assert_eq!(servable.count_ones(), 4);
     }
 
     #[test]

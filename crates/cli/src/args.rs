@@ -17,9 +17,10 @@ usage:
                        [--sources N] [--no-multisource]
                        [--trace-out FILE] [--metrics-out FILE]
   vmmigrate baselines  --workload KIND [--scale paper|ci] [--json]
-  vmmigrate orchestrate [--hosts N] [--vms N] [--policy fifo|srdf|im-aware]
+  vmmigrate orchestrate [--hosts N] [--vms N]
+                       [--policy fifo|srdf|im-aware|cycle-aware]
                        [--blocks N] [--seed N] [--faults N] [--dwell SECS]
-                       [--no-dedup] [--no-multisource]
+                       [--no-dedup] [--no-multisource] [--scenario FILE]
                        [--json] [--trace-out FILE] [--metrics-out FILE]
   vmmigrate trace record  --workload KIND --secs N --out FILE
   vmmigrate trace analyze FILE
@@ -42,6 +43,14 @@ already holds cross as 16-byte references (dedup), and residual full
 blocks are compressed on the wire. --no-dedup / --no-compress restore the
 classic data plane exactly (bit-identical reports); --dedup / --compress
 re-enable after a --no-* earlier on the command line.
+
+orchestrate --scenario FILE runs a declarative .scn chaos scenario
+instead of the built-in two-wave run: the file declares the fleet
+(hosts, vms, seed, policy), islands, WAN links, per-host capacities,
+workload cycles, and a virtual-time schedule of partitions, heals,
+host crashes, link degrades, and rolling maintenance waves (see
+scenarios/*.scn). The spec's fleet geometry wins over --hosts/--vms;
+its policy and seed (if set) win over --policy and --seed.
 
 Multi-source transfer is on by default. simulate --sources N runs the
 template-clone fan-in scenario: N peer hosts hold the golden image the
@@ -200,6 +209,9 @@ pub struct OrchArgs {
     /// Dwell between the evacuation wave and the return wave.
     pub dwell_secs: u64,
     pub json: bool,
+    /// Run a declarative `.scn` chaos scenario from this file instead
+    /// of the built-in two-wave run.
+    pub scenario: Option<String>,
     /// Write the telemetry event journal (JSONL) here.
     pub trace_out: Option<String>,
     /// Write a JSON metrics snapshot here.
@@ -219,6 +231,7 @@ impl Default for OrchArgs {
             faults: 0,
             dwell_secs: 30,
             json: false,
+            scenario: None,
             trace_out: None,
             metrics_out: None,
         }
@@ -279,6 +292,7 @@ fn parse_orch(rest: &[String]) -> Result<OrchArgs, String> {
             "--multisource" => a.multisource = true,
             "--no-multisource" => a.multisource = false,
             "--json" => a.json = true,
+            "--scenario" => a.scenario = Some(need(&mut it, flag)?.clone()),
             "--trace-out" => a.trace_out = Some(need(&mut it, flag)?.clone()),
             "--metrics-out" => a.metrics_out = Some(need(&mut it, flag)?.clone()),
             other => return Err(format!("unknown flag '{other}'")),
@@ -741,6 +755,21 @@ mod tests {
         };
         assert_eq!(d.policy, Policy::ImAware);
         assert_eq!(d.blocks, 65_536);
+        assert_eq!(d.scenario, None);
+        // Scenario file and the cycle-aware policy.
+        let Cmd::Orchestrate(a) = parse(&v(&[
+            "orchestrate",
+            "--scenario",
+            "scenarios/partition.scn",
+            "--policy",
+            "cycle-aware",
+        ]))
+        .expect("valid") else {
+            panic!("wrong cmd")
+        };
+        assert_eq!(a.scenario.as_deref(), Some("scenarios/partition.scn"));
+        assert_eq!(a.policy, Policy::CycleAware);
+        assert!(parse(&v(&["orchestrate", "--scenario"])).is_err());
         // Rejections.
         assert!(parse(&v(&["orchestrate", "--hosts", "1"])).is_err());
         assert!(parse(&v(&["orchestrate", "--policy", "lifo"])).is_err());

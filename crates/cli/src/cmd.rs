@@ -213,16 +213,30 @@ pub fn run(cmd: Cmd) -> Result<(), String> {
 
 fn run_orchestrate(a: OrchArgs) -> Result<(), String> {
     let rec = recorder_for(&a.trace_out, &a.metrics_out);
-    let mut cfg = ClusterConfig::new(a.hosts, a.vms);
-    cfg.disk_blocks = a.blocks;
-    cfg.seed = a.seed;
-    cfg.fault_resets = a.faults;
-    cfg.dedup = a.dedup;
-    cfg.multisource = a.multisource;
-    let scenario = Scenario::two_wave(&cfg, SimDuration::from_secs(a.dwell_secs));
     let recorder = rec.clone().unwrap_or_else(Recorder::off);
-    let mut orch = Orchestrator::new(cfg, a.policy, recorder).map_err(|e| e.to_string())?;
-    let report = orch.run(&scenario);
+    let report = if let Some(path) = &a.scenario {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let mut spec = scenario::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        // The spec wins where it speaks; CLI flags fill the gaps, so a
+        // seed matrix can sweep one .scn file with --seed.
+        if spec.seed.is_none() {
+            spec.seed = Some(a.seed);
+        }
+        let policy = spec.policy.unwrap_or(a.policy);
+        let run = scenario::run_with_policy(&spec, policy, recorder)
+            .map_err(|e| format!("{path}: {e}"))?;
+        run.report
+    } else {
+        let mut cfg = ClusterConfig::new(a.hosts, a.vms);
+        cfg.disk_blocks = a.blocks;
+        cfg.seed = a.seed;
+        cfg.fault_resets = a.faults;
+        cfg.dedup = a.dedup;
+        cfg.multisource = a.multisource;
+        let scenario = Scenario::two_wave(&cfg, SimDuration::from_secs(a.dwell_secs));
+        let mut orch = Orchestrator::new(cfg, a.policy, recorder).map_err(|e| e.to_string())?;
+        orch.run(&scenario)
+    };
     if a.json {
         println!(
             "{}",

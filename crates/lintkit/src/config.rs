@@ -74,6 +74,7 @@ impl Config {
                 "crates/vdisk/src/content.rs",
                 "crates/lintkit/src/",
                 "crates/blockstore/src/",
+                "crates/scenario/src/",
             ]),
         );
         // Replay territory: same seed ⇒ byte-identical journals. No
@@ -85,6 +86,7 @@ impl Config {
                 "crates/orchestrator/src/",
                 "crates/vdisk/src/",
                 "crates/blockstore/src/",
+                "crates/scenario/src/",
             ]),
         );
         // Ordering-only determinism: these paths feed journaled output
@@ -108,6 +110,7 @@ impl Config {
                 "crates/vdisk/src/",
                 "crates/workloads/src/",
                 "crates/telemetry/src/",
+                "crates/scenario/src/",
             ]),
         );
         // Where a silently dropped Result loses a protocol message or an

@@ -21,6 +21,14 @@ pub struct RetryPolicy {
     /// A protocol phase that makes no progress for this long is declared
     /// dead (the peer is connected but stuck).
     pub phase_timeout: Duration,
+    /// Partition tolerance: with a budget set, reconnect attempts beyond
+    /// `max_reconnects` are still permitted while the wall-clock time
+    /// since the migration's *first* transport failure stays under it. A
+    /// network partition that heals within the budget is ridden out on
+    /// backoff instead of burning the attempt counter; a source that is
+    /// truly dead still fails once the budget drains (and the
+    /// destination still falls over to peer holders at that point).
+    pub outage_budget: Option<Duration>,
 }
 
 impl Default for RetryPolicy {
@@ -29,6 +37,7 @@ impl Default for RetryPolicy {
             max_reconnects: 3,
             backoff: Duration::from_millis(25),
             phase_timeout: Duration::from_secs(10),
+            outage_budget: None,
         }
     }
 }
@@ -39,6 +48,32 @@ impl RetryPolicy {
         Self {
             max_reconnects: 0,
             ..Self::default()
+        }
+    }
+
+    /// Partition-tolerant recovery: ride out link outages up to `budget`
+    /// of wall-clock time, regardless of how many reconnect attempts
+    /// that takes.
+    pub fn partition_tolerant(budget: Duration) -> Self {
+        Self {
+            outage_budget: Some(budget),
+            ..Self::default()
+        }
+    }
+
+    /// Has the retry budget truly run out? Attempts up to
+    /// `max_reconnects` are always allowed; beyond that, an
+    /// [`RetryPolicy::outage_budget`] keeps the session alive while the
+    /// outage that started at `outage_start` is younger than the budget.
+    pub fn exhausted(&self, attempt: u32, outage_start: Option<std::time::Instant>) -> bool {
+        if attempt <= self.max_reconnects {
+            return false;
+        }
+        match (self.outage_budget, outage_start) {
+            (Some(budget), Some(start)) => start.elapsed() >= budget,
+            // Budget configured but no failure observed yet: not spent.
+            (Some(_), None) => false,
+            (None, _) => true,
         }
     }
 }

@@ -1057,8 +1057,9 @@ fn source_protocol<C: Connector>(
 
     let mut attempt: u32 = 0;
     let mut last_failure = String::new();
+    let mut outage_start: Option<Instant> = None;
     let result = loop {
-        if attempt > cfg.retry.max_reconnects {
+        if cfg.retry.exhausted(attempt, outage_start) {
             break Err(MigrationError::RetriesExhausted {
                 attempts: attempt,
                 last: last_failure,
@@ -1110,6 +1111,7 @@ fn source_protocol<C: Connector>(
             Err(SessionError::Fatal(e)) => break Err(e),
             Err(SessionError::Reconnect(te)) => {
                 last_failure = te.to_string();
+                outage_start.get_or_insert_with(Instant::now);
                 attempt += 1;
             }
         }
@@ -1912,8 +1914,9 @@ fn dest_protocol<C: Connector>(
     let rec = Arc::clone(&cfg.telemetry);
     let mut attempt: u32 = 0;
     let mut last_failure = String::new();
+    let mut outage_start: Option<Instant> = None;
     let result = loop {
-        if attempt > cfg.retry.max_reconnects {
+        if cfg.retry.exhausted(attempt, outage_start) {
             let exhausted = MigrationError::RetriesExhausted {
                 attempts: attempt,
                 last: last_failure,
@@ -1953,6 +1956,7 @@ fn dest_protocol<C: Connector>(
             Err(SessionError::Reconnect(_)) if st.complete_sent => break Ok(()),
             Err(SessionError::Reconnect(te)) => {
                 last_failure = te.to_string();
+                outage_start.get_or_insert_with(Instant::now);
                 attempt += 1;
             }
         }
@@ -2667,6 +2671,7 @@ mod tests {
                 max_reconnects: 2,
                 backoff: Duration::from_millis(10),
                 phase_timeout: Duration::from_secs(5),
+                outage_budget: None,
             },
             ..LiveConfig::test_default()
         };

@@ -98,6 +98,10 @@ pub struct ClusterConfig {
     /// Safety horizon: the run aborts (remaining migrations marked
     /// failed) if virtual time passes this bound.
     pub horizon: SimDuration,
+    /// Starvation bound for cycle-aware scheduling: how long a request
+    /// may be deferred waiting for its VM's low-activity workload phase
+    /// before it is admitted regardless.
+    pub cycle_patience: SimDuration,
     /// Workload assignment: VM `i` runs `workload_cycle[i % len]`.
     pub workload_cycle: Vec<WorkloadKind>,
 }
@@ -133,6 +137,7 @@ impl ClusterConfig {
             max_retries: 3,
             retry_backoff: SimDuration::from_secs(2),
             horizon: SimDuration::from_secs(4 * 3600),
+            cycle_patience: SimDuration::from_secs(600),
             workload_cycle: vec![
                 WorkloadKind::Web,
                 WorkloadKind::Video,

@@ -1,0 +1,190 @@
+//! Fleet dynamics: the executor's per-tick view of topology and time.
+//!
+//! The PR-9 executor assumed a flat, always-on fleet: every host up,
+//! every pair connected, one NIC/disk capacity for everyone, workloads
+//! running flat-out forever. [`FleetDynamics`] abstracts exactly that
+//! assumption set behind a trait the executor consults every tick, so a
+//! scenario engine (the `scenario` crate) can drive partitions, WAN
+//! links, host maintenance, heterogeneous capacities and workload
+//! activity cycles through one interface — while [`StaticDynamics`]
+//! reproduces the flat fleet *exactly*: every default answer is the
+//! mathematical identity of the corresponding executor computation
+//! (`min(x, ∞) = x`, `x · 1.0 = x`, `d + 0 = d`), so a run through
+//! `StaticDynamics` is byte- and clock-identical to the PR-9 engine.
+
+use des::{SimDuration, SimTime};
+use telemetry::Recorder;
+
+use crate::cluster::Cluster;
+use crate::config::ClusterConfig;
+use crate::scheduler::MigrationRequest;
+
+/// The executor's oracle for everything that can change under its feet:
+/// connectivity, host lifecycle, per-host and per-link capacity, and
+/// workload activity phases.
+///
+/// Called in a fixed order every tick — [`FleetDynamics::advance`]
+/// first (the only `&mut` call, where a timeline interprets its due
+/// events and journals them), then the read-only queries — so one seed
+/// still fixes every answer and the run stays a pure function of its
+/// configuration.
+pub trait FleetDynamics {
+    /// Advance the dynamics to `now`: interpret timeline events due at
+    /// or before this instant, journal every topology change as a typed
+    /// telemetry event, and return migration requests to inject into
+    /// the arrival queue (maintenance evacuations). `streams` lists the
+    /// `(src, dst)` endpoints of every live migration, so a maintenance
+    /// wave can hold a host up until the streams touching it drain.
+    fn advance(
+        &mut self,
+        now: SimTime,
+        cluster: &Cluster,
+        streams: &[(usize, usize)],
+        recorder: &Recorder,
+    ) -> Vec<MigrationRequest> {
+        let _ = (now, cluster, streams, recorder);
+        Vec::new()
+    }
+
+    /// Is the host powered and in service? A down host's pools vanish,
+    /// its resident VMs neither read nor write, and no stream may start
+    /// or continue through it.
+    fn host_up(&self, host: usize) -> bool {
+        let _ = host;
+        true
+    }
+
+    /// Is the host refusing *new* inbound migrations? A cordoned host
+    /// (maintenance about to start) keeps its existing streams and may
+    /// still act as a source — it is evacuating, after all.
+    fn cordoned(&self, host: usize) -> bool {
+        let _ = host;
+        false
+    }
+
+    /// Can hosts `a` and `b` exchange migration traffic right now?
+    /// Symmetric by convention; a partition answers `false` across
+    /// island boundaries.
+    fn connected(&self, a: usize, b: usize) -> bool {
+        let _ = (a, b);
+        true
+    }
+
+    /// Host `host`'s NIC capacity in bytes/second.
+    fn nic_capacity(&self, host: usize) -> f64;
+
+    /// Host `host`'s disk capacity in bytes/second.
+    fn disk_capacity(&self, host: usize) -> f64;
+
+    /// Per-stream bandwidth ceiling on the `a -> b` path (a WAN link's
+    /// bottleneck), or `f64::INFINITY` for an uncapped LAN link. The
+    /// executor applies it with `min`, so infinity is exact identity.
+    fn link_bandwidth(&self, a: usize, b: usize) -> f64 {
+        let _ = (a, b);
+        f64::INFINITY
+    }
+
+    /// Goodput factor of the `a -> b` path in `(0, 1]` — a lossy link's
+    /// retransmissions eat this fraction of the allocated rate. The
+    /// executor multiplies by it, so `1.0` is exact identity.
+    fn link_quality(&self, a: usize, b: usize) -> f64 {
+        let _ = (a, b);
+        1.0
+    }
+
+    /// Extra one-way latency on the `a -> b` path, added to the freeze
+    /// window's handshake term. `ZERO` is exact identity.
+    fn link_latency(&self, a: usize, b: usize) -> SimDuration {
+        let _ = (a, b);
+        SimDuration::ZERO
+    }
+
+    /// Workload-cycle demand multiplier for `vm` at `now` (`1.0` = the
+    /// flat demand the workload generator reports).
+    fn workload_scale(&self, vm: usize, now: SimTime) -> f64 {
+        let _ = (vm, now);
+        1.0
+    }
+
+    /// Deterministic op thinning for `vm` at `now`: keep a guest op
+    /// whose per-VM sequence number `s` satisfies `s % den < num`.
+    /// `(1, 1)` keeps every op (exact identity); `(1, 4)` models a
+    /// low-activity phase issuing a quarter of its ops.
+    fn op_keep(&self, vm: usize, now: SimTime) -> (u64, u64) {
+        let _ = (vm, now);
+        (1, 1)
+    }
+
+    /// Is `vm` in a high-activity workload phase at `now`? Cycle-aware
+    /// scheduling defers such requests (bounded by the starvation
+    /// patience) until the phase passes.
+    fn high_activity(&self, vm: usize, now: SimTime) -> bool {
+        let _ = (vm, now);
+        false
+    }
+
+    /// `true` once no future timeline event could change topology or
+    /// inject a request — the run loop may terminate when its own
+    /// queues drain. A static fleet is always exhausted.
+    fn exhausted(&self, now: SimTime) -> bool {
+        let _ = now;
+        true
+    }
+}
+
+/// The flat fleet: homogeneous capacities from [`ClusterConfig`], every
+/// host up, every link perfect, no timeline. Running through this is
+/// byte- and clock-identical to the pre-dynamics executor — each
+/// default answer is the identity element of the operation the executor
+/// applies it with.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticDynamics {
+    /// Per-host NIC capacity, bytes/second.
+    pub nic: f64,
+    /// Per-host disk capacity, bytes/second.
+    pub disk: f64,
+}
+
+impl StaticDynamics {
+    /// The homogeneous fleet a [`ClusterConfig`] describes.
+    pub fn from_config(cfg: &ClusterConfig) -> Self {
+        Self {
+            nic: cfg.nic_capacity,
+            disk: cfg.disk_capacity,
+        }
+    }
+}
+
+impl FleetDynamics for StaticDynamics {
+    fn nic_capacity(&self, _host: usize) -> f64 {
+        self.nic
+    }
+
+    fn disk_capacity(&self, _host: usize) -> f64 {
+        self.disk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_defaults_are_identity_answers() {
+        let cfg = ClusterConfig::new(3, 3);
+        let mut d = StaticDynamics::from_config(&cfg);
+        assert_eq!(d.nic_capacity(0), cfg.nic_capacity);
+        assert_eq!(d.disk_capacity(2), cfg.disk_capacity);
+        assert!(d.host_up(0) && !d.cordoned(1) && d.connected(0, 2));
+        assert_eq!(d.link_bandwidth(0, 1), f64::INFINITY);
+        assert_eq!(d.link_quality(0, 1), 1.0);
+        assert_eq!(d.link_latency(0, 1), SimDuration::ZERO);
+        assert_eq!(d.workload_scale(0, SimTime::ZERO), 1.0);
+        assert_eq!(d.op_keep(0, SimTime::ZERO), (1, 1));
+        assert!(!d.high_activity(0, SimTime::ZERO));
+        assert!(d.exhausted(SimTime::ZERO));
+        let cluster = Cluster::new(&cfg).expect("valid config");
+        let rec = Recorder::off();
+        assert!(d.advance(SimTime::ZERO, &cluster, &[], &rec).is_empty());
+    }
+}

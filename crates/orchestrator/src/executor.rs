@@ -24,6 +24,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use block_bitmap::{ser, DirtyMap, FlatBitmap};
+use blockstore::BlockDirectory;
 use des::{SimDuration, SimTime};
 use migrate::sim::DirtyTracker;
 use simnet::capacity::max_min_share;
@@ -34,6 +35,7 @@ use vdisk::MetaDisk;
 
 use crate::cluster::{Cluster, HostId, VmId};
 use crate::config::{ClusterConfig, ConfigError, Scenario};
+use crate::dynamics::{FleetDynamics, StaticDynamics};
 use crate::report::{ClusterReport, MigrationRecord};
 use crate::scheduler::{directory_of, ClusterView, MigrationRequest, Policy};
 
@@ -93,15 +95,17 @@ struct Task {
     freeze_at: SimTime,
     downtime: SimDuration,
     workload_name: &'static str,
+    /// The stream's endpoints cannot currently talk (partition or down
+    /// host): it stalls in place, bitmap holding position.
+    stranded: bool,
+    /// While stranded, the replica holder currently serving owed blocks
+    /// to the destination (the PR-9 directory fan-in used as failover).
+    peer_source: Option<usize>,
 }
 
 impl Task {
     fn done(&self) -> bool {
         self.failed || (self.phase == Phase::PostCopy && self.to_send.none_set())
-    }
-
-    fn touches(&self, host: usize) -> bool {
-        self.src.0 == host || self.dst.0 == host
     }
 }
 
@@ -112,6 +116,45 @@ enum Part {
     Task(usize),
 }
 
+/// How a stream's bytes flow this tick, as decided by the fleet
+/// dynamics: straight from the source, fed by a reachable replica
+/// holder while the source is stranded, or not at all.
+enum Route {
+    /// Source and destination can talk: the normal path.
+    Direct,
+    /// The source is unreachable but `peer` holds fresh copies of the
+    /// blocks in `mask`: the destination pulls those from the peer.
+    PeerFed { peer: usize, mask: FlatBitmap },
+    /// Nobody can serve: the stream stalls in place, no retry burn.
+    Severed,
+}
+
+/// Per-tick connectivity snapshot, computed once from the dynamics and
+/// shared by admission and guest advancement.
+struct TickNet {
+    host_up: Vec<bool>,
+    cordoned: Vec<bool>,
+    link_ok: Vec<bool>,
+    high_activity: Vec<bool>,
+}
+
+impl TickNet {
+    fn snapshot(dynamics: &dyn FleetDynamics, hosts: usize, vms: usize, now: SimTime) -> Self {
+        let mut link_ok = vec![true; hosts * hosts];
+        for a in 0..hosts {
+            for b in 0..hosts {
+                link_ok[a * hosts + b] = dynamics.connected(a, b);
+            }
+        }
+        Self {
+            host_up: (0..hosts).map(|h| dynamics.host_up(h)).collect(),
+            cordoned: (0..hosts).map(|h| dynamics.cordoned(h)).collect(),
+            link_ok,
+            high_activity: (0..vms).map(|v| dynamics.high_activity(v, now)).collect(),
+        }
+    }
+}
+
 /// The cluster executor: owns the fleet, runs scenarios.
 pub struct Orchestrator {
     cfg: ClusterConfig,
@@ -119,6 +162,9 @@ pub struct Orchestrator {
     policy: Policy,
     recorder: Arc<Recorder>,
     next_id: u64,
+    /// Per-VM guest-op sequence numbers, the basis for deterministic op
+    /// thinning in low-activity workload phases.
+    op_seq: Vec<u64>,
 }
 
 impl Orchestrator {
@@ -129,12 +175,14 @@ impl Orchestrator {
         recorder: Arc<Recorder>,
     ) -> Result<Self, ConfigError> {
         let cluster = Cluster::new(&cfg)?;
+        let op_seq = vec![0u64; cluster.vms.len()];
         Ok(Self {
             cfg,
             cluster,
             policy,
             recorder,
             next_id: 0,
+            op_seq,
         })
     }
 
@@ -148,11 +196,30 @@ impl Orchestrator {
     /// return the fleet report. The replica table persists across calls,
     /// so a second scenario on the same orchestrator sees the stale
     /// images the first one left behind.
+    ///
+    /// Runs over [`StaticDynamics`] — the flat, always-on fleet — and is
+    /// byte-identical to the pre-dynamics executor.
     pub fn run(&mut self, scenario: &Scenario) -> ClusterReport {
+        let mut dynamics = StaticDynamics::from_config(&self.cfg);
+        self.run_with_dynamics(scenario, &mut dynamics)
+    }
+
+    /// Run a scenario under explicit fleet dynamics: partitions, host
+    /// lifecycle, WAN links, heterogeneous capacities and workload
+    /// cycles all flow through the [`FleetDynamics`] oracle, which is
+    /// advanced once at the top of every tick and may inject new
+    /// migration requests (maintenance evacuations) into the arrival
+    /// stream.
+    pub fn run_with_dynamics(
+        &mut self,
+        scenario: &Scenario,
+        dynamics: &mut dyn FleetDynamics,
+    ) -> ClusterReport {
         let step = self.cfg.step;
         let mut now = SimTime::ZERO;
         let mut future: Vec<(usize, MigrationRequest)> =
             scenario.requests.iter().copied().enumerate().collect();
+        let mut next_request = scenario.requests.len();
         let mut pending: Vec<(usize, MigrationRequest)> = Vec::new();
         let mut tasks: Vec<Task> = Vec::new();
         let mut records: Vec<MigrationRecord> = Vec::new();
@@ -160,6 +227,19 @@ impl Orchestrator {
         let mut makespan = SimTime::ZERO;
 
         loop {
+            // 0. Dynamics: interpret timeline events due now (journaling
+            // each topology change) and inject evacuation requests.
+            let endpoints: Vec<(usize, usize)> = tasks
+                .iter()
+                .filter(|t| !t.failed)
+                .map(|t| (t.src.0, t.dst.0))
+                .collect();
+            for req in dynamics.advance(now, &self.cluster, &endpoints, &self.recorder) {
+                future.push((next_request, req));
+                next_request += 1;
+            }
+            let net = TickNet::snapshot(dynamics, self.cfg.hosts, self.cluster.vms.len(), now);
+
             // 1. Arrivals: requests whose time has come join the queue.
             let mut still_future = Vec::with_capacity(future.len());
             for (idx, req) in future.drain(..) {
@@ -173,10 +253,14 @@ impl Orchestrator {
 
             // 2. Scheduling: admit until the policy (or admission
             // control) says stop.
-            self.admit(&mut pending, &mut tasks, now);
+            self.admit(&mut pending, &mut tasks, now, &net);
             max_concurrent = max_concurrent.max(tasks.len());
 
-            if future.is_empty() && pending.is_empty() && tasks.is_empty() {
+            if future.is_empty()
+                && pending.is_empty()
+                && tasks.is_empty()
+                && dynamics.exhausted(now)
+            {
                 break;
             }
             if now.as_nanos() > self.cfg.horizon.as_nanos() {
@@ -192,18 +276,31 @@ impl Orchestrator {
 
             let tick_end = now + step;
 
-            // 3. Capacity: pool demands per host, max-min share them.
-            let (task_rates, vm_rates) = self.compute_rates(&tasks, now);
+            // 3. Routing: per-stream path for this tick — direct,
+            // peer-fed across a partition, or severed (stalled).
+            let routes = self.route_streams(&mut tasks, dynamics, now);
 
-            // 4. Streams advance at their bottleneck rates.
+            // 4. Capacity: pool demands per host, max-min share them,
+            // then cap each stream by its path's WAN link.
+            let (task_rates, vm_rates) = self.compute_rates(&tasks, &routes, now, dynamics);
+
+            // 5. Streams advance at their bottleneck rates.
             for (ti, t) in tasks.iter_mut().enumerate() {
-                self.advance_stream(t, task_rates[ti], now, tick_end, step);
+                self.advance_stream(
+                    t,
+                    task_rates[ti],
+                    &routes[ti],
+                    now,
+                    tick_end,
+                    step,
+                    dynamics,
+                );
             }
 
-            // 5. Guests advance at their achieved disk rates.
-            self.advance_vms(&mut tasks, &vm_rates, step);
+            // 6. Guests advance at their achieved disk rates.
+            self.advance_vms(&mut tasks, &vm_rates, step, now, &net, dynamics);
 
-            // 6. Reap finished streams.
+            // 7. Reap finished streams.
             let mut live = Vec::with_capacity(tasks.len());
             for t in tasks.drain(..) {
                 if t.done() {
@@ -239,6 +336,7 @@ impl Orchestrator {
         pending: &mut Vec<(usize, MigrationRequest)>,
         tasks: &mut Vec<Task>,
         now: SimTime,
+        net: &TickNet,
     ) {
         let mut scheduler = self.policy.build();
         loop {
@@ -259,6 +357,12 @@ impl Orchestrator {
                 max_streams_per_host: self.cfg.max_streams_per_host,
                 disk_blocks: self.cfg.disk_blocks,
                 busy: &busy,
+                host_up: &net.host_up,
+                cordoned: &net.cordoned,
+                link_ok: &net.link_ok,
+                high_activity: &net.high_activity,
+                now,
+                cycle_patience: self.cfg.cycle_patience,
             };
             let Some(d) = scheduler.next(&reqs, &view) else {
                 return;
@@ -372,7 +476,119 @@ impl Orchestrator {
             freeze_at: SimTime::ZERO,
             downtime: SimDuration::ZERO,
             workload_name: self.cluster.vms[vm.0].workload.name(),
+            stranded: false,
+            peer_source: None,
         }
+    }
+
+    /// Decide how each stream's bytes flow this tick. A stream whose
+    /// endpoints can talk runs [`Route::Direct`]; one cut off by a
+    /// partition or a down host strands in place — and, during disk
+    /// pre-copy or post-copy with multi-source on, re-plans through the
+    /// block directory to pull owed blocks from the freshest replica
+    /// holder the destination can still reach ([`Route::PeerFed`]).
+    /// Every strand, re-plan and reconnect is journaled; a reconnect
+    /// charges the stream one encoded-bitmap re-send, the §IV resume
+    /// handshake.
+    fn route_streams(
+        &self,
+        tasks: &mut [Task],
+        dynamics: &dyn FleetDynamics,
+        now: SimTime,
+    ) -> Vec<Route> {
+        let t_nanos = now.as_nanos();
+        let mut routes = Vec::with_capacity(tasks.len());
+        for t in tasks.iter_mut() {
+            if t.failed {
+                routes.push(Route::Severed);
+                continue;
+            }
+            let pair_ok = dynamics.host_up(t.src.0)
+                && dynamics.host_up(t.dst.0)
+                && dynamics.connected(t.src.0, t.dst.0);
+            if pair_ok {
+                if t.stranded {
+                    // Reconnected: the source re-learns the worklist by
+                    // re-shipping the current bitmap (bitmap resume,
+                    // charged to the stream like any retry reconnect).
+                    t.stranded = false;
+                    t.peer_source = None;
+                    let enc = ser::encoded_len(&t.to_send) as u64 + FRAME_OVERHEAD;
+                    t.bytes += enc;
+                    t.attempt_bytes += enc;
+                    let id = t.id;
+                    self.recorder
+                        .record_at_nanos(t_nanos, || Event::MigrationReconnected {
+                            migration: id,
+                            bitmap_bytes: enc,
+                        });
+                }
+                routes.push(Route::Direct);
+                continue;
+            }
+            // Endpoints cannot talk. Freeze still completes on schedule:
+            // its handshake was in flight when the cut landed (a
+            // documented simplification — DESIGN.md §18).
+            if t.phase == Phase::Freeze {
+                routes.push(Route::Direct);
+                continue;
+            }
+            if !t.stranded {
+                t.stranded = true;
+                let id = t.id;
+                self.recorder
+                    .record_at_nanos(t_nanos, || Event::MigrationStranded { migration: id });
+            }
+            // Failover re-plan: during the block-shipping phases another
+            // replica holder reachable from the destination can serve
+            // whatever owed blocks it holds at the live generation.
+            let replannable = self.cfg.multisource
+                && matches!(t.phase, Phase::DiskPrecopy | Phase::PostCopy)
+                && dynamics.host_up(t.dst.0);
+            let peer = if replannable {
+                let mut dir = BlockDirectory::new();
+                dir.merge_replicas(t.vm.0 as u64, &self.cluster.replicas);
+                let allowed: Vec<u64> = (0..self.cfg.hosts)
+                    .filter(|&h| {
+                        h != t.src.0
+                            && h != t.dst.0
+                            && dynamics.host_up(h)
+                            && dynamics.connected(h, t.dst.0)
+                    })
+                    .map(|h| h as u64)
+                    .collect();
+                dir.best_holder(
+                    t.vm.0 as u64,
+                    &self.cluster.vms[t.vm.0].disk,
+                    &t.to_send,
+                    &allowed,
+                )
+            } else {
+                None
+            };
+            match peer {
+                Some((site, mask)) => {
+                    let site = site as usize;
+                    if t.peer_source != Some(site) {
+                        t.peer_source = Some(site);
+                        let id = t.id;
+                        let servable = mask.count_ones() as u64;
+                        self.recorder
+                            .record_at_nanos(t_nanos, || Event::MigrationPeerFed {
+                                migration: id,
+                                peer: site as u64,
+                                servable,
+                            });
+                    }
+                    routes.push(Route::PeerFed { peer: site, mask });
+                }
+                None => {
+                    t.peer_source = None;
+                    routes.push(Route::Severed);
+                }
+            }
+        }
+        routes
     }
 
     /// Streams touching each host (any phase — a frozen stream still
@@ -388,14 +604,24 @@ impl Orchestrator {
 
     /// Pool every demand on each host's disk and NIC, max-min share each
     /// pool, and fold allocations back: a stream's rate is the minimum
-    /// over every pool it crosses; a guest's achieved rate is its share
-    /// of its host's disk.
+    /// over every pool it crosses (then capped by its path's WAN
+    /// bandwidth and derated by its path's loss); a guest's achieved
+    /// rate is its share of its host's disk.
     ///
     /// Pool membership by phase: disk pre-copy and post-copy streams
-    /// read the source disk, write the destination disk and cross both
-    /// NICs; the memory pass crosses both NICs only; a frozen stream's
-    /// bytes are inside its downtime formula, so it leaves the pools.
-    fn compute_rates(&self, tasks: &[Task], now: SimTime) -> (Vec<f64>, Vec<f64>) {
+    /// read the serving side's disk, write the destination disk and
+    /// cross both NICs; the memory pass crosses both NICs only; a frozen
+    /// stream's bytes are inside its downtime formula, so it leaves the
+    /// pools. A severed stream leaves every pool; a peer-fed stream's
+    /// source-side pools are the *peer's*. A down host's pools vanish
+    /// entirely.
+    fn compute_rates(
+        &self,
+        tasks: &[Task],
+        routes: &[Route],
+        now: SimTime,
+        dynamics: &dyn FleetDynamics,
+    ) -> (Vec<f64>, Vec<f64>) {
         let mut task_rates = vec![0.0f64; tasks.len()];
         let mut task_seen = vec![false; tasks.len()];
         let mut vm_rates = vec![0.0f64; self.cluster.vms.len()];
@@ -404,7 +630,21 @@ impl Orchestrator {
             .filter(|t| t.phase == Phase::Freeze)
             .map(|t| t.vm.0)
             .collect();
+        // Serving endpoints per stream this tick: `None` drops the
+        // stream out of every pool.
+        let endpoints: Vec<Option<(usize, usize)>> = tasks
+            .iter()
+            .zip(routes)
+            .map(|(t, r)| match r {
+                Route::Direct => Some((t.src.0, t.dst.0)),
+                Route::PeerFed { peer, .. } => Some((*peer, t.dst.0)),
+                Route::Severed => None,
+            })
+            .collect();
         for h in 0..self.cfg.hosts {
+            if !dynamics.host_up(h) {
+                continue;
+            }
             let mut parts: Vec<Part> = Vec::new();
             let mut demands: Vec<f64> = Vec::new();
             for vm in &self.cluster.hosts[h].resident {
@@ -412,17 +652,23 @@ impl Orchestrator {
                     continue;
                 }
                 parts.push(Part::Vm(vm.0));
-                demands.push(self.cluster.vms[vm.0].workload.disk_demand());
+                demands.push(
+                    self.cluster.vms[vm.0].workload.disk_demand()
+                        * dynamics.workload_scale(vm.0, now),
+                );
             }
             for (ti, t) in tasks.iter().enumerate() {
+                let Some((from, to)) = endpoints[ti] else {
+                    continue;
+                };
                 let active = !t.failed && now >= t.stall_until;
                 let uses_disk = matches!(t.phase, Phase::DiskPrecopy | Phase::PostCopy);
-                if active && uses_disk && t.touches(h) {
+                if active && uses_disk && (from == h || to == h) {
                     parts.push(Part::Task(ti));
                     demands.push(self.cfg.stream_demand);
                 }
             }
-            let alloc = max_min_share(self.cfg.disk_capacity, &demands);
+            let alloc = max_min_share(dynamics.disk_capacity(h), &demands);
             for (part, a) in parts.iter().zip(alloc) {
                 match *part {
                     Part::Vm(v) => vm_rates[v] = a,
@@ -439,17 +685,20 @@ impl Orchestrator {
             let mut nic_parts: Vec<usize> = Vec::new();
             let mut nic_demands: Vec<f64> = Vec::new();
             for (ti, t) in tasks.iter().enumerate() {
+                let Some((from, to)) = endpoints[ti] else {
+                    continue;
+                };
                 let active = !t.failed && now >= t.stall_until;
                 let uses_nic = matches!(
                     t.phase,
                     Phase::DiskPrecopy | Phase::MemPrecopy | Phase::PostCopy
                 );
-                if active && uses_nic && t.touches(h) {
+                if active && uses_nic && (from == h || to == h) {
                     nic_parts.push(ti);
                     nic_demands.push(self.cfg.stream_demand);
                 }
             }
-            let alloc = max_min_share(self.cfg.nic_capacity, &nic_demands);
+            let alloc = max_min_share(dynamics.nic_capacity(h), &nic_demands);
             for (ti, a) in nic_parts.iter().zip(alloc) {
                 task_rates[*ti] = if task_seen[*ti] {
                     task_rates[*ti].min(a)
@@ -459,25 +708,53 @@ impl Orchestrator {
                 task_seen[*ti] = true;
             }
         }
+        // WAN link ceiling and loss derate on the serving path. Both are
+        // exact identities on a LAN (`min(x, ∞) = x`, `x · 1.0 = x`).
+        for (ti, ep) in endpoints.iter().enumerate() {
+            if let Some((from, to)) = *ep {
+                if task_seen[ti] {
+                    task_rates[ti] = task_rates[ti].min(dynamics.link_bandwidth(from, to))
+                        * dynamics.link_quality(from, to);
+                }
+            }
+        }
         (task_rates, vm_rates)
     }
 
-    /// Advance one stream by one tick at its bottleneck rate.
+    /// Advance one stream by one tick at its bottleneck rate, along the
+    /// route the dynamics allowed it this tick. A severed stream stalls
+    /// in place — no progress, no retry burn, the bitmap holds position
+    /// until the partition heals (freeze alone completes regardless, its
+    /// handshake being already in flight).
+    #[allow(clippy::too_many_arguments)]
     fn advance_stream(
         &mut self,
         t: &mut Task,
         rate: f64,
+        route: &Route,
         now: SimTime,
         tick_end: SimTime,
         dt: SimDuration,
+        dynamics: &dyn FleetDynamics,
     ) {
         if t.failed || now < t.stall_until {
             return;
         }
+        if matches!(route, Route::Severed) && t.phase != Phase::Freeze {
+            return;
+        }
+        let peer_mask = match route {
+            Route::PeerFed { mask, .. } => Some(mask),
+            _ => None,
+        };
         match t.phase {
             Phase::DiskPrecopy => {
-                let last = self.pump_blocks(t, rate, dt);
-                self.check_faults(t, tick_end, last);
+                let last = self.pump_blocks(t, rate, dt, peer_mask);
+                if peer_mask.is_none() {
+                    // The seeded fault plan models the source link;
+                    // while peer-fed, that link is already cut.
+                    self.check_faults(t, tick_end, last);
+                }
                 if t.failed || now < t.stall_until || t.phase != Phase::DiskPrecopy {
                     return;
                 }
@@ -507,7 +784,7 @@ impl Orchestrator {
                     return;
                 }
                 if t.mem_remaining <= 0.0 {
-                    self.enter_freeze(t, rate, tick_end);
+                    self.enter_freeze(t, rate, tick_end, dynamics);
                 }
             }
             Phase::Freeze => {
@@ -532,7 +809,7 @@ impl Orchestrator {
                 }
             }
             Phase::PostCopy => {
-                self.pump_blocks(t, rate, dt);
+                self.pump_blocks(t, rate, dt, peer_mask);
             }
         }
     }
@@ -548,11 +825,32 @@ impl Orchestrator {
     /// full block some *other* host also holds at the live generation is
     /// additionally counted as peer-servable — the directory fan-in the
     /// two-host engine performs for real — without changing the byte or
-    /// clock math at all. Returns the last block shipped.
-    fn pump_blocks(&self, t: &mut Task, rate: f64, dt: SimDuration) -> Option<usize> {
+    /// clock math at all.
+    ///
+    /// With `peer_mask` set the stream is peer-fed across a partition:
+    /// only owed blocks inside the mask (the ones the serving replica
+    /// holds at the live generation) are eligible, and every full block
+    /// shipped counts as peer-served. Returns the last block shipped.
+    fn pump_blocks(
+        &self,
+        t: &mut Task,
+        rate: f64,
+        dt: SimDuration,
+        peer_mask: Option<&FlatBitmap>,
+    ) -> Option<usize> {
         let bs = self.cfg.block_size as f64;
+        // While peer-fed only the mask's intersection with the worklist
+        // is shippable; the rest waits for the source link.
+        let mut candidates = peer_mask.map(|m| {
+            let mut c = t.to_send.clone();
+            c.intersect_with(m);
+            c
+        });
         let raw = t.carry + rate * dt.as_secs_f64() / bs;
-        let remaining = t.to_send.count_ones() as u64;
+        let remaining = match &candidates {
+            Some(c) => c.count_ones() as u64,
+            None => t.to_send.count_ones() as u64,
+        };
         let n = (raw.floor().max(0.0) as u64).min(remaining);
         t.carry = raw - n as f64;
         if n == 0 {
@@ -563,8 +861,9 @@ impl Orchestrator {
         let mut peer = 0u64;
         let src_disk = &self.cluster.vms[t.vm.0].disk;
         // Replica sites other than the endpoints: the holders a
-        // multi-source fetch could draw a fresh block from.
-        let peer_sites: Vec<u64> = if self.cfg.multisource {
+        // multi-source fetch could draw a fresh block from. (While
+        // peer-fed the server is known, so the scan is skipped.)
+        let peer_sites: Vec<u64> = if self.cfg.multisource && peer_mask.is_none() {
             self.cluster
                 .replicas
                 .sites_with_replica(t.vm.0 as u64)
@@ -575,9 +874,10 @@ impl Orchestrator {
             Vec::new()
         };
         for _ in 0..n {
-            let b = match t.to_send.next_set_from(t.cursor) {
+            let worklist = candidates.as_ref().unwrap_or(&t.to_send);
+            let b = match worklist.next_set_from(t.cursor) {
                 Some(b) => b,
-                None => match t.to_send.next_set_from(0) {
+                None => match worklist.next_set_from(0) {
                     Some(b) => b,
                     None => break,
                 },
@@ -588,19 +888,27 @@ impl Orchestrator {
                 refs += 1;
             } else {
                 t.dst_disk.copy_block_from(src_disk, b);
-                if peer_sites.iter().any(|&s| {
-                    self.cluster
-                        .replicas
-                        .get(t.vm.0 as u64, s)
-                        .is_some_and(|r| {
-                            r.disk.num_blocks() == src_disk.num_blocks()
-                                && r.disk.generation(b) == src_disk.generation(b)
-                        })
-                }) {
+                // A peer-fed block counts unconditionally (the server
+                // IS a peer); otherwise count it when some bystander
+                // replica also holds it at the live generation.
+                if peer_mask.is_some()
+                    || peer_sites.iter().any(|&s| {
+                        self.cluster
+                            .replicas
+                            .get(t.vm.0 as u64, s)
+                            .is_some_and(|r| {
+                                r.disk.num_blocks() == src_disk.num_blocks()
+                                    && r.disk.generation(b) == src_disk.generation(b)
+                            })
+                    })
+                {
                     peer += 1;
                 }
             }
             t.to_send.clear(b);
+            if let Some(c) = candidates.as_mut() {
+                c.clear(b);
+            }
             t.cursor = b + 1;
             t.blocks_sent += 1;
             last = Some(b);
@@ -661,6 +969,18 @@ impl Orchestrator {
                     });
                 self.reset_stream(t, tick_end);
             }
+            FaultKind::Drop => {
+                self.recorder
+                    .record_at_nanos(t_nanos, || Event::FaultInjected {
+                        fault: FaultLabel::Drop,
+                        messages_before: t.msgs,
+                    });
+                // The last frame vanished on a lossy link that stayed
+                // up: its block rides the next pass, nothing resets.
+                if let Some(b) = last {
+                    t.to_send.set(b);
+                }
+            }
         }
     }
 
@@ -694,7 +1014,13 @@ impl Orchestrator {
     /// price the freeze window with the engine's downtime formula
     /// (remaining state + encoded bitmap + handshake frames at the rate
     /// the stream held going in), and schedule the exact resume instant.
-    fn enter_freeze(&mut self, t: &mut Task, rate: f64, tick_end: SimTime) {
+    fn enter_freeze(
+        &mut self,
+        t: &mut Task,
+        rate: f64,
+        tick_end: SimTime,
+        dynamics: &dyn FleetDynamics,
+    ) {
         t.bytes += self.cfg.mem_pages as u64 * PAGE_WIRE + FRAME_OVERHEAD;
         let final_bm = t.tracker.drain();
         let enc = ser::encoded_len(&final_bm) as u64;
@@ -706,6 +1032,7 @@ impl Orchestrator {
         let downtime = self.cfg.suspend_overhead
             + SimDuration::from_secs_f64(down_bytes as f64 / down_rate)
             + self.cfg.latency
+            + dynamics.link_latency(t.src.0, t.dst.0)
             + self.cfg.resume_overhead;
         t.bytes += down_bytes;
         t.downtime = downtime;
@@ -739,10 +1066,25 @@ impl Orchestrator {
     /// writes by migration phase: pre-copy writes land on the source
     /// image and the dirty tracker; post-copy writes land on the
     /// destination image and cancel any pending push of the same block
-    /// (§III-A); a frozen guest does nothing.
-    fn advance_vms(&mut self, tasks: &mut [Task], vm_rates: &[f64], dt: SimDuration) {
+    /// (§III-A); a frozen guest does nothing. A guest on a down host is
+    /// powered off with it — no ops at all, which matters for open-loop
+    /// workloads that would otherwise keep writing at rate zero. Ops are
+    /// thinned by the dynamics' `op_keep` ratio in low-activity phases
+    /// (the `(1, 1)` default keeps everything, exactly).
+    fn advance_vms(
+        &mut self,
+        tasks: &mut [Task],
+        vm_rates: &[f64],
+        dt: SimDuration,
+        now: SimTime,
+        net: &TickNet,
+        dynamics: &dyn FleetDynamics,
+    ) {
         let nblocks = self.cfg.disk_blocks;
         for (vi, &rate) in vm_rates.iter().enumerate() {
+            if !net.host_up[self.cluster.vms[vi].host.0] {
+                continue;
+            }
             let ti = tasks.iter().position(|t| t.vm.0 == vi && !t.failed);
             if let Some(ti) = ti {
                 if tasks[ti].phase == Phase::Freeze {
@@ -753,7 +1095,14 @@ impl Orchestrator {
                 let vm = &mut self.cluster.vms[vi];
                 vm.workload.ops_for(dt, rate, &mut vm.rng)
             };
+            let (keep, of) = dynamics.op_keep(vi, now);
+            let of = of.max(1);
             for op in ops {
+                let seq = self.op_seq[vi];
+                self.op_seq[vi] = seq.wrapping_add(1);
+                if seq % of >= keep {
+                    continue;
+                }
                 if !op.kind.is_write() {
                     continue;
                 }
@@ -1062,6 +1411,206 @@ mod tests {
         assert_eq!(orch.cluster().vms[0].host, HostId(0));
         // The partial copy was kept as a stale replica at the target.
         assert!(orch.cluster().replicas.has(0, 1));
+    }
+
+    /// Flat-capacity dynamics with one link severed during a window —
+    /// the smallest chaos a partition can be.
+    struct WindowPartition {
+        nic: f64,
+        disk: f64,
+        a: usize,
+        b: usize,
+        from: SimTime,
+        until: SimTime,
+        now: SimTime,
+        down_host: Option<usize>,
+        quiesced_vm: Option<usize>,
+    }
+
+    impl WindowPartition {
+        fn new(cfg: &ClusterConfig, a: usize, b: usize, from: SimTime, until: SimTime) -> Self {
+            Self {
+                nic: cfg.nic_capacity,
+                disk: cfg.disk_capacity,
+                a,
+                b,
+                from,
+                until,
+                now: SimTime::ZERO,
+                down_host: None,
+                quiesced_vm: None,
+            }
+        }
+    }
+
+    impl FleetDynamics for WindowPartition {
+        fn advance(
+            &mut self,
+            now: SimTime,
+            _cluster: &Cluster,
+            _streams: &[(usize, usize)],
+            _recorder: &Recorder,
+        ) -> Vec<MigrationRequest> {
+            self.now = now;
+            Vec::new()
+        }
+
+        fn host_up(&self, host: usize) -> bool {
+            self.down_host != Some(host)
+        }
+
+        fn connected(&self, a: usize, b: usize) -> bool {
+            let cut = self.now >= self.from && self.now < self.until;
+            !(cut && ((a == self.a && b == self.b) || (a == self.b && b == self.a)))
+        }
+
+        fn nic_capacity(&self, _host: usize) -> f64 {
+            self.nic
+        }
+
+        fn disk_capacity(&self, _host: usize) -> f64 {
+            self.disk
+        }
+
+        fn op_keep(&self, vm: usize, _now: SimTime) -> (u64, u64) {
+            if self.quiesced_vm == Some(vm) {
+                (0, 1)
+            } else {
+                (1, 1)
+            }
+        }
+    }
+
+    #[test]
+    fn static_dynamics_matches_the_default_run_exactly() {
+        let cfg = small_cfg(3, 3);
+        let scenario = Scenario::two_wave(&cfg, SimDuration::from_secs(5));
+        let mut a =
+            Orchestrator::new(cfg.clone(), Policy::ImAware, Recorder::off()).expect("valid config");
+        let mut b =
+            Orchestrator::new(cfg.clone(), Policy::ImAware, Recorder::off()).expect("valid config");
+        let ra = a.run(&scenario);
+        let mut dynamics = StaticDynamics::from_config(&cfg);
+        let rb = b.run_with_dynamics(&scenario, &mut dynamics);
+        assert_eq!(ra.makespan_nanos, rb.makespan_nanos);
+        assert_eq!(ra.total_bytes(), rb.total_bytes());
+        assert_eq!(ra.completed(), rb.completed());
+        assert_eq!(ra.records.len(), rb.records.len());
+    }
+
+    #[test]
+    fn partition_strands_the_stream_and_heal_resumes_it() {
+        let cfg = small_cfg(2, 1);
+        // Cut the only link shortly after the stream starts; heal at 10 s.
+        let mut dynamics = WindowPartition::new(
+            &cfg,
+            0,
+            1,
+            SimTime::ZERO + SimDuration::from_millis(250),
+            SimTime::ZERO + SimDuration::from_secs(10),
+        );
+        let rec = Recorder::enabled();
+        let mut orch =
+            Orchestrator::new(cfg.clone(), Policy::Fifo, rec.clone()).expect("valid config");
+        let report = orch.run_with_dynamics(&Scenario::single_wave(&cfg, None), &mut dynamics);
+        assert_eq!(report.completed(), 1);
+        assert!(report.all_consistent());
+        assert_eq!(report.records[0].retries, 0, "a strand is not a retry");
+        assert!(
+            report.makespan_nanos >= SimDuration::from_secs(10).as_nanos(),
+            "the stream waited out the partition"
+        );
+        let records = rec.records();
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, Event::MigrationStranded { .. })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, Event::MigrationReconnected { bitmap_bytes, .. } if bitmap_bytes > 0)));
+    }
+
+    #[test]
+    fn stranded_stream_is_fed_by_a_reachable_replica_holder() {
+        // Tour: h0 -> h1 leaves vm0's old image on h0; then h1 -> h2 is
+        // cut off from its source mid-copy. h0 still reaches h2, so the
+        // directory re-plan serves the owed blocks h0 holds fresh.
+        let cfg = small_cfg(3, 1);
+        let scenario = Scenario {
+            requests: vec![
+                MigrationRequest {
+                    vm: VmId(0),
+                    dest: Some(HostId(1)),
+                    at: SimTime::ZERO,
+                },
+                MigrationRequest {
+                    vm: VmId(0),
+                    dest: Some(HostId(2)),
+                    at: SimTime::ZERO + SimDuration::from_secs(20),
+                },
+            ],
+        };
+        let mut dynamics = WindowPartition::new(
+            &cfg,
+            1,
+            2,
+            SimTime::ZERO + SimDuration::from_millis(20_250),
+            SimTime::ZERO + SimDuration::from_secs(60),
+        );
+        let rec = Recorder::enabled();
+        let mut orch =
+            Orchestrator::new(cfg.clone(), Policy::Fifo, rec.clone()).expect("valid config");
+        let report = orch.run_with_dynamics(&scenario, &mut dynamics);
+        assert_eq!(report.completed(), 2);
+        assert!(report.all_consistent());
+        let second = &report.records[1];
+        assert!(
+            second.blocks_peer > 0,
+            "the stranded hop pulled {} peer blocks",
+            second.blocks_peer
+        );
+        let records = rec.records();
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, Event::MigrationPeerFed { peer: 0, .. })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, Event::MigrationReconnected { .. })));
+    }
+
+    #[test]
+    fn down_hosts_and_thinned_vms_stop_writing() {
+        let mut cfg = small_cfg(3, 3);
+        cfg.workload_cycle = vec![WorkloadKind::Web];
+        let mut dynamics = WindowPartition::new(&cfg, 0, 1, SimTime::ZERO, SimTime::ZERO);
+        dynamics.down_host = Some(2);
+        dynamics.quiesced_vm = Some(1);
+        // Five quiet seconds before the move give vm0 time to write.
+        let scenario = Scenario {
+            requests: vec![MigrationRequest {
+                vm: VmId(0),
+                dest: Some(HostId(1)),
+                at: SimTime::ZERO + SimDuration::from_secs(5),
+            }],
+        };
+        let mut orch =
+            Orchestrator::new(cfg.clone(), Policy::Fifo, Recorder::off()).expect("valid config");
+        let report = orch.run_with_dynamics(&scenario, &mut dynamics);
+        assert_eq!(report.completed(), 1);
+        // vm2 sits on the down host: powered off, no guest writes past
+        // the initial image fill. vm1 is up but fully op-thinned: same.
+        let initial = cfg.disk_blocks as u64;
+        for vm in [1usize, 2] {
+            let disk = &orch.cluster().vms[vm].disk;
+            assert_eq!(disk.write_count(), initial, "vm{vm} must not have written");
+        }
+        // vm0 ran flat out: the source image it left behind in the
+        // replica table shows guest writes beyond the initial fill.
+        let retired = orch
+            .cluster()
+            .replicas
+            .get(0, 0)
+            .expect("vm0's old image was retired to h0");
+        assert!(retired.disk.write_count() > initial);
     }
 
     #[test]

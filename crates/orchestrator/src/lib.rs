@@ -39,14 +39,17 @@
 
 mod cluster;
 mod config;
+mod dynamics;
 mod executor;
 mod report;
 mod scheduler;
 
 pub use cluster::{Cluster, Host, HostId, VmHandle, VmId};
 pub use config::{ClusterConfig, ConfigError, Scenario};
+pub use dynamics::{FleetDynamics, StaticDynamics};
 pub use executor::Orchestrator;
 pub use report::{ClusterReport, MigrationRecord};
 pub use scheduler::{
-    directory_of, ClusterView, Decision, Fifo, ImAware, MigrationRequest, Policy, Scheduler, Srdf,
+    directory_of, ClusterView, CycleAware, Decision, Fifo, ImAware, MigrationRequest, Policy,
+    Scheduler, Srdf,
 };

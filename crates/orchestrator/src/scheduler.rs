@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 
 use block_bitmap::DirtyMap;
 use blockstore::BlockDirectory;
-use des::SimTime;
+use des::{SimDuration, SimTime};
 use vdisk::ReplicaTable;
 
 use crate::cluster::{HostId, VmHandle, VmId};
@@ -69,6 +69,23 @@ pub struct ClusterView<'a> {
     pub disk_blocks: usize,
     /// VMs currently migrating (their requests must wait).
     pub busy: &'a BTreeSet<usize>,
+    /// Per-host liveness (from the fleet dynamics): a down host can
+    /// neither source nor receive a migration.
+    pub host_up: &'a [bool],
+    /// Per-host cordon flags: a cordoned host refuses *new* inbound
+    /// streams (it is being evacuated) but may still act as a source.
+    pub cordoned: &'a [bool],
+    /// Row-major `hosts × hosts` connectivity matrix: `link_ok[a *
+    /// hosts + b]` is `false` when a partition separates `a` from `b`.
+    pub link_ok: &'a [bool],
+    /// Per-VM workload-phase flags: `true` while the VM is in a
+    /// high-activity phase cycle-aware policies should wait out.
+    pub high_activity: &'a [bool],
+    /// The scheduling instant (for deferral ages).
+    pub now: SimTime,
+    /// Starvation bound on cycle deferral: a request older than this
+    /// runs even through a high-activity phase.
+    pub cycle_patience: SimDuration,
 }
 
 impl ClusterView<'_> {
@@ -83,17 +100,38 @@ impl ClusterView<'_> {
     }
 
     /// Admission control: can a stream from `src` to `dst` start now?
+    /// Both endpoints must be up, reachable from each other, and under
+    /// their stream caps; the destination must not be cordoned.
     pub fn admissible(&self, src: HostId, dst: HostId) -> bool {
         src != dst
+            && self.host_up[src.0]
+            && self.host_up[dst.0]
+            && !self.cordoned[dst.0]
+            && self.link_ok[src.0 * self.hosts + dst.0]
             && self.streams[src.0] < self.max_streams_per_host
             && self.streams[dst.0] < self.max_streams_per_host
     }
 
-    /// Replica-blind placement: the next host in the ring. This is the
-    /// baseline the paper's §V table implies — a destination chosen with
-    /// no knowledge of stale replicas, so every hop is a full copy.
+    /// Cycle deferral: should this request wait for its VM's workload
+    /// phase to quiet down? Bounded by `cycle_patience` so a VM that
+    /// never idles still migrates.
+    pub fn defer_for_cycle(&self, req: &MigrationRequest) -> bool {
+        self.high_activity[req.vm.0] && self.now.saturating_since(req.at) < self.cycle_patience
+    }
+
+    /// Replica-blind placement: the next *serviceable* host in the ring
+    /// (down and cordoned hosts are stepped over). On a fully-up fleet
+    /// this is exactly the paper's §V baseline — a destination chosen
+    /// with no knowledge of stale replicas, so every hop is a full copy.
     pub fn naive_dest(&self, vm: VmId) -> HostId {
-        HostId((self.vm_host(vm).0 + 1) % self.hosts)
+        let here = self.vm_host(vm).0;
+        for k in 1..self.hosts {
+            let h = (here + k) % self.hosts;
+            if self.host_up[h] && !self.cordoned[h] {
+                return HostId(h);
+            }
+        }
+        HostId((here + 1) % self.hosts)
     }
 
     /// Hosts (other than the current one) holding a usable stale replica
@@ -259,6 +297,52 @@ impl Scheduler for ImAware {
     }
 }
 
+/// Cycle-aware IM placement: exactly [`ImAware`]'s replica-first
+/// placement, except a request whose VM is mid high-activity workload
+/// phase is deferred — migrating a busy VM re-dirties blocks as fast as
+/// they ship, so waiting for the quiet part of the cycle makes every
+/// pass shorter. Deferral is bounded by the view's `cycle_patience`, so
+/// a VM that never idles still migrates (no starvation).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CycleAware;
+
+impl Scheduler for CycleAware {
+    fn name(&self) -> &'static str {
+        "cycle-aware"
+    }
+
+    fn next(&mut self, pending: &[MigrationRequest], view: &ClusterView<'_>) -> Option<Decision> {
+        for (index, req) in pending.iter().enumerate() {
+            if view.vm_busy(req.vm) {
+                continue;
+            }
+            if view.defer_for_cycle(req) {
+                continue;
+            }
+            let src = view.vm_host(req.vm);
+            if let Some(dest) = req.dest {
+                if view.admissible(src, dest) {
+                    return Some(Decision { index, dest });
+                }
+                continue;
+            }
+            let mut replicas = view.replica_dests(req.vm);
+            replicas.sort_by_key(|(host, stale)| (*stale, host.0));
+            if let Some(&(dest, _)) = replicas.iter().find(|(d, _)| view.admissible(src, *d)) {
+                return Some(Decision { index, dest });
+            }
+            if !replicas.is_empty() {
+                continue;
+            }
+            let dest = view.naive_dest(req.vm);
+            if view.admissible(src, dest) {
+                return Some(Decision { index, dest });
+            }
+        }
+        None
+    }
+}
+
 /// The policy menu, as a factory enum (CLI/bench parse this).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
@@ -268,11 +352,18 @@ pub enum Policy {
     Srdf,
     /// [`ImAware`].
     ImAware,
+    /// [`CycleAware`].
+    CycleAware,
 }
 
 impl Policy {
     /// All policies, for sweeps.
-    pub const ALL: [Policy; 3] = [Policy::Fifo, Policy::Srdf, Policy::ImAware];
+    pub const ALL: [Policy; 4] = [
+        Policy::Fifo,
+        Policy::Srdf,
+        Policy::ImAware,
+        Policy::CycleAware,
+    ];
 
     /// Parse a CLI spelling.
     pub fn parse(s: &str) -> Option<Policy> {
@@ -280,6 +371,7 @@ impl Policy {
             "fifo" => Some(Policy::Fifo),
             "srdf" => Some(Policy::Srdf),
             "im-aware" | "im" => Some(Policy::ImAware),
+            "cycle-aware" | "cycle" => Some(Policy::CycleAware),
             _ => None,
         }
     }
@@ -290,6 +382,7 @@ impl Policy {
             Policy::Fifo => "fifo",
             Policy::Srdf => "srdf",
             Policy::ImAware => "im-aware",
+            Policy::CycleAware => "cycle-aware",
         }
     }
 
@@ -299,6 +392,7 @@ impl Policy {
             Policy::Fifo => Box::new(Fifo),
             Policy::Srdf => Box::new(Srdf),
             Policy::ImAware => Box::new(ImAware),
+            Policy::CycleAware => Box::new(CycleAware),
         }
     }
 }
@@ -309,12 +403,38 @@ mod tests {
     use crate::cluster::Cluster;
     use crate::config::ClusterConfig;
 
+    /// Owned connectivity state a test view borrows from: everything
+    /// up, connected, and quiet unless the test says otherwise.
+    struct Net {
+        host_up: Vec<bool>,
+        cordoned: Vec<bool>,
+        link_ok: Vec<bool>,
+        high_activity: Vec<bool>,
+    }
+
+    impl Net {
+        fn all_up(hosts: usize, vms: usize) -> Self {
+            Self {
+                host_up: vec![true; hosts],
+                cordoned: vec![false; hosts],
+                link_ok: vec![true; hosts * hosts],
+                high_activity: vec![false; vms],
+            }
+        }
+
+        fn sever(&mut self, hosts: usize, a: usize, b: usize) {
+            self.link_ok[a * hosts + b] = false;
+            self.link_ok[b * hosts + a] = false;
+        }
+    }
+
     fn view<'a>(
         cluster: &'a Cluster,
         cfg: &ClusterConfig,
         directory: &'a BlockDirectory,
         streams: &'a [usize],
         busy: &'a BTreeSet<usize>,
+        net: &'a Net,
     ) -> ClusterView<'a> {
         ClusterView {
             hosts: cfg.hosts,
@@ -324,6 +444,12 @@ mod tests {
             max_streams_per_host: cfg.max_streams_per_host,
             disk_blocks: cfg.disk_blocks,
             busy,
+            host_up: &net.host_up,
+            cordoned: &net.cordoned,
+            link_ok: &net.link_ok,
+            high_activity: &net.high_activity,
+            now: SimTime::ZERO,
+            cycle_patience: SimDuration::from_secs(600),
         }
     }
 
@@ -342,7 +468,8 @@ mod tests {
         let streams = vec![0usize; 3];
         let busy = BTreeSet::new();
         let dir = directory_of(&cluster.replicas, cluster.vms.len());
-        let v = view(&cluster, &cfg, &dir, &streams, &busy);
+        let net = Net::all_up(cfg.hosts, cfg.vms);
+        let v = view(&cluster, &cfg, &dir, &streams, &busy, &net);
         let d = Fifo.next(&[req(2), req(0)], &v).expect("admits");
         assert_eq!(d.index, 0);
         // vm2 lives on host 2; ring placement sends it to host 0.
@@ -357,7 +484,8 @@ mod tests {
         // Host 1 (vm0's ring dest) saturated; vm1's dest host 2 is free.
         let streams = vec![0usize, cfg.max_streams_per_host, 0];
         let dir = directory_of(&cluster.replicas, cluster.vms.len());
-        let v = view(&cluster, &cfg, &dir, &streams, &busy);
+        let net = Net::all_up(cfg.hosts, cfg.vms);
+        let v = view(&cluster, &cfg, &dir, &streams, &busy, &net);
         // vm0 is busy; vm1 lives on host 1 (saturated as *source*?) — no:
         // source host 1 is saturated, so vm1 cannot start either.
         let d = Fifo.next(&[req(0), req(1), req(2)], &v);
@@ -378,7 +506,8 @@ mod tests {
         let streams = vec![0usize; 3];
         let busy = BTreeSet::new();
         let dir = directory_of(&cluster.replicas, cluster.vms.len());
-        let v = view(&cluster, &cfg, &dir, &streams, &busy);
+        let net = Net::all_up(cfg.hosts, cfg.vms);
+        let v = view(&cluster, &cfg, &dir, &streams, &busy, &net);
         let d = Srdf.next(&[req(0), req(1)], &v).expect("admits");
         assert_eq!(d.index, 1, "the 1-block incremental hop goes first");
         assert_eq!(d.dest, HostId(2));
@@ -395,7 +524,8 @@ mod tests {
         let streams = vec![0usize; 4];
         let busy = BTreeSet::new();
         let dir = directory_of(&cluster.replicas, cluster.vms.len());
-        let v = view(&cluster, &cfg, &dir, &streams, &busy);
+        let net = Net::all_up(cfg.hosts, cfg.vms);
+        let v = view(&cluster, &cfg, &dir, &streams, &busy, &net);
         let d = ImAware.next(&[req(0)], &v).expect("admits");
         assert_eq!(d.dest, HostId(2), "replica host beats ring placement");
         assert_eq!(v.first_pass_blocks(VmId(0), HostId(2)), 1);
@@ -412,7 +542,8 @@ mod tests {
         streams[2] = cfg.max_streams_per_host;
         let busy = BTreeSet::new();
         let dir = directory_of(&cluster.replicas, cluster.vms.len());
-        let v = view(&cluster, &cfg, &dir, &streams, &busy);
+        let net = Net::all_up(cfg.hosts, cfg.vms);
+        let v = view(&cluster, &cfg, &dir, &streams, &busy, &net);
         assert!(
             ImAware.next(&[req(0)], &v).is_none(),
             "waits for the replica host instead of burning a full copy"
@@ -428,6 +559,69 @@ mod tests {
             assert_eq!(p.build().name(), p.name());
         }
         assert_eq!(Policy::parse("im"), Some(Policy::ImAware));
+        assert_eq!(Policy::parse("cycle"), Some(Policy::CycleAware));
         assert_eq!(Policy::parse("nope"), None);
+    }
+
+    #[test]
+    fn partitions_down_hosts_and_cordons_gate_admission() {
+        let cfg = ClusterConfig::new(3, 3);
+        let cluster = Cluster::new(&cfg).expect("valid");
+        let streams = vec![0usize; 3];
+        let busy = BTreeSet::new();
+        let dir = directory_of(&cluster.replicas, cluster.vms.len());
+
+        // A severed link blocks exactly that pair.
+        let mut net = Net::all_up(cfg.hosts, cfg.vms);
+        net.sever(cfg.hosts, 0, 1);
+        let v = view(&cluster, &cfg, &dir, &streams, &busy, &net);
+        assert!(!v.admissible(HostId(0), HostId(1)));
+        assert!(v.admissible(HostId(0), HostId(2)));
+
+        // A down host can neither send nor receive, and ring placement
+        // steps over it.
+        let mut net = Net::all_up(cfg.hosts, cfg.vms);
+        net.host_up[1] = false;
+        let v = view(&cluster, &cfg, &dir, &streams, &busy, &net);
+        assert!(!v.admissible(HostId(1), HostId(2)));
+        assert!(!v.admissible(HostId(0), HostId(1)));
+        assert_eq!(v.naive_dest(VmId(0)), HostId(2), "ring skips the down host");
+
+        // A cordoned host refuses new inbound streams but still sources.
+        let mut net = Net::all_up(cfg.hosts, cfg.vms);
+        net.cordoned[1] = true;
+        let v = view(&cluster, &cfg, &dir, &streams, &busy, &net);
+        assert!(!v.admissible(HostId(0), HostId(1)));
+        assert!(
+            v.admissible(HostId(1), HostId(2)),
+            "evacuation outbound is fine"
+        );
+        assert_eq!(v.naive_dest(VmId(0)), HostId(2), "ring skips the cordon");
+    }
+
+    #[test]
+    fn cycle_aware_defers_busy_vms_until_patience_runs_out() {
+        let cfg = ClusterConfig::new(3, 3);
+        let cluster = Cluster::new(&cfg).expect("valid");
+        let streams = vec![0usize; 3];
+        let busy = BTreeSet::new();
+        let dir = directory_of(&cluster.replicas, cluster.vms.len());
+        let mut net = Net::all_up(cfg.hosts, cfg.vms);
+        net.high_activity[0] = true;
+
+        // Mid high-activity phase: vm0's request waits, vm1 goes first.
+        let v = view(&cluster, &cfg, &dir, &streams, &busy, &net);
+        let d = CycleAware.next(&[req(0), req(1)], &v).expect("admits");
+        assert_eq!(d.index, 1, "the busy VM's request is deferred");
+        // ImAware, cycle-blind, would have taken vm0 first.
+        let d = ImAware.next(&[req(0), req(1)], &v).expect("admits");
+        assert_eq!(d.index, 0);
+
+        // Once the request has aged past the patience bound it runs even
+        // through the busy phase — no starvation.
+        let mut v = view(&cluster, &cfg, &dir, &streams, &busy, &net);
+        v.now = SimTime::ZERO + SimDuration::from_secs(601);
+        let d = CycleAware.next(&[req(0), req(1)], &v).expect("admits");
+        assert_eq!(d.index, 0, "patience exhausted: the request runs anyway");
     }
 }

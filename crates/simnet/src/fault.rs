@@ -37,6 +37,11 @@ pub enum FaultKind {
     /// the message is lost and the connection is severed behind it — the
     /// peer sees a frame cut short, i.e. `Reset`, on its next receive.
     Truncate,
+    /// Lose the frame in flight but keep the connection alive: the send
+    /// appears to succeed, the peer simply never receives the message.
+    /// This is a lossy link (WAN weather, congestion drops), not a cut
+    /// one — later frames go through untouched.
+    Drop,
 }
 
 /// When a fault fires, measured on the side holding the plan.
@@ -143,6 +148,16 @@ impl FaultPlan {
         self
     }
 
+    /// Add a dropped-frame fault after `n` messages on `attempt`.
+    pub fn drop_after_messages(mut self, attempt: u32, n: u64) -> Self {
+        self.faults.push(Fault {
+            attempt,
+            trigger: FaultTrigger::Messages(n),
+            kind: FaultKind::Drop,
+        });
+        self
+    }
+
     /// A seeded schedule of `attempts` connection resets at
     /// pseudo-random message offsets in `[lo, hi)`: attempt `k` is cut
     /// after `lo + splitmix(seed, k) % (hi - lo)` messages. Deterministic
@@ -156,6 +171,52 @@ impl FaultPlan {
         for k in 0..attempts {
             let off = lo + splitmix64(seed.wrapping_add(u64::from(k))) % (hi - lo);
             plan = plan.reset_after_messages(k, off);
+        }
+        plan
+    }
+
+    /// A seeded lossy-link schedule: over the first `messages` sends of
+    /// each of `attempts` connection attempts, every message offset
+    /// independently draws a frame drop with probability
+    /// `drop_permille`/1000 and a latency-jitter stall with probability
+    /// `jitter_permille`/1000, the stall lasting a seeded fraction of
+    /// `max_jitter`. Each (attempt, offset) pair hashes through
+    /// `splitmix64`, so the whole schedule — which offsets fire, what
+    /// they do, and how long each stall lasts — is a pure function of
+    /// the seed: two plans built with one seed are identical, and so are
+    /// the fault sequences two identical runs observe.
+    pub fn seeded_chaos(
+        seed: u64,
+        attempts: u32,
+        messages: u64,
+        drop_permille: u32,
+        jitter_permille: u32,
+        max_jitter: Duration,
+    ) -> Self {
+        let mut plan = Self::none();
+        for attempt in 0..attempts {
+            for m in 1..=messages {
+                let h =
+                    splitmix64(seed ^ u64::from(attempt).wrapping_mul(0xA076_1D64_78BD_642F) ^ m);
+                let roll = h % 1000;
+                if roll < u64::from(drop_permille) {
+                    plan.faults.push(Fault {
+                        attempt,
+                        trigger: FaultTrigger::Messages(m),
+                        kind: FaultKind::Drop,
+                    });
+                } else if roll < u64::from(drop_permille) + u64::from(jitter_permille) {
+                    // A second independent draw picks the stall length in
+                    // (0, max_jitter], quantized to 1/256ths.
+                    let q = (splitmix64(h) % 256) + 1;
+                    let stall = max_jitter.mul_f64(q as f64 / 256.0);
+                    plan.faults.push(Fault {
+                        attempt,
+                        trigger: FaultTrigger::Messages(m),
+                        kind: FaultKind::Stall(stall),
+                    });
+                }
+            }
         }
         plan
     }
@@ -340,6 +401,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 FaultKind::Reset => FaultLabel::Reset,
                 FaultKind::Stall(_) => FaultLabel::Stall,
                 FaultKind::Truncate => FaultLabel::Truncate,
+                FaultKind::Drop => FaultLabel::Drop,
             };
             let messages_before = self.sent_msgs.load(Ordering::SeqCst).saturating_sub(1);
             rec.record(|| Event::FaultInjected {
@@ -360,6 +422,12 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                     self.shared
                         .sever(format!("injected truncated frame at {:?}", fault.trigger));
                     self.inner.shutdown();
+                    return Ok(());
+                }
+                FaultKind::Drop => {
+                    // The frame vanishes in flight; the link lives on.
+                    // The sender cannot tell, and the next send goes
+                    // through untouched.
                     return Ok(());
                 }
             }
@@ -638,6 +706,50 @@ mod tests {
         let (a, _b) = faulty_named_pair(a, b, &plan, "peer-0", 0);
         for i in 0..10 {
             a.send(pull(i)).expect("unkilled session is clean");
+        }
+    }
+
+    #[test]
+    fn drop_loses_the_frame_but_the_link_survives() {
+        let (a, b) = duplex();
+        let plan = FaultPlan::none().drop_after_messages(0, 2);
+        let (a, b) = faulty_pair(a, b, &plan, 0);
+        a.send(pull(1)).expect("1st");
+        // The dropped send appears to succeed...
+        a.send(pull(2)).expect("sender cannot tell");
+        // ...and unlike Truncate the link survives it.
+        a.send(pull(3)).expect("3rd goes through");
+        assert_eq!(b.recv().expect("1st arrives"), pull(1));
+        assert_eq!(b.recv().expect("3rd arrives, 2nd lost"), pull(3));
+        assert_eq!(
+            b.try_recv().expect_err("nothing else"),
+            TransportError::Empty
+        );
+    }
+
+    #[test]
+    fn seeded_chaos_is_deterministic_and_within_bounds() {
+        let p1 = FaultPlan::seeded_chaos(7, 2, 500, 40, 60, Duration::from_millis(8));
+        let p2 = FaultPlan::seeded_chaos(7, 2, 500, 40, 60, Duration::from_millis(8));
+        assert_eq!(p1, p2, "one seed, one schedule");
+        assert_ne!(
+            p1,
+            FaultPlan::seeded_chaos(8, 2, 500, 40, 60, Duration::from_millis(8))
+        );
+        assert!(!p1.faults.is_empty(), "~10% of 1000 slots must fire");
+        for f in &p1.faults {
+            assert!(f.attempt < 2);
+            let FaultTrigger::Messages(n) = f.trigger else {
+                panic!("chaos cuts at message offsets")
+            };
+            assert!((1..=500).contains(&n));
+            match f.kind {
+                FaultKind::Drop => {}
+                FaultKind::Stall(d) => {
+                    assert!(d > Duration::ZERO && d <= Duration::from_millis(8));
+                }
+                ref other => panic!("chaos only drops and jitters, got {other:?}"),
+            }
         }
     }
 

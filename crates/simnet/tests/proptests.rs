@@ -1,12 +1,17 @@
 //! Property tests for the network substrate: codec totality, capacity
-//! sharing invariants, and token-bucket conservation.
+//! sharing invariants, token-bucket conservation, and seeded-chaos
+//! fault-plan determinism.
+
+use std::time::Duration;
 
 use bytes::Bytes;
 use des::{SimDuration, SimTime};
 use proptest::prelude::*;
 use simnet::capacity::{max_min_share, seek_aware_share};
 use simnet::codec::{decode, encode, read_frame, write_frame};
+use simnet::fault::{faulty_pair, FaultPlan};
 use simnet::proto::MigMessage;
+use simnet::transport::{duplex, Transport, TransportError};
 use simnet::TokenBucket;
 
 fn arb_message() -> impl Strategy<Value = MigMessage> {
@@ -240,5 +245,44 @@ proptest! {
             granted as f64 <= rate * elapsed_secs + burst + 1.0,
             "granted {granted} exceeds rate*t+burst"
         );
+    }
+
+    /// Seeded chaos is a pure function of its seed: two plans built with
+    /// one seed are identical, and two identical runs under that plan
+    /// observe the identical fault sequence (the same frames drop).
+    #[test]
+    fn seeded_chaos_same_seed_same_fault_sequence(
+        seed in any::<u64>(),
+        messages in 1u64..200,
+        drop_permille in 0u32..300,
+    ) {
+        let plan = FaultPlan::seeded_chaos(seed, 1, messages, drop_permille, 0, Duration::ZERO);
+        prop_assert_eq!(
+            &plan,
+            &FaultPlan::seeded_chaos(seed, 1, messages, drop_permille, 0, Duration::ZERO)
+        );
+        // Replay the same send sequence twice; the delivered subsequence
+        // (which frames survived the lossy link) must match exactly.
+        let mut runs: Vec<Vec<u64>> = Vec::new();
+        for _ in 0..2 {
+            let (a, b) = duplex();
+            let (a, b) = faulty_pair(a, b, &plan, 0);
+            for i in 0..messages {
+                a.send(MigMessage::PullRequest { block: i }).expect("lossy send still succeeds");
+            }
+            let mut got = Vec::new();
+            loop {
+                match b.try_recv() {
+                    Ok(MigMessage::PullRequest { block }) => got.push(block),
+                    Ok(other) => prop_assert!(false, "unexpected message {other:?}"),
+                    Err(TransportError::Empty) => break,
+                    Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                }
+            }
+            runs.push(got);
+        }
+        prop_assert_eq!(&runs[0], &runs[1], "one seed, one delivery sequence");
+        let dropped = messages - runs[0].len() as u64;
+        prop_assert_eq!(dropped as usize, plan.faults.len(), "every armed drop fires exactly once");
     }
 }

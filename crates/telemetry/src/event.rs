@@ -57,6 +57,9 @@ pub enum FaultLabel {
     Stall,
     /// Send reported success but the frame was lost.
     Truncate,
+    /// A lossy link dropped the frame in flight; the connection
+    /// survived.
+    Drop,
 }
 
 /// One observable step of a migration run.
@@ -236,6 +239,89 @@ pub enum Event {
         owed_blocks: u64,
         /// Surviving holders the re-plan drew from.
         peers: u64,
+    },
+    /// The fleet network split into disconnected islands (scenario
+    /// timeline, virtual time). Hosts in different islands cannot
+    /// exchange migration traffic until a `PartitionHealed`.
+    PartitionStarted {
+        /// Number of islands the partition produced.
+        islands: u64,
+    },
+    /// The network partition healed; full connectivity restored.
+    PartitionHealed {
+        /// Migrations that were stranded when the heal arrived.
+        stranded: u64,
+    },
+    /// A host left the fleet (crash or maintenance dwell).
+    HostDown {
+        /// Host index.
+        host: u64,
+    },
+    /// A host rejoined the fleet.
+    HostUp {
+        /// Host index.
+        host: u64,
+    },
+    /// A link's bandwidth was degraded (WAN weather, rate clamp).
+    LinkDegraded {
+        /// One endpoint host.
+        a: u64,
+        /// Other endpoint host.
+        b: u64,
+        /// New bandwidth ceiling on the link, bytes/second.
+        bandwidth: u64,
+    },
+    /// A degraded link returned to its configured bandwidth.
+    LinkRestored {
+        /// One endpoint host.
+        a: u64,
+        /// Other endpoint host.
+        b: u64,
+    },
+    /// A VM's workload crossed a cycle boundary (scenario workload
+    /// phases — Baruchi-style activity cycles).
+    WorkloadPhase {
+        /// VM index.
+        vm: u64,
+        /// `true` when the VM entered its low-activity phase.
+        low: bool,
+    },
+    /// A maintenance wave began draining a host: the host is cordoned
+    /// (no new inbound migrations) and its residents are evacuated.
+    MaintenanceStarted {
+        /// Host index.
+        host: u64,
+        /// Resident VMs queued for evacuation.
+        evacuating: u64,
+    },
+    /// A maintenance dwell finished; the host is back in service.
+    MaintenanceEnded {
+        /// Host index.
+        host: u64,
+    },
+    /// A partition or host-down stranded an in-flight migration: its
+    /// source became unreachable from the destination.
+    MigrationStranded {
+        /// Orchestrator-wide migration id.
+        migration: u64,
+    },
+    /// A stranded migration re-planned against the block directory and
+    /// is now fed by a reachable peer replica holder.
+    MigrationPeerFed {
+        /// Orchestrator-wide migration id.
+        migration: u64,
+        /// Peer host serving the fresh blocks.
+        peer: u64,
+        /// Owed blocks the peer can serve at the live generation.
+        servable: u64,
+    },
+    /// A stranded migration's source became reachable again; the stream
+    /// resumed from its block-bitmap after re-shipping it.
+    MigrationReconnected {
+        /// Orchestrator-wide migration id.
+        migration: u64,
+        /// Encoded worklist bitmap bytes re-shipped on resume.
+        bitmap_bytes: u64,
     },
     /// A cluster migration finished.
     MigrationCompleted {

@@ -3,9 +3,10 @@
 #
 # Runs the perf_baseline harness with every --verify-speedup gate (bulk
 # codec >= 3x naive, LZ >= 2x compression within its memcpy budget,
-# fan-in >= 70% of owed fulls off-source) and writes p50/p99 per
-# scenario to BENCH_pr9.json at the repo root, next to
-# BENCH_baseline.json and BENCH_pr7.json. Checking the file in keeps the
+# fan-in >= 70% of owed fulls off-source, and the WAN-profile scenario
+# run completing consistent) and writes p50/p99 per scenario to
+# BENCH_pr10.json at the repo root, next to BENCH_baseline.json,
+# BENCH_pr7.json and BENCH_pr9.json. Checking the file in keeps the
 # per-PR perf trajectory non-empty: any later PR can diff its own run
 # against every recorded predecessor, not just the original baseline.
 #
@@ -16,7 +17,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="BENCH_pr9.json"
+OUT="BENCH_pr10.json"
 QUICK=()
 for arg in "$@"; do
   case "$arg" in

@@ -7,7 +7,9 @@ echo "== rustfmt (check only) =="
 cargo fmt --all -- --check
 
 echo "== tier-1: release build =="
-cargo build --release --locked
+# --workspace so every bin (vmmigrate, repro, perf_baseline, lintkit)
+# is fresh before the smoke matrices below run them from target/.
+cargo build --release --workspace --locked
 
 echo "== tier-1: workspace tests =="
 cargo test -q --workspace --locked
@@ -22,6 +24,20 @@ echo "== perf gate: compare against BENCH_baseline.json =="
 # past BENCH_THRESHOLD percent (default 75 — loose on purpose, the gate is
 # for algorithmic regressions, not shared-runner jitter).
 scripts/bench_compare.sh
+
+echo "== scenario smoke matrix: 3 seeds x {partition, wan, maintenance} =="
+# Every checked-in chaos scenario must complete (all migrations served,
+# every image block-exact) under several seeds, exercising the full
+# parse -> topology compile -> chaos timeline -> orchestrator path the
+# way a user would drive it. The CLI exits non-zero on any inconsistent
+# or incomplete run, so plain set -e is the assertion.
+for scn in partition wan maintenance; do
+  for seed in 1 2 3; do
+    echo "-- scenarios/$scn.scn seed=$seed"
+    ./target/release/vmmigrate orchestrate \
+      --scenario "scenarios/$scn.scn" --seed "$seed" >/dev/null
+  done
+done
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings

@@ -30,6 +30,9 @@
 //! * [`telemetry`] — dual-clock tracing, metrics, and event journal.
 //! * [`orchestrator`] — fleet-scale scheduling: many concurrent
 //!   migrations across N hosts under pluggable (IM-aware) policies.
+//! * [`scenario`] — deterministic cluster topologies and chaos
+//!   schedules: partitions, WAN links, heterogeneous fleets, rolling
+//!   maintenance and workload cycles, all in virtual time.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ pub use block_bitmap;
 pub use des;
 pub use migrate;
 pub use orchestrator;
+pub use scenario;
 pub use simnet;
 pub use telemetry;
 pub use vdisk;
@@ -70,6 +74,7 @@ pub mod prelude {
     pub use orchestrator::{
         Cluster, ClusterConfig, ClusterReport, Orchestrator, Policy, Scenario, Scheduler,
     };
+    pub use scenario::{ChaosEvent, CycleSpec, ScenarioDynamics, ScenarioSpec, TimedEvent};
     pub use simnet::fault::FaultPlan;
     pub use simnet::Link;
     pub use telemetry::Recorder;

@@ -22,6 +22,7 @@ fn fault_cfg() -> LiveConfig {
             max_reconnects: 4,
             backoff: Duration::from_millis(10),
             phase_timeout: Duration::from_secs(5),
+            outage_budget: None,
         },
         ..LiveConfig::test_default()
     }
@@ -113,6 +114,54 @@ fn reset_mid_dedup_stream_converges_with_wire_savings() {
 }
 
 #[test]
+fn outage_budget_rides_out_a_partition_reset_storm() {
+    // A network partition looks like a storm of connection resets: every
+    // reconnect attempt dies until the partition heals. With only the
+    // attempt counter (max_reconnects: 1), the storm below exhausts the
+    // budget; with a wall-clock outage budget, the engine keeps
+    // reconnecting on backoff until the link comes back — the paper's
+    // bitmap-resume makes each ride-out cost one bitmap exchange, not a
+    // restart.
+    let storm = || {
+        FaultPlan::none()
+            .reset_after_category(0, Category::DiskPrecopy, 20)
+            .reset_after_category(1, Category::DiskPrecopy, 5)
+            .reset_after_category(2, Category::DiskPrecopy, 5)
+        // Attempt 3: the partition healed; the session runs clean.
+    };
+
+    let impatient = fault_cfg();
+    let impatient = LiveConfig {
+        retry: RetryPolicy {
+            max_reconnects: 1,
+            ..impatient.retry
+        },
+        ..impatient
+    };
+    match run_live_migration_faulty(&impatient, storm()) {
+        Err(MigrationError::RetriesExhausted { attempts, .. }) => {
+            assert_eq!(attempts, 2, "counter-only policy dies mid-storm")
+        }
+        Err(other) => panic!("attempt-bounded run must exhaust retries, got {other:?}"),
+        Ok(_) => panic!("attempt-bounded run must exhaust retries, but completed"),
+    }
+
+    let tolerant = fault_cfg();
+    let tolerant = LiveConfig {
+        retry: RetryPolicy {
+            max_reconnects: 1,
+            outage_budget: Some(Duration::from_secs(30)),
+            ..tolerant.retry
+        },
+        ..tolerant
+    };
+    let out = run_live_migration_faulty(&tolerant, storm())
+        .expect("outage budget must ride out the storm");
+    assert_consistent(&out);
+    assert_eq!(out.reconnects, 3, "all three storm resets survived");
+}
+
+#[test]
 fn truncated_frame_mid_precopy_is_retransmitted() {
     // A truncate fault makes one send *appear* to succeed while the frame
     // vanishes (the TCP-RST-after-buffered-write case). The per-session
@@ -142,6 +191,7 @@ fn tcp_reset_recovers_over_real_sockets() {
             max_reconnects: 2,
             backoff: Duration::from_millis(10),
             phase_timeout: Duration::from_secs(5),
+            outage_budget: None,
         },
         ..LiveConfig::test_default()
     };
@@ -162,6 +212,7 @@ fn exhausted_reconnect_budget_is_a_typed_error() {
             max_reconnects: 1,
             backoff: Duration::from_millis(5),
             phase_timeout: Duration::from_secs(5),
+            outage_budget: None,
         },
         ..LiveConfig::test_default()
     };
